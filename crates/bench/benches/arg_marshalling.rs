@@ -1,0 +1,54 @@
+//! How argument size affects dispatch cost: SecModule-style marshalling on
+//! the shared stack vs XDR marshalling for RPC (the copy the paper's design
+//! avoids by sharing the address space).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use secmod_core::marshal::{ArgReader, ArgWriter};
+use secmod_core::native::{NativeModule, NativeSession};
+use secmod_rpc::xdr::{XdrDecoder, XdrEncoder};
+
+const KEY: &[u8] = b"bench-credential";
+
+fn arg_marshalling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("arg_marshalling");
+
+    for size in [8usize, 64, 512, 4096, 65536] {
+        let payload: Vec<u8> = (0..size).map(|i| (i % 251) as u8).collect();
+        group.throughput(Throughput::Bytes(size as u64));
+
+        group.bench_with_input(BenchmarkId::new("smod_argblock", size), &size, |b, _| {
+            b.iter(|| {
+                let block = ArgWriter::new().push_bytes(&payload).finish();
+                let mut r = ArgReader::new(&block);
+                std::hint::black_box(r.bytes().unwrap())
+            })
+        });
+
+        group.bench_with_input(BenchmarkId::new("xdr_opaque", size), &size, |b, _| {
+            b.iter(|| {
+                let mut e = XdrEncoder::new();
+                e.put_opaque(&payload);
+                let bytes = e.into_bytes();
+                let mut d = XdrDecoder::new(&bytes);
+                std::hint::black_box(d.get_opaque().unwrap())
+            })
+        });
+    }
+
+    // End-to-end dispatch with growing argument payloads on the native
+    // backend (the shared-heap design keeps this nearly flat).
+    let module = NativeModule::new(KEY).function("sink", |_ctx, args| {
+        (args.len() as u64).to_le_bytes().to_vec()
+    });
+    let session = NativeSession::start(&module, KEY, 4096).unwrap();
+    for size in [8usize, 512, 8192] {
+        let payload = vec![7u8; size];
+        group.bench_with_input(BenchmarkId::new("smod_dispatch_with_args", size), &size, |b, _| {
+            b.iter(|| std::hint::black_box(session.call("sink", &payload).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, arg_marshalling);
+criterion_main!(benches);

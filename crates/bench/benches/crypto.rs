@@ -1,0 +1,62 @@
+//! Cost of protecting module text: AES, SHA-256 and the selective
+//! (relocation-aware) encryption used when a module is registered and when
+//! the kernel decrypts it into the handle.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use secmod_crypto::aes::{Aes, AesKey};
+use secmod_crypto::selective::{SelectiveEncryptor, SkipRange};
+use secmod_crypto::sha256::Sha256;
+use secmod_module::builder::ModuleBuilder;
+use secmod_module::reloc::skip_ranges_for;
+use secmod_module::section::SectionKind;
+
+fn crypto(c: &mut Criterion) {
+    let mut group = c.benchmark_group("crypto");
+
+    group.bench_function("aes128_block", |b| {
+        let aes = Aes::new(&AesKey::Aes128(*b"0123456789abcdef"));
+        let mut block = [0u8; 16];
+        b.iter(|| {
+            aes.encrypt_block(&mut block);
+            std::hint::black_box(block)
+        })
+    });
+
+    for size in [4096usize, 65536] {
+        let data = vec![0xA5u8; size];
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::new("sha256", size), &size, |b, _| {
+            b.iter(|| std::hint::black_box(Sha256::digest(&data)))
+        });
+
+        let enc = SelectiveEncryptor::new(b"0123456789abcdef", [1u8; 8]).unwrap();
+        let skips: Vec<SkipRange> = (0..size / 256).map(|i| SkipRange::new(i * 256, i * 256 + 4)).collect();
+        group.bench_with_input(
+            BenchmarkId::new("selective_encrypt_with_skips", size),
+            &size,
+            |b, _| {
+                b.iter(|| {
+                    let mut buf = data.clone();
+                    enc.apply(&mut buf, &skips).unwrap();
+                    std::hint::black_box(buf)
+                })
+            },
+        );
+    }
+
+    group.bench_function("seal_libc_package", |b| {
+        let image = ModuleBuilder::libc_like();
+        let enc = SelectiveEncryptor::new(b"0123456789abcdef", [1u8; 8]).unwrap();
+        let skips = skip_ranges_for(&image.relocations, SectionKind::Text);
+        b.iter(|| {
+            let mut text = image.text.data.clone();
+            enc.apply(&mut text, &skips).unwrap();
+            std::hint::black_box(text)
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, crypto);
+criterion_main!(benches);

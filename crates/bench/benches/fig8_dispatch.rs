@@ -1,0 +1,44 @@
+//! Criterion version of Figure 8: native getpid vs SMOD dispatch (native
+//! backend) vs local RPC, per call.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use secmod_core::native::{native_getpid, NativeModule, NativeSession};
+use secmod_rpc::services::{spawn_local_testincr_server, TestIncrClient};
+
+const KEY: &[u8] = b"bench-credential";
+
+fn fig8_dispatch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8_dispatch");
+
+    group.bench_function("native_getpid", |b| {
+        b.iter(|| std::hint::black_box(native_getpid()))
+    });
+
+    let session =
+        NativeSession::start(&NativeModule::benchmark_module(KEY), KEY, 4096).unwrap();
+    group.bench_function("smod_getpid", |b| {
+        b.iter(|| std::hint::black_box(session.call("getpid", &[]).unwrap()))
+    });
+    let mut i = 0u64;
+    group.bench_function("smod_testincr", |b| {
+        b.iter(|| {
+            i += 1;
+            std::hint::black_box(session.call("testincr", &i.to_le_bytes()).unwrap())
+        })
+    });
+
+    let server = spawn_local_testincr_server().unwrap();
+    let rpc = TestIncrClient::connect(server.endpoint()).unwrap();
+    let mut j = 0u64;
+    group.bench_function("rpc_testincr", |b| {
+        b.iter(|| {
+            j += 1;
+            std::hint::black_box(rpc.incr(j).unwrap())
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, fig8_dispatch);
+criterion_main!(benches);

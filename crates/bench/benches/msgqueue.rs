@@ -1,0 +1,55 @@
+//! The synchronisation substrate: SYSV message queue operations (the paper
+//! reuses OpenBSD's msgsnd/msgrcv for client↔handle synchronisation) and
+//! simulated smod_call dispatch built on top of them.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use secmod_core::libc_retrofit::libc_module;
+use secmod_core::prelude::*;
+use secmod_kernel::msgqueue::{Message, MsgSubsystem};
+
+const KEY: &[u8] = b"bench-credential";
+
+fn msgqueue(c: &mut Criterion) {
+    let mut group = c.benchmark_group("msgqueue");
+
+    for size in [16usize, 256, 4096] {
+        let payload = vec![1u8; size];
+        group.bench_with_input(BenchmarkId::new("msgsnd_msgrcv", size), &size, |b, _| {
+            let mut msgs = MsgSubsystem::new();
+            let q = msgs.msgget();
+            b.iter(|| {
+                msgs.msgsnd(
+                    q,
+                    Message {
+                        mtype: 1,
+                        data: payload.clone(),
+                    },
+                )
+                .unwrap();
+                std::hint::black_box(msgs.msgrcv(q, 1).unwrap())
+            })
+        });
+    }
+
+    group.bench_function("sim_smod_call_dispatch", |b| {
+        let mut world = SimWorld::new();
+        world.install(&libc_module(KEY)).unwrap();
+        let client = world
+            .spawn_client(
+                "bench-client",
+                Credential::user(1000, 100).with_smod_credential("libc", KEY),
+            )
+            .unwrap();
+        world.connect(client, "libc", 0).unwrap();
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            std::hint::black_box(world.call(client, "testincr", &i.to_le_bytes()).unwrap())
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, msgqueue);
+criterion_main!(benches);

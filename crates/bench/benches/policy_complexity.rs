@@ -1,0 +1,42 @@
+//! Ablation for the paper's closing claim (§5): evaluating "more complex
+//! policy statements" slows the access check "in proportion to the
+//! complexity of the required access control check".
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use secmod_policy::assertion::{Assertion, LicenseeExpr};
+use secmod_policy::ast::Expr;
+use secmod_policy::eval::{evaluate, MissingAttr};
+use secmod_policy::{Environment, PolicyEngine, Principal};
+
+fn policy_complexity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("policy_complexity");
+
+    for n in [0usize, 1, 4, 16, 64, 256] {
+        // Build the environment that satisfies the synthetic conjunction.
+        let mut env = Environment::new();
+        for i in 0..n.max(1) {
+            env.set(&format!("attr_{i}"), i as i64);
+        }
+        let expr = Expr::synthetic_conjunction(n);
+        group.bench_with_input(BenchmarkId::new("condition_eval", n), &n, |b, _| {
+            b.iter(|| evaluate(std::hint::black_box(&expr), &env, MissingAttr::FailClosed).unwrap())
+        });
+
+        // Full engine query with a policy of that complexity.
+        let alice = Principal::from_key("alice", b"alice-key");
+        let mut engine = PolicyEngine::new();
+        engine
+            .add_assertion(
+                Assertion::policy(LicenseeExpr::Single(alice.clone()), &expr.to_string()).unwrap(),
+            )
+            .unwrap();
+        let requesters = vec![alice];
+        group.bench_with_input(BenchmarkId::new("engine_query", n), &n, |b, _| {
+            b.iter(|| engine.query(std::hint::black_box(&requesters), &env).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, policy_complexity);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! The components of the RPC baseline's cost: XDR coding, RPC message
+//! framing and record marking (the work a local RPC round trip performs in
+//! user space before the kernel is ever involved).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use secmod_rpc::message::{CallBody, RpcMessage};
+use secmod_rpc::record::{read_record, write_record};
+use secmod_rpc::xdr::{XdrDecoder, XdrEncoder};
+use std::io::Cursor;
+
+fn rpc_xdr(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rpc_xdr");
+
+    group.bench_function("xdr_encode_decode_u64", |b| {
+        b.iter(|| {
+            let mut e = XdrEncoder::new();
+            e.put_u64(0x1234_5678_9abc_def0);
+            let bytes = e.into_bytes();
+            let mut d = XdrDecoder::new(&bytes);
+            std::hint::black_box(d.get_u64().unwrap())
+        })
+    });
+
+    group.bench_function("rpc_call_message_roundtrip", |b| {
+        let msg = RpcMessage::Call {
+            xid: 42,
+            body: CallBody {
+                program: 0x2000_0001,
+                version: 1,
+                procedure: 1,
+                args: vec![0u8; 8],
+            },
+        };
+        b.iter(|| {
+            let bytes = msg.encode();
+            std::hint::black_box(RpcMessage::decode(&bytes).unwrap())
+        })
+    });
+
+    for size in [64usize, 4096, 65536] {
+        let payload = vec![0x5Au8; size];
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::new("record_marking", size), &size, |b, _| {
+            b.iter(|| {
+                let mut buf = Vec::with_capacity(size + 16);
+                write_record(&mut buf, &payload).unwrap();
+                std::hint::black_box(read_record(&mut Cursor::new(buf)).unwrap())
+            })
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, rpc_xdr);
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! Cost of the UVM operations the paper adds: `uvmspace_force_share`, the
+//! peer-fault sharing path, and shared heap growth.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use secmod_vm::obreak::sys_obreak;
+use secmod_vm::{AccessType, Layout, Vaddr, VmSpace, PAGE_SIZE};
+use std::sync::Arc;
+
+fn user_space(name: &str) -> VmSpace {
+    VmSpace::new_user(
+        name,
+        Layout::openbsd_i386(),
+        Arc::new(vec![0x90u8; 4096]),
+        16,
+        4,
+    )
+    .unwrap()
+}
+
+fn vm_force_share(c: &mut Criterion) {
+    let mut group = c.benchmark_group("vm_force_share");
+
+    group.bench_function("uvmspace_force_share", |b| {
+        b.iter(|| {
+            let mut client = user_space("client");
+            let mut handle = user_space("handle");
+            let range = client.layout.share_region();
+            std::hint::black_box(handle.force_share_from(&mut client, range).unwrap())
+        })
+    });
+
+    group.bench_function("peer_fault_share", |b| {
+        let mut client = user_space("client");
+        let mut handle = user_space("handle");
+        let range = client.layout.share_region();
+        handle.force_share_from(&mut client, range).unwrap();
+        // Touch new heap pages in the client; each handle fault must consult
+        // the peer.
+        let brk = client.brk();
+        sys_obreak(&mut client, Vaddr(brk.0 + 256 * PAGE_SIZE)).unwrap();
+        let mut page = 0u64;
+        b.iter(|| {
+            let addr = Vaddr(brk.0 + (page % 256) * PAGE_SIZE);
+            page += 1;
+            client.write_bytes(addr, b"x").unwrap();
+            std::hint::black_box(
+                handle
+                    .fault_with_peer(addr, AccessType::Read, Some(&client))
+                    .unwrap(),
+            )
+        })
+    });
+
+    group.bench_function("fork_cow_address_space", |b| {
+        let mut parent = user_space("parent");
+        for i in 0..16u64 {
+            parent
+                .write_bytes(Vaddr(parent.layout.data_base + i * PAGE_SIZE), b"touch")
+                .unwrap();
+        }
+        b.iter(|| std::hint::black_box(parent.fork("child")))
+    });
+
+    group.bench_function("shared_obreak_grow_shrink", |b| {
+        let mut client = user_space("client");
+        let mut handle = user_space("handle");
+        let range = client.layout.share_region();
+        handle.force_share_from(&mut client, range).unwrap();
+        let base = client.brk();
+        b.iter(|| {
+            sys_obreak(&mut client, Vaddr(base.0 + 8 * PAGE_SIZE)).unwrap();
+            sys_obreak(&mut client, base).unwrap();
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, vm_force_share);
+criterion_main!(benches);

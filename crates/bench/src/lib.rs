@@ -1,0 +1,22 @@
+//! # secmod-bench
+//!
+//! The benchmark harness reproducing the paper's evaluation:
+//!
+//! * [`sysinfo`] — the Figure 7 system-information block.
+//! * [`harness`] — the trial runner that regenerates Figure 8 (calls/trial,
+//!   trials, µs/call, standard deviation) for the four configurations, on
+//!   both the simulated backend (deterministic, paper-calibrated) and the
+//!   native backend (wall-clock on the host).
+//!
+//! The `figure8` binary prints the tables; the Criterion benches under
+//! `benches/` cover the same code paths plus the ablations (policy
+//! complexity, argument size, forced sharing, crypto, XDR, session setup,
+//! message queues).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod harness;
+pub mod sysinfo;
+
+pub use harness::{Figure8Report, Figure8Row, TrialConfig};

@@ -1,0 +1,261 @@
+//! Retrofitting libc into a SecModule (§4, §4.3).
+//!
+//! The paper's central implementation exercise is a "SecModule conversion of
+//! libC": even `malloc()` can live inside the protected module because the
+//! handle has full access to the client's data/heap/stack through the shared
+//! pages, so the allocator's bookkeeping and the allocated blocks both live
+//! in client-visible memory while the allocator *code* stays protected.
+//!
+//! [`SmodLibc`] packages exactly that on the simulated backend: a bump/free
+//! allocator whose state lives at the base of the client's heap, plus
+//! `strlen`, `memcpy` and `getpid` (which reports the *client's* pid, per
+//! §4.3).
+
+use crate::secure_module::{SecureModule, SecureModuleBuilder};
+use crate::sim::SimWorld;
+use crate::{Result, SmodError};
+use secmod_kernel::{Credential, Errno, Pid};
+use secmod_vm::Vaddr;
+
+/// Offset (from the heap base) of the allocator's bump pointer.
+const BUMP_OFFSET: u64 = 0;
+/// Offset of the allocation counter.
+const COUNT_OFFSET: u64 = 8;
+/// First usable byte of the allocator arena.
+const ARENA_OFFSET: u64 = 64;
+
+/// Build the SecModule version of libc.
+///
+/// `credential_key` is the key material clients must present to use it.
+pub fn libc_module(credential_key: &[u8]) -> SecureModule {
+    SecureModuleBuilder::new("libc", 36)
+        .data_object("malloc_pagepool", &[0u8; 64])
+        .function_sized("malloc", 96, |ctx, args| {
+            let size = u64::from_le_bytes(args[..8].try_into().map_err(|_| Errno::EINVAL)?);
+            let heap_base = ctx.handle_vm.layout.data_base;
+            let bump_addr = Vaddr(heap_base + BUMP_OFFSET);
+            let mut bump = ctx.read_u64(bump_addr)?;
+            if bump == 0 {
+                bump = heap_base + ARENA_OFFSET;
+            }
+            let aligned = (size + 15) & !15;
+            let block = bump;
+            let new_bump = bump + aligned.max(16);
+            ctx.write_u64(bump_addr, new_bump)?;
+            let count_addr = Vaddr(heap_base + COUNT_OFFSET);
+            let count = ctx.read_u64(count_addr)?;
+            ctx.write_u64(count_addr, count + 1)?;
+            Ok(block.to_le_bytes().to_vec())
+        })
+        .function_sized("free", 64, |ctx, args| {
+            // The prototype allocator never reuses blocks; free only updates
+            // the live-allocation counter, exactly enough to demonstrate that
+            // allocator state lives in shared memory.
+            let _addr = u64::from_le_bytes(args[..8].try_into().map_err(|_| Errno::EINVAL)?);
+            let heap_base = ctx.handle_vm.layout.data_base;
+            let count_addr = Vaddr(heap_base + COUNT_OFFSET);
+            let count = ctx.read_u64(count_addr)?;
+            ctx.write_u64(count_addr, count.saturating_sub(1))?;
+            Ok(Vec::new())
+        })
+        .function_sized("getpid", 16, |ctx, _args| {
+            ctx.charge_ns(108);
+            Ok((ctx.client_pid.0 as u64).to_le_bytes().to_vec())
+        })
+        .function_sized("strlen", 48, |ctx, args| {
+            let addr = u64::from_le_bytes(args[..8].try_into().map_err(|_| Errno::EINVAL)?);
+            let mut len = 0u64;
+            loop {
+                let byte = ctx.read(Vaddr(addr + len), 1)?;
+                if byte[0] == 0 {
+                    break;
+                }
+                len += 1;
+                if len > 1 << 20 {
+                    return Err(Errno::EFAULT);
+                }
+            }
+            Ok(len.to_le_bytes().to_vec())
+        })
+        .function_sized("memcpy", 80, |ctx, args| {
+            let dst = u64::from_le_bytes(args[..8].try_into().map_err(|_| Errno::EINVAL)?);
+            let src = u64::from_le_bytes(args[8..16].try_into().map_err(|_| Errno::EINVAL)?);
+            let len = u64::from_le_bytes(args[16..24].try_into().map_err(|_| Errno::EINVAL)?);
+            let data = ctx.read(Vaddr(src), len as usize)?;
+            ctx.write(Vaddr(dst), &data)?;
+            Ok(dst.to_le_bytes().to_vec())
+        })
+        .function_sized("testincr", 24, |_ctx, args| {
+            let v = u64::from_le_bytes(args[..8].try_into().map_err(|_| Errno::EINVAL)?);
+            Ok((v + 1).to_le_bytes().to_vec())
+        })
+        .allow_credential(credential_key)
+        .build()
+        .expect("libc module builds")
+}
+
+/// A client-side wrapper giving the familiar libc API over a SecModule
+/// session.
+pub struct SmodLibc<'w> {
+    world: &'w mut SimWorld,
+    client: Pid,
+}
+
+impl<'w> SmodLibc<'w> {
+    /// Install the libc module (if not yet installed), spawn a client with
+    /// the credential and connect it.
+    pub fn setup(
+        world: &'w mut SimWorld,
+        client_name: &str,
+        credential_key: &[u8],
+    ) -> Result<SmodLibc<'w>> {
+        if world.module_id("libc").is_none() {
+            let module = libc_module(credential_key);
+            world.install(&module)?;
+        }
+        let client = world.spawn_client(
+            client_name,
+            Credential::user(1000, 100).with_smod_credential("libc", credential_key),
+        )?;
+        world.connect(client, "libc", 0)?;
+        Ok(SmodLibc { world, client })
+    }
+
+    /// Wrap an already-connected client.
+    pub fn attach(world: &'w mut SimWorld, client: Pid) -> SmodLibc<'w> {
+        SmodLibc { world, client }
+    }
+
+    /// The client pid.
+    pub fn client(&self) -> Pid {
+        self.client
+    }
+
+    fn call_u64(&mut self, symbol: &str, args: &[u8]) -> Result<u64> {
+        let reply = self.world.call(self.client, symbol, args)?;
+        reply
+            .try_into()
+            .map(u64::from_le_bytes)
+            .map_err(|_| SmodError::BadArguments("expected a u64 reply".to_string()))
+    }
+
+    /// `malloc(size)`: returns the address of a block in the client's heap.
+    pub fn malloc(&mut self, size: u64) -> Result<Vaddr> {
+        Ok(Vaddr(self.call_u64("malloc", &size.to_le_bytes())?))
+    }
+
+    /// `free(ptr)`.
+    pub fn free(&mut self, ptr: Vaddr) -> Result<()> {
+        self.world.call(self.client, "free", &ptr.0.to_le_bytes())?;
+        Ok(())
+    }
+
+    /// `getpid()` over SecModule — must equal the client's pid.
+    pub fn getpid(&mut self) -> Result<Pid> {
+        Ok(Pid(self.call_u64("getpid", &[])? as u32))
+    }
+
+    /// `strlen(ptr)`.
+    pub fn strlen(&mut self, ptr: Vaddr) -> Result<u64> {
+        self.call_u64("strlen", &ptr.0.to_le_bytes())
+    }
+
+    /// `memcpy(dst, src, len)`.
+    pub fn memcpy(&mut self, dst: Vaddr, src: Vaddr, len: u64) -> Result<Vaddr> {
+        let mut args = dst.0.to_le_bytes().to_vec();
+        args.extend_from_slice(&src.0.to_le_bytes());
+        args.extend_from_slice(&len.to_le_bytes());
+        Ok(Vaddr(self.call_u64("memcpy", &args)?))
+    }
+
+    /// `testincr(x)` — the benchmark function.
+    pub fn testincr(&mut self, value: u64) -> Result<u64> {
+        self.call_u64("testincr", &value.to_le_bytes())
+    }
+
+    /// Store bytes directly in client memory (what ordinary, unprotected
+    /// client code would do with a pointer returned by `malloc`).
+    pub fn store(&mut self, addr: Vaddr, data: &[u8]) -> Result<()> {
+        self.world.poke(self.client, addr, data)
+    }
+
+    /// Load bytes directly from client memory.
+    pub fn load(&mut self, addr: Vaddr, len: usize) -> Result<Vec<u8>> {
+        self.world.peek(self.client, addr, len)
+    }
+
+    /// Number of live allocations, read straight out of the shared allocator
+    /// state in the client heap.
+    pub fn live_allocations(&mut self) -> Result<u64> {
+        let base = self.world.heap_base();
+        let bytes = self.world.peek(self.client, Vaddr(base.0 + COUNT_OFFSET), 8)?;
+        Ok(u64::from_le_bytes(bytes.try_into().expect("8 bytes")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const KEY: &[u8] = b"libc-user-key";
+
+    #[test]
+    fn malloc_returns_usable_client_memory() {
+        let mut world = SimWorld::new();
+        let mut libc = SmodLibc::setup(&mut world, "app", KEY).unwrap();
+        let a = libc.malloc(100).unwrap();
+        let b = libc.malloc(100).unwrap();
+        assert_ne!(a, b);
+        assert!(b.0 >= a.0 + 100);
+        // The client can use the memory directly — it is its own heap.
+        libc.store(a, b"written by the client").unwrap();
+        assert_eq!(libc.load(a, 21).unwrap(), b"written by the client");
+        assert_eq!(libc.live_allocations().unwrap(), 2);
+        libc.free(a).unwrap();
+        assert_eq!(libc.live_allocations().unwrap(), 1);
+    }
+
+    #[test]
+    fn strlen_and_memcpy_operate_on_client_data() {
+        let mut world = SimWorld::new();
+        let mut libc = SmodLibc::setup(&mut world, "app", KEY).unwrap();
+        let src = libc.malloc(64).unwrap();
+        let dst = libc.malloc(64).unwrap();
+        libc.store(src, b"secmodule\0").unwrap();
+        assert_eq!(libc.strlen(src).unwrap(), 9);
+        libc.memcpy(dst, src, 10).unwrap();
+        assert_eq!(libc.load(dst, 10).unwrap(), b"secmodule\0");
+        assert_eq!(libc.strlen(dst).unwrap(), 9);
+    }
+
+    #[test]
+    fn getpid_reports_the_client() {
+        let mut world = SimWorld::new();
+        let mut libc = SmodLibc::setup(&mut world, "app", KEY).unwrap();
+        let client = libc.client();
+        assert_eq!(libc.getpid().unwrap(), client);
+    }
+
+    #[test]
+    fn testincr_matches_the_paper_workload() {
+        let mut world = SimWorld::new();
+        let mut libc = SmodLibc::setup(&mut world, "app", KEY).unwrap();
+        assert_eq!(libc.testincr(41).unwrap(), 42);
+    }
+
+    #[test]
+    fn wrong_credential_cannot_set_up_libc() {
+        let mut world = SimWorld::new();
+        // Install with one key…
+        let module = libc_module(KEY);
+        world.install(&module).unwrap();
+        // …and try to connect with another.
+        let client = world
+            .spawn_client(
+                "intruder",
+                Credential::user(4000, 4000).with_smod_credential("libc", b"wrong-key"),
+            )
+            .unwrap();
+        assert!(world.connect(client, "libc", 0).is_err());
+    }
+}

@@ -1,0 +1,179 @@
+//! Argument marshalling "in the traditional stack passing mechanism" (§3).
+//!
+//! Arguments are laid out the way a C caller would push them: a sequence of
+//! 32/64-bit words and byte blocks, little-endian (the paper's i386 test
+//! machine).  Because client and handle share the stack pages, only the
+//! *word sequence* crosses the kernel; pointers stay valid on both sides.
+
+use crate::{Result, SmodError};
+
+/// Builds a marshalled argument block.
+#[derive(Clone, Debug, Default)]
+pub struct ArgWriter {
+    buf: Vec<u8>,
+}
+
+impl ArgWriter {
+    /// Create an empty writer.
+    pub fn new() -> ArgWriter {
+        ArgWriter::default()
+    }
+
+    /// Push a 64-bit unsigned value.
+    pub fn push_u64(mut self, v: u64) -> ArgWriter {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Push a 64-bit signed value.
+    pub fn push_i64(self, v: i64) -> ArgWriter {
+        self.push_u64(v as u64)
+    }
+
+    /// Push a 32-bit value (widened to a stack word).
+    pub fn push_u32(self, v: u32) -> ArgWriter {
+        self.push_u64(v as u64)
+    }
+
+    /// Push a pointer-sized address.
+    pub fn push_addr(self, addr: u64) -> ArgWriter {
+        self.push_u64(addr)
+    }
+
+    /// Push a length-prefixed byte block (for by-value buffers).
+    pub fn push_bytes(mut self, data: &[u8]) -> ArgWriter {
+        self.buf.extend_from_slice(&(data.len() as u64).to_le_bytes());
+        self.buf.extend_from_slice(data);
+        self
+    }
+
+    /// Finish and return the marshalled bytes.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Current size in bytes.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Is the block empty?
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+}
+
+/// Reads a marshalled argument block.
+#[derive(Debug)]
+pub struct ArgReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ArgReader<'a> {
+    /// Create a reader over marshalled bytes.
+    pub fn new(buf: &'a [u8]) -> ArgReader<'a> {
+        ArgReader { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.pos + n > self.buf.len() {
+            return Err(SmodError::BadArguments(format!(
+                "needed {n} bytes at offset {}, only {} available",
+                self.pos,
+                self.buf.len() - self.pos
+            )));
+        }
+        let slice = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    /// Read a 64-bit unsigned value.
+    pub fn u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    /// Read a 64-bit signed value.
+    pub fn i64(&mut self) -> Result<i64> {
+        Ok(self.u64()? as i64)
+    }
+
+    /// Read a 32-bit value.
+    pub fn u32(&mut self) -> Result<u32> {
+        Ok(self.u64()? as u32)
+    }
+
+    /// Read an address.
+    pub fn addr(&mut self) -> Result<u64> {
+        self.u64()
+    }
+
+    /// Read a length-prefixed byte block.
+    pub fn bytes(&mut self) -> Result<Vec<u8>> {
+        let len = self.u64()? as usize;
+        Ok(self.take(len)?.to_vec())
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_mixed_arguments() {
+        let block = ArgWriter::new()
+            .push_u64(42)
+            .push_i64(-7)
+            .push_u32(0xDEAD)
+            .push_addr(0x1000_0000)
+            .push_bytes(b"hello")
+            .finish();
+        let mut r = ArgReader::new(&block);
+        assert_eq!(r.u64().unwrap(), 42);
+        assert_eq!(r.i64().unwrap(), -7);
+        assert_eq!(r.u32().unwrap(), 0xDEAD);
+        assert_eq!(r.addr().unwrap(), 0x1000_0000);
+        assert_eq!(r.bytes().unwrap(), b"hello");
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn truncated_blocks_error() {
+        let block = ArgWriter::new().push_u64(1).finish();
+        let mut r = ArgReader::new(&block[..4]);
+        assert!(r.u64().is_err());
+        let block = ArgWriter::new().push_bytes(&[1, 2, 3]).finish();
+        let mut r = ArgReader::new(&block[..9]);
+        assert!(r.bytes().is_err());
+    }
+
+    #[test]
+    fn empty_writer() {
+        let w = ArgWriter::new();
+        assert!(w.is_empty());
+        assert_eq!(w.len(), 0);
+        assert!(w.finish().is_empty());
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn prop_u64_sequence_roundtrip(values in proptest::collection::vec(proptest::num::u64::ANY, 0..32)) {
+            let mut w = ArgWriter::new();
+            for v in &values {
+                w = w.push_u64(*v);
+            }
+            let block = w.finish();
+            let mut r = ArgReader::new(&block);
+            for v in &values {
+                proptest::prop_assert_eq!(r.u64().unwrap(), *v);
+            }
+            proptest::prop_assert_eq!(r.remaining(), 0);
+        }
+    }
+}

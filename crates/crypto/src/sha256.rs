@@ -1,0 +1,328 @@
+//! SHA-256 (FIPS 180-4).
+//!
+//! The round constants and initial hash values are *derived* at first use
+//! from exact integer square/cube roots of the first primes rather than
+//! hard-coded, and the implementation is validated against the standard
+//! known-answer vectors.
+
+/// Output size of SHA-256 in bytes.
+pub const DIGEST_SIZE: usize = 32;
+
+/// Internal block size in bytes.
+pub const BLOCK_SIZE: usize = 64;
+
+fn first_primes(n: usize) -> Vec<u64> {
+    let mut primes = Vec::with_capacity(n);
+    let mut candidate = 2u64;
+    while primes.len() < n {
+        if primes.iter().all(|&p| candidate % p != 0) {
+            primes.push(candidate);
+        }
+        candidate += 1;
+    }
+    primes
+}
+
+/// floor(sqrt(p) * 2^32) mod 2^32, computed exactly with integer arithmetic.
+fn frac_sqrt_bits(p: u64) -> u32 {
+    // x = isqrt(p << 64); then the low 32 bits of x are the fractional bits.
+    let target = (p as u128) << 64;
+    let mut lo: u128 = 0;
+    let mut hi: u128 = 1u128 << 67; // sqrt(p * 2^64) < 2^67 for p < 2^6
+    while lo < hi {
+        let mid = (lo + hi + 1) / 2;
+        if mid.checked_mul(mid).map(|m| m <= target).unwrap_or(false) {
+            lo = mid;
+        } else {
+            hi = mid - 1;
+        }
+    }
+    (lo & 0xFFFF_FFFF) as u32
+}
+
+/// floor(cbrt(p) * 2^32) mod 2^32, computed exactly with integer arithmetic.
+fn frac_cbrt_bits(p: u64) -> u32 {
+    // x = icbrt(p << 96); low 32 bits of x are the fractional bits.
+    // x < 2^35 * cbrt(p) ... for p < 312, cbrt(p) < 7, so x < 2^35.
+    let target = (p as u128) << 96;
+    let mut lo: u128 = 0;
+    let mut hi: u128 = 1u128 << 36;
+    while lo < hi {
+        let mid = (lo + hi + 1) / 2;
+        let sq = mid * mid; // < 2^72
+        if sq.checked_mul(mid).map(|m| m <= target).unwrap_or(false) {
+            lo = mid;
+        } else {
+            hi = mid - 1;
+        }
+    }
+    (lo & 0xFFFF_FFFF) as u32
+}
+
+fn constants() -> &'static ([u32; 8], [u32; 64]) {
+    use std::sync::OnceLock;
+    static CONSTS: OnceLock<([u32; 8], [u32; 64])> = OnceLock::new();
+    CONSTS.get_or_init(|| {
+        let primes = first_primes(64);
+        let mut h = [0u32; 8];
+        for i in 0..8 {
+            h[i] = frac_sqrt_bits(primes[i]);
+        }
+        let mut k = [0u32; 64];
+        for i in 0..64 {
+            k[i] = frac_cbrt_bits(primes[i]);
+        }
+        (h, k)
+    })
+}
+
+/// Incremental SHA-256 hasher.
+#[derive(Clone)]
+pub struct Sha256 {
+    state: [u32; 8],
+    buffer: [u8; BLOCK_SIZE],
+    buffer_len: usize,
+    total_len: u64,
+}
+
+impl Default for Sha256 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for Sha256 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Sha256")
+            .field("total_len", &self.total_len)
+            .finish()
+    }
+}
+
+impl Sha256 {
+    /// Create a new hasher.
+    pub fn new() -> Self {
+        let (h, _) = constants();
+        Sha256 {
+            state: *h,
+            buffer: [0u8; BLOCK_SIZE],
+            buffer_len: 0,
+            total_len: 0,
+        }
+    }
+
+    /// Absorb `data` into the hash state.
+    pub fn update(&mut self, data: &[u8]) {
+        self.total_len = self.total_len.wrapping_add(data.len() as u64);
+        let mut data = data;
+        if self.buffer_len > 0 {
+            let take = usize::min(BLOCK_SIZE - self.buffer_len, data.len());
+            self.buffer[self.buffer_len..self.buffer_len + take].copy_from_slice(&data[..take]);
+            self.buffer_len += take;
+            data = &data[take..];
+            if self.buffer_len == BLOCK_SIZE {
+                let block = self.buffer;
+                self.compress(&block);
+                self.buffer_len = 0;
+            }
+        }
+        while data.len() >= BLOCK_SIZE {
+            let mut block = [0u8; BLOCK_SIZE];
+            block.copy_from_slice(&data[..BLOCK_SIZE]);
+            self.compress(&block);
+            data = &data[BLOCK_SIZE..];
+        }
+        if !data.is_empty() {
+            self.buffer[..data.len()].copy_from_slice(data);
+            self.buffer_len = data.len();
+        }
+    }
+
+    /// Finish hashing and return the 32-byte digest.
+    pub fn finalize(mut self) -> [u8; DIGEST_SIZE] {
+        let bit_len = self.total_len.wrapping_mul(8);
+        // Append 0x80 then zeros then the 64-bit big-endian length.
+        self.update_padding_byte(0x80);
+        while self.buffer_len != 56 {
+            self.update_padding_byte(0x00);
+        }
+        let len_bytes = bit_len.to_be_bytes();
+        self.buffer[56..64].copy_from_slice(&len_bytes);
+        let block = self.buffer;
+        self.compress(&block);
+
+        let mut out = [0u8; DIGEST_SIZE];
+        for (i, word) in self.state.iter().enumerate() {
+            out[4 * i..4 * i + 4].copy_from_slice(&word.to_be_bytes());
+        }
+        out
+    }
+
+    fn update_padding_byte(&mut self, b: u8) {
+        self.buffer[self.buffer_len] = b;
+        self.buffer_len += 1;
+        if self.buffer_len == BLOCK_SIZE {
+            let block = self.buffer;
+            self.compress(&block);
+            self.buffer_len = 0;
+        }
+    }
+
+    /// One-shot convenience: hash `data` and return the digest.
+    pub fn digest(data: &[u8]) -> [u8; DIGEST_SIZE] {
+        let mut h = Sha256::new();
+        h.update(data);
+        h.finalize()
+    }
+
+    fn compress(&mut self, block: &[u8; BLOCK_SIZE]) {
+        let (_, k) = constants();
+        let mut w = [0u32; 64];
+        for i in 0..16 {
+            w[i] = u32::from_be_bytes([
+                block[4 * i],
+                block[4 * i + 1],
+                block[4 * i + 2],
+                block[4 * i + 3],
+            ]);
+        }
+        for i in 16..64 {
+            let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
+            let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
+            w[i] = w[i - 16]
+                .wrapping_add(s0)
+                .wrapping_add(w[i - 7])
+                .wrapping_add(s1);
+        }
+
+        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = self.state;
+        for i in 0..64 {
+            let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
+            let ch = (e & f) ^ ((!e) & g);
+            let temp1 = h
+                .wrapping_add(s1)
+                .wrapping_add(ch)
+                .wrapping_add(k[i])
+                .wrapping_add(w[i]);
+            let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
+            let maj = (a & b) ^ (a & c) ^ (b & c);
+            let temp2 = s0.wrapping_add(maj);
+            h = g;
+            g = f;
+            f = e;
+            e = d.wrapping_add(temp1);
+            d = c;
+            c = b;
+            b = a;
+            a = temp1.wrapping_add(temp2);
+        }
+
+        self.state[0] = self.state[0].wrapping_add(a);
+        self.state[1] = self.state[1].wrapping_add(b);
+        self.state[2] = self.state[2].wrapping_add(c);
+        self.state[3] = self.state[3].wrapping_add(d);
+        self.state[4] = self.state[4].wrapping_add(e);
+        self.state[5] = self.state[5].wrapping_add(f);
+        self.state[6] = self.state[6].wrapping_add(g);
+        self.state[7] = self.state[7].wrapping_add(h);
+    }
+}
+
+/// Hex-encode a byte slice (lower-case); small helper used across the workspace.
+pub fn to_hex(bytes: &[u8]) -> String {
+    let mut s = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        s.push_str(&format!("{b:02x}"));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_constants_match_fips() {
+        let (h, k) = constants();
+        // First initial-hash word and first/last round constants from FIPS 180-4.
+        assert_eq!(h[0], 0x6a09e667);
+        assert_eq!(h[7], 0x5be0cd19);
+        assert_eq!(k[0], 0x428a2f98);
+        assert_eq!(k[63], 0xc67178f2);
+    }
+
+    #[test]
+    fn empty_string_vector() {
+        assert_eq!(
+            to_hex(&Sha256::digest(b"")),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+        );
+    }
+
+    #[test]
+    fn abc_vector() {
+        assert_eq!(
+            to_hex(&Sha256::digest(b"abc")),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+        );
+    }
+
+    #[test]
+    fn two_block_vector() {
+        assert_eq!(
+            to_hex(&Sha256::digest(
+                b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"
+            )),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
+        );
+    }
+
+    #[test]
+    fn million_a_vector() {
+        let data = vec![b'a'; 1_000_000];
+        assert_eq!(
+            to_hex(&Sha256::digest(&data)),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+        );
+    }
+
+    #[test]
+    fn incremental_matches_oneshot() {
+        let data: Vec<u8> = (0..10_000u32).map(|i| (i % 256) as u8).collect();
+        let oneshot = Sha256::digest(&data);
+        for chunk_size in [1usize, 3, 7, 63, 64, 65, 1000] {
+            let mut h = Sha256::new();
+            for chunk in data.chunks(chunk_size) {
+                h.update(chunk);
+            }
+            assert_eq!(h.finalize(), oneshot, "chunk size {chunk_size}");
+        }
+    }
+
+    #[test]
+    fn to_hex_works() {
+        assert_eq!(to_hex(&[0x00, 0xff, 0x10]), "00ff10");
+        assert_eq!(to_hex(&[]), "");
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn prop_split_invariance(data in proptest::collection::vec(0u8..=255, 0..2048),
+                                 split in 0usize..2048) {
+            let split = split.min(data.len());
+            let oneshot = Sha256::digest(&data);
+            let mut h = Sha256::new();
+            h.update(&data[..split]);
+            h.update(&data[split..]);
+            proptest::prop_assert_eq!(h.finalize(), oneshot);
+        }
+
+        #[test]
+        fn prop_distinct_inputs_distinct_digests(a in proptest::collection::vec(0u8..=255, 0..128),
+                                                 b in proptest::collection::vec(0u8..=255, 0..128)) {
+            if a != b {
+                proptest::prop_assert_ne!(Sha256::digest(&a), Sha256::digest(&b));
+            }
+        }
+    }
+}

@@ -1,0 +1,100 @@
+//! Process credentials: the Unix identity plus the SecModule credential
+//! blobs a client presents when requesting module access.
+
+use secmod_policy::principal::Principal;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// The credential attached to a process.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Credential {
+    /// Effective user id.
+    pub uid: u32,
+    /// Effective group id.
+    pub gid: u32,
+    /// Supplementary groups.
+    pub groups: Vec<u32>,
+    /// Per-module SecModule credentials: module name → opaque key material
+    /// identifying the principal the process acts as for that module.
+    /// (The paper: the objects "that hold the name and version of the
+    /// needed SecModules, as well as the credentials that allow access to
+    /// it are linked in" to the client executable.)
+    smod_credentials: BTreeMap<String, Vec<u8>>,
+}
+
+impl Credential {
+    /// Root credentials.
+    pub fn root() -> Credential {
+        Credential {
+            uid: 0,
+            gid: 0,
+            groups: Vec::new(),
+            smod_credentials: BTreeMap::new(),
+        }
+    }
+
+    /// An ordinary user credential.
+    pub fn user(uid: u32, gid: u32) -> Credential {
+        Credential {
+            uid,
+            gid,
+            groups: Vec::new(),
+            smod_credentials: BTreeMap::new(),
+        }
+    }
+
+    /// Attach a SecModule credential for `module` (builder style).
+    pub fn with_smod_credential(mut self, module: &str, key_material: &[u8]) -> Credential {
+        self.smod_credentials
+            .insert(module.to_string(), key_material.to_vec());
+        self
+    }
+
+    /// The raw credential material presented for `module`, if any.
+    pub fn smod_credential(&self, module: &str) -> Option<&[u8]> {
+        self.smod_credentials.get(module).map(|v| v.as_slice())
+    }
+
+    /// The policy principal this credential identifies for `module`
+    /// (derived from the credential key material), if present.
+    pub fn principal_for(&self, module: &str) -> Option<Principal> {
+        self.smod_credential(module)
+            .map(|key| Principal::from_key(&format!("uid{}", self.uid), key))
+    }
+
+    /// Does the credential carry any SecModule material at all?
+    pub fn has_smod_credentials(&self) -> bool {
+        !self.smod_credentials.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_lookup() {
+        let c = Credential::user(1000, 100).with_smod_credential("libc", b"alice-key");
+        assert_eq!(c.uid, 1000);
+        assert!(c.has_smod_credentials());
+        assert_eq!(c.smod_credential("libc"), Some(b"alice-key".as_slice()));
+        assert_eq!(c.smod_credential("libm"), None);
+        assert!(!Credential::root().has_smod_credentials());
+    }
+
+    #[test]
+    fn principal_is_derived_from_key_material_not_name() {
+        let a = Credential::user(1000, 100).with_smod_credential("libc", b"key-1");
+        let b = Credential::user(1000, 100).with_smod_credential("libc", b"key-2");
+        let pa = a.principal_for("libc").unwrap();
+        let pb = b.principal_for("libc").unwrap();
+        assert_ne!(pa.fingerprint, pb.fingerprint);
+        assert!(a.principal_for("libm").is_none());
+        // Same key material → same principal, regardless of uid label.
+        let c = Credential::user(2000, 100).with_smod_credential("libc", b"key-1");
+        assert_eq!(
+            a.principal_for("libc").unwrap().fingerprint,
+            c.principal_for("libc").unwrap().fingerprint
+        );
+    }
+}

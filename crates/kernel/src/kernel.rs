@@ -1,0 +1,505 @@
+//! The kernel proper: state plus the ordinary (non-SecModule) syscalls.
+//!
+//! The SecModule syscall family of Figure 4 is implemented in
+//! [`crate::smod`] as further methods on [`Kernel`].
+
+use crate::clock::SimClock;
+use crate::cost::CostModel;
+use crate::cred::Credential;
+use crate::errno::Errno;
+use crate::msgqueue::{Message, MsgQueueId, MsgSubsystem};
+use crate::proc::{Pid, ProcState, Process};
+use crate::smod::{Session, SessionId};
+use crate::smodreg::SmodRegistry;
+use crate::table::ProcessTable;
+use crate::trace::{Event, Tracer};
+use crate::SysResult;
+use secmod_crypto::KeyStore;
+use secmod_vm::obreak::sys_obreak;
+use secmod_vm::{Layout, Vaddr, VmSpace};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// The simulated kernel.
+pub struct Kernel {
+    /// All processes.
+    pub procs: ProcessTable,
+    /// SYSV message queues.
+    pub msgs: MsgSubsystem,
+    /// The simulated clock.
+    pub clock: SimClock,
+    /// The cost model used to charge operations to the clock.
+    pub cost: CostModel,
+    /// The kernel key store (module keys live only here).
+    pub keystore: KeyStore,
+    /// The SecModule registry.
+    pub registry: SmodRegistry,
+    /// Active SecModule sessions.
+    pub sessions: BTreeMap<SessionId, Session>,
+    /// Event tracer.
+    pub tracer: Tracer,
+    /// Default address-space layout for new processes.
+    pub layout: Layout,
+    pub(crate) next_session: u32,
+    /// Count of context switches performed (for reporting).
+    pub context_switches: u64,
+}
+
+impl std::fmt::Debug for Kernel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Kernel")
+            .field("processes", &self.procs.len())
+            .field("modules", &self.registry.len())
+            .field("sessions", &self.sessions.len())
+            .field("sim_time_ns", &self.clock.now_ns())
+            .finish()
+    }
+}
+
+impl Default for Kernel {
+    fn default() -> Self {
+        Kernel::new(CostModel::default())
+    }
+}
+
+impl Kernel {
+    /// Boot a kernel with the given cost model and the OpenBSD i386 layout.
+    pub fn new(cost: CostModel) -> Kernel {
+        Kernel {
+            procs: ProcessTable::new(),
+            msgs: MsgSubsystem::new(),
+            clock: SimClock::new(),
+            cost,
+            keystore: KeyStore::new(b"secmodule-kernel-keystore"),
+            registry: SmodRegistry::new(),
+            sessions: BTreeMap::new(),
+            tracer: Tracer::new(),
+            layout: Layout::openbsd_i386(),
+            next_session: 1,
+            context_switches: 0,
+        }
+    }
+
+    /// Boot with a custom address-space layout (smaller layouts make unit
+    /// tests cheaper).
+    pub fn with_layout(cost: CostModel, layout: Layout) -> Kernel {
+        let mut k = Kernel::new(cost);
+        k.layout = layout;
+        k
+    }
+
+    /// Charge `ns` of kernel time to the clock and to `pid`'s CPU time.
+    pub(crate) fn charge(&mut self, pid: Pid, ns: u64) {
+        self.clock.advance(ns);
+        if let Ok(p) = self.procs.get_mut(pid) {
+            p.cpu_time_ns += ns;
+        }
+    }
+
+    /// Record a context switch.
+    pub(crate) fn context_switch(&mut self) {
+        self.context_switches += 1;
+        self.clock.advance(self.cost.context_switch_ns);
+    }
+
+    // ----------------------------------------------------------------
+    // Process management
+    // ----------------------------------------------------------------
+
+    /// Create a user process (the moral equivalent of `exec` from init):
+    /// a fresh address space with the given program text.
+    pub fn spawn_process(
+        &mut self,
+        name: &str,
+        cred: Credential,
+        text: Vec<u8>,
+        heap_pages: u64,
+        stack_pages: u64,
+    ) -> SysResult<Pid> {
+        let vm = VmSpace::new_user(name, self.layout, Arc::new(text), heap_pages, stack_pages)
+            .map_err(Errno::from)?;
+        Ok(self.procs.spawn(Pid(0), name, cred, vm))
+    }
+
+    /// `getpid()`.  For a handle process this returns the *client's* pid, as
+    /// §4.3 requires ("getpid() and related calls must return the PIDs
+    /// related to the client, not the handle!").
+    pub fn sys_getpid(&mut self, pid: Pid) -> SysResult<Pid> {
+        let cost = self.cost.getpid_cost();
+        self.charge(pid, cost);
+        let p = self.procs.get(pid)?;
+        if p.flags.smod_handle {
+            if let Some(link) = p.smod {
+                return Ok(link.peer);
+            }
+        }
+        Ok(pid)
+    }
+
+    /// `fork()`: duplicate the calling process (copy-on-write address
+    /// space).  The child does not inherit any SecModule session; the
+    /// paper's special handling (re-creating a handle for the child) is
+    /// provided by [`Kernel::sys_smod_fork`].
+    pub fn sys_fork(&mut self, parent: Pid) -> SysResult<Pid> {
+        let fork_cost = self.cost.fork_ns;
+        self.charge(parent, fork_cost);
+        let child_pid = self.procs.allocate_pid();
+        let parent_proc = self.procs.get(parent)?;
+        let child_name = format!("{}-child", parent_proc.name);
+        let mut child_vm = parent_proc.vm.fork(&child_name);
+        // The child is not (yet) part of any smod pair.
+        let share = parent_proc.vm.smod_share_range();
+        if share.is_some() {
+            // Clear the inherited share marker; a new session must be set up.
+            child_vm = {
+                let mut vm = child_vm;
+                // VmSpace keeps the marker private; rebuilding the flag is
+                // done by simply leaving it — harmless because the child has
+                // no peer until a session exists.
+                vm.stats.reset();
+                vm
+            };
+        }
+        let mut child = Process::new(
+            child_pid,
+            parent,
+            &child_name,
+            parent_proc.cred.clone(),
+            child_vm,
+        );
+        child.flags.no_coredump = parent_proc.flags.no_coredump;
+        self.procs.insert(child);
+        Ok(child_pid)
+    }
+
+    /// `exit()`: the process becomes a zombie; if it is a SecModule client
+    /// its handle is killed and the session removed.
+    pub fn sys_exit(&mut self, pid: Pid, status: i32) -> SysResult<()> {
+        let trap = self.cost.syscall_trap_ns;
+        self.charge(pid, trap);
+        // Detach any smod session first (kills the handle).
+        if self.procs.get(pid)?.smod.is_some() {
+            self.smod_detach(pid, "client exit")?;
+        }
+        let p = self.procs.get_mut(pid)?;
+        p.state = ProcState::Zombie(status);
+        Ok(())
+    }
+
+    /// `wait()`: reap a zombie child.  Handle processes are invisible to
+    /// `wait` (§4.3: scheduling-related calls "must be modified such that
+    /// they effect the client, not the handle").
+    pub fn sys_wait(&mut self, parent: Pid) -> SysResult<(Pid, i32)> {
+        let trap = self.cost.syscall_trap_ns;
+        self.charge(parent, trap);
+        let children = self.procs.children_of(parent);
+        if children.is_empty() {
+            return Err(Errno::ECHILD);
+        }
+        let zombie = self.procs.iter().find_map(|p| {
+            if p.ppid == parent && !p.flags.smod_handle {
+                match p.state {
+                    ProcState::Zombie(status) => Some((p.pid, status)),
+                    _ => None,
+                }
+            } else {
+                None
+            }
+        });
+        match zombie {
+            Some((pid, status)) => {
+                self.procs.remove(pid);
+                Ok((pid, status))
+            }
+            None => Err(Errno::EAGAIN), // caller would block
+        }
+    }
+
+    /// `kill()`: deliver a signal.  Signals aimed at handle processes are
+    /// redirected to their client (§4.3: "signals … must be modified such
+    /// that they effect the client, not the handle").
+    pub fn sys_kill(&mut self, sender: Pid, target: Pid, signal: i32) -> SysResult<()> {
+        let trap = self.cost.syscall_trap_ns;
+        self.charge(sender, trap);
+        let redirected = {
+            let t = self.procs.get(target)?;
+            if t.flags.smod_handle {
+                t.smod.map(|l| l.peer).unwrap_or(target)
+            } else {
+                target
+            }
+        };
+        let t = self.procs.get_mut(redirected)?;
+        t.pending_signals.push(signal);
+        Ok(())
+    }
+
+    /// `ptrace()` attach: denied outright for any process associated with a
+    /// SecModule handle (§3.1 item 4).
+    pub fn sys_ptrace_attach(&mut self, tracer: Pid, target: Pid) -> SysResult<()> {
+        let trap = self.cost.syscall_trap_ns;
+        self.charge(tracer, trap);
+        let t = self.procs.get(target)?;
+        if t.flags.no_ptrace || t.flags.smod_handle || t.flags.smod_client {
+            self.tracer.record(Event::PtraceDenied { tracer, target });
+            return Err(Errno::EPERM);
+        }
+        Ok(())
+    }
+
+    /// Simulate a crash of `pid` (e.g. SIGSEGV).  Returns whether a core
+    /// image was produced; for smod pair members it never is.
+    pub fn crash_process(&mut self, pid: Pid) -> SysResult<bool> {
+        // Tear down any session (also protects the module text mapped in a
+        // crashing handle).
+        if self.procs.get(pid)?.smod.is_some() {
+            self.smod_detach_either(pid, "crash")?;
+        }
+        let p = self.procs.get_mut(pid)?;
+        let dumped = p.crash(11);
+        if !dumped {
+            self.tracer.record(Event::CoreDumpSuppressed { pid });
+        }
+        Ok(dumped)
+    }
+
+    /// `execve()`: §4.3 — "first detach the requesting client process from
+    /// the SecModule system, kill the associated handle process, and then …
+    /// run sys_execve() as per normal."  The new image starts with a fresh
+    /// address space and no session.
+    pub fn sys_execve(&mut self, pid: Pid, new_name: &str, new_text: Vec<u8>) -> SysResult<()> {
+        let trap = self.cost.syscall_trap_ns + self.cost.fork_ns / 2;
+        self.charge(pid, trap);
+        if self.procs.get(pid)?.smod.is_some() {
+            self.smod_detach(pid, "execve")?;
+        }
+        let layout = self.layout;
+        let vm = VmSpace::new_user(new_name, layout, Arc::new(new_text), 4, 4)
+            .map_err(Errno::from)?;
+        let p = self.procs.get_mut(pid)?;
+        p.name = new_name.to_string();
+        p.vm = vm;
+        p.flags.smod_client = false;
+        Ok(())
+    }
+
+    // ----------------------------------------------------------------
+    // Memory
+    // ----------------------------------------------------------------
+
+    /// `obreak()` — grow or shrink the heap.  For smod pair members the new
+    /// memory is a shared mapping (the paper's modified `sys_obreak`).
+    pub fn sys_obreak(&mut self, pid: Pid, new_break: Vaddr) -> SysResult<Vaddr> {
+        let trap = self.cost.syscall_trap_ns;
+        self.charge(pid, trap);
+        let p = self.procs.get_mut(pid)?;
+        let outcome = sys_obreak(&mut p.vm, new_break).map_err(Errno::from)?;
+        Ok(outcome.new_brk)
+    }
+
+    /// Read bytes from a process's memory (kernel copyin), resolving shared
+    /// mappings through the smod peer if necessary.
+    pub fn read_user_memory(&mut self, pid: Pid, addr: Vaddr, len: usize) -> SysResult<Vec<u8>> {
+        let peer_pid = self.procs.get(pid)?.smod.map(|l| l.peer);
+        match peer_pid {
+            None => {
+                let p = self.procs.get_mut(pid)?;
+                p.vm.read_bytes(addr, len).map_err(Errno::from)
+            }
+            Some(peer) => {
+                let (p, q) = self.procs.get_pair_mut(pid, peer)?;
+                p.vm.read_bytes_with_peer(addr, len, Some(&q.vm))
+                    .map_err(Errno::from)
+            }
+        }
+    }
+
+    /// Write bytes into a process's memory (kernel copyout).
+    pub fn write_user_memory(&mut self, pid: Pid, addr: Vaddr, data: &[u8]) -> SysResult<()> {
+        let peer_pid = self.procs.get(pid)?.smod.map(|l| l.peer);
+        match peer_pid {
+            None => {
+                let p = self.procs.get_mut(pid)?;
+                p.vm.write_bytes(addr, data).map_err(Errno::from)
+            }
+            Some(peer) => {
+                let (p, q) = self.procs.get_pair_mut(pid, peer)?;
+                p.vm.write_bytes_with_peer(addr, data, Some(&q.vm))
+                    .map_err(Errno::from)
+            }
+        }
+    }
+
+    // ----------------------------------------------------------------
+    // SYSV message queues
+    // ----------------------------------------------------------------
+
+    /// `msgget(IPC_PRIVATE)`.
+    pub fn sys_msgget(&mut self, pid: Pid) -> SysResult<MsgQueueId> {
+        let trap = self.cost.syscall_trap_ns;
+        self.charge(pid, trap);
+        Ok(self.msgs.msgget())
+    }
+
+    /// `msgsnd`.
+    pub fn sys_msgsnd(&mut self, pid: Pid, queue: MsgQueueId, msg: Message) -> SysResult<()> {
+        let cost = self.cost.syscall_trap_ns + self.cost.msg_op_ns;
+        self.charge(pid, cost);
+        self.msgs.msgsnd(queue, msg)
+    }
+
+    /// `msgrcv` (non-blocking: `EAGAIN` when nothing matches).
+    pub fn sys_msgrcv(&mut self, pid: Pid, queue: MsgQueueId, mtype: i64) -> SysResult<Message> {
+        let cost = self.cost.syscall_trap_ns + self.cost.msg_op_ns;
+        self.charge(pid, cost);
+        self.msgs.msgrcv(queue, mtype)
+    }
+
+    // ----------------------------------------------------------------
+    // Reporting
+    // ----------------------------------------------------------------
+
+    /// A `dmesg`-style boot/system information block, the analogue of the
+    /// paper's Figure 7.
+    pub fn system_info(&self) -> String {
+        format!(
+            "SecModule simulated kernel (cost model: P-III 599 MHz / OpenBSD 3.6 calibration)\n\
+             cpu0: simulated, syscall trap {} ns, context switch {} ns\n\
+             real mem = simulated\n\
+             processes: {}, modules registered: {}, active sessions: {}\n\
+             simulated clock: {} ns\n",
+            self.cost.syscall_trap_ns,
+            self.cost.context_switch_ns,
+            self.procs.len(),
+            self.registry.len(),
+            self.sessions.len(),
+            self.clock.now_ns()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kernel() -> Kernel {
+        Kernel::new(CostModel::default())
+    }
+
+    fn spawn(k: &mut Kernel, name: &str) -> Pid {
+        k.spawn_process(name, Credential::user(1000, 100), vec![0x90u8; 4096], 4, 4)
+            .unwrap()
+    }
+
+    #[test]
+    fn getpid_charges_cost_and_returns_pid() {
+        let mut k = kernel();
+        let p = spawn(&mut k, "client");
+        let before = k.clock.now_ns();
+        assert_eq!(k.sys_getpid(p).unwrap(), p);
+        assert_eq!(k.clock.now_ns() - before, k.cost.getpid_cost());
+        assert_eq!(k.sys_getpid(Pid(99)).unwrap_err(), Errno::ESRCH);
+    }
+
+    #[test]
+    fn fork_creates_cow_child() {
+        let mut k = kernel();
+        let parent = spawn(&mut k, "parent");
+        let addr = Vaddr(k.layout.data_base);
+        k.write_user_memory(parent, addr, b"parent").unwrap();
+        let child = k.sys_fork(parent).unwrap();
+        assert_ne!(parent, child);
+        assert_eq!(k.read_user_memory(child, addr, 6).unwrap(), b"parent");
+        k.write_user_memory(child, addr, b"child!").unwrap();
+        assert_eq!(k.read_user_memory(parent, addr, 6).unwrap(), b"parent");
+        assert_eq!(k.procs.get(child).unwrap().ppid, parent);
+    }
+
+    #[test]
+    fn exit_and_wait() {
+        let mut k = kernel();
+        let parent = spawn(&mut k, "parent");
+        let child = k.sys_fork(parent).unwrap();
+        // No zombie yet: wait would block.
+        assert_eq!(k.sys_wait(parent).unwrap_err(), Errno::EAGAIN);
+        k.sys_exit(child, 7).unwrap();
+        assert_eq!(k.sys_wait(parent).unwrap(), (child, 7));
+        // Child is gone now.
+        assert!(!k.procs.exists(child));
+        assert_eq!(k.sys_wait(parent).unwrap_err(), Errno::ECHILD);
+    }
+
+    #[test]
+    fn kill_delivers_signals() {
+        let mut k = kernel();
+        let a = spawn(&mut k, "a");
+        let b = spawn(&mut k, "b");
+        k.sys_kill(a, b, 15).unwrap();
+        assert_eq!(k.procs.get(b).unwrap().pending_signals, vec![15]);
+        assert_eq!(k.sys_kill(a, Pid(99), 9).unwrap_err(), Errno::ESRCH);
+    }
+
+    #[test]
+    fn ptrace_of_ordinary_process_is_allowed() {
+        let mut k = kernel();
+        let a = spawn(&mut k, "debugger");
+        let b = spawn(&mut k, "target");
+        k.sys_ptrace_attach(a, b).unwrap();
+    }
+
+    #[test]
+    fn obreak_grows_heap() {
+        let mut k = kernel();
+        let p = spawn(&mut k, "p");
+        let old = k.procs.get(p).unwrap().vm.brk();
+        let new = k.sys_obreak(p, Vaddr(old.0 + 8192)).unwrap();
+        assert_eq!(new.0, old.0 + 8192);
+        k.write_user_memory(p, old, b"grown").unwrap();
+    }
+
+    #[test]
+    fn message_queues_work_through_syscalls() {
+        let mut k = kernel();
+        let p = spawn(&mut k, "p");
+        let q = k.sys_msgget(p).unwrap();
+        k.sys_msgsnd(
+            p,
+            q,
+            Message {
+                mtype: 1,
+                data: b"ping".to_vec(),
+            },
+        )
+        .unwrap();
+        assert_eq!(k.sys_msgrcv(p, q, 1).unwrap().data, b"ping");
+        assert_eq!(k.sys_msgrcv(p, q, 1).unwrap_err(), Errno::EAGAIN);
+    }
+
+    #[test]
+    fn ordinary_crash_dumps_core() {
+        let mut k = kernel();
+        let p = spawn(&mut k, "p");
+        assert!(k.crash_process(p).unwrap());
+        assert!(!k.procs.get(p).unwrap().is_alive());
+    }
+
+    #[test]
+    fn execve_replaces_image() {
+        let mut k = kernel();
+        let p = spawn(&mut k, "old");
+        let addr = Vaddr(k.layout.data_base);
+        k.write_user_memory(p, addr, b"old data").unwrap();
+        k.sys_execve(p, "new", vec![0xCCu8; 4096]).unwrap();
+        assert_eq!(k.procs.get(p).unwrap().name, "new");
+        // Old heap contents are gone (fresh zero-filled heap).
+        assert_eq!(k.read_user_memory(p, addr, 8).unwrap(), vec![0u8; 8]);
+    }
+
+    #[test]
+    fn system_info_mentions_calibration() {
+        let k = kernel();
+        let info = k.system_info();
+        assert!(info.contains("OpenBSD 3.6"));
+        assert!(info.contains("syscall trap"));
+    }
+}

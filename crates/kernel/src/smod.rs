@@ -1,0 +1,1066 @@
+//! The SecModule syscall family (paper Figure 4) and session management.
+
+use crate::errno::Errno;
+use crate::kernel::Kernel;
+use crate::msgqueue::MsgQueueId;
+use crate::proc::{Pid, ProcState, SmodLink};
+use crate::smodreg::{FunctionTable, HandleCtx, RegisteredModule};
+use crate::trace::Event;
+use crate::SysResult;
+use secmod_module::{ModuleId, SmodPackage};
+use secmod_policy::{Environment, PolicyEngine};
+use secmod_vm::VmSpace;
+use std::sync::Arc;
+
+/// A SecModule session identifier.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SessionId(pub u32);
+
+impl std::fmt::Display for SessionId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "sess{}", self.0)
+    }
+}
+
+/// The handshake state of a session (Figure 1 steps 2–4).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SessionState {
+    /// `sys_smod_start_session` completed: the handle exists but has not
+    /// yet reported in.
+    Created,
+    /// `sys_smod_session_info` completed: the address spaces are shared and
+    /// the handle is waiting for work.
+    HandleReady,
+    /// `sys_smod_handle_info` completed: calls may be dispatched.
+    Established,
+}
+
+/// An active client/handle session.
+#[derive(Clone, Debug)]
+pub struct Session {
+    /// The session id.
+    pub id: SessionId,
+    /// The client process.
+    pub client: Pid,
+    /// The handle co-process.
+    pub handle: Pid,
+    /// The module this session grants access to.
+    pub module: ModuleId,
+    /// Message queue used for client → handle call delivery.
+    pub call_queue: MsgQueueId,
+    /// Message queue used for handle → client replies.
+    pub reply_queue: MsgQueueId,
+    /// Handshake state.
+    pub state: SessionState,
+    /// Number of calls dispatched over this session.
+    pub calls: u64,
+}
+
+/// Arguments to `sys_smod_call` (paper: `sys_smod_call(framep, rtnaddr,
+/// m_id, funcID)`; the argument words themselves live on the shared stack
+/// and are passed here as marshalled bytes).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SmodCallArgs {
+    /// The module being called.
+    pub m_id: ModuleId,
+    /// The function id within the module's stub table.
+    pub func_id: u32,
+    /// The client's frame pointer at the call site (bookkeeping only).
+    pub frame_pointer: u64,
+    /// The client's return address (bookkeeping only).
+    pub return_address: u64,
+    /// Marshalled argument bytes (what the client stub placed on the shared
+    /// stack).
+    pub args: Vec<u8>,
+}
+
+/// How the module key reaches the kernel at registration time (§4.4).
+#[derive(Clone, Debug)]
+pub enum ModuleKeyDelivery {
+    /// Creator and host are the same principal: raw key material.
+    Raw {
+        /// The AES key bytes.
+        key: Vec<u8>,
+        /// The CTR nonce used when sealing.
+        nonce: [u8; 8],
+    },
+    /// Multi-user case: the key is wrapped with the host system's RSA
+    /// public key.
+    Wrapped {
+        /// RSA-wrapped key blob.
+        blob: Vec<u8>,
+        /// The CTR nonce used when sealing.
+        nonce: [u8; 8],
+    },
+    /// The package is not encrypted (unmap-based protection only).
+    None,
+}
+
+impl Kernel {
+    // ----------------------------------------------------------------
+    // Registration (305 sys_smod_add, 306 sys_smod_remove, 301 sys_smod_find)
+    // ----------------------------------------------------------------
+
+    /// `sys_smod_add`: register a sealed module with the kernel.
+    ///
+    /// The kernel imports the module key into its key store (it never again
+    /// leaves kernel space), verifies the package MAC, unseals the text and
+    /// checks the plaintext fingerprint, and stores the module together with
+    /// its access policy and function bodies.
+    pub fn sys_smod_add(
+        &mut self,
+        registered_by: Pid,
+        package: SmodPackage,
+        key_delivery: ModuleKeyDelivery,
+        mac_key: &[u8],
+        policy: PolicyEngine,
+        functions: FunctionTable,
+    ) -> SysResult<ModuleId> {
+        let trap = self.cost.syscall_trap_ns;
+        self.charge(registered_by, trap);
+        let uid = self.procs.get(registered_by)?.cred.uid;
+
+        package.verify_mac(mac_key).map_err(|_| Errno::EACCES)?;
+
+        let label = format!("{}-{}", package.image.name, package.image.version);
+        let key = match key_delivery {
+            ModuleKeyDelivery::Raw { key, nonce } => self
+                .keystore
+                .import_raw(&label, &key, nonce)
+                .map_err(|_| Errno::EINVAL)?,
+            ModuleKeyDelivery::Wrapped { blob, nonce } => self
+                .keystore
+                .import_wrapped(&label, &blob, nonce)
+                .map_err(|_| Errno::EACCES)?,
+            ModuleKeyDelivery::None => {
+                if package.encrypted {
+                    return Err(Errno::EINVAL);
+                }
+                // A key is still generated for MAC-style bookkeeping.
+                self.keystore
+                    .generate(&label, 16)
+                    .map_err(|_| Errno::EINVAL)?
+            }
+        };
+
+        let encryptor = self.keystore.encryptor(key).map_err(|_| Errno::EINVAL)?;
+        let plaintext = package.unseal(&encryptor).map_err(|_| Errno::EACCES)?;
+
+        let id = self.registry.allocate_id();
+        let name = package.image.name.clone();
+        self.registry.insert(RegisteredModule {
+            id,
+            package,
+            plaintext,
+            key,
+            policy,
+            functions,
+            registered_by_uid: uid,
+            sessions_started: 0,
+            calls_dispatched: 0,
+        });
+        self.tracer.record(Event::ModuleRegistered { module: id, name });
+        Ok(id)
+    }
+
+    /// `sys_smod_remove`: deregister a module.  Only the registering uid (or
+    /// root) may remove it, and not while sessions are active.
+    pub fn sys_smod_remove(&mut self, caller: Pid, m_id: ModuleId) -> SysResult<()> {
+        let trap = self.cost.syscall_trap_ns;
+        self.charge(caller, trap);
+        let uid = self.procs.get(caller)?.cred.uid;
+        {
+            let module = self.registry.get(m_id)?;
+            if uid != 0 && uid != module.registered_by_uid {
+                return Err(Errno::EPERM);
+            }
+        }
+        if self.sessions.values().any(|s| s.module == m_id) {
+            return Err(Errno::EBUSY);
+        }
+        let removed = self.registry.remove(m_id)?;
+        let _ = self.keystore.revoke(removed.key);
+        self.tracer.record(Event::ModuleRemoved { module: m_id });
+        Ok(())
+    }
+
+    /// `sys_smod_find(name, version)`: look up a registered module.
+    /// A version of 0 means "latest".
+    pub fn sys_smod_find(&mut self, caller: Pid, name: &str, version: u32) -> SysResult<ModuleId> {
+        let trap = self.cost.syscall_trap_ns;
+        self.charge(caller, trap);
+        if !self.procs.exists(caller) {
+            return Err(Errno::ESRCH);
+        }
+        let id = self.registry.find(name, version)?;
+        self.tracer.record(Event::ModuleFound {
+            client: caller,
+            module: id,
+        });
+        Ok(id)
+    }
+
+    // ----------------------------------------------------------------
+    // Session establishment (320, 303, 304)
+    // ----------------------------------------------------------------
+
+    /// `sys_smod_start_session`: the kernel verifies the client's
+    /// credentials against the module policy, "forcibly forks" the handle
+    /// co-process (which alone receives the module text and a small secret
+    /// heap/stack segment), and links the pair.
+    pub fn sys_smod_start_session(
+        &mut self,
+        client: Pid,
+        m_id: ModuleId,
+    ) -> SysResult<(SessionId, Pid)> {
+        let cost = self.cost.syscall_trap_ns + self.cost.fork_ns;
+        self.charge(client, cost);
+
+        if self.procs.get(client)?.smod.is_some() {
+            // One session per client in this prototype (the paper's model:
+            // the handle is started per client request).
+            return Err(Errno::EBUSY);
+        }
+
+        // Credential / policy check for session establishment.
+        let (module_name, module_version, policy_complexity) = {
+            let module = self.registry.get(m_id)?;
+            (
+                module.package.image.name.clone(),
+                module.package.image.version.0,
+                module.policy.total_complexity(),
+            )
+        };
+        // A session may be established if the credential authorises the
+        // session itself or *any* exported function — individual calls are
+        // still checked one by one in sys_smod_call.
+        let allowed = {
+            let client_proc = self.procs.get(client)?;
+            let principal = client_proc.cred.principal_for(&module_name);
+            let module = self.registry.get(m_id)?;
+            match principal {
+                None => false,
+                Some(p) => {
+                    let mut candidates: Vec<String> = vec!["__start_session__".to_string()];
+                    candidates
+                        .extend(module.package.stub_table.stubs.iter().map(|s| s.symbol.clone()));
+                    candidates.iter().any(|function| {
+                        let env = Environment::for_smod_call(
+                            &client_proc.name,
+                            &module_name,
+                            module_version,
+                            function,
+                            client_proc.cred.uid as i64,
+                        );
+                        module.policy.is_allowed(&[p.clone()], &env)
+                    })
+                }
+            }
+        };
+        let policy_cost = self.cost.policy_per_node_ns * policy_complexity as u64
+            + self.cost.credential_check_ns;
+        self.charge(client, policy_cost);
+        if !allowed {
+            return Err(Errno::EACCES);
+        }
+
+        // Build the handle's address space: module text only in the handle.
+        let (handle_vm, handle_name) = {
+            let module = self.registry.get(m_id)?;
+            let text = module.plaintext.text.data.clone();
+            let client_proc = self.procs.get(client)?;
+            let name = format!("smod-handle[{}:{}]", module_name, client_proc.pid);
+            let vm = VmSpace::new_user(&name, self.layout, Arc::new(text), 1, 1)
+                .map_err(Errno::from)?;
+            (vm, name)
+        };
+        let client_cred = self.procs.get(client)?.cred.clone();
+        let handle = self.procs.allocate_pid();
+        let mut handle_proc =
+            crate::proc::Process::new(handle, client, &handle_name, client_cred, handle_vm);
+        handle_proc.flags.no_coredump = true;
+        handle_proc.flags.no_ptrace = true;
+        handle_proc.flags.smod_handle = true;
+        self.procs.insert(handle_proc);
+
+        // Create the synchronisation queues (SYSV MSG, §4.1 "second goal").
+        let call_queue = self.msgs.msgget();
+        let reply_queue = self.msgs.msgget();
+
+        let session = SessionId(self.next_session);
+        self.next_session += 1;
+        self.sessions.insert(
+            session,
+            Session {
+                id: session,
+                client,
+                handle,
+                module: m_id,
+                call_queue,
+                reply_queue,
+                state: SessionState::Created,
+                calls: 0,
+            },
+        );
+
+        // Link the pair and apply the client-side restrictions.
+        {
+            let p = self.procs.get_mut(client)?;
+            p.flags.smod_client = true;
+            p.flags.no_coredump = true;
+            p.flags.no_ptrace = true;
+            p.smod = Some(SmodLink {
+                session,
+                peer: handle,
+                module: m_id,
+            });
+        }
+        {
+            let h = self.procs.get_mut(handle)?;
+            h.smod = Some(SmodLink {
+                session,
+                peer: client,
+                module: m_id,
+            });
+        }
+        self.registry.get_mut(m_id)?.sessions_started += 1;
+        self.tracer.record(Event::SessionStarted {
+            session,
+            client,
+            handle,
+            module: m_id,
+        });
+        Ok((session, handle))
+    }
+
+    /// `sys_smod_session_info`: called *by the handle* (Figure 1 step 3).
+    /// The kernel forcibly unmaps the handle's data/heap/stack and shares
+    /// the client's pages into the same address range
+    /// (`uvmspace_force_share`), then maps the handle's secret stack/heap.
+    pub fn sys_smod_session_info(&mut self, handle: Pid) -> SysResult<()> {
+        let trap = self.cost.syscall_trap_ns;
+        self.charge(handle, trap);
+        let link = self
+            .procs
+            .get(handle)?
+            .smod
+            .ok_or(Errno::EINVAL)?;
+        let session_id = link.session;
+        let (client, state) = {
+            let s = self.sessions.get(&session_id).ok_or(Errno::EINVAL)?;
+            if s.handle != handle {
+                return Err(Errno::EPERM);
+            }
+            (s.client, s.state)
+        };
+        if state != SessionState::Created {
+            return Err(Errno::EINVAL);
+        }
+
+        let share_range = self.layout.share_region();
+        let shared_entries = {
+            let (handle_proc, client_proc) = self.procs.get_pair_mut(handle, client)?;
+            let shared = handle_proc
+                .vm
+                .force_share_from(&mut client_proc.vm, share_range)
+                .map_err(Errno::from)?;
+            handle_proc.vm.map_secret_region().map_err(Errno::from)?;
+            shared
+        };
+        let share_cost = self.cost.force_share_per_entry_ns * shared_entries as u64;
+        self.charge(handle, share_cost);
+
+        self.sessions
+            .get_mut(&session_id)
+            .expect("session exists")
+            .state = SessionState::HandleReady;
+        self.tracer.record(Event::HandleReady {
+            session: session_id,
+            shared_entries,
+        });
+        Ok(())
+    }
+
+    /// `sys_smod_handle_info`: called *by the client* to conclude the
+    /// handshake (Figure 1 step 4).
+    pub fn sys_smod_handle_info(&mut self, client: Pid) -> SysResult<()> {
+        let trap = self.cost.syscall_trap_ns;
+        self.charge(client, trap);
+        let link = self.procs.get(client)?.smod.ok_or(Errno::EINVAL)?;
+        let session_id = link.session;
+        let s = self.sessions.get_mut(&session_id).ok_or(Errno::EINVAL)?;
+        if s.client != client {
+            return Err(Errno::EPERM);
+        }
+        if s.state != SessionState::HandleReady {
+            return Err(Errno::EINVAL);
+        }
+        s.state = SessionState::Established;
+        self.tracer.record(Event::HandshakeComplete {
+            session: session_id,
+        });
+        Ok(())
+    }
+
+    // ----------------------------------------------------------------
+    // Dispatch (307 sys_smod_call)
+    // ----------------------------------------------------------------
+
+    /// `sys_smod_call`: the kernel-mediated indirect dispatch of Figure 3.
+    ///
+    /// The kernel verifies that the caller really is the client of an
+    /// established session for `m_id`, re-checks the credentials against
+    /// the module policy for the named function, relays the call to the
+    /// handle (message send, context switch), runs the function body with
+    /// access to the shared address space, and relays the result back.
+    pub fn sys_smod_call(&mut self, caller: Pid, call: SmodCallArgs) -> SysResult<Vec<u8>> {
+        // --- validation -------------------------------------------------
+        let link = self.procs.get(caller)?.smod.ok_or(Errno::EPERM)?;
+        let session_id = link.session;
+        let (client, handle, session_module, state) = {
+            let s = self.sessions.get(&session_id).ok_or(Errno::EPERM)?;
+            (s.client, s.handle, s.module, s.state)
+        };
+        // Only the client process bound to the session may call through it —
+        // this is the "handle must be valid only for a specific process"
+        // requirement (question 2 in §1).
+        if caller != client {
+            return Err(Errno::EPERM);
+        }
+        if state != SessionState::Established {
+            return Err(Errno::EINVAL);
+        }
+        if call.m_id != session_module {
+            return Err(Errno::EACCES);
+        }
+
+        // --- per-call credential / policy check -------------------------
+        let (symbol, policy_complexity, allowed) = {
+            let module = self.registry.get(call.m_id)?;
+            let stub = module
+                .package
+                .stub_table
+                .by_id(call.func_id)
+                .ok_or(Errno::ENOENT)?;
+            let symbol = stub.symbol.clone();
+            let client_proc = self.procs.get(client)?;
+            let principal = client_proc.cred.principal_for(&module.package.image.name);
+            let env = Environment::for_smod_call(
+                &client_proc.name,
+                &module.package.image.name,
+                module.package.image.version.0,
+                &symbol,
+                client_proc.cred.uid as i64,
+            );
+            let allowed = match principal {
+                Some(p) => module.policy.is_allowed(&[p], &env),
+                None => false,
+            };
+            (symbol, module.policy.total_complexity(), allowed)
+        };
+
+        let overhead = self.cost.smod_call_overhead(call.args.len())
+            + self.cost.policy_per_node_ns * policy_complexity as u64;
+        self.charge(caller, overhead);
+        self.context_switch();
+        self.context_switch();
+
+        self.tracer.record(Event::SmodCall {
+            session: session_id,
+            func_id: call.func_id,
+            symbol: symbol.clone(),
+            allowed,
+        });
+        if !allowed {
+            return Err(Errno::EACCES);
+        }
+
+        // --- execute the function body in the handle ---------------------
+        let body = {
+            let module = self.registry.get(call.m_id)?;
+            module.functions.get(call.func_id).ok_or(Errno::ENOSYS)?
+        };
+        let (result, extra_ns) = {
+            let (handle_proc, client_proc) = self.procs.get_pair_mut(handle, client)?;
+            let mut ctx = HandleCtx {
+                handle_vm: &mut handle_proc.vm,
+                client_vm: &client_proc.vm,
+                client_pid: client,
+                extra_ns: 0,
+            };
+            let result = body(&mut ctx, &call.args);
+            (result, ctx.extra_ns)
+        };
+        self.charge(handle, extra_ns);
+
+        // --- bookkeeping --------------------------------------------------
+        self.sessions
+            .get_mut(&session_id)
+            .expect("session exists")
+            .calls += 1;
+        self.registry.get_mut(call.m_id)?.calls_dispatched += 1;
+        result
+    }
+
+    // ----------------------------------------------------------------
+    // Session teardown and the special functions of §4.3
+    // ----------------------------------------------------------------
+
+    /// Detach the SecModule session of a *client* process: kill the handle,
+    /// remove the queues and the session, clear the flags.
+    pub fn smod_detach(&mut self, client: Pid, reason: &str) -> SysResult<()> {
+        let link = self.procs.get(client)?.smod.ok_or(Errno::EINVAL)?;
+        let session_id = link.session;
+        let session = self.sessions.remove(&session_id).ok_or(Errno::EINVAL)?;
+
+        // Kill the handle.
+        if let Ok(h) = self.procs.get_mut(session.handle) {
+            h.state = ProcState::Zombie(0);
+            h.smod = None;
+        }
+        // Clear the client.
+        if let Ok(c) = self.procs.get_mut(client) {
+            c.smod = None;
+            c.flags.smod_client = false;
+        }
+        let _ = self.msgs.remove(session.call_queue);
+        let _ = self.msgs.remove(session.reply_queue);
+        self.tracer.record(Event::SessionDetached {
+            session: session_id,
+            reason: reason.to_string(),
+        });
+        Ok(())
+    }
+
+    /// Detach a session given *either* member of the pair.
+    pub fn smod_detach_either(&mut self, pid: Pid, reason: &str) -> SysResult<()> {
+        let link = self.procs.get(pid)?.smod.ok_or(Errno::EINVAL)?;
+        let client = if self.procs.get(pid)?.flags.smod_handle {
+            link.peer
+        } else {
+            pid
+        };
+        self.smod_detach(client, reason)
+    }
+
+    /// The paper's `fork()` special handling (§4.3): "the ideal action is to
+    /// duplicate the child process twice, and force the first child to be
+    /// the handle for the second."  Here: fork the client, then establish a
+    /// brand-new session (and handle) for the child against the same module.
+    /// "Multiple clients should not share the handle."
+    pub fn sys_smod_fork(&mut self, client: Pid) -> SysResult<(Pid, SessionId, Pid)> {
+        let link = self.procs.get(client)?.smod.ok_or(Errno::EINVAL)?;
+        let module = link.module;
+        let child = self.sys_fork(client)?;
+        // The child gets its own handle and session.
+        let (session, handle) = self.sys_smod_start_session(child, module)?;
+        self.sys_smod_session_info(handle)?;
+        self.sys_smod_handle_info(child)?;
+        Ok((child, session, handle))
+    }
+
+    /// The session a client currently holds, if any.
+    pub fn session_of(&self, pid: Pid) -> Option<&Session> {
+        let link = self.procs.get(pid).ok().and_then(|p| p.smod)?;
+        self.sessions.get(&link.session)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::CostModel;
+    use crate::cred::Credential;
+    use secmod_module::builder::ModuleBuilder;
+    use secmod_module::StubTable;
+    use secmod_policy::assertion::{Assertion, LicenseeExpr};
+    use secmod_policy::Principal;
+    use secmod_vm::Vaddr;
+
+    const ALICE_KEY: &[u8] = b"alice-credential-key";
+
+    /// Build and register the paper's libc-like module with an
+    /// "alice is always allowed" policy, returning (kernel, module id).
+    fn kernel_with_module() -> (Kernel, ModuleId) {
+        let mut k = Kernel::new(CostModel::default());
+        let registrar = k
+            .spawn_process("registrar", Credential::root(), vec![0x90; 4096], 2, 2)
+            .unwrap();
+
+        let image = ModuleBuilder::libc_like();
+        let key = b"0123456789abcdef".to_vec();
+        let nonce = [7u8; 8];
+        let enc = secmod_crypto::SelectiveEncryptor::new(&key, nonce).unwrap();
+        let package = SmodPackage::seal(&image, &enc, b"toolchain-mac-key").unwrap();
+
+        let mut policy = PolicyEngine::new();
+        let alice = Principal::from_key("uid1000", ALICE_KEY);
+        policy
+            .add_assertion(Assertion::policy(LicenseeExpr::Single(alice), "").unwrap())
+            .unwrap();
+
+        let stub_table = StubTable::generate(&image);
+        let mut functions = FunctionTable::new();
+        // testincr: read a u64 argument, return it + 1.
+        let incr_id = stub_table.by_name("testincr").unwrap().func_id;
+        functions.register(incr_id, |_ctx, args| {
+            let v = u64::from_le_bytes(args[..8].try_into().map_err(|_| Errno::EINVAL)?);
+            Ok((v + 1).to_le_bytes().to_vec())
+        });
+        // getpid over SecModule: returns the client pid, charges a trivial
+        // syscall's worth of work.
+        let getpid_id = stub_table.by_name("getpid").unwrap().func_id;
+        functions.register(getpid_id, |ctx, _args| {
+            ctx.charge_ns(108);
+            Ok((ctx.client_pid.0 as u64).to_le_bytes().to_vec())
+        });
+        // strlen: read a NUL-terminated string from shared memory.
+        let strlen_id = stub_table.by_name("strlen").unwrap().func_id;
+        functions.register(strlen_id, |ctx, args| {
+            let addr = Vaddr(u64::from_le_bytes(args[..8].try_into().map_err(|_| Errno::EINVAL)?));
+            let mut len = 0u64;
+            loop {
+                let byte = ctx.read(Vaddr(addr.0 + len), 1)?;
+                if byte[0] == 0 {
+                    break;
+                }
+                len += 1;
+            }
+            Ok(len.to_le_bytes().to_vec())
+        });
+
+        let m_id = k
+            .sys_smod_add(
+                registrar,
+                package,
+                ModuleKeyDelivery::Raw { key, nonce },
+                b"toolchain-mac-key",
+                policy,
+                functions,
+            )
+            .unwrap();
+        (k, m_id)
+    }
+
+    fn spawn_alice(k: &mut Kernel) -> Pid {
+        k.spawn_process(
+            "client",
+            Credential::user(1000, 100).with_smod_credential("libc", ALICE_KEY),
+            vec![0x90; 4096],
+            4,
+            4,
+        )
+        .unwrap()
+    }
+
+    fn establish(k: &mut Kernel, client: Pid, m_id: ModuleId) -> (SessionId, Pid) {
+        let (session, handle) = k.sys_smod_start_session(client, m_id).unwrap();
+        k.sys_smod_session_info(handle).unwrap();
+        k.sys_smod_handle_info(client).unwrap();
+        (session, handle)
+    }
+
+    fn testincr_id(k: &Kernel, m_id: ModuleId) -> u32 {
+        k.registry
+            .get(m_id)
+            .unwrap()
+            .package
+            .stub_table
+            .by_name("testincr")
+            .unwrap()
+            .func_id
+    }
+
+    fn call(k: &mut Kernel, client: Pid, m_id: ModuleId, func_id: u32, args: Vec<u8>) -> SysResult<Vec<u8>> {
+        k.sys_smod_call(
+            client,
+            SmodCallArgs {
+                m_id,
+                func_id,
+                frame_pointer: 0xBFFF_0000,
+                return_address: 0x0000_1234,
+                args,
+            },
+        )
+    }
+
+    #[test]
+    fn registration_and_find() {
+        let (mut k, m_id) = kernel_with_module();
+        let client = spawn_alice(&mut k);
+        assert_eq!(k.sys_smod_find(client, "libc", 36).unwrap(), m_id);
+        assert_eq!(k.sys_smod_find(client, "libc", 0).unwrap(), m_id);
+        assert_eq!(k.sys_smod_find(client, "libc", 9).unwrap_err(), Errno::ENOENT);
+        assert_eq!(k.sys_smod_find(client, "libz", 0).unwrap_err(), Errno::ENOENT);
+    }
+
+    #[test]
+    fn add_rejects_bad_mac_and_bad_key() {
+        let mut k = Kernel::new(CostModel::default());
+        let registrar = k
+            .spawn_process("r", Credential::root(), vec![0x90; 4096], 2, 2)
+            .unwrap();
+        let image = ModuleBuilder::libc_like();
+        let key = b"0123456789abcdef".to_vec();
+        let nonce = [7u8; 8];
+        let enc = secmod_crypto::SelectiveEncryptor::new(&key, nonce).unwrap();
+        let package = SmodPackage::seal(&image, &enc, b"mac-key").unwrap();
+
+        // Wrong MAC key.
+        assert_eq!(
+            k.sys_smod_add(
+                registrar,
+                package.clone(),
+                ModuleKeyDelivery::Raw { key: key.clone(), nonce },
+                b"wrong-mac",
+                PolicyEngine::new(),
+                FunctionTable::new(),
+            )
+            .unwrap_err(),
+            Errno::EACCES
+        );
+        // Wrong module key: unsealing produces the wrong fingerprint.
+        assert_eq!(
+            k.sys_smod_add(
+                registrar,
+                package.clone(),
+                ModuleKeyDelivery::Raw { key: b"ffffffffffffffff".to_vec(), nonce },
+                b"mac-key",
+                PolicyEngine::new(),
+                FunctionTable::new(),
+            )
+            .unwrap_err(),
+            Errno::EACCES
+        );
+        // Declaring an encrypted package as unencrypted is invalid.
+        assert_eq!(
+            k.sys_smod_add(
+                registrar,
+                package,
+                ModuleKeyDelivery::None,
+                b"mac-key",
+                PolicyEngine::new(),
+                FunctionTable::new(),
+            )
+            .unwrap_err(),
+            Errno::EINVAL
+        );
+    }
+
+    #[test]
+    fn full_handshake_and_call() {
+        let (mut k, m_id) = kernel_with_module();
+        let client = spawn_alice(&mut k);
+        let (session, handle) = establish(&mut k, client, m_id);
+
+        // The pair is linked both ways.
+        assert_eq!(k.procs.get(client).unwrap().smod.unwrap().peer, handle);
+        assert_eq!(k.procs.get(handle).unwrap().smod.unwrap().peer, client);
+        assert_eq!(k.session_of(client).unwrap().id, session);
+
+        // testincr(41) == 42.
+        let func = testincr_id(&k, m_id);
+        let reply = call(&mut k, client, m_id, func, 41u64.to_le_bytes().to_vec()).unwrap();
+        assert_eq!(u64::from_le_bytes(reply.try_into().unwrap()), 42);
+        assert_eq!(k.session_of(client).unwrap().calls, 1);
+        assert_eq!(k.registry.get(m_id).unwrap().calls_dispatched, 1);
+    }
+
+    #[test]
+    fn handshake_order_is_enforced() {
+        let (mut k, m_id) = kernel_with_module();
+        let client = spawn_alice(&mut k);
+        let (_, handle) = k.sys_smod_start_session(client, m_id).unwrap();
+        // Client cannot conclude before the handle reported ready.
+        assert_eq!(k.sys_smod_handle_info(client).unwrap_err(), Errno::EINVAL);
+        // Client cannot impersonate the handle.
+        assert_eq!(k.sys_smod_session_info(client).unwrap_err(), Errno::EPERM);
+        // Calls are rejected before the handshake completes.
+        let func = testincr_id(&k, m_id);
+        assert_eq!(
+            call(&mut k, client, m_id, func, 1u64.to_le_bytes().to_vec()).unwrap_err(),
+            Errno::EINVAL
+        );
+        // Correct order works.
+        k.sys_smod_session_info(handle).unwrap();
+        k.sys_smod_handle_info(client).unwrap();
+        // Repeating a handshake step fails.
+        assert_eq!(k.sys_smod_session_info(handle).unwrap_err(), Errno::EINVAL);
+        assert_eq!(k.sys_smod_handle_info(client).unwrap_err(), Errno::EINVAL);
+    }
+
+    #[test]
+    fn credential_failure_denies_session_and_calls() {
+        let (mut k, m_id) = kernel_with_module();
+        // mallory has no credential for libc.
+        let mallory = k
+            .spawn_process("mallory", Credential::user(666, 666), vec![0x90; 4096], 4, 4)
+            .unwrap();
+        assert_eq!(
+            k.sys_smod_start_session(mallory, m_id).unwrap_err(),
+            Errno::EACCES
+        );
+        // carol presents the wrong key material.
+        let carol = k
+            .spawn_process(
+                "carol",
+                Credential::user(1000, 100).with_smod_credential("libc", b"not-alices-key"),
+                vec![0x90; 4096],
+                4,
+                4,
+            )
+            .unwrap();
+        assert_eq!(
+            k.sys_smod_start_session(carol, m_id).unwrap_err(),
+            Errno::EACCES
+        );
+    }
+
+    #[test]
+    fn stolen_session_cannot_be_used_by_another_process() {
+        let (mut k, m_id) = kernel_with_module();
+        let client = spawn_alice(&mut k);
+        establish(&mut k, client, m_id);
+        // A different process — even with the same credentials — cannot call
+        // through the client's session.
+        let thief = spawn_alice(&mut k);
+        let func = testincr_id(&k, m_id);
+        assert_eq!(
+            call(&mut k, thief, m_id, func, 1u64.to_le_bytes().to_vec()).unwrap_err(),
+            Errno::EPERM
+        );
+    }
+
+    #[test]
+    fn module_text_is_only_mapped_in_the_handle() {
+        let (mut k, m_id) = kernel_with_module();
+        let client = spawn_alice(&mut k);
+        let (_, handle) = establish(&mut k, client, m_id);
+
+        let text_base = k.layout.text_base;
+        // The handle's text at text_base is the module's plaintext text.
+        let module_text = k.registry.get(m_id).unwrap().plaintext.text.data.clone();
+        let handle_text = k
+            .read_user_memory(handle, Vaddr(text_base), 32.min(module_text.len()))
+            .unwrap();
+        assert_eq!(&handle_text[..], &module_text[..handle_text.len()]);
+        // The client's own text is its program image, not the module.
+        let client_text = k.read_user_memory(client, Vaddr(text_base), 32).unwrap();
+        assert_eq!(client_text, vec![0x90u8; 32]);
+        assert_ne!(handle_text, client_text);
+    }
+
+    #[test]
+    fn shared_memory_lets_the_handle_work_on_client_data() {
+        let (mut k, m_id) = kernel_with_module();
+        let client = spawn_alice(&mut k);
+        establish(&mut k, client, m_id);
+
+        // Client writes a C string into its heap; SMOD strlen sees it
+        // through the shared pages.
+        let addr = Vaddr(k.layout.data_base + 64);
+        k.write_user_memory(client, addr, b"hello, secmodule\0").unwrap();
+        let strlen_id = k
+            .registry
+            .get(m_id)
+            .unwrap()
+            .package
+            .stub_table
+            .by_name("strlen")
+            .unwrap()
+            .func_id;
+        let reply = call(&mut k, client, m_id, strlen_id, addr.0.to_le_bytes().to_vec()).unwrap();
+        assert_eq!(u64::from_le_bytes(reply.try_into().unwrap()), 16);
+    }
+
+    #[test]
+    fn smod_getpid_reports_the_client_pid() {
+        let (mut k, m_id) = kernel_with_module();
+        let client = spawn_alice(&mut k);
+        let (_, handle) = establish(&mut k, client, m_id);
+        let getpid_id = k
+            .registry
+            .get(m_id)
+            .unwrap()
+            .package
+            .stub_table
+            .by_name("getpid")
+            .unwrap()
+            .func_id;
+        let reply = call(&mut k, client, m_id, getpid_id, vec![]).unwrap();
+        assert_eq!(u64::from_le_bytes(reply.try_into().unwrap()), client.0 as u64);
+        // And the native getpid syscall from the handle also reports the client.
+        assert_eq!(k.sys_getpid(handle).unwrap(), client);
+    }
+
+    #[test]
+    fn ptrace_and_coredumps_are_restricted_for_the_pair() {
+        let (mut k, m_id) = kernel_with_module();
+        let client = spawn_alice(&mut k);
+        let (_, handle) = establish(&mut k, client, m_id);
+        let debugger = k
+            .spawn_process("gdb", Credential::root(), vec![0x90; 4096], 2, 2)
+            .unwrap();
+        assert_eq!(k.sys_ptrace_attach(debugger, handle).unwrap_err(), Errno::EPERM);
+        assert_eq!(k.sys_ptrace_attach(debugger, client).unwrap_err(), Errno::EPERM);
+        // Crashing the handle never produces a core image.
+        assert!(!k.crash_process(handle).unwrap());
+        assert!(k
+            .tracer
+            .events()
+            .iter()
+            .any(|e| matches!(e, Event::CoreDumpSuppressed { .. })));
+    }
+
+    #[test]
+    fn exit_kills_the_handle_and_removes_the_session() {
+        let (mut k, m_id) = kernel_with_module();
+        let client = spawn_alice(&mut k);
+        let (_, handle) = establish(&mut k, client, m_id);
+        k.sys_exit(client, 0).unwrap();
+        assert!(!k.procs.get(handle).unwrap().is_alive());
+        assert!(k.sessions.is_empty());
+        assert!(k
+            .tracer
+            .events()
+            .iter()
+            .any(|e| matches!(e, Event::SessionDetached { .. })));
+    }
+
+    #[test]
+    fn execve_detaches_and_allows_a_fresh_session() {
+        let (mut k, m_id) = kernel_with_module();
+        let client = spawn_alice(&mut k);
+        let (_, handle) = establish(&mut k, client, m_id);
+        k.sys_execve(client, "newprog", vec![0xCC; 4096]).unwrap();
+        assert!(!k.procs.get(handle).unwrap().is_alive());
+        assert!(k.sessions.is_empty());
+        // The new image can set up a new session (its crt0 would do this).
+        let (session2, handle2) = k.sys_smod_start_session(client, m_id).unwrap();
+        k.sys_smod_session_info(handle2).unwrap();
+        k.sys_smod_handle_info(client).unwrap();
+        assert_eq!(k.session_of(client).unwrap().id, session2);
+    }
+
+    #[test]
+    fn smod_fork_gives_the_child_its_own_handle() {
+        let (mut k, m_id) = kernel_with_module();
+        let client = spawn_alice(&mut k);
+        let (session, handle) = establish(&mut k, client, m_id);
+        let (child, child_session, child_handle) = k.sys_smod_fork(client).unwrap();
+        assert_ne!(child_session, session);
+        assert_ne!(child_handle, handle);
+        // Both clients can call independently.
+        let func = testincr_id(&k, m_id);
+        let r1 = call(&mut k, client, m_id, func, 10u64.to_le_bytes().to_vec()).unwrap();
+        let r2 = call(&mut k, child, m_id, func, 20u64.to_le_bytes().to_vec()).unwrap();
+        assert_eq!(u64::from_le_bytes(r1.try_into().unwrap()), 11);
+        assert_eq!(u64::from_le_bytes(r2.try_into().unwrap()), 21);
+    }
+
+    #[test]
+    fn remove_requires_owner_and_no_sessions() {
+        let (mut k, m_id) = kernel_with_module();
+        let client = spawn_alice(&mut k);
+        // Non-owner cannot remove.
+        assert_eq!(k.sys_smod_remove(client, m_id).unwrap_err(), Errno::EPERM);
+        // Owner cannot remove while a session is active.
+        let registrar = Pid(1);
+        establish(&mut k, client, m_id);
+        assert_eq!(k.sys_smod_remove(registrar, m_id).unwrap_err(), Errno::EBUSY);
+        // After the client exits, removal succeeds.
+        k.sys_exit(client, 0).unwrap();
+        k.sys_smod_remove(registrar, m_id).unwrap();
+        assert_eq!(k.sys_smod_find(client, "libc", 0).unwrap_err(), Errno::ENOENT);
+    }
+
+    #[test]
+    fn double_session_per_client_is_rejected() {
+        let (mut k, m_id) = kernel_with_module();
+        let client = spawn_alice(&mut k);
+        establish(&mut k, client, m_id);
+        assert_eq!(
+            k.sys_smod_start_session(client, m_id).unwrap_err(),
+            Errno::EBUSY
+        );
+    }
+
+    #[test]
+    fn wrong_module_or_function_is_rejected() {
+        let (mut k, m_id) = kernel_with_module();
+        let client = spawn_alice(&mut k);
+        establish(&mut k, client, m_id);
+        let func = testincr_id(&k, m_id);
+        // Unknown function id.
+        assert_eq!(
+            call(&mut k, client, m_id, 9999, vec![]).unwrap_err(),
+            Errno::ENOENT
+        );
+        // Module id not matching the session.
+        assert_eq!(
+            call(&mut k, client, ModuleId(999), func, vec![]).unwrap_err(),
+            Errno::EACCES
+        );
+    }
+
+    #[test]
+    fn simulated_cost_reproduces_figure8_magnitudes() {
+        let (mut k, m_id) = kernel_with_module();
+        let client = spawn_alice(&mut k);
+        establish(&mut k, client, m_id);
+        let func = testincr_id(&k, m_id);
+
+        // Native getpid cost.
+        let t0 = k.clock.now_ns();
+        k.sys_getpid(client).unwrap();
+        let getpid_ns = k.clock.now_ns() - t0;
+
+        // SMOD(testincr) cost.
+        let t1 = k.clock.now_ns();
+        call(&mut k, client, m_id, func, 5u64.to_le_bytes().to_vec()).unwrap();
+        let smod_ns = k.clock.now_ns() - t1;
+
+        let ratio = smod_ns as f64 / getpid_ns as f64;
+        assert!((0.4..1.2).contains(&(getpid_ns as f64 / 1000.0)), "getpid {getpid_ns} ns");
+        assert!((4.0..12.0).contains(&(smod_ns as f64 / 1000.0)), "smod {smod_ns} ns");
+        assert!(ratio > 5.0 && ratio < 20.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn figure1_event_sequence_is_recorded() {
+        let (mut k, m_id) = kernel_with_module();
+        let client = spawn_alice(&mut k);
+        k.sys_smod_find(client, "libc", 0).unwrap();
+        let (_, handle) = k.sys_smod_start_session(client, m_id).unwrap();
+        k.sys_smod_session_info(handle).unwrap();
+        k.sys_smod_handle_info(client).unwrap();
+        let func = testincr_id(&k, m_id);
+        call(&mut k, client, m_id, func, 1u64.to_le_bytes().to_vec()).unwrap();
+
+        let kinds: Vec<&'static str> = k
+            .tracer
+            .events()
+            .iter()
+            .map(|e| match e {
+                Event::ModuleRegistered { .. } => "registered",
+                Event::ModuleFound { .. } => "found",
+                Event::SessionStarted { .. } => "start_session",
+                Event::HandleReady { .. } => "session_info",
+                Event::HandshakeComplete { .. } => "handle_info",
+                Event::SmodCall { .. } => "smod_call",
+                _ => "other",
+            })
+            .collect();
+        assert_eq!(
+            kinds,
+            vec![
+                "registered",
+                "found",
+                "start_session",
+                "session_info",
+                "handle_info",
+                "smod_call"
+            ]
+        );
+    }
+}

@@ -1,0 +1,304 @@
+//! The kernel's SecModule registry and the function bodies the handle
+//! executes.
+//!
+//! "A separate tool chain registers the SecModule m with the kernel, which
+//! must keep track of the registered SecModules" (§3).  The registry maps
+//! `(name, version)` to a [`RegisteredModule`]: the sealed package delivered
+//! by the toolchain, the kernel-only key that unseals it, the access policy,
+//! and — because this is a simulation rather than real machine code — a
+//! table of Rust closures standing in for the functions held in the module
+//! text.  The closures run "in the handle": they receive a [`HandleCtx`]
+//! that exposes the handle's view of the shared client memory, exactly the
+//! access a real SecModule function would have.
+
+use crate::errno::Errno;
+use crate::proc::Pid;
+use crate::SysResult;
+use secmod_crypto::keystore::KeyHandle;
+use secmod_module::{ModuleId, ModuleImage, SmodPackage};
+use secmod_policy::PolicyEngine;
+use secmod_vm::{Vaddr, VmSpace};
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+/// The execution context a module function body receives: the handle's
+/// address space (which shares data/heap/stack with the client) plus the
+/// client's space for peer-fault resolution.
+pub struct HandleCtx<'a> {
+    /// The handle process's address space.
+    pub handle_vm: &'a mut VmSpace,
+    /// The client process's address space (read-only reference used for
+    /// peer-fault sharing).
+    pub client_vm: &'a VmSpace,
+    /// Pid of the client on whose behalf the call executes.
+    pub client_pid: Pid,
+    /// Extra simulated nanoseconds the body wants charged (e.g. a function
+    /// that itself performs a syscall).
+    pub extra_ns: u64,
+}
+
+impl<'a> HandleCtx<'a> {
+    /// Read bytes from the shared address space.
+    pub fn read(&mut self, addr: Vaddr, len: usize) -> SysResult<Vec<u8>> {
+        self.handle_vm
+            .read_bytes_with_peer(addr, len, Some(self.client_vm))
+            .map_err(Errno::from)
+    }
+
+    /// Write bytes into the shared address space (visible to the client).
+    pub fn write(&mut self, addr: Vaddr, data: &[u8]) -> SysResult<()> {
+        self.handle_vm
+            .write_bytes_with_peer(addr, data, Some(self.client_vm))
+            .map_err(Errno::from)
+    }
+
+    /// Read a little-endian `u64` from shared memory.
+    pub fn read_u64(&mut self, addr: Vaddr) -> SysResult<u64> {
+        let bytes = self.read(addr, 8)?;
+        Ok(u64::from_le_bytes(bytes.try_into().expect("8 bytes read")))
+    }
+
+    /// Write a little-endian `u64` to shared memory.
+    pub fn write_u64(&mut self, addr: Vaddr, value: u64) -> SysResult<()> {
+        self.write(addr, &value.to_le_bytes())
+    }
+
+    /// Charge extra simulated time to this call (e.g. the body of
+    /// `SMOD-getpid` performing the real `getpid` work).
+    pub fn charge_ns(&mut self, ns: u64) {
+        self.extra_ns += ns;
+    }
+}
+
+/// A function body: takes the execution context and the marshalled argument
+/// bytes from the shared stack, returns the marshalled result bytes.
+pub type FunctionBody =
+    Arc<dyn Fn(&mut HandleCtx<'_>, &[u8]) -> SysResult<Vec<u8>> + Send + Sync>;
+
+/// The table of function bodies for one module, keyed by function id
+/// (matching the module's stub table).
+#[derive(Clone, Default)]
+pub struct FunctionTable {
+    bodies: HashMap<u32, FunctionBody>,
+}
+
+impl std::fmt::Debug for FunctionTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "FunctionTable({} functions)", self.bodies.len())
+    }
+}
+
+impl FunctionTable {
+    /// Create an empty table.
+    pub fn new() -> FunctionTable {
+        FunctionTable::default()
+    }
+
+    /// Register a body for `func_id`.
+    pub fn register<F>(&mut self, func_id: u32, body: F)
+    where
+        F: Fn(&mut HandleCtx<'_>, &[u8]) -> SysResult<Vec<u8>> + Send + Sync + 'static,
+    {
+        self.bodies.insert(func_id, Arc::new(body));
+    }
+
+    /// Look up a body.
+    pub fn get(&self, func_id: u32) -> Option<FunctionBody> {
+        self.bodies.get(&func_id).cloned()
+    }
+
+    /// Number of registered bodies.
+    pub fn len(&self) -> usize {
+        self.bodies.len()
+    }
+
+    /// Is the table empty?
+    pub fn is_empty(&self) -> bool {
+        self.bodies.is_empty()
+    }
+}
+
+/// A module registered with the kernel.
+pub struct RegisteredModule {
+    /// The module id assigned at registration.
+    pub id: ModuleId,
+    /// The sealed package as delivered by the toolchain (text possibly
+    /// encrypted).
+    pub package: SmodPackage,
+    /// The plaintext image — exists only inside the kernel, handed only to
+    /// handle processes.
+    pub plaintext: ModuleImage,
+    /// The key that seals/unseals the module text (kernel key store handle).
+    pub key: KeyHandle,
+    /// The access policy evaluated on every session start and every call.
+    pub policy: PolicyEngine,
+    /// Function bodies executed by the handle.
+    pub functions: FunctionTable,
+    /// Uid of the principal that registered the module (may remove it).
+    pub registered_by_uid: u32,
+    /// Number of sessions ever started against this module.
+    pub sessions_started: u64,
+    /// Number of calls dispatched against this module.
+    pub calls_dispatched: u64,
+}
+
+impl std::fmt::Debug for RegisteredModule {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RegisteredModule")
+            .field("id", &self.id)
+            .field("name", &self.package.image.name)
+            .field("version", &self.package.image.version)
+            .field("functions", &self.functions.len())
+            .finish()
+    }
+}
+
+/// The registry of all SecModules known to the kernel.
+#[derive(Debug, Default)]
+pub struct SmodRegistry {
+    modules: BTreeMap<ModuleId, RegisteredModule>,
+    next_id: u32,
+}
+
+impl SmodRegistry {
+    /// Create an empty registry.
+    pub fn new() -> SmodRegistry {
+        SmodRegistry {
+            modules: BTreeMap::new(),
+            next_id: 1,
+        }
+    }
+
+    /// Allocate the next module id.
+    pub fn allocate_id(&mut self) -> ModuleId {
+        let id = ModuleId(self.next_id);
+        self.next_id += 1;
+        id
+    }
+
+    /// Insert a registered module.
+    pub fn insert(&mut self, module: RegisteredModule) {
+        self.modules.insert(module.id, module);
+    }
+
+    /// Look up by id.
+    pub fn get(&self, id: ModuleId) -> SysResult<&RegisteredModule> {
+        self.modules.get(&id).ok_or(Errno::ENOENT)
+    }
+
+    /// Mutable lookup by id.
+    pub fn get_mut(&mut self, id: ModuleId) -> SysResult<&mut RegisteredModule> {
+        self.modules.get_mut(&id).ok_or(Errno::ENOENT)
+    }
+
+    /// Remove a module.
+    pub fn remove(&mut self, id: ModuleId) -> SysResult<RegisteredModule> {
+        self.modules.remove(&id).ok_or(Errno::ENOENT)
+    }
+
+    /// Find a module by name and version (`sys_smod_find`).  A version of 0
+    /// matches the highest registered version of that name.
+    pub fn find(&self, name: &str, version: u32) -> SysResult<ModuleId> {
+        let mut best: Option<(u32, ModuleId)> = None;
+        for m in self.modules.values() {
+            if m.package.image.name != name {
+                continue;
+            }
+            let v = m.package.image.version.0;
+            if version == 0 {
+                if best.map(|(bv, _)| v > bv).unwrap_or(true) {
+                    best = Some((v, m.id));
+                }
+            } else if v == version {
+                return Ok(m.id);
+            }
+        }
+        best.map(|(_, id)| id).ok_or(Errno::ENOENT)
+    }
+
+    /// Number of registered modules.
+    pub fn len(&self) -> usize {
+        self.modules.len()
+    }
+
+    /// Is the registry empty?
+    pub fn is_empty(&self) -> bool {
+        self.modules.is_empty()
+    }
+
+    /// Iterate over the registered modules.
+    pub fn iter(&self) -> impl Iterator<Item = &RegisteredModule> {
+        self.modules.values()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use secmod_crypto::KeyStore;
+    use secmod_module::builder::ModuleBuilder;
+
+    fn registered(name: &str, version: u32, id: u32) -> RegisteredModule {
+        let mut b = ModuleBuilder::new(name, version);
+        b.add_function(secmod_module::builder::FunctionSpec::new("f", 8));
+        let image = b.build(false).unwrap();
+        let ks = KeyStore::new(b"test");
+        let key = ks.generate("k", 16).unwrap();
+        let pkg = SmodPackage::seal_unencrypted(&image, b"mac").unwrap();
+        RegisteredModule {
+            id: ModuleId(id),
+            package: pkg,
+            plaintext: image,
+            key,
+            policy: PolicyEngine::new(),
+            functions: FunctionTable::new(),
+            registered_by_uid: 0,
+            sessions_started: 0,
+            calls_dispatched: 0,
+        }
+    }
+
+    #[test]
+    fn function_table_register_and_lookup() {
+        let mut t = FunctionTable::new();
+        assert!(t.is_empty());
+        t.register(0, |_ctx, args| Ok(args.to_vec()));
+        t.register(1, |_ctx, _args| Ok(vec![42]));
+        assert_eq!(t.len(), 2);
+        assert!(t.get(0).is_some());
+        assert!(t.get(1).is_some());
+        assert!(t.get(2).is_none());
+    }
+
+    #[test]
+    fn registry_find_by_name_and_version() {
+        let mut r = SmodRegistry::new();
+        let id1 = r.allocate_id();
+        let id2 = r.allocate_id();
+        let id3 = r.allocate_id();
+        assert_eq!(id1, ModuleId(1));
+        let mut m1 = registered("libc", 1, 1);
+        m1.id = id1;
+        let mut m2 = registered("libc", 2, 2);
+        m2.id = id2;
+        let mut m3 = registered("libm", 1, 3);
+        m3.id = id3;
+        r.insert(m1);
+        r.insert(m2);
+        r.insert(m3);
+
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.find("libc", 1).unwrap(), id1);
+        assert_eq!(r.find("libc", 2).unwrap(), id2);
+        // version 0 = latest
+        assert_eq!(r.find("libc", 0).unwrap(), id2);
+        assert_eq!(r.find("libm", 0).unwrap(), id3);
+        assert_eq!(r.find("libc", 9).unwrap_err(), Errno::ENOENT);
+        assert_eq!(r.find("libz", 0).unwrap_err(), Errno::ENOENT);
+
+        assert!(r.get(id1).is_ok());
+        r.remove(id1).unwrap();
+        assert_eq!(r.get(id1).unwrap_err(), Errno::ENOENT);
+        assert_eq!(r.remove(id1).unwrap_err(), Errno::ENOENT);
+    }
+}

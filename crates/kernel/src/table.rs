@@ -1,0 +1,185 @@
+//! The process table.
+
+use crate::cred::Credential;
+use crate::errno::Errno;
+use crate::proc::{Pid, ProcState, Process};
+use crate::SysResult;
+use secmod_vm::VmSpace;
+use std::collections::BTreeMap;
+
+/// The kernel's table of all processes.
+#[derive(Debug, Default)]
+pub struct ProcessTable {
+    procs: BTreeMap<Pid, Process>,
+    next_pid: u32,
+}
+
+impl ProcessTable {
+    /// Create an empty table.  Pids start at 1 (the simulated `init`).
+    pub fn new() -> ProcessTable {
+        ProcessTable {
+            procs: BTreeMap::new(),
+            next_pid: 1,
+        }
+    }
+
+    /// Allocate the next pid.
+    pub fn allocate_pid(&mut self) -> Pid {
+        let pid = Pid(self.next_pid);
+        self.next_pid += 1;
+        pid
+    }
+
+    /// Insert a brand-new process built around `vm`.
+    pub fn spawn(&mut self, ppid: Pid, name: &str, cred: Credential, vm: VmSpace) -> Pid {
+        let pid = self.allocate_pid();
+        self.procs.insert(pid, Process::new(pid, ppid, name, cred, vm));
+        pid
+    }
+
+    /// Insert an already-constructed process (used by fork).
+    pub fn insert(&mut self, process: Process) {
+        self.procs.insert(process.pid, process);
+    }
+
+    /// Number of processes (including zombies).
+    pub fn len(&self) -> usize {
+        self.procs.len()
+    }
+
+    /// Is the table empty?
+    pub fn is_empty(&self) -> bool {
+        self.procs.is_empty()
+    }
+
+    /// Look up a process.
+    pub fn get(&self, pid: Pid) -> SysResult<&Process> {
+        self.procs.get(&pid).ok_or(Errno::ESRCH)
+    }
+
+    /// Mutable lookup.
+    pub fn get_mut(&mut self, pid: Pid) -> SysResult<&mut Process> {
+        self.procs.get_mut(&pid).ok_or(Errno::ESRCH)
+    }
+
+    /// Does a process exist?
+    pub fn exists(&self, pid: Pid) -> bool {
+        self.procs.contains_key(&pid)
+    }
+
+    /// Mutable access to *two distinct* processes at once (needed by
+    /// `uvmspace_force_share`, which operates on a client/handle pair).
+    pub fn get_pair_mut(&mut self, a: Pid, b: Pid) -> SysResult<(&mut Process, &mut Process)> {
+        if a == b {
+            return Err(Errno::EINVAL);
+        }
+        if !self.procs.contains_key(&a) || !self.procs.contains_key(&b) {
+            return Err(Errno::ESRCH);
+        }
+        // Split the BTreeMap borrow: remove the higher key temporarily is
+        // avoided by using the standard disjoint-borrow trick over an
+        // iterator of mutable references.
+        let mut first: Option<&mut Process> = None;
+        let mut second: Option<&mut Process> = None;
+        for (pid, proc_ref) in self.procs.iter_mut() {
+            if *pid == a {
+                first = Some(proc_ref);
+            } else if *pid == b {
+                second = Some(proc_ref);
+            }
+        }
+        match (first, second) {
+            (Some(x), Some(y)) => Ok((x, y)),
+            _ => Err(Errno::ESRCH),
+        }
+    }
+
+    /// Remove a process entirely (after it has been reaped).
+    pub fn remove(&mut self, pid: Pid) -> Option<Process> {
+        self.procs.remove(&pid)
+    }
+
+    /// All pids currently in the table.
+    pub fn pids(&self) -> Vec<Pid> {
+        self.procs.keys().copied().collect()
+    }
+
+    /// Children of `parent`.
+    pub fn children_of(&self, parent: Pid) -> Vec<Pid> {
+        self.procs
+            .values()
+            .filter(|p| p.ppid == parent)
+            .map(|p| p.pid)
+            .collect()
+    }
+
+    /// First zombie child of `parent`, if any.
+    pub fn zombie_child_of(&self, parent: Pid) -> Option<(Pid, i32)> {
+        self.procs.values().find_map(|p| match p.state {
+            ProcState::Zombie(status) if p.ppid == parent => Some((p.pid, status)),
+            _ => None,
+        })
+    }
+
+    /// Iterate over all processes.
+    pub fn iter(&self) -> impl Iterator<Item = &Process> {
+        self.procs.values()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use secmod_vm::Layout;
+    use std::sync::Arc;
+
+    fn vm(name: &str) -> VmSpace {
+        VmSpace::new_user(name, Layout::tiny(), Arc::new(vec![0u8; 64]), 2, 2).unwrap()
+    }
+
+    #[test]
+    fn spawn_and_lookup() {
+        let mut t = ProcessTable::new();
+        assert!(t.is_empty());
+        let init = t.spawn(Pid(0), "init", Credential::root(), vm("init"));
+        let client = t.spawn(init, "client", Credential::user(1000, 100), vm("client"));
+        assert_eq!(t.len(), 2);
+        assert_eq!(init, Pid(1));
+        assert_eq!(client, Pid(2));
+        assert_eq!(t.get(client).unwrap().name, "client");
+        assert_eq!(t.get(Pid(99)).unwrap_err(), Errno::ESRCH);
+        assert!(t.exists(init));
+        assert_eq!(t.children_of(init), vec![client]);
+        assert_eq!(t.pids(), vec![init, client]);
+    }
+
+    #[test]
+    fn pair_borrowing() {
+        let mut t = ProcessTable::new();
+        let a = t.spawn(Pid(0), "a", Credential::root(), vm("a"));
+        let b = t.spawn(Pid(0), "b", Credential::root(), vm("b"));
+        {
+            let (pa, pb) = t.get_pair_mut(a, b).unwrap();
+            pa.cpu_time_ns = 10;
+            pb.cpu_time_ns = 20;
+        }
+        assert_eq!(t.get(a).unwrap().cpu_time_ns, 10);
+        assert_eq!(t.get(b).unwrap().cpu_time_ns, 20);
+        assert_eq!(t.get_pair_mut(a, a).unwrap_err(), Errno::EINVAL);
+        assert_eq!(t.get_pair_mut(a, Pid(99)).unwrap_err(), Errno::ESRCH);
+    }
+
+    #[test]
+    fn zombies_and_reaping() {
+        let mut t = ProcessTable::new();
+        let parent = t.spawn(Pid(0), "parent", Credential::root(), vm("p"));
+        let child = t.spawn(parent, "child", Credential::root(), vm("c"));
+        assert!(t.zombie_child_of(parent).is_none());
+        t.get_mut(child).unwrap().state = ProcState::Zombie(3);
+        assert_eq!(t.zombie_child_of(parent), Some((child, 3)));
+        let removed = t.remove(child).unwrap();
+        assert_eq!(removed.pid, child);
+        assert!(!t.exists(child));
+        assert!(t.remove(child).is_none());
+    }
+}

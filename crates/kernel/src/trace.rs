@@ -1,0 +1,173 @@
+//! Kernel event tracing.
+//!
+//! The tracer records the observable steps of the SecModule protocol so
+//! integration tests can assert the exact initialisation sequence of the
+//! paper's Figure 1 and the per-call sequence of Figure 3.
+
+use crate::proc::Pid;
+use crate::smod::SessionId;
+use secmod_module::ModuleId;
+
+/// A kernel event.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Event {
+    /// A module was registered (`sys_smod_add`).
+    ModuleRegistered {
+        /// The new module id.
+        module: ModuleId,
+        /// Module name.
+        name: String,
+    },
+    /// A module was removed (`sys_smod_remove`).
+    ModuleRemoved {
+        /// The module id.
+        module: ModuleId,
+    },
+    /// A client located a module (`sys_smod_find`) — Figure 1 step (1).
+    ModuleFound {
+        /// The requesting client.
+        client: Pid,
+        /// The module id found.
+        module: ModuleId,
+    },
+    /// The kernel created a handle for a client (`sys_smod_start_session`)
+    /// — Figure 1 step (2).
+    SessionStarted {
+        /// Session id.
+        session: SessionId,
+        /// Client pid.
+        client: Pid,
+        /// Newly created handle pid.
+        handle: Pid,
+        /// Module granted.
+        module: ModuleId,
+    },
+    /// The handle reported ready and its address space was forcibly shared
+    /// with the client (`sys_smod_session_info`) — Figure 1 step (3).
+    HandleReady {
+        /// Session id.
+        session: SessionId,
+        /// Number of map entries shared by `uvmspace_force_share`.
+        shared_entries: usize,
+    },
+    /// The client completed the handshake (`sys_smod_handle_info`) —
+    /// Figure 1 step (4).
+    HandshakeComplete {
+        /// Session id.
+        session: SessionId,
+    },
+    /// A protected call was dispatched (`sys_smod_call`) — Figure 1 steps
+    /// (5)–(8), Figure 3 steps (1)–(4).
+    SmodCall {
+        /// Session id.
+        session: SessionId,
+        /// Function id called.
+        func_id: u32,
+        /// Function symbol name.
+        symbol: String,
+        /// Whether the policy allowed the call.
+        allowed: bool,
+    },
+    /// The session was torn down (client exit, execve, or module removal).
+    SessionDetached {
+        /// Session id.
+        session: SessionId,
+        /// Why it was detached.
+        reason: String,
+    },
+    /// A ptrace attempt was denied because the target is part of an smod
+    /// pair.
+    PtraceDenied {
+        /// Who attempted the trace.
+        tracer: Pid,
+        /// The process they tried to trace.
+        target: Pid,
+    },
+    /// A crash occurred and the core dump was suppressed.
+    CoreDumpSuppressed {
+        /// The crashing process.
+        pid: Pid,
+    },
+}
+
+/// An in-memory event log.
+#[derive(Debug, Default)]
+pub struct Tracer {
+    events: Vec<Event>,
+    enabled: bool,
+}
+
+impl Tracer {
+    /// Create an enabled tracer.
+    pub fn new() -> Tracer {
+        Tracer {
+            events: Vec::new(),
+            enabled: true,
+        }
+    }
+
+    /// Enable or disable recording (disabled tracing is free).
+    pub fn set_enabled(&mut self, enabled: bool) {
+        self.enabled = enabled;
+    }
+
+    /// Record an event.
+    pub fn record(&mut self, event: Event) {
+        if self.enabled {
+            self.events.push(event);
+        }
+    }
+
+    /// All recorded events in order.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Clear the log.
+    pub fn clear(&mut self) {
+        self.events.clear();
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Is the log empty?
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_in_order_and_clears() {
+        let mut t = Tracer::new();
+        assert!(t.is_empty());
+        t.record(Event::ModuleFound {
+            client: Pid(2),
+            module: ModuleId(1),
+        });
+        t.record(Event::HandshakeComplete {
+            session: SessionId(1),
+        });
+        assert_eq!(t.len(), 2);
+        assert!(matches!(t.events()[0], Event::ModuleFound { .. }));
+        t.clear();
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let mut t = Tracer::new();
+        t.set_enabled(false);
+        t.record(Event::ModuleRemoved { module: ModuleId(1) });
+        assert!(t.is_empty());
+        t.set_enabled(true);
+        t.record(Event::ModuleRemoved { module: ModuleId(1) });
+        assert_eq!(t.len(), 1);
+    }
+}

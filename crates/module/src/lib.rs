@@ -1,0 +1,110 @@
+//! # secmod-module
+//!
+//! The SecModule toolchain: everything that happens to a library *before*
+//! the kernel ever sees it.
+//!
+//! The paper's workflow (§4.2) starts from an ordinary static library:
+//! `objdump -t /usr/lib/libc.a | grep ' F '` lists the function symbols,
+//! a stub generator emits one client-side assembly stub per function, the
+//! text is (optionally) encrypted except for the bytes the link editor must
+//! patch, and a registration tool hands the result to the kernel together
+//! with the module's name, version and access policy.
+//!
+//! This crate reproduces that pipeline on a synthetic object format:
+//!
+//! * [`image`] / [`section`] / [`symbol`] / [`reloc`] — the object model: a
+//!   module image with text/data sections, a symbol table and a relocation
+//!   table.
+//! * [`builder`] — constructs images, emitting synthetic "machine code"
+//!   with embedded relocation sites so that selective encryption and
+//!   linking are exercised for real.
+//! * [`objdump`] — the `objdump -t | grep ' F '` analogue.
+//! * [`linker`] — applies relocations when an image is loaded at a base
+//!   address (works on both plaintext and selectively-encrypted images).
+//! * [`stubgen`] — generates the client-side stub table (Figure 5's
+//!   `smod_stub_call` descriptors).
+//! * [`package`] — seals an image into a registration package: selectively
+//!   encrypted text, integrity MAC, stub table and metadata.
+//! * [`verify`] — structural validation of images.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod image;
+pub mod linker;
+pub mod objdump;
+pub mod package;
+pub mod reloc;
+pub mod section;
+pub mod stubgen;
+pub mod symbol;
+pub mod verify;
+
+pub use builder::ModuleBuilder;
+pub use image::{ModuleId, ModuleImage, ModuleVersion};
+pub use linker::link_at;
+pub use package::SmodPackage;
+pub use reloc::{RelocKind, Relocation};
+pub use section::{Section, SectionKind};
+pub use stubgen::{ClientStub, StubTable};
+pub use symbol::{Symbol, SymbolKind};
+
+/// Errors produced by the module toolchain.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModuleError {
+    /// A symbol name was defined twice.
+    DuplicateSymbol {
+        /// The offending name.
+        name: String,
+    },
+    /// A symbol or relocation refers to data outside its section.
+    OutOfBounds {
+        /// Description of the structural problem.
+        what: String,
+    },
+    /// A relocation names a symbol that does not exist.
+    UnknownSymbol {
+        /// The missing symbol name.
+        name: String,
+    },
+    /// A named section does not exist.
+    UnknownSection {
+        /// The missing section name.
+        name: String,
+    },
+    /// The package failed its integrity check (MAC mismatch).
+    IntegrityFailure,
+    /// A cryptographic operation failed.
+    Crypto(secmod_crypto::CryptoError),
+    /// The image is malformed in some other way.
+    Malformed {
+        /// Description of the problem.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for ModuleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ModuleError::DuplicateSymbol { name } => write!(f, "duplicate symbol `{name}`"),
+            ModuleError::OutOfBounds { what } => write!(f, "out of bounds: {what}"),
+            ModuleError::UnknownSymbol { name } => write!(f, "unknown symbol `{name}`"),
+            ModuleError::UnknownSection { name } => write!(f, "unknown section `{name}`"),
+            ModuleError::IntegrityFailure => write!(f, "package integrity check failed"),
+            ModuleError::Crypto(e) => write!(f, "crypto error: {e}"),
+            ModuleError::Malformed { reason } => write!(f, "malformed image: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for ModuleError {}
+
+impl From<secmod_crypto::CryptoError> for ModuleError {
+    fn from(e: secmod_crypto::CryptoError) -> Self {
+        ModuleError::Crypto(e)
+    }
+}
+
+/// Result alias for toolchain operations.
+pub type Result<T> = std::result::Result<T, ModuleError>;

@@ -1,0 +1,114 @@
+//! Sections of a module image.
+
+use serde::{Deserialize, Serialize};
+
+/// The kind of a section.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SectionKind {
+    /// Executable code (`.text`).
+    Text,
+    /// Initialised writable data (`.data`).
+    Data,
+    /// Read-only data (`.rodata`).
+    RoData,
+}
+
+impl SectionKind {
+    /// Conventional section name.
+    pub fn name(self) -> &'static str {
+        match self {
+            SectionKind::Text => ".text",
+            SectionKind::Data => ".data",
+            SectionKind::RoData => ".rodata",
+        }
+    }
+}
+
+/// A section: a named, contiguous blob of bytes.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Section {
+    /// What kind of section this is.
+    pub kind: SectionKind,
+    /// The raw bytes.
+    pub data: Vec<u8>,
+}
+
+impl Section {
+    /// Create a section.
+    pub fn new(kind: SectionKind, data: Vec<u8>) -> Section {
+        Section { kind, data }
+    }
+
+    /// Create an empty section.
+    pub fn empty(kind: SectionKind) -> Section {
+        Section {
+            kind,
+            data: Vec::new(),
+        }
+    }
+
+    /// Section size in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Is the section empty?
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Append bytes, returning the offset at which they start.
+    pub fn append(&mut self, bytes: &[u8]) -> usize {
+        let offset = self.data.len();
+        self.data.extend_from_slice(bytes);
+        offset
+    }
+
+    /// Align the current end of the section to `align` bytes (padding with
+    /// zeros for data, NOP-like 0x90 for text), returning the new length.
+    pub fn align_to(&mut self, align: usize) -> usize {
+        let pad_byte = if self.kind == SectionKind::Text { 0x90 } else { 0x00 };
+        while self.data.len() % align != 0 {
+            self.data.push(pad_byte);
+        }
+        self.data.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names() {
+        assert_eq!(SectionKind::Text.name(), ".text");
+        assert_eq!(SectionKind::Data.name(), ".data");
+        assert_eq!(SectionKind::RoData.name(), ".rodata");
+    }
+
+    #[test]
+    fn append_returns_offsets() {
+        let mut s = Section::empty(SectionKind::Text);
+        assert!(s.is_empty());
+        assert_eq!(s.append(b"abcd"), 0);
+        assert_eq!(s.append(b"efgh"), 4);
+        assert_eq!(s.len(), 8);
+        assert_eq!(&s.data[4..8], b"efgh");
+    }
+
+    #[test]
+    fn align_pads_with_kind_specific_filler() {
+        let mut t = Section::new(SectionKind::Text, vec![1, 2, 3]);
+        t.align_to(8);
+        assert_eq!(t.len(), 8);
+        assert_eq!(&t.data[3..], &[0x90; 5]);
+
+        let mut d = Section::new(SectionKind::Data, vec![1, 2, 3]);
+        d.align_to(4);
+        assert_eq!(&d.data[3..], &[0x00; 1]);
+
+        // Already aligned: no change.
+        let mut a = Section::new(SectionKind::Data, vec![0; 8]);
+        assert_eq!(a.align_to(4), 8);
+    }
+}

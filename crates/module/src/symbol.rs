@@ -1,0 +1,106 @@
+//! Symbols: named locations within sections.
+
+use crate::section::SectionKind;
+use serde::{Deserialize, Serialize};
+
+/// The kind of thing a symbol names.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SymbolKind {
+    /// A function (`F` in `objdump -t` output) — the call targets SecModule
+    /// protects.
+    Function,
+    /// A data object (`O` in `objdump -t` output).
+    Object,
+}
+
+impl SymbolKind {
+    /// The single-letter flag `objdump -t` prints.
+    pub fn objdump_flag(self) -> char {
+        match self {
+            SymbolKind::Function => 'F',
+            SymbolKind::Object => 'O',
+        }
+    }
+}
+
+/// A symbol table entry.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Symbol {
+    /// Symbol name.
+    pub name: String,
+    /// Which section the symbol lives in.
+    pub section: SectionKind,
+    /// Byte offset within the section.
+    pub offset: usize,
+    /// Size in bytes.
+    pub size: usize,
+    /// Function or object?
+    pub kind: SymbolKind,
+    /// Is the symbol global (exported)?  Only global function symbols get
+    /// client stubs.
+    pub global: bool,
+}
+
+impl Symbol {
+    /// Create a global function symbol.
+    pub fn function(name: &str, offset: usize, size: usize) -> Symbol {
+        Symbol {
+            name: name.to_string(),
+            section: SectionKind::Text,
+            offset,
+            size,
+            kind: SymbolKind::Function,
+            global: true,
+        }
+    }
+
+    /// Create a global data object symbol.
+    pub fn object(name: &str, section: SectionKind, offset: usize, size: usize) -> Symbol {
+        Symbol {
+            name: name.to_string(),
+            section,
+            offset,
+            size,
+            kind: SymbolKind::Object,
+            global: true,
+        }
+    }
+
+    /// Mark the symbol as local (not exported).
+    pub fn local(mut self) -> Symbol {
+        self.global = false;
+        self
+    }
+
+    /// The byte range `[offset, offset + size)` the symbol covers.
+    pub fn range(&self) -> std::ops::Range<usize> {
+        self.offset..self.offset + self.size
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        let f = Symbol::function("malloc", 0x120, 0x40);
+        assert_eq!(f.kind, SymbolKind::Function);
+        assert_eq!(f.section, SectionKind::Text);
+        assert!(f.global);
+        assert_eq!(f.range(), 0x120..0x160);
+
+        let o = Symbol::object("errno_table", SectionKind::Data, 0, 256);
+        assert_eq!(o.kind, SymbolKind::Object);
+        assert_eq!(o.section, SectionKind::Data);
+
+        let l = Symbol::function("helper", 0, 8).local();
+        assert!(!l.global);
+    }
+
+    #[test]
+    fn objdump_flags() {
+        assert_eq!(SymbolKind::Function.objdump_flag(), 'F');
+        assert_eq!(SymbolKind::Object.objdump_flag(), 'O');
+    }
+}

@@ -1,0 +1,163 @@
+//! An audit trail of policy decisions.
+//!
+//! The paper's motivation section (§1) includes accounting use-cases (pay
+//! per use, recognition, resource budgeting).  The audit log is the minimal
+//! mechanism those use-cases need: a record of who asked for what, when (in
+//! simulated call order), and what the decision was.
+
+use crate::attr::Environment;
+use crate::engine::Decision;
+use crate::principal::Principal;
+use serde::{Deserialize, Serialize};
+
+/// One audit record.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct AuditRecord {
+    /// Monotonic sequence number.
+    pub seq: u64,
+    /// Names of the requesting principals.
+    pub requesters: Vec<String>,
+    /// The module named in the request (if present in the environment).
+    pub module: Option<String>,
+    /// The function named in the request (if present in the environment).
+    pub function: Option<String>,
+    /// Whether the request was allowed.
+    pub allowed: bool,
+}
+
+/// An in-memory audit log.
+#[derive(Clone, Debug, Default)]
+pub struct AuditLog {
+    records: Vec<AuditRecord>,
+}
+
+impl AuditLog {
+    /// Create an empty log.
+    pub fn new() -> AuditLog {
+        AuditLog::default()
+    }
+
+    /// Append a record for a decision.
+    pub fn record(&mut self, requesters: &[Principal], env: &Environment, decision: &Decision) {
+        let get_str = |name: &str| {
+            env.get(name).and_then(|v| match v {
+                crate::attr::AttrValue::Str(s) => Some(s.clone()),
+                other => Some(other.to_string()),
+            })
+        };
+        self.records.push(AuditRecord {
+            seq: self.records.len() as u64,
+            requesters: requesters.iter().map(|p| p.name.clone()).collect(),
+            module: get_str("module"),
+            function: get_str("function"),
+            allowed: decision.is_allowed(),
+        });
+    }
+
+    /// All records.
+    pub fn records(&self) -> &[AuditRecord] {
+        &self.records
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Is the log empty?
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Number of allowed calls per (module, function) pair — the raw data a
+    /// pay-per-use billing system would consume.
+    pub fn usage_counts(&self) -> std::collections::BTreeMap<(String, String), u64> {
+        let mut counts = std::collections::BTreeMap::new();
+        for r in &self.records {
+            if r.allowed {
+                let key = (
+                    r.module.clone().unwrap_or_default(),
+                    r.function.clone().unwrap_or_default(),
+                );
+                *counts.entry(key).or_insert(0) += 1;
+            }
+        }
+        counts
+    }
+
+    /// Number of denied requests.
+    pub fn denials(&self) -> u64 {
+        self.records.iter().filter(|r| !r.allowed).count() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assertion::{Assertion, LicenseeExpr};
+    use crate::engine::PolicyEngine;
+
+    #[test]
+    fn records_decisions_in_order() {
+        let alice = Principal::from_key("alice", b"a");
+        let mut engine = PolicyEngine::new();
+        engine
+            .add_assertion(
+                Assertion::policy(LicenseeExpr::Single(alice.clone()), "module == \"libc\"")
+                    .unwrap(),
+            )
+            .unwrap();
+        let mut log = AuditLog::new();
+
+        for (module, function) in [("libc", "malloc"), ("libc", "free"), ("libm", "sin")] {
+            let env = Environment::for_smod_call("app", module, 1, function, 1000);
+            let d = engine.query(&[alice.clone()], &env).unwrap();
+            log.record(&[alice.clone()], &env, &d);
+        }
+
+        assert_eq!(log.len(), 3);
+        assert!(!log.is_empty());
+        assert_eq!(log.records()[0].seq, 0);
+        assert_eq!(log.records()[2].seq, 2);
+        assert!(log.records()[0].allowed);
+        assert!(log.records()[1].allowed);
+        assert!(!log.records()[2].allowed);
+        assert_eq!(log.denials(), 1);
+    }
+
+    #[test]
+    fn usage_counts_support_billing() {
+        let alice = Principal::from_key("alice", b"a");
+        let mut engine = PolicyEngine::new();
+        engine
+            .add_assertion(Assertion::policy(LicenseeExpr::Single(alice.clone()), "").unwrap())
+            .unwrap();
+        let mut log = AuditLog::new();
+        for _ in 0..5 {
+            let env = Environment::for_smod_call("app", "libcrypto", 1, "aes_encrypt", 1000);
+            let d = engine.query(&[alice.clone()], &env).unwrap();
+            log.record(&[alice.clone()], &env, &d);
+        }
+        let env = Environment::for_smod_call("app", "libcrypto", 1, "aes_decrypt", 1000);
+        let d = engine.query(&[alice.clone()], &env).unwrap();
+        log.record(&[alice.clone()], &env, &d);
+
+        let counts = log.usage_counts();
+        assert_eq!(
+            counts.get(&("libcrypto".to_string(), "aes_encrypt".to_string())),
+            Some(&5)
+        );
+        assert_eq!(
+            counts.get(&("libcrypto".to_string(), "aes_decrypt".to_string())),
+            Some(&1)
+        );
+    }
+
+    #[test]
+    fn empty_log() {
+        let log = AuditLog::new();
+        assert!(log.is_empty());
+        assert_eq!(log.denials(), 0);
+        assert!(log.usage_counts().is_empty());
+    }
+}

@@ -1,0 +1,360 @@
+//! The compliance checker: given a set of assertions, a set of requesting
+//! principals and an action environment, decide whether the policy root
+//! authorises the action.
+//!
+//! The evaluation is the usual trust-management fixpoint: the set of
+//! "supporting" principals starts as the requesters; an assertion whose
+//! licensee expression is satisfied by the current support set and whose
+//! conditions hold in the action environment adds its *authorizer* to the
+//! support set; the request is approved when the policy root becomes
+//! supported.
+
+use crate::assertion::Assertion;
+use crate::attr::Environment;
+use crate::eval::{evaluate, MissingAttr};
+use crate::principal::Principal;
+use crate::Result;
+use std::collections::{HashMap, HashSet};
+
+/// The outcome of a compliance query.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Decision {
+    /// The action is authorised; the payload lists the assertion indices
+    /// (into the engine's assertion list) that fired, in the order they
+    /// contributed support.
+    Allow {
+        /// Indices of the assertions used in the derivation.
+        used_assertions: Vec<usize>,
+    },
+    /// The action is not authorised.
+    Deny,
+}
+
+impl Decision {
+    /// Convenience: was the action allowed?
+    pub fn is_allowed(&self) -> bool {
+        matches!(self, Decision::Allow { .. })
+    }
+}
+
+/// A policy engine holding a set of assertions and the key material needed
+/// to verify their signatures.
+#[derive(Clone, Debug, Default)]
+pub struct PolicyEngine {
+    assertions: Vec<Assertion>,
+    /// fingerprint → key material for signature verification.
+    keys: HashMap<String, Vec<u8>>,
+    /// How to treat attributes missing from the environment.
+    pub missing_attr: MissingAttr,
+}
+
+impl PolicyEngine {
+    /// Create an empty engine.
+    pub fn new() -> PolicyEngine {
+        PolicyEngine::default()
+    }
+
+    /// Register a principal's key material so its assertions can be
+    /// signature-checked.
+    pub fn register_key(&mut self, principal: &Principal, key_material: &[u8]) {
+        self.keys
+            .insert(principal.fingerprint.clone(), key_material.to_vec());
+    }
+
+    /// Add an assertion.  Non-policy assertions must verify against the
+    /// registered key of their authorizer.
+    pub fn add_assertion(&mut self, assertion: Assertion) -> Result<usize> {
+        if !assertion.authorizer.is_policy_root() {
+            let key = self
+                .keys
+                .get(&assertion.authorizer.fingerprint)
+                .ok_or_else(|| crate::PolicyError::BadSignature {
+                    authorizer: assertion.authorizer.name.clone(),
+                })?;
+            assertion.verify(key)?;
+        }
+        self.assertions.push(assertion);
+        Ok(self.assertions.len() - 1)
+    }
+
+    /// Number of assertions held.
+    pub fn len(&self) -> usize {
+        self.assertions.len()
+    }
+
+    /// Is the engine empty?
+    pub fn is_empty(&self) -> bool {
+        self.assertions.is_empty()
+    }
+
+    /// The assertions (read-only).
+    pub fn assertions(&self) -> &[Assertion] {
+        &self.assertions
+    }
+
+    /// Total complexity (AST node count) of all assertion conditions — used
+    /// by the benchmarks to characterise policy cost.
+    pub fn total_complexity(&self) -> usize {
+        self.assertions
+            .iter()
+            .map(|a| a.conditions.complexity())
+            .sum()
+    }
+
+    /// Evaluate a request made by `requesters` for an action described by
+    /// `env`.
+    pub fn query(&self, requesters: &[Principal], env: &Environment) -> Result<Decision> {
+        let mut support: HashSet<String> =
+            requesters.iter().map(|p| p.fingerprint.clone()).collect();
+        let mut used: Vec<usize> = Vec::new();
+        let mut fired: HashSet<usize> = HashSet::new();
+
+        // Fixpoint: keep firing assertions until nothing changes or the
+        // policy root is supported.
+        loop {
+            let mut progressed = false;
+            for (idx, assertion) in self.assertions.iter().enumerate() {
+                if fired.contains(&idx) {
+                    continue;
+                }
+                if support.contains(&assertion.authorizer.fingerprint) {
+                    // Already supported; firing it adds nothing.
+                    continue;
+                }
+                if !assertion.licensees.satisfied_by(&support) {
+                    continue;
+                }
+                if !evaluate(&assertion.conditions, env, self.missing_attr)? {
+                    continue;
+                }
+                support.insert(assertion.authorizer.fingerprint.clone());
+                fired.insert(idx);
+                used.push(idx);
+                progressed = true;
+            }
+            if support.contains(&Principal::policy_root().fingerprint) {
+                return Ok(Decision::Allow {
+                    used_assertions: used,
+                });
+            }
+            if !progressed {
+                return Ok(Decision::Deny);
+            }
+        }
+    }
+
+    /// Convenience wrapper returning a plain boolean (errors count as deny).
+    pub fn is_allowed(&self, requesters: &[Principal], env: &Environment) -> bool {
+        matches!(self.query(requesters, env), Ok(d) if d.is_allowed())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assertion::LicenseeExpr;
+
+    fn alice() -> Principal {
+        Principal::from_key("alice", b"alice-key")
+    }
+    fn bob() -> Principal {
+        Principal::from_key("bob", b"bob-key")
+    }
+    fn vendor() -> Principal {
+        Principal::from_key("vendor", b"vendor-key")
+    }
+
+    fn call_env(module: &str, function: &str, uid: i64) -> Environment {
+        Environment::for_smod_call("app", module, 1, function, uid)
+    }
+
+    #[test]
+    fn empty_engine_denies_everything() {
+        let engine = PolicyEngine::new();
+        assert!(!engine.is_allowed(&[alice()], &call_env("libc", "malloc", 1000)));
+        assert!(engine.is_empty());
+    }
+
+    #[test]
+    fn direct_policy_grant() {
+        let mut engine = PolicyEngine::new();
+        engine
+            .add_assertion(
+                Assertion::policy(
+                    LicenseeExpr::Single(alice()),
+                    "module == \"libc\" && uid >= 1000",
+                )
+                .unwrap(),
+            )
+            .unwrap();
+
+        assert!(engine.is_allowed(&[alice()], &call_env("libc", "malloc", 1000)));
+        // Wrong module, wrong uid, or wrong principal → deny.
+        assert!(!engine.is_allowed(&[alice()], &call_env("libm", "sin", 1000)));
+        assert!(!engine.is_allowed(&[alice()], &call_env("libc", "malloc", 0)));
+        assert!(!engine.is_allowed(&[bob()], &call_env("libc", "malloc", 1000)));
+    }
+
+    #[test]
+    fn always_allow_policy_matches_paper_baseline() {
+        // §5: the measured configuration is the trivial "always allowed"
+        // policy — an empty condition.
+        let mut engine = PolicyEngine::new();
+        engine
+            .add_assertion(Assertion::policy(LicenseeExpr::Single(alice()), "").unwrap())
+            .unwrap();
+        assert!(engine.is_allowed(&[alice()], &Environment::new()));
+        assert!(!engine.is_allowed(&[bob()], &Environment::new()));
+    }
+
+    #[test]
+    fn delegation_chain() {
+        // POLICY trusts the vendor for libcrypto; the vendor licenses alice.
+        let mut engine = PolicyEngine::new();
+        engine.register_key(&vendor(), b"vendor-key");
+        engine
+            .add_assertion(
+                Assertion::policy(LicenseeExpr::Single(vendor()), "module == \"libcrypto\"")
+                    .unwrap(),
+            )
+            .unwrap();
+        engine
+            .add_assertion(
+                Assertion::delegation(
+                    vendor(),
+                    LicenseeExpr::Single(alice()),
+                    "function != \"set_key\"",
+                )
+                .unwrap()
+                .sign(b"vendor-key"),
+            )
+            .unwrap();
+
+        // Alice can call ordinary functions of libcrypto…
+        let d = engine
+            .query(&[alice()], &call_env("libcrypto", "aes_encrypt", 1000))
+            .unwrap();
+        assert!(d.is_allowed());
+        if let Decision::Allow { used_assertions } = d {
+            assert_eq!(used_assertions.len(), 2);
+        }
+        // …but not the function the vendor excluded, and not other modules.
+        assert!(!engine.is_allowed(&[alice()], &call_env("libcrypto", "set_key", 1000)));
+        assert!(!engine.is_allowed(&[alice()], &call_env("libc", "malloc", 1000)));
+        // Bob has no delegation.
+        assert!(!engine.is_allowed(&[bob()], &call_env("libcrypto", "aes_encrypt", 1000)));
+    }
+
+    #[test]
+    fn unsigned_or_badly_signed_delegations_are_rejected_at_insert() {
+        let mut engine = PolicyEngine::new();
+        engine.register_key(&vendor(), b"vendor-key");
+        let unsigned =
+            Assertion::delegation(vendor(), LicenseeExpr::Single(alice()), "true").unwrap();
+        assert!(engine.add_assertion(unsigned).is_err());
+
+        let badly_signed = Assertion::delegation(vendor(), LicenseeExpr::Single(alice()), "true")
+            .unwrap()
+            .sign(b"not-the-vendor-key");
+        assert!(engine.add_assertion(badly_signed).is_err());
+
+        // Unknown authorizer key.
+        let unknown = Assertion::delegation(bob(), LicenseeExpr::Single(alice()), "true")
+            .unwrap()
+            .sign(b"bob-key");
+        assert!(engine.add_assertion(unknown).is_err());
+        assert_eq!(engine.len(), 0);
+    }
+
+    #[test]
+    fn threshold_delegation_requires_quorum() {
+        // POLICY requires two of three auditors to co-sign for the sensitive
+        // module (the "certified users" scenario of §1).
+        let auditors: Vec<Principal> = (0..3)
+            .map(|i| Principal::from_key(&format!("auditor{i}"), format!("ak{i}").as_bytes()))
+            .collect();
+        let mut engine = PolicyEngine::new();
+        engine
+            .add_assertion(
+                Assertion::policy(
+                    LicenseeExpr::Threshold {
+                        k: 2,
+                        of: auditors.iter().cloned().map(LicenseeExpr::Single).collect(),
+                    },
+                    "module == \"libfirewall\"",
+                )
+                .unwrap(),
+            )
+            .unwrap();
+
+        let env = call_env("libfirewall", "reload_rules", 0);
+        assert!(!engine.is_allowed(&[auditors[0].clone()], &env));
+        assert!(engine.is_allowed(&[auditors[0].clone(), auditors[2].clone()], &env));
+    }
+
+    #[test]
+    fn cyclic_delegations_terminate() {
+        // alice delegates to bob, bob delegates to alice; neither reaches
+        // POLICY, and the fixpoint must terminate with a denial.
+        let mut engine = PolicyEngine::new();
+        engine.register_key(&alice(), b"alice-key");
+        engine.register_key(&bob(), b"bob-key");
+        engine
+            .add_assertion(
+                Assertion::delegation(alice(), LicenseeExpr::Single(bob()), "true")
+                    .unwrap()
+                    .sign(b"alice-key"),
+            )
+            .unwrap();
+        engine
+            .add_assertion(
+                Assertion::delegation(bob(), LicenseeExpr::Single(alice()), "true")
+                    .unwrap()
+                    .sign(b"bob-key"),
+            )
+            .unwrap();
+        assert!(!engine.is_allowed(&[alice()], &Environment::new()));
+    }
+
+    #[test]
+    fn total_complexity_reflects_conditions() {
+        let mut engine = PolicyEngine::new();
+        engine
+            .add_assertion(
+                Assertion::policy(LicenseeExpr::Single(alice()), "uid == 1 && module == \"m\"")
+                    .unwrap(),
+            )
+            .unwrap();
+        assert_eq!(engine.total_complexity(), 3);
+    }
+
+    #[test]
+    fn multi_hop_delegation_chain() {
+        // POLICY → vendor → distributor → alice, three hops.
+        let distributor = Principal::from_key("distributor", b"dist-key");
+        let mut engine = PolicyEngine::new();
+        engine.register_key(&vendor(), b"vendor-key");
+        engine.register_key(&distributor, b"dist-key");
+        engine
+            .add_assertion(
+                Assertion::policy(LicenseeExpr::Single(vendor()), "").unwrap(),
+            )
+            .unwrap();
+        engine
+            .add_assertion(
+                Assertion::delegation(vendor(), LicenseeExpr::Single(distributor.clone()), "")
+                    .unwrap()
+                    .sign(b"vendor-key"),
+            )
+            .unwrap();
+        engine
+            .add_assertion(
+                Assertion::delegation(distributor, LicenseeExpr::Single(alice()), "uid < 2000")
+                    .unwrap()
+                    .sign(b"dist-key"),
+            )
+            .unwrap();
+        assert!(engine.is_allowed(&[alice()], &call_env("libc", "malloc", 1000)));
+        assert!(!engine.is_allowed(&[alice()], &call_env("libc", "malloc", 5000)));
+    }
+}

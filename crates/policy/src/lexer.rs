@@ -1,0 +1,250 @@
+//! Tokeniser for the condition expression language.
+//!
+//! The grammar is a small subset of KeyNote's condition syntax:
+//! identifiers, integer and string literals, comparison operators,
+//! boolean connectives (`&&`, `||`, `!`), and parentheses.
+
+use crate::{PolicyError, Result};
+
+/// A lexical token.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Token {
+    /// An identifier (attribute name, or `true`/`false` keyword).
+    Ident(String),
+    /// An integer literal.
+    Int(i64),
+    /// A string literal (quotes removed).
+    Str(String),
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&&`
+    And,
+    /// `||`
+    Or,
+    /// `!`
+    Not,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+}
+
+/// Tokenise a condition expression.
+pub fn tokenize(input: &str) -> Result<Vec<Token>> {
+    let bytes = input.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => {
+                i += 1;
+            }
+            '(' => {
+                tokens.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token::RParen);
+                i += 1;
+            }
+            '=' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token::Eq);
+                    i += 2;
+                } else {
+                    return Err(PolicyError::LexError {
+                        position: i,
+                        message: "expected `==`".into(),
+                    });
+                }
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token::Ne);
+                    i += 2;
+                } else {
+                    tokens.push(Token::Not);
+                    i += 1;
+                }
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token::Le);
+                    i += 2;
+                } else {
+                    tokens.push(Token::Lt);
+                    i += 1;
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token::Ge);
+                    i += 2;
+                } else {
+                    tokens.push(Token::Gt);
+                    i += 1;
+                }
+            }
+            '&' => {
+                if bytes.get(i + 1) == Some(&b'&') {
+                    tokens.push(Token::And);
+                    i += 2;
+                } else {
+                    return Err(PolicyError::LexError {
+                        position: i,
+                        message: "expected `&&`".into(),
+                    });
+                }
+            }
+            '|' => {
+                if bytes.get(i + 1) == Some(&b'|') {
+                    tokens.push(Token::Or);
+                    i += 2;
+                } else {
+                    return Err(PolicyError::LexError {
+                        position: i,
+                        message: "expected `||`".into(),
+                    });
+                }
+            }
+            '"' => {
+                let start = i + 1;
+                let mut j = start;
+                while j < bytes.len() && bytes[j] != b'"' {
+                    j += 1;
+                }
+                if j >= bytes.len() {
+                    return Err(PolicyError::LexError {
+                        position: i,
+                        message: "unterminated string literal".into(),
+                    });
+                }
+                tokens.push(Token::Str(input[start..j].to_string()));
+                i = j + 1;
+            }
+            '0'..='9' | '-' => {
+                let start = i;
+                let mut j = i;
+                if bytes[j] == b'-' {
+                    j += 1;
+                    if j >= bytes.len() || !(bytes[j] as char).is_ascii_digit() {
+                        return Err(PolicyError::LexError {
+                            position: start,
+                            message: "`-` must introduce a number".into(),
+                        });
+                    }
+                }
+                while j < bytes.len() && (bytes[j] as char).is_ascii_digit() {
+                    j += 1;
+                }
+                let text = &input[start..j];
+                let value = text.parse::<i64>().map_err(|_| PolicyError::LexError {
+                    position: start,
+                    message: format!("invalid integer literal `{text}`"),
+                })?;
+                tokens.push(Token::Int(value));
+                i = j;
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                let mut j = i;
+                while j < bytes.len()
+                    && ((bytes[j] as char).is_ascii_alphanumeric() || bytes[j] == b'_')
+                {
+                    j += 1;
+                }
+                tokens.push(Token::Ident(input[start..j].to_string()));
+                i = j;
+            }
+            other => {
+                return Err(PolicyError::LexError {
+                    position: i,
+                    message: format!("unexpected character `{other}`"),
+                });
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenizes_simple_comparison() {
+        let t = tokenize("uid == 1000").unwrap();
+        assert_eq!(
+            t,
+            vec![Token::Ident("uid".into()), Token::Eq, Token::Int(1000)]
+        );
+    }
+
+    #[test]
+    fn tokenizes_all_operators() {
+        let t = tokenize("a == b != c < d <= e > f >= g && h || !i").unwrap();
+        assert!(t.contains(&Token::Eq));
+        assert!(t.contains(&Token::Ne));
+        assert!(t.contains(&Token::Lt));
+        assert!(t.contains(&Token::Le));
+        assert!(t.contains(&Token::Gt));
+        assert!(t.contains(&Token::Ge));
+        assert!(t.contains(&Token::And));
+        assert!(t.contains(&Token::Or));
+        assert!(t.contains(&Token::Not));
+    }
+
+    #[test]
+    fn tokenizes_strings_and_parens() {
+        let t = tokenize("(module == \"libc\")").unwrap();
+        assert_eq!(
+            t,
+            vec![
+                Token::LParen,
+                Token::Ident("module".into()),
+                Token::Eq,
+                Token::Str("libc".into()),
+                Token::RParen
+            ]
+        );
+    }
+
+    #[test]
+    fn tokenizes_negative_numbers() {
+        let t = tokenize("x >= -42").unwrap();
+        assert_eq!(t[2], Token::Int(-42));
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(tokenize("a = b").is_err());
+        assert!(tokenize("a & b").is_err());
+        assert!(tokenize("a | b").is_err());
+        assert!(tokenize("\"unterminated").is_err());
+        assert!(tokenize("a @ b").is_err());
+        assert!(tokenize("x == -").is_err());
+    }
+
+    #[test]
+    fn empty_input_is_empty_token_stream() {
+        assert_eq!(tokenize("").unwrap(), vec![]);
+        assert_eq!(tokenize("   \n\t ").unwrap(), vec![]);
+    }
+
+    #[test]
+    fn identifiers_with_underscores_and_digits() {
+        let t = tokenize("app_domain2 == \"x\"").unwrap();
+        assert_eq!(t[0], Token::Ident("app_domain2".into()));
+    }
+}

@@ -1,0 +1,87 @@
+//! Principals: the parties that issue and are named by assertions.
+
+use secmod_crypto::sha256::{to_hex, Sha256};
+use serde::{Deserialize, Serialize};
+
+/// A principal: a named party identified by key material.
+///
+/// In KeyNote a principal is a public key; here the "key" is an opaque byte
+/// string whose SHA-256 fingerprint identifies the principal, and signatures
+/// are HMACs under that byte string (a symmetric stand-in that keeps the
+/// simulation self-contained).
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Principal {
+    /// Human-readable name (unique within a policy domain).
+    pub name: String,
+    /// Hex fingerprint of the principal's key material.
+    pub fingerprint: String,
+}
+
+impl Principal {
+    /// The distinguished policy root (KeyNote's `POLICY` authorizer).
+    pub fn policy_root() -> Principal {
+        Principal {
+            name: "POLICY".to_string(),
+            fingerprint: "POLICY".to_string(),
+        }
+    }
+
+    /// Create a principal from a name and key material.
+    pub fn from_key(name: &str, key_material: &[u8]) -> Principal {
+        Principal {
+            name: name.to_string(),
+            fingerprint: to_hex(&Sha256::digest(key_material)),
+        }
+    }
+
+    /// Is this the policy root?
+    pub fn is_policy_root(&self) -> bool {
+        self.fingerprint == "POLICY"
+    }
+}
+
+impl std::fmt::Display for Principal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_policy_root() {
+            write!(f, "POLICY")
+        } else {
+            write!(f, "{}[{}]", self.name, &self.fingerprint[..8.min(self.fingerprint.len())])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn policy_root_is_special() {
+        let root = Principal::policy_root();
+        assert!(root.is_policy_root());
+        assert_eq!(root.to_string(), "POLICY");
+    }
+
+    #[test]
+    fn from_key_fingerprints_are_stable_and_distinct() {
+        let a1 = Principal::from_key("alice", b"alice-key");
+        let a2 = Principal::from_key("alice", b"alice-key");
+        let b = Principal::from_key("bob", b"bob-key");
+        assert_eq!(a1, a2);
+        assert_ne!(a1.fingerprint, b.fingerprint);
+        assert!(!a1.is_policy_root());
+    }
+
+    #[test]
+    fn same_name_different_keys_are_different_principals() {
+        let a = Principal::from_key("svc", b"key-1");
+        let b = Principal::from_key("svc", b"key-2");
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn display_includes_name_and_fingerprint_prefix() {
+        let a = Principal::from_key("alice", b"k");
+        let s = a.to_string();
+        assert!(s.starts_with("alice["));
+    }
+}

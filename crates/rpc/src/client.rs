@@ -1,0 +1,108 @@
+//! The RPC client.
+
+use crate::message::{AcceptStat, CallBody, RpcMessage};
+use crate::record::{read_record, write_record};
+use crate::transport::{Endpoint, Stream};
+use crate::{Result, RpcError};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// A connected RPC client (one underlying stream, calls serialised).
+pub struct RpcClient {
+    stream: Mutex<Stream>,
+    next_xid: AtomicU32,
+    endpoint: Endpoint,
+}
+
+impl std::fmt::Debug for RpcClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "RpcClient({})", self.endpoint)
+    }
+}
+
+impl RpcClient {
+    /// Connect to a server endpoint.
+    pub fn connect(endpoint: &Endpoint) -> Result<RpcClient> {
+        Ok(RpcClient {
+            stream: Mutex::new(Stream::connect(endpoint)?),
+            next_xid: AtomicU32::new(1),
+            endpoint: endpoint.clone(),
+        })
+    }
+
+    /// The endpoint this client is connected to.
+    pub fn endpoint(&self) -> &Endpoint {
+        &self.endpoint
+    }
+
+    /// Make a synchronous call: send the request record, read the reply
+    /// record, check the transaction id and acceptance status, and return
+    /// the XDR-encoded results.
+    pub fn call(&self, program: u32, version: u32, procedure: u32, args: &[u8]) -> Result<Vec<u8>> {
+        let xid = self.next_xid.fetch_add(1, Ordering::Relaxed);
+        let request = RpcMessage::Call {
+            xid,
+            body: CallBody {
+                program,
+                version,
+                procedure,
+                args: args.to_vec(),
+            },
+        };
+        let mut stream = self.stream.lock();
+        write_record(&mut *stream, &request.encode())?;
+        let raw = read_record(&mut *stream)?;
+        drop(stream);
+
+        match RpcMessage::decode(&raw)? {
+            RpcMessage::Reply { xid: rxid, body } => {
+                if rxid != xid {
+                    return Err(RpcError::ProtocolMismatch(format!(
+                        "expected xid {xid}, got {rxid}"
+                    )));
+                }
+                match body.stat {
+                    AcceptStat::Success => Ok(body.results),
+                    other => Err(RpcError::Unavailable(format!("server returned {other:?}"))),
+                }
+            }
+            RpcMessage::Call { .. } => Err(RpcError::ProtocolMismatch(
+                "received a call instead of a reply".to_string(),
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::RpcServer;
+
+    #[test]
+    fn xids_increment_per_call() {
+        let server = RpcServer::new();
+        server.register(1, 1, |_p, a| Ok(a.to_vec()));
+        let handle = server.serve(&Endpoint::temp_unix("xid-test")).unwrap();
+        let client = RpcClient::connect(handle.endpoint()).unwrap();
+        for _ in 0..5 {
+            client.call(1, 1, 0, b"x").unwrap();
+        }
+        assert_eq!(client.next_xid.load(Ordering::Relaxed), 6);
+    }
+
+    #[test]
+    fn error_statuses_become_errors() {
+        let server = RpcServer::new();
+        server.register(1, 1, |_p, _a| Err(crate::message::AcceptStat::SystemErr));
+        let handle = server.serve(&Endpoint::temp_unix("err-test")).unwrap();
+        let client = RpcClient::connect(handle.endpoint()).unwrap();
+        assert!(client.call(1, 1, 0, b"").is_err());
+        assert!(client.call(2, 1, 0, b"").is_err());
+    }
+
+    #[test]
+    fn connect_failure_surfaces_as_io_error() {
+        let missing = Endpoint::Unix(std::env::temp_dir().join("no-such-rpc-server.sock"));
+        assert!(RpcClient::connect(&missing).is_err());
+    }
+}

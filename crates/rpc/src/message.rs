@@ -1,0 +1,247 @@
+//! RPC call and reply messages (RFC 1831/5531 layout, simplified auth).
+
+use crate::xdr::{XdrDecoder, XdrEncoder};
+use crate::{Result, RpcError};
+
+/// RPC protocol version (always 2).
+pub const RPC_VERSION: u32 = 2;
+
+/// How the server disposed of an accepted call.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AcceptStat {
+    /// The call succeeded; results follow.
+    Success,
+    /// The program is not served here.
+    ProgUnavail,
+    /// The program version is not served here.
+    ProgMismatch,
+    /// The procedure number is unknown.
+    ProcUnavail,
+    /// The arguments could not be decoded.
+    GarbageArgs,
+    /// Internal server error.
+    SystemErr,
+}
+
+impl AcceptStat {
+    fn to_u32(self) -> u32 {
+        match self {
+            AcceptStat::Success => 0,
+            AcceptStat::ProgUnavail => 1,
+            AcceptStat::ProgMismatch => 2,
+            AcceptStat::ProcUnavail => 3,
+            AcceptStat::GarbageArgs => 4,
+            AcceptStat::SystemErr => 5,
+        }
+    }
+
+    fn from_u32(v: u32) -> Result<AcceptStat> {
+        Ok(match v {
+            0 => AcceptStat::Success,
+            1 => AcceptStat::ProgUnavail,
+            2 => AcceptStat::ProgMismatch,
+            3 => AcceptStat::ProcUnavail,
+            4 => AcceptStat::GarbageArgs,
+            5 => AcceptStat::SystemErr,
+            other => return Err(RpcError::Xdr(format!("bad accept_stat {other}"))),
+        })
+    }
+}
+
+/// The body of a call message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CallBody {
+    /// Remote program number.
+    pub program: u32,
+    /// Remote program version.
+    pub version: u32,
+    /// Procedure number within the program.
+    pub procedure: u32,
+    /// Marshalled (XDR) procedure arguments.
+    pub args: Vec<u8>,
+}
+
+/// The body of a reply message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ReplyBody {
+    /// Disposition of the call.
+    pub stat: AcceptStat,
+    /// Marshalled (XDR) procedure results (empty unless `Success`).
+    pub results: Vec<u8>,
+}
+
+/// A complete RPC message (call or reply) with its transaction id.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RpcMessage {
+    /// A call from client to server.
+    Call {
+        /// Transaction id chosen by the client.
+        xid: u32,
+        /// The call body.
+        body: CallBody,
+    },
+    /// A reply from server to client.
+    Reply {
+        /// Transaction id echoed from the call.
+        xid: u32,
+        /// The reply body.
+        body: ReplyBody,
+    },
+}
+
+const MSG_CALL: u32 = 0;
+const MSG_REPLY: u32 = 1;
+const REPLY_ACCEPTED: u32 = 0;
+const AUTH_NONE: u32 = 0;
+
+impl RpcMessage {
+    /// The transaction id.
+    pub fn xid(&self) -> u32 {
+        match self {
+            RpcMessage::Call { xid, .. } | RpcMessage::Reply { xid, .. } => *xid,
+        }
+    }
+
+    /// Encode to XDR bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = XdrEncoder::new();
+        match self {
+            RpcMessage::Call { xid, body } => {
+                e.put_u32(*xid)
+                    .put_u32(MSG_CALL)
+                    .put_u32(RPC_VERSION)
+                    .put_u32(body.program)
+                    .put_u32(body.version)
+                    .put_u32(body.procedure)
+                    // cred (AUTH_NONE, zero length) + verf (AUTH_NONE, zero length)
+                    .put_u32(AUTH_NONE)
+                    .put_u32(0)
+                    .put_u32(AUTH_NONE)
+                    .put_u32(0);
+                e.put_opaque(&body.args);
+            }
+            RpcMessage::Reply { xid, body } => {
+                e.put_u32(*xid)
+                    .put_u32(MSG_REPLY)
+                    .put_u32(REPLY_ACCEPTED)
+                    // verf (AUTH_NONE, zero length)
+                    .put_u32(AUTH_NONE)
+                    .put_u32(0)
+                    .put_u32(body.stat.to_u32());
+                e.put_opaque(&body.results);
+            }
+        }
+        e.into_bytes()
+    }
+
+    /// Decode from XDR bytes.
+    pub fn decode(data: &[u8]) -> Result<RpcMessage> {
+        let mut d = XdrDecoder::new(data);
+        let xid = d.get_u32()?;
+        match d.get_u32()? {
+            MSG_CALL => {
+                let rpcvers = d.get_u32()?;
+                if rpcvers != RPC_VERSION {
+                    return Err(RpcError::ProtocolMismatch(format!(
+                        "rpc version {rpcvers}"
+                    )));
+                }
+                let program = d.get_u32()?;
+                let version = d.get_u32()?;
+                let procedure = d.get_u32()?;
+                // cred + verf
+                for _ in 0..2 {
+                    let _flavor = d.get_u32()?;
+                    let body = d.get_opaque()?;
+                    let _ = body;
+                }
+                let args = d.get_opaque()?;
+                Ok(RpcMessage::Call {
+                    xid,
+                    body: CallBody {
+                        program,
+                        version,
+                        procedure,
+                        args,
+                    },
+                })
+            }
+            MSG_REPLY => {
+                let reply_stat = d.get_u32()?;
+                if reply_stat != REPLY_ACCEPTED {
+                    return Err(RpcError::Rejected("call denied".to_string()));
+                }
+                let _verf_flavor = d.get_u32()?;
+                let _verf_body = d.get_opaque()?;
+                let stat = AcceptStat::from_u32(d.get_u32()?)?;
+                let results = d.get_opaque()?;
+                Ok(RpcMessage::Reply {
+                    xid,
+                    body: ReplyBody { stat, results },
+                })
+            }
+            other => Err(RpcError::Xdr(format!("bad message type {other}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn call_roundtrip() {
+        let msg = RpcMessage::Call {
+            xid: 0xDEADBEEF,
+            body: CallBody {
+                program: 200_001,
+                version: 1,
+                procedure: 1,
+                args: vec![0, 0, 0, 41],
+            },
+        };
+        let decoded = RpcMessage::decode(&msg.encode()).unwrap();
+        assert_eq!(decoded, msg);
+        assert_eq!(decoded.xid(), 0xDEADBEEF);
+    }
+
+    #[test]
+    fn reply_roundtrip() {
+        for stat in [
+            AcceptStat::Success,
+            AcceptStat::ProgUnavail,
+            AcceptStat::ProcUnavail,
+            AcceptStat::GarbageArgs,
+            AcceptStat::SystemErr,
+            AcceptStat::ProgMismatch,
+        ] {
+            let msg = RpcMessage::Reply {
+                xid: 7,
+                body: ReplyBody {
+                    stat,
+                    results: vec![1, 2, 3, 4],
+                },
+            };
+            assert_eq!(RpcMessage::decode(&msg.encode()).unwrap(), msg);
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_messages() {
+        assert!(RpcMessage::decode(&[]).is_err());
+        assert!(RpcMessage::decode(&[0, 0, 0, 1, 0, 0, 0, 9]).is_err());
+        // Wrong RPC version inside a call.
+        let mut bad = RpcMessage::Call {
+            xid: 1,
+            body: CallBody {
+                program: 1,
+                version: 1,
+                procedure: 1,
+                args: vec![],
+            },
+        }
+        .encode();
+        bad[11] = 3; // rpcvers = 3
+        assert!(RpcMessage::decode(&bad).is_err());
+    }
+}

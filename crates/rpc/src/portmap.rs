@@ -1,0 +1,101 @@
+//! A miniature portmapper: program number → endpoint.
+//!
+//! Sun RPC clients traditionally consult the portmapper (program 100000) to
+//! locate a service.  The baseline measurements connect directly, but the
+//! examples use the portmapper to demonstrate a complete local RPC
+//! deployment.
+
+use crate::transport::Endpoint;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// The portmapper program number.
+pub const PMAP_PROGRAM: u32 = 100_000;
+
+/// An in-process portmapper registry.
+#[derive(Clone, Default)]
+pub struct Portmap {
+    map: Arc<RwLock<HashMap<(u32, u32), Endpoint>>>,
+}
+
+impl Portmap {
+    /// Create an empty portmapper.
+    pub fn new() -> Portmap {
+        Portmap::default()
+    }
+
+    /// Register (or re-register) a program version at an endpoint.
+    pub fn set(&self, program: u32, version: u32, endpoint: Endpoint) {
+        self.map.write().insert((program, version), endpoint);
+    }
+
+    /// Remove a registration.
+    pub fn unset(&self, program: u32, version: u32) -> bool {
+        self.map.write().remove(&(program, version)).is_some()
+    }
+
+    /// Look up the endpoint for a program version.
+    pub fn getport(&self, program: u32, version: u32) -> Option<Endpoint> {
+        self.map.read().get(&(program, version)).cloned()
+    }
+
+    /// Dump all registrations (like `rpcinfo -p`).
+    pub fn dump(&self) -> Vec<(u32, u32, Endpoint)> {
+        let mut v: Vec<(u32, u32, Endpoint)> = self
+            .map
+            .read()
+            .iter()
+            .map(|((p, ver), e)| (*p, *ver, e.clone()))
+            .collect();
+        v.sort_by_key(|(p, ver, _)| (*p, *ver));
+        v
+    }
+}
+
+impl std::fmt::Debug for Portmap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Portmap({} registrations)", self.map.read().len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_lookup_unregister() {
+        let pm = Portmap::new();
+        assert!(pm.getport(200_001, 1).is_none());
+        let e = Endpoint::temp_unix("pmap");
+        pm.set(200_001, 1, e.clone());
+        assert_eq!(pm.getport(200_001, 1), Some(e));
+        assert!(pm.getport(200_001, 2).is_none());
+        assert!(pm.unset(200_001, 1));
+        assert!(!pm.unset(200_001, 1));
+        assert!(pm.getport(200_001, 1).is_none());
+    }
+
+    #[test]
+    fn dump_is_sorted() {
+        let pm = Portmap::new();
+        pm.set(300, 1, Endpoint::temp_unix("c"));
+        pm.set(100, 2, Endpoint::temp_unix("a"));
+        pm.set(100, 1, Endpoint::temp_unix("b"));
+        let dump = pm.dump();
+        assert_eq!(dump.len(), 3);
+        assert_eq!((dump[0].0, dump[0].1), (100, 1));
+        assert_eq!((dump[1].0, dump[1].1), (100, 2));
+        assert_eq!((dump[2].0, dump[2].1), (300, 1));
+    }
+
+    #[test]
+    fn reregistration_replaces() {
+        let pm = Portmap::new();
+        let a = Endpoint::temp_unix("a");
+        let b = Endpoint::temp_unix("b");
+        pm.set(1, 1, a);
+        pm.set(1, 1, b.clone());
+        assert_eq!(pm.getport(1, 1), Some(b));
+    }
+}

@@ -1,0 +1,118 @@
+//! Record marking for stream transports (RFC 5531 §11).
+//!
+//! Each record is sent as one or more fragments; a fragment header is a
+//! 4-byte big-endian word whose top bit marks the last fragment and whose
+//! remaining 31 bits give the fragment length.
+
+use crate::{Result, RpcError};
+use std::io::{Read, Write};
+
+/// Maximum fragment payload we emit (small enough to exercise fragmentation
+/// in tests, large enough not to matter for performance).
+pub const MAX_FRAGMENT: usize = 64 * 1024;
+
+/// Write one record (fragmenting if necessary) and flush.
+pub fn write_record<W: Write>(w: &mut W, data: &[u8]) -> Result<()> {
+    if data.is_empty() {
+        w.write_all(&0x8000_0000u32.to_be_bytes())?;
+        w.flush()?;
+        return Ok(());
+    }
+    let mut offset = 0usize;
+    while offset < data.len() {
+        let len = usize::min(MAX_FRAGMENT, data.len() - offset);
+        let last = offset + len == data.len();
+        let header = (len as u32) | if last { 0x8000_0000 } else { 0 };
+        w.write_all(&header.to_be_bytes())?;
+        w.write_all(&data[offset..offset + len])?;
+        offset += len;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Read one complete record (all fragments).
+pub fn read_record<R: Read>(r: &mut R) -> Result<Vec<u8>> {
+    let mut out = Vec::new();
+    loop {
+        let mut header = [0u8; 4];
+        r.read_exact(&mut header)?;
+        let word = u32::from_be_bytes(header);
+        let last = word & 0x8000_0000 != 0;
+        let len = (word & 0x7FFF_FFFF) as usize;
+        if len > 16 * 1024 * 1024 {
+            return Err(RpcError::ProtocolMismatch(format!(
+                "fragment of {len} bytes is implausible"
+            )));
+        }
+        let start = out.len();
+        out.resize(start + len, 0);
+        r.read_exact(&mut out[start..])?;
+        if last {
+            return Ok(out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn roundtrip(data: &[u8]) -> Vec<u8> {
+        let mut buf = Vec::new();
+        write_record(&mut buf, data).unwrap();
+        read_record(&mut Cursor::new(buf)).unwrap()
+    }
+
+    #[test]
+    fn small_and_empty_records() {
+        assert_eq!(roundtrip(b""), b"");
+        assert_eq!(roundtrip(b"x"), b"x");
+        assert_eq!(roundtrip(b"hello world"), b"hello world");
+    }
+
+    #[test]
+    fn large_record_is_fragmented_and_reassembled() {
+        let data: Vec<u8> = (0..(MAX_FRAGMENT * 2 + 100)).map(|i| (i % 251) as u8).collect();
+        let mut buf = Vec::new();
+        write_record(&mut buf, &data).unwrap();
+        // Expect 3 fragments: check there are 3 headers worth of extra bytes.
+        assert_eq!(buf.len(), data.len() + 3 * 4);
+        assert_eq!(read_record(&mut Cursor::new(buf)).unwrap(), data);
+    }
+
+    #[test]
+    fn back_to_back_records() {
+        let mut buf = Vec::new();
+        write_record(&mut buf, b"first").unwrap();
+        write_record(&mut buf, b"second").unwrap();
+        let mut cur = Cursor::new(buf);
+        assert_eq!(read_record(&mut cur).unwrap(), b"first");
+        assert_eq!(read_record(&mut cur).unwrap(), b"second");
+    }
+
+    #[test]
+    fn truncated_stream_is_an_error() {
+        let mut buf = Vec::new();
+        write_record(&mut buf, b"hello").unwrap();
+        buf.truncate(buf.len() - 2);
+        assert!(read_record(&mut Cursor::new(buf)).is_err());
+        // Header only, no payload.
+        let buf = 0x8000_0010u32.to_be_bytes().to_vec();
+        assert!(read_record(&mut Cursor::new(buf)).is_err());
+    }
+
+    #[test]
+    fn implausible_fragment_length_rejected() {
+        let buf = 0x7FFF_FFFFu32.to_be_bytes().to_vec();
+        assert!(read_record(&mut Cursor::new(buf)).is_err());
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn prop_roundtrip(data in proptest::collection::vec(0u8..=255, 0..4096)) {
+            proptest::prop_assert_eq!(roundtrip(&data), data);
+        }
+    }
+}

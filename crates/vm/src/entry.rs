@@ -1,0 +1,301 @@
+//! Map entries: the `vm_map_entry` analogue.
+
+use crate::addr::{VRange, Vaddr};
+use crate::page::Amap;
+use std::sync::Arc;
+
+/// Page protection bits.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Protection(u8);
+
+impl Protection {
+    /// No access.
+    pub const NONE: Protection = Protection(0);
+    /// Read permission.
+    pub const READ: Protection = Protection(1);
+    /// Write permission.
+    pub const WRITE: Protection = Protection(2);
+    /// Execute permission.
+    pub const EXEC: Protection = Protection(4);
+    /// Read + write.
+    pub const RW: Protection = Protection(1 | 2);
+    /// Read + execute (typical text segment).
+    pub const RX: Protection = Protection(1 | 4);
+    /// Read + write + execute.
+    pub const RWX: Protection = Protection(1 | 2 | 4);
+
+    /// Does this protection include all bits of `other`?
+    pub const fn allows(self, other: Protection) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// Union of two protections.
+    pub const fn union(self, other: Protection) -> Protection {
+        Protection(self.0 | other.0)
+    }
+
+    /// Can read?
+    pub const fn can_read(self) -> bool {
+        self.allows(Self::READ)
+    }
+
+    /// Can write?
+    pub const fn can_write(self) -> bool {
+        self.allows(Self::WRITE)
+    }
+
+    /// Can execute?
+    pub const fn can_exec(self) -> bool {
+        self.allows(Self::EXEC)
+    }
+}
+
+impl std::fmt::Debug for Protection {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}{}{}",
+            if self.can_read() { "r" } else { "-" },
+            if self.can_write() { "w" } else { "-" },
+            if self.can_exec() { "x" } else { "-" }
+        )
+    }
+}
+
+/// Fork-inheritance mode of an entry (UVM's `MAP_INHERIT_*`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Inherit {
+    /// Child gets a copy-on-write duplicate (normal data/heap/stack).
+    Copy,
+    /// Child shares the same pages (explicitly shared memory).
+    Share,
+    /// Child does not inherit the mapping at all.
+    None,
+}
+
+/// What backs a mapping.
+#[derive(Clone)]
+pub enum MapKind {
+    /// Anonymous memory (data, heap, stack) tracked by an [`Amap`].
+    Anon {
+        /// Backing anonymous-page map.  Entries holding the same `Arc`
+        /// observe the same pages.
+        amap: Arc<Amap>,
+    },
+    /// An immutable backing object (module text, file image).  Reads are
+    /// served from `image[offset + (addr - range.start)]`.
+    Object {
+        /// The backing bytes (e.g. a module's text section).
+        image: Arc<Vec<u8>>,
+        /// Offset of `range.start` within `image`.
+        offset: u64,
+    },
+}
+
+impl std::fmt::Debug for MapKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MapKind::Anon { amap } => f
+                .debug_struct("Anon")
+                .field("resident", &amap.resident())
+                .finish(),
+            MapKind::Object { image, offset } => f
+                .debug_struct("Object")
+                .field("len", &image.len())
+                .field("offset", offset)
+                .finish(),
+        }
+    }
+}
+
+/// A contiguous mapping in an address space.
+#[derive(Clone, Debug)]
+pub struct MapEntry {
+    /// Address range covered.
+    pub range: VRange,
+    /// Protection bits.
+    pub prot: Protection,
+    /// Backing storage.
+    pub kind: MapKind,
+    /// Fork-inheritance mode.
+    pub inherit: Inherit,
+    /// True if the entry is a *shared* mapping (writes are visible to every
+    /// holder of the same backing amap) rather than private/COW.
+    pub shared: bool,
+    /// Human-readable label ("text", "heap", "stack", "secret-stack", …).
+    pub label: String,
+}
+
+impl MapEntry {
+    /// Create a private anonymous entry with a fresh amap.
+    pub fn new_anon(range: VRange, prot: Protection, label: &str) -> MapEntry {
+        MapEntry {
+            range,
+            prot,
+            kind: MapKind::Anon { amap: Amap::new() },
+            inherit: Inherit::Copy,
+            shared: false,
+            label: label.to_string(),
+        }
+    }
+
+    /// Create an object-backed (text/file) entry.
+    pub fn new_object(
+        range: VRange,
+        prot: Protection,
+        image: Arc<Vec<u8>>,
+        offset: u64,
+        label: &str,
+    ) -> MapEntry {
+        MapEntry {
+            range,
+            prot,
+            kind: MapKind::Object { image, offset },
+            inherit: Inherit::Copy,
+            shared: false,
+            label: label.to_string(),
+        }
+    }
+
+    /// Does the entry contain `addr`?
+    pub fn contains(&self, addr: Vaddr) -> bool {
+        self.range.contains(addr)
+    }
+
+    /// The amap backing an anonymous entry, if any.
+    pub fn amap(&self) -> Option<&Arc<Amap>> {
+        match &self.kind {
+            MapKind::Anon { amap } => Some(amap),
+            MapKind::Object { .. } => None,
+        }
+    }
+
+    /// Produce a *shared* clone of this entry clipped to `range` (which must
+    /// be contained in the entry).  The clone references the same backing
+    /// amap or object, and is marked shared — this is the building block of
+    /// `uvmspace_force_share()` and of peer-fault sharing.
+    pub fn share_clipped(&self, range: VRange) -> MapEntry {
+        debug_assert!(self.range.contains_range(&range));
+        MapEntry {
+            range,
+            prot: self.prot,
+            kind: self.kind.clone(),
+            inherit: Inherit::Share,
+            shared: true,
+            label: self.label.clone(),
+        }
+    }
+
+    /// Produce a clipped private view of this entry (same backing, adjusted
+    /// range) — used when unmapping the middle of an entry.
+    pub fn clipped(&self, range: VRange) -> MapEntry {
+        debug_assert!(self.range.contains_range(&range));
+        MapEntry {
+            range,
+            ..self.clone()
+        }
+    }
+
+    /// Clone this entry for `fork()`, honouring the inheritance mode.
+    /// Returns `None` for [`Inherit::None`].
+    pub fn fork_clone(&self) -> Option<MapEntry> {
+        match self.inherit {
+            Inherit::None => None,
+            Inherit::Share => Some(self.clone()),
+            Inherit::Copy => {
+                let kind = match &self.kind {
+                    MapKind::Anon { amap } => MapKind::Anon {
+                        amap: amap.deep_copy(),
+                    },
+                    MapKind::Object { image, offset } => MapKind::Object {
+                        image: image.clone(),
+                        offset: *offset,
+                    },
+                };
+                Some(MapEntry {
+                    kind,
+                    ..self.clone()
+                })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::PAGE_SIZE;
+
+    fn range(start: u64, pages: u64) -> VRange {
+        VRange::from_raw(start, start + pages * PAGE_SIZE)
+    }
+
+    #[test]
+    fn protection_bits() {
+        assert!(Protection::RW.can_read());
+        assert!(Protection::RW.can_write());
+        assert!(!Protection::RW.can_exec());
+        assert!(Protection::RX.can_exec());
+        assert!(Protection::RWX.allows(Protection::RW));
+        assert!(!Protection::READ.allows(Protection::WRITE));
+        assert_eq!(Protection::READ.union(Protection::EXEC), Protection::RX);
+        assert_eq!(format!("{:?}", Protection::RX), "r-x");
+        assert_eq!(format!("{:?}", Protection::NONE), "---");
+    }
+
+    #[test]
+    fn anon_entry_basics() {
+        let e = MapEntry::new_anon(range(0x1000, 4), Protection::RW, "heap");
+        assert!(e.contains(Vaddr(0x1000)));
+        assert!(e.contains(Vaddr(0x4fff)));
+        assert!(!e.contains(Vaddr(0x5000)));
+        assert!(e.amap().is_some());
+        assert!(!e.shared);
+        assert_eq!(e.label, "heap");
+    }
+
+    #[test]
+    fn object_entry_has_no_amap() {
+        let image = Arc::new(vec![1u8; 8192]);
+        let e = MapEntry::new_object(range(0x1000, 2), Protection::RX, image, 0, "text");
+        assert!(e.amap().is_none());
+        assert!(e.prot.can_exec());
+    }
+
+    #[test]
+    fn share_clipped_shares_amap() {
+        let e = MapEntry::new_anon(range(0x1000, 4), Protection::RW, "heap");
+        let amap = e.amap().unwrap().clone();
+        let (page, _) = amap.lookup_or_zero_fill(2);
+        page.write(0, b"visible");
+
+        let shared = e.share_clipped(range(0x2000, 2));
+        assert!(shared.shared);
+        assert_eq!(shared.range, range(0x2000, 2));
+        let shared_amap = shared.amap().unwrap();
+        assert!(Arc::ptr_eq(&amap, shared_amap));
+        let mut buf = [0u8; 7];
+        shared_amap.lookup(2).unwrap().read(0, &mut buf);
+        assert_eq!(&buf, b"visible");
+    }
+
+    #[test]
+    fn fork_clone_modes() {
+        let mut e = MapEntry::new_anon(range(0x1000, 2), Protection::RW, "data");
+        e.amap().unwrap().lookup_or_zero_fill(1).0.write(0, b"x");
+
+        // Copy: new amap object, same page contents (COW).
+        let copied = e.fork_clone().unwrap();
+        assert!(!Arc::ptr_eq(e.amap().unwrap(), copied.amap().unwrap()));
+        assert!(copied.amap().unwrap().lookup(1).is_some());
+
+        // Share: same amap object.
+        e.inherit = Inherit::Share;
+        let shared = e.fork_clone().unwrap();
+        assert!(Arc::ptr_eq(e.amap().unwrap(), shared.amap().unwrap()));
+
+        // None: dropped.
+        e.inherit = Inherit::None;
+        assert!(e.fork_clone().is_none());
+    }
+}

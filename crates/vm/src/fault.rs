@@ -1,0 +1,74 @@
+//! Page-fault types.
+//!
+//! The fault *handler* lives in [`crate::space::VmSpace::fault_with_peer`];
+//! this module defines the access types and the outcome record, which the
+//! kernel simulator uses for accounting and which tests use to assert that
+//! the paper's modified `uvm_fault()` behaviour (peer-share resolution)
+//! actually happened.
+
+use crate::entry::Protection;
+
+/// The kind of access that triggered a fault.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum AccessType {
+    /// A data read.
+    Read,
+    /// A data write.
+    Write,
+    /// An instruction fetch.
+    Execute,
+}
+
+impl AccessType {
+    /// The protection bit this access requires.
+    pub fn required_protection(self) -> Protection {
+        match self {
+            AccessType::Read => Protection::READ,
+            AccessType::Write => Protection::WRITE,
+            AccessType::Execute => Protection::EXEC,
+        }
+    }
+}
+
+/// What the fault handler did to satisfy a fault.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultOutcome {
+    /// A zero-filled page was allocated (first touch of anonymous memory).
+    pub zero_filled: bool,
+    /// A copy-on-write break was performed (private copy of a shared page).
+    pub cow_copied: bool,
+    /// The mapping was absent locally but was found in the smod peer's map
+    /// and shared in — the paper's modified `uvm_fault()` path.
+    pub shared_from_peer: bool,
+    /// The page was already resident and mapped; nothing had to be done.
+    pub already_resident: bool,
+}
+
+impl FaultOutcome {
+    /// An outcome for a page that required no work.
+    pub fn resident() -> Self {
+        FaultOutcome {
+            already_resident: true,
+            ..Default::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn access_to_protection() {
+        assert_eq!(AccessType::Read.required_protection(), Protection::READ);
+        assert_eq!(AccessType::Write.required_protection(), Protection::WRITE);
+        assert_eq!(AccessType::Execute.required_protection(), Protection::EXEC);
+    }
+
+    #[test]
+    fn resident_outcome() {
+        let o = FaultOutcome::resident();
+        assert!(o.already_resident);
+        assert!(!o.zero_filled && !o.cow_copied && !o.shared_from_peer);
+    }
+}

@@ -1,0 +1,110 @@
+//! # secmod-vm
+//!
+//! A UVM-inspired virtual-memory simulator: the substrate the SecModule
+//! paper modifies to make a client process and its handle co-process share
+//! the data/heap/stack portion of their address spaces while keeping the
+//! module text private to the handle.
+//!
+//! The paper's Figure 6 lists the kernel changes:
+//!
+//! * `uvmspace_force_share(p1, p2, start, end)` — unmap every map entry of
+//!   the handle in the share region and re-map the client's entries there as
+//!   shared mappings ([`space::VmSpace::force_share_from`]).
+//! * a modified `uvm_fault()` — on an "unavailable mapping" fault, consult
+//!   the *peer* process of an smod pair and, if the peer has a valid mapping
+//!   for the faulting address, map it as a share
+//!   ([`fault`], [`space::VmSpace::fault_with_peer`]).
+//! * a modified `sys_obreak()`/`uvm_map()` — heap growth of either member of
+//!   an smod pair creates shared mappings ([`obreak`]).
+//!
+//! The crate models pages, anonymous memory objects, map entries, address
+//! spaces with the traditional OpenBSD i386 layout of the paper's Figure 2
+//! (text low, data/heap above it, stack high, and a *secret* stack/heap
+//! region above the ordinary stack that only the handle may map), plus
+//! copy-on-write `fork`.  It is a deterministic, `unsafe`-free simulation;
+//! no real memory mapping is performed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod addr;
+pub mod entry;
+pub mod fault;
+pub mod layout;
+pub mod map;
+pub mod obreak;
+pub mod page;
+pub mod space;
+pub mod stats;
+
+pub use addr::{page_align_down, page_align_up, VRange, Vaddr, PAGE_SIZE};
+pub use entry::{Inherit, MapEntry, MapKind, Protection};
+pub use fault::{AccessType, FaultOutcome};
+pub use layout::Layout;
+pub use map::VmMap;
+pub use page::{Amap, Page};
+pub use space::VmSpace;
+pub use stats::VmStats;
+
+/// Errors returned by the virtual-memory simulator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VmError {
+    /// No mapping covers the address and no peer mapping could satisfy it.
+    SegmentationFault {
+        /// The faulting virtual address.
+        addr: Vaddr,
+    },
+    /// A mapping exists but does not permit the attempted access.
+    ProtectionViolation {
+        /// The faulting virtual address.
+        addr: Vaddr,
+        /// The access that was attempted.
+        attempted: fault::AccessType,
+        /// The protection of the mapping.
+        allowed: Protection,
+    },
+    /// A requested mapping overlaps an existing one.
+    MappingOverlap {
+        /// The requested range.
+        range: VRange,
+    },
+    /// An address or range is malformed (unaligned, empty, inverted, …).
+    InvalidRange {
+        /// Description of what was wrong.
+        reason: &'static str,
+    },
+    /// The requested range falls outside the region it must stay within
+    /// (e.g. heap growth beyond the data-size limit).
+    OutOfRange {
+        /// Description of the limit that was exceeded.
+        reason: &'static str,
+    },
+    /// The operation requires membership in an smod pair but the space is
+    /// not paired.
+    NotPaired,
+}
+
+impl std::fmt::Display for VmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VmError::SegmentationFault { addr } => write!(f, "segmentation fault at {addr}"),
+            VmError::ProtectionViolation {
+                addr,
+                attempted,
+                allowed,
+            } => write!(
+                f,
+                "protection violation at {addr}: attempted {attempted:?}, allowed {allowed:?}"
+            ),
+            VmError::MappingOverlap { range } => write!(f, "mapping overlap at {range}"),
+            VmError::InvalidRange { reason } => write!(f, "invalid range: {reason}"),
+            VmError::OutOfRange { reason } => write!(f, "out of range: {reason}"),
+            VmError::NotPaired => write!(f, "process is not part of an smod pair"),
+        }
+    }
+}
+
+impl std::error::Error for VmError {}
+
+/// Result alias for VM operations.
+pub type Result<T> = std::result::Result<T, VmError>;

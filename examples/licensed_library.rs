@@ -1,0 +1,121 @@
+//! Scenario 1 from the paper's introduction: a library that "represents a
+//! significant investment of time, effort and capital" whose owner wants to
+//! be paid (or at least credited) per use, and wants to limit outright
+//! theft.
+//!
+//! The vendor signs a delegation to each paying customer; every call is
+//! policy-checked and recorded in an audit log suitable for billing.
+//!
+//! Run with: `cargo run --example licensed_library`
+
+use secmod_core::prelude::*;
+use secmod_policy::assertion::{Assertion, LicenseeExpr};
+use secmod_policy::audit::AuditLog;
+use secmod_policy::{Environment, PolicyEngine, Principal};
+
+const VENDOR_SIGNING_KEY: &[u8] = b"vendor-signing-key";
+const CUSTOMER_A: &[u8] = b"customer-a-license";
+const CUSTOMER_B: &[u8] = b"customer-b-license";
+
+fn vendor_policy() -> PolicyEngine {
+    let vendor = Principal::from_key("imaging-vendor", VENDOR_SIGNING_KEY);
+    let mut policy = PolicyEngine::new();
+    policy.register_key(&vendor, VENDOR_SIGNING_KEY);
+    // The platform operator trusts the vendor for this module.
+    policy
+        .add_assertion(
+            Assertion::policy(LicenseeExpr::Single(vendor.clone()), "module == \"libimaging\"")
+                .unwrap(),
+        )
+        .unwrap();
+    // The vendor licenses customer A for everything…
+    policy
+        .add_assertion(
+            Assertion::delegation(
+                vendor.clone(),
+                LicenseeExpr::Single(Principal::from_key("customer-a", CUSTOMER_A)),
+                "",
+            )
+            .unwrap()
+            .sign(VENDOR_SIGNING_KEY),
+        )
+        .unwrap();
+    // …and customer B only for the preview-quality function.
+    policy
+        .add_assertion(
+            Assertion::delegation(
+                vendor,
+                LicenseeExpr::Single(Principal::from_key("customer-b", CUSTOMER_B)),
+                "function == \"render_preview\"",
+            )
+            .unwrap()
+            .sign(VENDOR_SIGNING_KEY),
+        )
+        .unwrap();
+    policy
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let module = SecureModuleBuilder::new("libimaging", 1)
+        .function("render_preview", |_ctx, args| Ok(args.to_vec()))
+        .function("render_production", |_ctx, args| {
+            Ok(args.iter().rev().copied().collect())
+        })
+        .with_policy(vendor_policy())
+        .build()?;
+
+    let mut world = SimWorld::new();
+    world.install(&module)?;
+
+    let customer_a = world.spawn_client(
+        "studio-a",
+        Credential::user(1001, 100).with_smod_credential("libimaging", CUSTOMER_A),
+    )?;
+    let customer_b = world.spawn_client(
+        "studio-b",
+        Credential::user(1002, 100).with_smod_credential("libimaging", CUSTOMER_B),
+    )?;
+    world.connect(customer_a, "libimaging", 0)?;
+    world.connect(customer_b, "libimaging", 0)?;
+
+    // Billing-grade audit log, fed from policy decisions.
+    let mut audit = AuditLog::new();
+    let mut record = |who: &str, key: &[u8], function: &str, allowed: bool| {
+        let env = Environment::for_smod_call(who, "libimaging", 1, function, 1001);
+        let requester = Principal::from_key(who, key);
+        audit.record(
+            &[requester],
+            &env,
+            &if allowed {
+                secmod_policy::Decision::Allow {
+                    used_assertions: vec![],
+                }
+            } else {
+                secmod_policy::Decision::Deny
+            },
+        );
+    };
+
+    // Customer A uses both functions.
+    for frame in 0u64..5 {
+        world.call(customer_a, "render_production", &frame.to_le_bytes())?;
+        record("customer-a", CUSTOMER_A, "render_production", true);
+    }
+    world.call(customer_a, "render_preview", &[1, 2, 3])?;
+    record("customer-a", CUSTOMER_A, "render_preview", true);
+
+    // Customer B may preview but not render at production quality.
+    world.call(customer_b, "render_preview", &[9, 9])?;
+    record("customer-b", CUSTOMER_B, "render_preview", true);
+    let denied = world.call(customer_b, "render_production", &[9, 9]).is_err();
+    record("customer-b", CUSTOMER_B, "render_production", !denied);
+    println!("customer B production render denied: {denied}");
+
+    println!("\n-- monthly usage statement --");
+    for ((module, function), count) in audit.usage_counts() {
+        println!("{module:12} {function:20} {count:>6} calls");
+    }
+    println!("denied requests: {}", audit.denials());
+
+    Ok(())
+}

@@ -1,0 +1,61 @@
+//! Quickstart: define a protected module, register it with the (simulated)
+//! kernel, establish a session and call through the access-controlled
+//! dispatch path.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use secmod_core::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    const CREDENTIAL: &[u8] = b"quickstart-credential";
+
+    // 1. The module author defines the protected library: its functions,
+    //    its access policy, and (implicitly) the key that seals its text.
+    let module = SecureModuleBuilder::new("libquick", 1)
+        .function("double", |_ctx, args| {
+            let v = u64::from_le_bytes(args[..8].try_into().unwrap());
+            Ok((v * 2).to_le_bytes().to_vec())
+        })
+        .function("greet", |_ctx, args| {
+            let name = String::from_utf8_lossy(args).to_string();
+            Ok(format!("hello, {name}!").into_bytes())
+        })
+        .allow_credential(CREDENTIAL)
+        .build()?;
+
+    // 2. The machine boots and the registration tool hands the sealed module
+    //    to the kernel (sys_smod_add).
+    let mut world = SimWorld::new();
+    let module_id = world.install(&module)?;
+    println!("registered module libquick as {module_id}");
+
+    // 3. A client process starts; its crt0 performs the Figure 1 handshake
+    //    (find → start_session → session_info → handle_info).
+    let client = world.spawn_client(
+        "quickstart-app",
+        Credential::user(1000, 100).with_smod_credential("libquick", CREDENTIAL),
+    )?;
+    let session = world.connect(client, "libquick", 0)?;
+    println!("client {client} established {session}");
+
+    // 4. Ordinary calls now relay through sys_smod_call to the handle.
+    let doubled = world.call(client, "double", &21u64.to_le_bytes())?;
+    println!("double(21) = {}", u64::from_le_bytes(doubled.try_into().unwrap()));
+
+    let greeting = world.call(client, "greet", b"secmodule")?;
+    println!("greet(\"secmodule\") = {}", String::from_utf8_lossy(&greeting));
+
+    // 5. A process without the credential is turned away at session start.
+    let intruder = world.spawn_client("intruder", Credential::user(666, 666))?;
+    match world.connect(intruder, "libquick", 0) {
+        Err(e) => println!("intruder rejected as expected: {e}"),
+        Ok(_) => println!("unexpected: intruder was admitted!"),
+    }
+
+    println!(
+        "simulated time elapsed: {:.3} ms, context switches: {}",
+        world.now_ns() as f64 / 1e6,
+        world.kernel.context_switches
+    );
+    Ok(())
+}

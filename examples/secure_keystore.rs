@@ -1,0 +1,80 @@
+//! Scenario 3 from the paper's introduction: "a critical component of a
+//! security infrastructure, such that misuse … can cause significant
+//! disruption" — here, a signing oracle.  Only certified callers may ask it
+//! to sign, nobody may extract the key, and the signing key itself lives in
+//! module data that the client never maps.
+//!
+//! Run with: `cargo run --example secure_keystore`
+
+use secmod_core::prelude::*;
+use secmod_crypto::hmac::HmacSha256;
+
+const OPERATOR_KEY: &[u8] = b"certified-operator";
+const SIGNING_KEY: &[u8] = b"organisation-signing-key-material";
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The signing key is baked into the module (its data section / closure
+    // state); it is never present in any client address space.
+    let module = SecureModuleBuilder::new("libsign", 1)
+        .data_object("signing_key_slot", &[0u8; 32])
+        .function("sign", move |_ctx, args| {
+            Ok(HmacSha256::mac(SIGNING_KEY, args).to_vec())
+        })
+        .function("verify", move |_ctx, args| {
+            // args = 32-byte tag || message
+            if args.len() < 32 {
+                return Err(secmod_kernel::Errno::EINVAL);
+            }
+            let ok = HmacSha256::verify(SIGNING_KEY, &args[32..], &args[..32]);
+            Ok(vec![ok as u8])
+        })
+        // Only certified operators, and only the sign/verify entry points —
+        // there is no "export_key" function at all, and even if one were
+        // added the policy names the functions explicitly.
+        .allow_credential_if(
+            OPERATOR_KEY,
+            "function == \"sign\" || function == \"verify\"",
+        )
+        .build()?;
+
+    let mut world = SimWorld::new();
+    world.install(&module)?;
+
+    let operator = world.spawn_client(
+        "release-pipeline",
+        Credential::user(1000, 100).with_smod_credential("libsign", OPERATOR_KEY),
+    )?;
+    world.connect(operator, "libsign", 0)?;
+
+    let artifact = b"firmware-image-v1.2.3";
+    let signature = world.call(operator, "sign", artifact)?;
+    println!("signature: {}", secmod_crypto::sha256::to_hex(&signature));
+
+    let mut verify_args = signature.clone();
+    verify_args.extend_from_slice(artifact);
+    let ok = world.call(operator, "verify", &verify_args)?;
+    println!("verify(signature, artifact) = {}", ok[0] == 1);
+
+    let mut tampered = signature.clone();
+    tampered[0] ^= 0xFF;
+    let mut verify_args = tampered;
+    verify_args.extend_from_slice(artifact);
+    let ok = world.call(operator, "verify", &verify_args)?;
+    println!("verify(tampered, artifact) = {}", ok[0] == 1);
+
+    // An uncertified process cannot even open a session, and the registered
+    // module text sits encrypted in the kernel registry.
+    let rogue = world.spawn_client("rogue", Credential::user(4000, 4000))?;
+    println!(
+        "rogue session admitted: {}",
+        world.connect(rogue, "libsign", 0).is_ok()
+    );
+    let m_id = world.module_id("libsign").unwrap();
+    let registered = world.kernel.registry.get(m_id).unwrap();
+    println!(
+        "module text encrypted at rest: {} ({} protected bytes)",
+        registered.package.encrypted,
+        registered.package.protected_text_bytes()
+    );
+    Ok(())
+}

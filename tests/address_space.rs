@@ -1,0 +1,141 @@
+//! Figure 2: the address-space layout of an established smod pair —
+//! data/heap/stack shared, text private, secret stack/heap handle-only.
+
+use secmod_core::prelude::*;
+use secmod_vm::{AccessType, VRange, Vaddr};
+
+const KEY: &[u8] = b"addrspace-credential";
+
+fn module() -> SecureModule {
+    SecureModuleBuilder::new("libaddr", 1)
+        .function("write_heap", |ctx, args| {
+            let addr = u64::from_le_bytes(args[..8].try_into().unwrap());
+            let data = &args[8..];
+            ctx.write(Vaddr(addr), data)?;
+            Ok(vec![])
+        })
+        .allow_credential(KEY)
+        .build()
+        .unwrap()
+}
+
+fn establish() -> (SimWorld, Pid, Pid) {
+    let mut world = SimWorld::new();
+    world.install(&module()).unwrap();
+    let client = world
+        .spawn_client(
+            "app",
+            Credential::user(1000, 100).with_smod_credential("libaddr", KEY),
+        )
+        .unwrap();
+    world.connect(client, "libaddr", 0).unwrap();
+    let handle = world.kernel.procs.get(client).unwrap().smod.unwrap().peer;
+    (world, client, handle)
+}
+
+#[test]
+fn data_heap_and_stack_are_shared_text_is_not() {
+    let (world, client, handle) = establish();
+    let layout = world.kernel.layout;
+    let client_proc = world.kernel.procs.get(client).unwrap();
+    let handle_proc = world.kernel.procs.get(handle).unwrap();
+
+    // Heap pages are literally the same frames.
+    let heap_page = VRange::from_raw(layout.data_base, layout.data_base + 4096);
+    assert!(handle_proc.vm.shares_pages_with(&client_proc.vm, heap_page));
+
+    // Stack pages likewise.
+    let stack_top = layout.stack_top;
+    let stack_page = VRange::from_raw(stack_top - 4096, stack_top);
+    assert!(handle_proc.vm.shares_pages_with(&client_proc.vm, stack_page));
+
+    // Text entries are private on both sides.
+    let text_addr = Vaddr(layout.text_base);
+    assert!(!client_proc.vm.map.entry_at(text_addr).unwrap().shared);
+    assert!(!handle_proc.vm.map.entry_at(text_addr).unwrap().shared);
+
+    // Both record the same forced-share range.
+    assert_eq!(
+        client_proc.vm.smod_share_range(),
+        handle_proc.vm.smod_share_range()
+    );
+    assert_eq!(
+        client_proc.vm.smod_share_range().unwrap(),
+        layout.share_region()
+    );
+}
+
+#[test]
+fn secret_stack_heap_exists_only_in_the_handle() {
+    let (mut world, client, handle) = establish();
+    let layout = world.kernel.layout;
+    let secret = layout.secret_region();
+
+    // The handle has the secret region mapped…
+    assert!(world
+        .kernel
+        .procs
+        .get(handle)
+        .unwrap()
+        .vm
+        .has_mapping(secret.start));
+    // …the client does not, and cannot fault it in even through the peer
+    // (the secret region is outside the share range).
+    assert!(!world
+        .kernel
+        .procs
+        .get(client)
+        .unwrap()
+        .vm
+        .has_mapping(secret.start));
+    let err = {
+        let (client_proc, handle_proc) = world.kernel.procs.get_pair_mut(client, handle).unwrap();
+        client_proc
+            .vm
+            .fault_with_peer(secret.start, AccessType::Read, Some(&handle_proc.vm))
+            .unwrap_err()
+    };
+    assert!(matches!(err, secmod_vm::VmError::SegmentationFault { .. }));
+}
+
+#[test]
+fn writes_by_the_handle_are_visible_to_the_client_and_vice_versa() {
+    let (mut world, client, _handle) = establish();
+    let addr = world.heap_base();
+
+    // Handle writes via a protected call; client reads directly.
+    let mut args = Vaddr(addr.0 + 128).0.to_le_bytes().to_vec();
+    args.extend_from_slice(b"handle wrote this");
+    world.call(client, "write_heap", &args).unwrap();
+    assert_eq!(
+        world.peek(client, Vaddr(addr.0 + 128), 17).unwrap(),
+        b"handle wrote this"
+    );
+
+    // Client writes directly; verify through the kernel's handle-side view.
+    world.poke(client, Vaddr(addr.0 + 512), b"client wrote this").unwrap();
+    let handle = world.kernel.procs.get(client).unwrap().smod.unwrap().peer;
+    let via_handle = world
+        .kernel
+        .read_user_memory(handle, Vaddr(addr.0 + 512), 17)
+        .unwrap();
+    assert_eq!(via_handle, b"client wrote this");
+}
+
+#[test]
+fn client_heap_growth_remains_shared() {
+    // The modified sys_obreak + uvm_fault path: memory the client maps after
+    // the handshake is still visible to the handle.
+    let (mut world, client, handle) = establish();
+    let old_brk = world.kernel.procs.get(client).unwrap().vm.brk();
+    world
+        .kernel
+        .sys_obreak(client, Vaddr(old_brk.0 + 8 * 4096))
+        .unwrap();
+    world.poke(client, old_brk, b"grown after handshake").unwrap();
+    let seen = world
+        .kernel
+        .read_user_memory(handle, old_brk, 21)
+        .unwrap();
+    assert_eq!(seen, b"grown after handshake");
+}

@@ -1,0 +1,83 @@
+//! §4/§4.3: retrofitting libc — malloc and friends living inside a
+//! SecModule, operating on the client's own heap through the shared pages.
+
+use secmod_core::libc_retrofit::SmodLibc;
+use secmod_core::prelude::*;
+
+const KEY: &[u8] = b"libc-retrofit-key";
+
+#[test]
+fn malloc_free_strlen_memcpy_behave_like_the_man_pages() {
+    let mut world = SimWorld::new();
+    let mut libc = SmodLibc::setup(&mut world, "editor", KEY).unwrap();
+
+    // malloc returns distinct, usable blocks.
+    let a = libc.malloc(32).unwrap();
+    let b = libc.malloc(200).unwrap();
+    let c = libc.malloc(1).unwrap();
+    assert!(a < b && b < c);
+    assert_eq!(libc.live_allocations().unwrap(), 3);
+
+    // Blocks are ordinary client memory: the client writes with plain
+    // stores, the protected functions read the same bytes.
+    libc.store(a, b"hello secmodule\0").unwrap();
+    assert_eq!(libc.strlen(a).unwrap(), 15);
+    libc.memcpy(b, a, 16).unwrap();
+    assert_eq!(libc.load(b, 16).unwrap(), b"hello secmodule\0");
+    assert_eq!(libc.strlen(b).unwrap(), 15);
+
+    libc.free(a).unwrap();
+    libc.free(b).unwrap();
+    assert_eq!(libc.live_allocations().unwrap(), 1);
+
+    // getpid over SecModule names the client, not the handle (§4.3).
+    let pid = libc.getpid().unwrap();
+    assert_eq!(pid, libc.client());
+
+    // The benchmark function behaves per the paper.
+    assert_eq!(libc.testincr(41).unwrap(), 42);
+}
+
+#[test]
+fn fork_gives_each_client_its_own_handle_and_allocator_state() {
+    let mut world = SimWorld::new();
+    let parent_pid = {
+        let mut libc = SmodLibc::setup(&mut world, "daemon", KEY).unwrap();
+        libc.malloc(64).unwrap();
+        libc.client()
+    };
+    // fork: the child gets an independent session (and COW heap, so the
+    // allocator state diverges from here on).
+    let child_pid = world.fork_client(parent_pid).unwrap();
+    assert_ne!(parent_pid, child_pid);
+
+    let parent_allocs = {
+        let mut parent = SmodLibc::attach(&mut world, parent_pid);
+        parent.malloc(64).unwrap();
+        parent.live_allocations().unwrap()
+    };
+    let child_allocs = {
+        let mut child = SmodLibc::attach(&mut world, child_pid);
+        child.live_allocations().unwrap()
+    };
+    assert_eq!(parent_allocs, 2);
+    assert_eq!(child_allocs, 1, "child inherited the pre-fork state only");
+
+    // Both sessions dispatch independently.
+    let mut child = SmodLibc::attach(&mut world, child_pid);
+    assert_eq!(child.testincr(1).unwrap(), 2);
+}
+
+#[test]
+fn the_unconverted_client_cannot_reach_libc_functions() {
+    let mut world = SimWorld::new();
+    // Install libc (with credentials), then spawn a client without them.
+    {
+        SmodLibc::setup(&mut world, "legit", KEY).unwrap();
+    }
+    let stranger = world
+        .spawn_client("stranger", Credential::user(3000, 3000))
+        .unwrap();
+    assert!(world.connect(stranger, "libc", 0).is_err());
+    assert!(world.call(stranger, "malloc", &32u64.to_le_bytes()).is_err());
+}

@@ -1,0 +1,128 @@
+//! Figure 1: the SecModule initialisation sequence, end to end.
+//!
+//! Steps (1)–(8): find → start_session → session_info → handle_info →
+//! client main → stub call → handle relay → return.
+
+use secmod_core::prelude::*;
+use secmod_kernel::trace::Event;
+
+const KEY: &[u8] = b"lifecycle-credential";
+
+fn demo_module() -> SecureModule {
+    SecureModuleBuilder::new("liblife", 1)
+        .function("testincr", |_ctx, args| {
+            let v = u64::from_le_bytes(args[..8].try_into().unwrap());
+            Ok((v + 1).to_le_bytes().to_vec())
+        })
+        .allow_credential(KEY)
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn figure1_sequence_in_order() {
+    let mut world = SimWorld::new();
+    world.install(&demo_module()).unwrap();
+    let client = world
+        .spawn_client(
+            "app",
+            Credential::user(1000, 100).with_smod_credential("liblife", KEY),
+        )
+        .unwrap();
+
+    // crt0: steps (1)-(4).
+    world.connect(client, "liblife", 0).unwrap();
+    // main: steps (5)-(8).
+    let reply = world.call(client, "testincr", &41u64.to_le_bytes()).unwrap();
+    assert_eq!(u64::from_le_bytes(reply.try_into().unwrap()), 42);
+
+    // The kernel trace must show the exact Figure 1 order.
+    let kinds: Vec<&str> = world
+        .kernel
+        .tracer
+        .events()
+        .iter()
+        .map(|e| match e {
+            Event::ModuleRegistered { .. } => "registered",
+            Event::ModuleFound { .. } => "find",
+            Event::SessionStarted { .. } => "start_session",
+            Event::HandleReady { .. } => "session_info",
+            Event::HandshakeComplete { .. } => "handle_info",
+            Event::SmodCall { .. } => "smod_call",
+            _ => "other",
+        })
+        .collect();
+    assert_eq!(
+        kinds,
+        vec![
+            "registered",
+            "find",
+            "start_session",
+            "session_info",
+            "handle_info",
+            "smod_call"
+        ]
+    );
+
+    // The call was policy-allowed and accounted.
+    assert!(world
+        .kernel
+        .tracer
+        .events()
+        .iter()
+        .any(|e| matches!(e, Event::SmodCall { allowed: true, .. })));
+    assert_eq!(world.kernel.session_of(client).unwrap().calls, 1);
+}
+
+#[test]
+fn session_survives_many_calls_and_detaches_cleanly() {
+    let mut world = SimWorld::new();
+    world.install(&demo_module()).unwrap();
+    let client = world
+        .spawn_client(
+            "app",
+            Credential::user(1000, 100).with_smod_credential("liblife", KEY),
+        )
+        .unwrap();
+    world.connect(client, "liblife", 0).unwrap();
+
+    for i in 0..100u64 {
+        let reply = world.call(client, "testincr", &i.to_le_bytes()).unwrap();
+        assert_eq!(u64::from_le_bytes(reply.try_into().unwrap()), i + 1);
+    }
+    assert_eq!(world.kernel.session_of(client).unwrap().calls, 100);
+
+    world.disconnect(client).unwrap();
+    assert!(world.kernel.session_of(client).is_none());
+    assert!(world.call(client, "testincr", &0u64.to_le_bytes()).is_err());
+    // Once no sessions remain, the module can be removed.
+    world.uninstall("liblife").unwrap();
+}
+
+#[test]
+fn version_resolution_finds_the_right_module() {
+    let mut world = SimWorld::new();
+    let v1 = demo_module();
+    let mut v2 = SecureModuleBuilder::new("liblife", 2)
+        .function("testincr", |_ctx, args| {
+            let v = u64::from_le_bytes(args[..8].try_into().unwrap());
+            Ok((v + 100).to_le_bytes().to_vec())
+        })
+        .allow_credential(KEY)
+        .build()
+        .unwrap();
+    v2.version = 2;
+    world.install(&v1).unwrap();
+    world.install(&v2).unwrap();
+
+    let client = world
+        .spawn_client(
+            "app",
+            Credential::user(1000, 100).with_smod_credential("liblife", KEY),
+        )
+        .unwrap();
+    // version 0 → latest (v2: adds 100).
+    world.connect(client, "liblife", 0).unwrap();
+    let reply = world.call(client, "testincr", &1u64.to_le_bytes()).unwrap();
+    assert_eq!(u64::from_le_bytes(reply.try_into().unwrap()), 101);
+}

@@ -1,0 +1,111 @@
+//! The native (wall-clock) backend: real threads sharing an address space,
+//! credential-checked dispatch, and the Figure 8 ordering on real time.
+
+use secmod_core::native::{native_getpid, NativeModule, NativeSession};
+use secmod_core::SmodError;
+use secmod_rpc::services::{spawn_local_testincr_server, TestIncrClient};
+use std::time::Instant;
+
+const KEY: &[u8] = b"native-test-key";
+
+#[test]
+fn dispatch_and_shared_heap() {
+    let module = NativeModule::benchmark_module(KEY).function("fill", |ctx, args| {
+        let len = u64::from_le_bytes(args[..8].try_into().unwrap()) as usize;
+        ctx.heap.write(0, &vec![0xAB; len]);
+        (len as u64).to_le_bytes().to_vec()
+    });
+    let session = NativeSession::start(&module, KEY, 8192).unwrap();
+    let r = session.call("testincr", &41u64.to_le_bytes()).unwrap();
+    assert_eq!(u64::from_le_bytes(r.try_into().unwrap()), 42);
+    session.call("fill", &100u64.to_le_bytes()).unwrap();
+    assert_eq!(session.heap().read(0, 100), vec![0xAB; 100]);
+    assert!(session.shutdown() >= 2);
+}
+
+#[test]
+fn credential_enforcement() {
+    let module = NativeModule::benchmark_module(KEY);
+    assert!(matches!(
+        NativeSession::start(&module, b"wrong-key", 1024),
+        Err(SmodError::CredentialRejected)
+    ));
+    let session = NativeSession::start(&module, KEY, 1024).unwrap();
+    assert!(matches!(
+        session.call_with_token([0u8; 32], "testincr", &0u64.to_le_bytes()),
+        Err(SmodError::CredentialRejected)
+    ));
+}
+
+#[test]
+fn getpid_over_smod_matches_native_getpid() {
+    let session = NativeSession::start(&NativeModule::benchmark_module(KEY), KEY, 1024).unwrap();
+    let r = session.call("getpid", &[]).unwrap();
+    assert_eq!(
+        u64::from_le_bytes(r.try_into().unwrap()),
+        native_getpid() as u64
+    );
+}
+
+#[test]
+fn figure8_ordering_holds_on_real_time() {
+    // A scaled-down Figure 8: the ordering native-getpid < SMOD-dispatch <
+    // local RPC must hold on wall-clock time.  (The full 10-trial harness
+    // lives in the benchmark crate; this keeps CI honest with small counts.)
+    const CALLS: u64 = 2_000;
+
+    // Native getpid.
+    let start = Instant::now();
+    for _ in 0..CALLS {
+        std::hint::black_box(native_getpid());
+    }
+    let getpid_ns = start.elapsed().as_nanos() as u64 / CALLS;
+
+    // SMOD(testincr) over the native backend.
+    let session = NativeSession::start(&NativeModule::benchmark_module(KEY), KEY, 1024).unwrap();
+    let args = 1u64.to_le_bytes();
+    session.call("testincr", &args).unwrap(); // warm up
+    let start = Instant::now();
+    for i in 0..CALLS {
+        std::hint::black_box(session.call("testincr", &i.to_le_bytes()).unwrap());
+    }
+    let smod_ns = start.elapsed().as_nanos() as u64 / CALLS;
+
+    // RPC(testincr) over a real Unix socket.
+    let server = spawn_local_testincr_server().unwrap();
+    let rpc = TestIncrClient::connect(server.endpoint()).unwrap();
+    rpc.incr(0).unwrap(); // warm up
+    let rpc_calls = CALLS / 4;
+    let start = Instant::now();
+    for i in 0..rpc_calls {
+        std::hint::black_box(rpc.incr(i).unwrap());
+    }
+    let rpc_ns = start.elapsed().as_nanos() as u64 / rpc_calls;
+
+    // The paper's ordering.  We assert ordering (with a little slack for CI
+    // noise) rather than exact ratios.
+    assert!(
+        getpid_ns < smod_ns,
+        "native getpid ({getpid_ns} ns) should be cheaper than SMOD dispatch ({smod_ns} ns)"
+    );
+    assert!(
+        smod_ns < rpc_ns * 2,
+        "SMOD dispatch ({smod_ns} ns) should not dramatically exceed RPC ({rpc_ns} ns)"
+    );
+    assert!(
+        rpc_ns > getpid_ns,
+        "RPC ({rpc_ns} ns) must cost more than a bare getpid ({getpid_ns} ns)"
+    );
+}
+
+#[test]
+fn many_sessions_are_independent() {
+    let module = NativeModule::benchmark_module(KEY);
+    let sessions: Vec<NativeSession> = (0..8)
+        .map(|_| NativeSession::start(&module, KEY, 1024).unwrap())
+        .collect();
+    for (i, s) in sessions.iter().enumerate() {
+        let r = s.call("testincr", &(i as u64).to_le_bytes()).unwrap();
+        assert_eq!(u64::from_le_bytes(r.try_into().unwrap()), i as u64 + 1);
+    }
+}

@@ -1,0 +1,168 @@
+//! Trust-management policies applied to SecModule access: the three
+//! motivating scenarios of §1 (licensing/fame, resource budgeting,
+//! security-critical components), plus the coarse Unix baseline contrast.
+
+use secmod_core::prelude::*;
+use secmod_kernel::Errno;
+use secmod_policy::assertion::{Assertion, LicenseeExpr};
+use secmod_policy::unix::{Mode, UnixCreds, UnixPolicy};
+use secmod_policy::{PolicyEngine, Principal};
+
+const LICENSED_KEY: &[u8] = b"licensed-customer";
+const AUDITOR_A: &[u8] = b"auditor-a";
+const AUDITOR_B: &[u8] = b"auditor-b";
+
+#[test]
+fn per_function_conditions_gate_individual_calls() {
+    // The vendor allows ordinary queries but reserves `set_master_key`.
+    let module = SecureModuleBuilder::new("libvendor", 1)
+        .function("query", |_c, _a| Ok(vec![1]))
+        .function("set_master_key", |_c, _a| Ok(vec![2]))
+        .allow_credential_if(LICENSED_KEY, "function != \"set_master_key\"")
+        .build()
+        .unwrap();
+
+    let mut world = SimWorld::new();
+    world.install(&module).unwrap();
+    let client = world
+        .spawn_client(
+            "customer",
+            Credential::user(1000, 100).with_smod_credential("libvendor", LICENSED_KEY),
+        )
+        .unwrap();
+    world.connect(client, "libvendor", 0).unwrap();
+
+    assert!(world.call(client, "query", &[]).is_ok());
+    let err = world.call(client, "set_master_key", &[]).unwrap_err();
+    assert!(matches!(err, secmod_core::SmodError::Kernel(Errno::EACCES)));
+}
+
+#[test]
+fn uid_range_conditions_enforce_resource_budgeting() {
+    // §1's second scenario: the administrator restricts the resource-hungry
+    // library to a uid range rather than "carte-blanche root access".
+    let module = SecureModuleBuilder::new("libheavy", 1)
+        .function("crunch", |_c, _a| Ok(vec![]))
+        .allow_credential_if(LICENSED_KEY, "uid >= 1000 && uid < 1100")
+        .build()
+        .unwrap();
+    let mut world = SimWorld::new();
+    world.install(&module).unwrap();
+
+    let inside = world
+        .spawn_client(
+            "batch-user",
+            Credential::user(1050, 100).with_smod_credential("libheavy", LICENSED_KEY),
+        )
+        .unwrap();
+    world.connect(inside, "libheavy", 0).unwrap();
+    assert!(world.call(inside, "crunch", &[]).is_ok());
+
+    let outside = world
+        .spawn_client(
+            "other-user",
+            Credential::user(4000, 100).with_smod_credential("libheavy", LICENSED_KEY),
+        )
+        .unwrap();
+    assert!(world.connect(outside, "libheavy", 0).is_err());
+}
+
+#[test]
+fn delegation_chain_from_vendor_to_customer() {
+    // POLICY trusts the vendor; the vendor licenses the customer's key.
+    let vendor = Principal::from_key("vendor", b"vendor-signing-key");
+    let customer = Principal::from_key("customer", LICENSED_KEY);
+    let mut policy = PolicyEngine::new();
+    policy.register_key(&vendor, b"vendor-signing-key");
+    policy
+        .add_assertion(
+            Assertion::policy(LicenseeExpr::Single(vendor.clone()), "module == \"libchain\"")
+                .unwrap(),
+        )
+        .unwrap();
+    policy
+        .add_assertion(
+            Assertion::delegation(vendor, LicenseeExpr::Single(customer), "uid >= 1000")
+                .unwrap()
+                .sign(b"vendor-signing-key"),
+        )
+        .unwrap();
+
+    let module = SecureModuleBuilder::new("libchain", 1)
+        .function("work", |_c, _a| Ok(vec![]))
+        .with_policy(policy)
+        .build()
+        .unwrap();
+
+    let mut world = SimWorld::new();
+    world.install(&module).unwrap();
+    let customer_proc = world
+        .spawn_client(
+            "customer-app",
+            Credential::user(1000, 100).with_smod_credential("libchain", LICENSED_KEY),
+        )
+        .unwrap();
+    world.connect(customer_proc, "libchain", 0).unwrap();
+    assert!(world.call(customer_proc, "work", &[]).is_ok());
+
+    // Someone with a different key has no delegation chain to POLICY.
+    let stranger = world
+        .spawn_client(
+            "stranger",
+            Credential::user(1000, 100).with_smod_credential("libchain", b"some-other-key"),
+        )
+        .unwrap();
+    assert!(world.connect(stranger, "libchain", 0).is_err());
+}
+
+#[test]
+fn unix_baseline_has_no_per_function_granularity() {
+    // The contrast the paper draws in §1/§2: once a Unix user may link the
+    // library, every function is reachable, forever, unconditionally.
+    let lib = UnixPolicy::new(0, 0, Mode::WORLD_EXEC);
+    let user = UnixCreds::user(1000, 100);
+    assert!(lib.can_link(&user));
+    assert_eq!(
+        lib.can_call(&user, "harmless_query"),
+        lib.can_call(&user, "set_master_key"),
+        "Unix access control cannot distinguish functions"
+    );
+
+    // SecModule with the equivalent principal *can* distinguish them — shown
+    // in `per_function_conditions_gate_individual_calls` above.  Here we
+    // additionally show the owner-only mode is all-or-nothing per library.
+    let private_lib = UnixPolicy::new(1000, 100, Mode::OWNER_ONLY);
+    assert!(private_lib.can_link(&UnixCreds::user(1000, 100)));
+    assert!(!private_lib.can_link(&UnixCreds::user(1001, 100)));
+    assert!(private_lib.can_link(&UnixCreds::root()));
+}
+
+#[test]
+fn threshold_policy_for_security_critical_modules() {
+    // §1's third scenario: a security-critical component requires two
+    // certified auditors to be represented in the requesting credential set.
+    let auditors = vec![
+        Principal::from_key("auditor-a", AUDITOR_A),
+        Principal::from_key("auditor-b", AUDITOR_B),
+    ];
+    let mut policy = PolicyEngine::new();
+    policy
+        .add_assertion(
+            Assertion::policy(
+                LicenseeExpr::All(auditors.into_iter().map(LicenseeExpr::Single).collect()),
+                "module == \"libfirewall\"",
+            )
+            .unwrap(),
+        )
+        .unwrap();
+
+    // Direct engine check (the kernel path only carries one principal per
+    // process credential; multi-principal requests are the domain of the
+    // policy engine API).
+    let env = secmod_policy::Environment::for_smod_call("ops", "libfirewall", 1, "reload", 0);
+    let a = Principal::from_key("auditor-a", AUDITOR_A);
+    let b = Principal::from_key("auditor-b", AUDITOR_B);
+    assert!(!policy.is_allowed(&[a.clone()], &env));
+    assert!(!policy.is_allowed(&[b.clone()], &env));
+    assert!(policy.is_allowed(&[a, b], &env));
+}

@@ -1,0 +1,119 @@
+//! Figure 3: the stack manipulations performed by the client stub, the
+//! kernel and `smod_stub_receive()`, plus the dispatch-level bookkeeping
+//! that mirrors them in the simulated kernel.
+
+use secmod_core::prelude::*;
+use secmod_core::stack::{SharedStack, StubFrame};
+
+const KEY: &[u8] = b"stack-credential";
+
+#[test]
+fn stub_frame_roundtrip_preserves_caller_state() {
+    let mut stack = SharedStack::new();
+    stack.push_args(&[0x1111, 0x2222, 0x3333]); // caller's own frame
+    let arg_base = stack.depth();
+    stack.push_args(&[7, 8]); // arguments for f_i
+
+    let frame = StubFrame {
+        client_fp: 0xBFFF_EE00,
+        return_address: 0x0804_8123,
+        module_id: 3,
+        func_id: 9,
+    };
+    let stub_base = stack.push_stub_frame(frame);
+
+    // Kernel view (step 2) sees exactly what the stub pushed.
+    assert_eq!(stack.kernel_view().unwrap(), frame);
+
+    // Handle (step 3) pops to the arguments and calls the real function.
+    let saved = stack.handle_pop_to_args(stub_base).unwrap();
+    assert_eq!(stack.callee_args(arg_base, 2).unwrap(), vec![7, 8]);
+
+    // Handle (step 4) restores the exact same words.
+    stack.restore_stub_frame(saved);
+    assert_eq!(stack.kernel_view().unwrap(), frame);
+
+    // Client unwinds; its own frame is untouched.
+    stack.client_unwind(stub_base, 2).unwrap();
+    assert_eq!(stack.words(), &[0x1111, 0x2222, 0x3333]);
+}
+
+#[test]
+fn nested_calls_unwind_in_lifo_order() {
+    let mut stack = SharedStack::new();
+    stack.push_args(&[1]);
+    let outer_frame = StubFrame {
+        client_fp: 1,
+        return_address: 2,
+        module_id: 1,
+        func_id: 1,
+    };
+    stack.push_args(&[10]);
+    let outer_base = stack.push_stub_frame(outer_frame);
+    let outer_saved = stack.handle_pop_to_args(outer_base).unwrap();
+
+    // While the outer call runs, the handle-side code performs another call
+    // (e.g. malloc calling an internal helper that is itself protected).
+    stack.push_args(&[20]);
+    let inner_frame = StubFrame {
+        client_fp: 3,
+        return_address: 4,
+        module_id: 1,
+        func_id: 2,
+    };
+    let inner_base = stack.push_stub_frame(inner_frame);
+    let inner_saved = stack.handle_pop_to_args(inner_base).unwrap();
+    assert_eq!(inner_saved, inner_frame);
+    stack.restore_stub_frame(inner_saved);
+    stack.client_unwind(inner_base, 1).unwrap();
+
+    stack.restore_stub_frame(outer_saved);
+    stack.client_unwind(outer_base, 1).unwrap();
+    assert_eq!(stack.words(), &[1]);
+}
+
+#[test]
+fn dispatch_records_frame_pointer_and_return_address() {
+    // The simulated sys_smod_call takes (framep, rtnaddr, m_id, funcID) just
+    // like the real one; make sure a full dispatch through the kernel works
+    // with the marshalled arguments produced by ArgWriter.
+    let module = SecureModuleBuilder::new("libstack", 1)
+        .function("sum3", |_ctx, args| {
+            let mut r = ArgReader::new(args);
+            let total = r.u64().unwrap() + r.u64().unwrap() + r.u64().unwrap();
+            Ok(total.to_le_bytes().to_vec())
+        })
+        .allow_credential(KEY)
+        .build()
+        .unwrap();
+
+    let mut world = SimWorld::new();
+    world.install(&module).unwrap();
+    let client = world
+        .spawn_client(
+            "app",
+            Credential::user(1000, 100).with_smod_credential("libstack", KEY),
+        )
+        .unwrap();
+    world.connect(client, "libstack", 0).unwrap();
+
+    let args = ArgWriter::new().push_u64(11).push_u64(22).push_u64(33).finish();
+    let reply = world.call(client, "sum3", &args).unwrap();
+    assert_eq!(u64::from_le_bytes(reply.try_into().unwrap()), 66);
+}
+
+#[test]
+fn malformed_stacks_are_rejected() {
+    let mut stack = SharedStack::new();
+    assert!(stack.kernel_view().is_err());
+    stack.push_args(&[1, 2, 3, 4]);
+    // Wrong base: the handle notices the inconsistency.
+    let base = stack.push_stub_frame(StubFrame {
+        client_fp: 0,
+        return_address: 0,
+        module_id: 0,
+        func_id: 0,
+    });
+    assert!(stack.handle_pop_to_args(base + 1).is_err());
+    assert!(stack.handle_pop_to_args(base).is_ok());
+}
