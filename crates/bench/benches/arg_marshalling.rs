@@ -43,9 +43,11 @@ fn arg_marshalling(c: &mut Criterion) {
     let session = NativeSession::start(&module, KEY, 4096).unwrap();
     for size in [8usize, 512, 8192] {
         let payload = vec![7u8; size];
-        group.bench_with_input(BenchmarkId::new("smod_dispatch_with_args", size), &size, |b, _| {
-            b.iter(|| std::hint::black_box(session.call("sink", &payload).unwrap()))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("smod_dispatch_with_args", size),
+            &size,
+            |b, _| b.iter(|| std::hint::black_box(session.call("sink", &payload).unwrap())),
+        );
     }
     group.finish();
 }

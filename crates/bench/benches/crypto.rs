@@ -30,7 +30,9 @@ fn crypto(c: &mut Criterion) {
         });
 
         let enc = SelectiveEncryptor::new(b"0123456789abcdef", [1u8; 8]).unwrap();
-        let skips: Vec<SkipRange> = (0..size / 256).map(|i| SkipRange::new(i * 256, i * 256 + 4)).collect();
+        let skips: Vec<SkipRange> = (0..size / 256)
+            .map(|i| SkipRange::new(i * 256, i * 256 + 4))
+            .collect();
         group.bench_with_input(
             BenchmarkId::new("selective_encrypt_with_skips", size),
             &size,

@@ -14,8 +14,7 @@ fn fig8_dispatch(c: &mut Criterion) {
         b.iter(|| std::hint::black_box(native_getpid()))
     });
 
-    let session =
-        NativeSession::start(&NativeModule::benchmark_module(KEY), KEY, 4096).unwrap();
+    let session = NativeSession::start(&NativeModule::benchmark_module(KEY), KEY, 4096).unwrap();
     group.bench_function("smod_getpid", |b| {
         b.iter(|| std::hint::black_box(session.call("getpid", &[]).unwrap()))
     });

@@ -32,7 +32,11 @@ fn policy_complexity(c: &mut Criterion) {
             .unwrap();
         let requesters = vec![alice];
         group.bench_with_input(BenchmarkId::new("engine_query", n), &n, |b, _| {
-            b.iter(|| engine.query(std::hint::black_box(&requesters), &env).unwrap())
+            b.iter(|| {
+                engine
+                    .query(std::hint::black_box(&requesters), &env)
+                    .unwrap()
+            })
         });
     }
     group.finish();

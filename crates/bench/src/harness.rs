@@ -103,7 +103,12 @@ impl Figure8Report {
             let mut s = format!("\n== {title} ==\n");
             s.push_str(&format!(
                 "{:<22} {:>12} {:>8} {:>14} {:>16} {:>12}\n",
-                "Test Function", "Calls/Trial", "Trials", "microsec/CALL", "stdev(microsec)", "paper(us)"
+                "Test Function",
+                "Calls/Trial",
+                "Trials",
+                "microsec/CALL",
+                "stdev(microsec)",
+                "paper(us)"
             ));
             for r in rows {
                 s.push_str(&format!(
@@ -129,7 +134,9 @@ impl Figure8Report {
             &self.native,
         ));
         if let (Some(smod), Some(rpc)) = (
-            self.native.iter().find(|r| r.name.contains("SMOD(test-incr)")),
+            self.native
+                .iter()
+                .find(|r| r.name.contains("SMOD(test-incr)")),
             self.native.iter().find(|r| r.name.contains("RPC")),
         ) {
             out.push_str(&format!(
@@ -140,7 +147,9 @@ impl Figure8Report {
         }
         if let (Some(getpid), Some(smod)) = (
             self.simulated.iter().find(|r| r.name.contains("getpid()")),
-            self.simulated.iter().find(|r| r.name.contains("SMOD(test-incr)")),
+            self.simulated
+                .iter()
+                .find(|r| r.name.contains("SMOD(test-incr)")),
         ) {
             out.push_str(&format!(
                 "simulated SMOD / getpid ratio: {:.1}x (paper: {:.1}x)\n",
@@ -158,7 +167,9 @@ const CREDENTIAL: &[u8] = b"figure8-credential";
 /// the kernel simulator's clock.  Deterministic.
 pub fn run_simulated(config: TrialConfig) -> Vec<Figure8Row> {
     let mut world = SimWorld::new();
-    world.install(&libc_module(CREDENTIAL)).expect("install libc");
+    world
+        .install(&libc_module(CREDENTIAL))
+        .expect("install libc");
     let client = world
         .spawn_client(
             "fig8-client",
@@ -170,46 +181,52 @@ pub fn run_simulated(config: TrialConfig) -> Vec<Figure8Row> {
     // The simulator is deterministic, so "trials" differ only through the
     // measured-loop structure; we still run them to mirror the methodology.
     let mut rows = Vec::new();
-    let mut measure = |name: &str, paper: Option<f64>, per_call: &mut dyn FnMut(&mut SimWorld, u64)| {
-        let mut samples = Vec::with_capacity(config.trials);
-        for _ in 0..config.trials {
-            let start = world.now_ns();
-            for i in 0..config.calls_per_trial {
-                per_call(&mut world, i);
+    let mut measure =
+        |name: &str, paper: Option<f64>, per_call: &mut dyn FnMut(&mut SimWorld, u64)| {
+            let mut samples = Vec::with_capacity(config.trials);
+            for _ in 0..config.trials {
+                let start = world.now_ns();
+                for i in 0..config.calls_per_trial {
+                    per_call(&mut world, i);
+                }
+                let elapsed = world.now_ns() - start;
+                samples.push(elapsed as f64 / config.calls_per_trial as f64 / 1000.0);
             }
-            let elapsed = world.now_ns() - start;
-            samples.push(elapsed as f64 / config.calls_per_trial as f64 / 1000.0);
-        }
-        let (mean, stdev) = mean_and_stdev(&samples);
-        rows.push(Figure8Row {
-            name: name.to_string(),
-            calls_per_trial: config.calls_per_trial,
-            trials: config.trials,
-            mean_us: mean,
-            stdev_us: stdev,
-            paper_us: paper,
-        });
-    };
+            let (mean, stdev) = mean_and_stdev(&samples);
+            rows.push(Figure8Row {
+                name: name.to_string(),
+                calls_per_trial: config.calls_per_trial,
+                trials: config.trials,
+                mean_us: mean,
+                stdev_us: stdev,
+                paper_us: paper,
+            });
+        };
 
     measure("getpid()", Some(PAPER_GETPID_US), &mut |w, _| {
         w.native_getpid(client).unwrap();
     });
-    measure("SMOD(SMOD-getpid)", Some(PAPER_SMOD_GETPID_US), &mut |w, _| {
-        w.call(client, "getpid", &[]).unwrap();
-    });
-    measure("SMOD(test-incr)", Some(PAPER_SMOD_TESTINCR_US), &mut |w, i| {
-        w.call(client, "testincr", &i.to_le_bytes()).unwrap();
-    });
+    measure(
+        "SMOD(SMOD-getpid)",
+        Some(PAPER_SMOD_GETPID_US),
+        &mut |w, _| {
+            w.call(client, "getpid", &[]).unwrap();
+        },
+    );
+    measure(
+        "SMOD(test-incr)",
+        Some(PAPER_SMOD_TESTINCR_US),
+        &mut |w, i| {
+            w.call(client, "testincr", &i.to_le_bytes()).unwrap();
+        },
+    );
     rows
 }
 
 /// Run all four rows in wall-clock time on the host.
 pub fn run_native(config: TrialConfig) -> Vec<Figure8Row> {
     let mut rows = Vec::new();
-    let mut push_row = |name: &str,
-                        paper: Option<f64>,
-                        calls: u64,
-                        samples: Vec<f64>| {
+    let mut push_row = |name: &str, paper: Option<f64>, calls: u64, samples: Vec<f64>| {
         let (mean, stdev) = mean_and_stdev(&samples);
         rows.push(Figure8Row {
             name: name.to_string(),
@@ -230,7 +247,12 @@ pub fn run_native(config: TrialConfig) -> Vec<Figure8Row> {
         }
         samples.push(start.elapsed().as_secs_f64() * 1e6 / config.calls_per_trial as f64);
     }
-    push_row("getpid()", Some(PAPER_GETPID_US), config.calls_per_trial, samples);
+    push_row(
+        "getpid()",
+        Some(PAPER_GETPID_US),
+        config.calls_per_trial,
+        samples,
+    );
 
     // SMOD rows over the native backend.
     let session = NativeSession::start(
@@ -301,7 +323,10 @@ mod tests {
         let smod_incr = rows[2].mean_us;
         // Magnitudes near the paper's values (calibrated cost model).
         assert!((0.3..1.5).contains(&getpid), "getpid {getpid} µs");
-        assert!((4.0..12.0).contains(&smod_getpid), "smod getpid {smod_getpid} µs");
+        assert!(
+            (4.0..12.0).contains(&smod_getpid),
+            "smod getpid {smod_getpid} µs"
+        );
         assert!((4.0..12.0).contains(&smod_incr), "smod incr {smod_incr} µs");
         // SMOD ≈ 10x slower than a bare syscall.
         let ratio = smod_incr / getpid;

@@ -81,7 +81,9 @@ mod tests {
         assert!(e.to_string().contains("padding"));
         let e: SmodError = secmod_policy::PolicyError::UnknownRoot.into();
         assert!(e.to_string().contains("root"));
-        assert!(SmodError::UnknownFunction("f".into()).to_string().contains("`f`"));
+        assert!(SmodError::UnknownFunction("f".into())
+            .to_string()
+            .contains("`f`"));
         assert!(!SmodError::NoSession.to_string().is_empty());
         assert!(!SmodError::HandleGone.to_string().is_empty());
         assert!(!SmodError::CredentialRejected.to_string().is_empty());

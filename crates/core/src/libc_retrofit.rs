@@ -188,7 +188,9 @@ impl<'w> SmodLibc<'w> {
     /// state in the client heap.
     pub fn live_allocations(&mut self) -> Result<u64> {
         let base = self.world.heap_base();
-        let bytes = self.world.peek(self.client, Vaddr(base.0 + COUNT_OFFSET), 8)?;
+        let bytes = self
+            .world
+            .peek(self.client, Vaddr(base.0 + COUNT_OFFSET), 8)?;
         Ok(u64::from_le_bytes(bytes.try_into().expect("8 bytes")))
     }
 }

@@ -42,7 +42,8 @@ impl ArgWriter {
 
     /// Push a length-prefixed byte block (for by-value buffers).
     pub fn push_bytes(mut self, data: &[u8]) -> ArgWriter {
-        self.buf.extend_from_slice(&(data.len() as u64).to_le_bytes());
+        self.buf
+            .extend_from_slice(&(data.len() as u64).to_le_bytes());
         self.buf.extend_from_slice(data);
         self
     }
@@ -91,7 +92,9 @@ impl<'a> ArgReader<'a> {
 
     /// Read a 64-bit unsigned value.
     pub fn u64(&mut self) -> Result<u64> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
     }
 
     /// Read a 64-bit signed value.

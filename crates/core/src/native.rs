@@ -229,12 +229,7 @@ impl NativeSession {
 
     /// Dispatch a call presenting an explicit token (used by tests to show
     /// that a forged token is rejected).
-    pub fn call_with_token(
-        &self,
-        token: [u8; 32],
-        function: &str,
-        args: &[u8],
-    ) -> Result<Vec<u8>> {
+    pub fn call_with_token(&self, token: [u8; 32], function: &str, args: &[u8]) -> Result<Vec<u8>> {
         self.tx
             .send(HandleRequest::Call {
                 token,

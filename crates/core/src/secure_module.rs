@@ -14,8 +14,7 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// The body of a protected function, as registered by the module author.
-pub type BodyFn =
-    Arc<dyn Fn(&mut HandleCtx<'_>, &[u8]) -> SysResult<Vec<u8>> + Send + Sync>;
+pub type BodyFn = Arc<dyn Fn(&mut HandleCtx<'_>, &[u8]) -> SysResult<Vec<u8>> + Send + Sync>;
 
 /// A fully built SecModule, ready to install into a [`crate::sim::SimWorld`]
 /// (or to be converted for the native backend).
@@ -116,7 +115,12 @@ impl SecureModuleBuilder {
     /// Add a protected function, specifying the synthetic text size (affects
     /// how many bytes the selective encryptor protects — useful for the
     /// encryption-overhead ablation).
-    pub fn function_sized<F>(mut self, name: &str, text_bytes: usize, body: F) -> SecureModuleBuilder
+    pub fn function_sized<F>(
+        mut self,
+        name: &str,
+        text_bytes: usize,
+        body: F,
+    ) -> SecureModuleBuilder
     where
         F: Fn(&mut HandleCtx<'_>, &[u8]) -> SysResult<Vec<u8>> + Send + Sync + 'static,
     {
@@ -146,7 +150,10 @@ impl SecureModuleBuilder {
         credential_key: &[u8],
         condition: &str,
     ) -> SecureModuleBuilder {
-        let principal = Principal::from_key(&format!("licensee{}", self.policy_assertions), credential_key);
+        let principal = Principal::from_key(
+            &format!("licensee{}", self.policy_assertions),
+            credential_key,
+        );
         let assertion = Assertion::policy(LicenseeExpr::Single(principal), condition)
             .expect("condition must parse");
         self.policy

@@ -51,17 +51,13 @@ fn gf_inv(a: u8) -> u8 {
 fn compute_sboxes() -> ([u8; 256], [u8; 256]) {
     let mut sbox = [0u8; 256];
     let mut inv = [0u8; 256];
-    for i in 0..256usize {
+    for (i, slot) in sbox.iter_mut().enumerate() {
         let x = gf_inv(i as u8);
         // Affine transform: b ^= rotl(b,1) ^ rotl(b,2) ^ rotl(b,3) ^ rotl(b,4) ^ 0x63
         let b = x;
-        let s = b
-            ^ b.rotate_left(1)
-            ^ b.rotate_left(2)
-            ^ b.rotate_left(3)
-            ^ b.rotate_left(4)
-            ^ 0x63;
-        sbox[i] = s;
+        let s =
+            b ^ b.rotate_left(1) ^ b.rotate_left(2) ^ b.rotate_left(3) ^ b.rotate_left(4) ^ 0x63;
+        *slot = s;
         inv[s as usize] = i as u8;
     }
     (sbox, inv)

@@ -441,7 +441,7 @@ impl BigUint {
 
 impl PartialOrd for BigUint {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp_to(other))
+        Some(self.cmp(other))
     }
 }
 
@@ -465,7 +465,10 @@ mod tests {
         assert!(BigUint::one().is_one());
         assert_eq!(n(0x1234).to_hex(), "1234");
         assert_eq!(BigUint::zero().to_hex(), "0");
-        assert_eq!(BigUint::from_hex("deadbeef").unwrap().to_u64(), Some(0xdeadbeef));
+        assert_eq!(
+            BigUint::from_hex("deadbeef").unwrap().to_u64(),
+            Some(0xdeadbeef)
+        );
         assert_eq!(BigUint::from_hex("f").unwrap().to_u64(), Some(15));
         assert!(BigUint::from_hex("xyz").is_none());
         assert!(BigUint::from_hex("").is_none());
@@ -480,7 +483,10 @@ mod tests {
         assert_eq!(BigUint::from_bytes_be(&v.to_bytes_be_padded(20)), v);
         assert_eq!(BigUint::zero().to_bytes_be(), Vec::<u8>::new());
         // Leading zeros are stripped.
-        assert_eq!(BigUint::from_bytes_be(&[0, 0, 1, 2]).to_bytes_be(), vec![1, 2]);
+        assert_eq!(
+            BigUint::from_bytes_be(&[0, 0, 1, 2]).to_bytes_be(),
+            vec![1, 2]
+        );
     }
 
     #[test]

@@ -78,7 +78,11 @@ impl KeyStore {
 
     /// The host system's public key, if a host key has been installed.
     pub fn host_public_key(&self) -> Option<crate::rsa::RsaPublicKey> {
-        self.inner.lock().host_key.as_ref().map(|k| k.public.clone())
+        self.inner
+            .lock()
+            .host_key
+            .as_ref()
+            .map(|k| k.public.clone())
     }
 
     /// Generate a fresh module key of `len` bytes (16/24/32) and store it.
@@ -175,7 +179,11 @@ impl KeyStore {
         recipient: &crate::rsa::RsaPublicKey,
     ) -> Result<Vec<u8>> {
         let mut inner = self.inner.lock();
-        let key = inner.keys.get(&handle).cloned().ok_or(CryptoError::UnknownKey)?;
+        let key = inner
+            .keys
+            .get(&handle)
+            .cloned()
+            .ok_or(CryptoError::UnknownKey)?;
         if key.revoked {
             return Err(CryptoError::UnknownKey);
         }
@@ -206,7 +214,12 @@ impl KeyStore {
 
     /// Number of (non-revoked) keys currently stored.
     pub fn len(&self) -> usize {
-        self.inner.lock().keys.values().filter(|k| !k.revoked).count()
+        self.inner
+            .lock()
+            .keys
+            .values()
+            .filter(|k| !k.revoked)
+            .count()
     }
 
     /// True if the store holds no live keys.
@@ -292,7 +305,9 @@ mod tests {
     fn wrapped_import_via_host_key() {
         // Module creator's store wraps the key for the hosting system.
         let creator = KeyStore::new(b"creator");
-        let module_key = creator.import_raw("module-m", b"0123456789abcdef", [2u8; 8]).unwrap();
+        let module_key = creator
+            .import_raw("module-m", b"0123456789abcdef", [2u8; 8])
+            .unwrap();
 
         let host = KeyStore::new(b"host");
         let mut rng = HashDrbg::new(b"host-rsa");
@@ -307,8 +322,15 @@ mod tests {
         // Both stores must produce identical encryptors for the same key.
         let mut a = vec![9u8; 32];
         let mut b = vec![9u8; 32];
-        creator.encryptor(module_key).unwrap().apply(&mut a, &[]).unwrap();
-        host.encryptor(imported).unwrap().apply(&mut b, &[]).unwrap();
+        creator
+            .encryptor(module_key)
+            .unwrap()
+            .apply(&mut a, &[])
+            .unwrap();
+        host.encryptor(imported)
+            .unwrap()
+            .apply(&mut b, &[])
+            .unwrap();
         assert_eq!(a, b);
     }
 

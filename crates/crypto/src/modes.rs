@@ -61,13 +61,13 @@ pub fn pkcs7_pad(data: &[u8]) -> Vec<u8> {
     let pad = BLOCK_SIZE - (data.len() % BLOCK_SIZE);
     let mut out = Vec::with_capacity(data.len() + pad);
     out.extend_from_slice(data);
-    out.extend(std::iter::repeat(pad as u8).take(pad));
+    out.extend(std::iter::repeat_n(pad as u8, pad));
     out
 }
 
 /// Remove PKCS#7 padding.
 pub fn pkcs7_unpad(data: &[u8]) -> Result<Vec<u8>> {
-    if data.is_empty() || data.len() % BLOCK_SIZE != 0 {
+    if data.is_empty() || !data.len().is_multiple_of(BLOCK_SIZE) {
         return Err(CryptoError::BadPadding);
     }
     let pad = *data.last().unwrap() as usize;
@@ -101,7 +101,7 @@ pub fn cbc_encrypt(aes: &Aes, iv: &[u8; BLOCK_SIZE], plaintext: &[u8]) -> Vec<u8
 
 /// CBC-decrypt and strip PKCS#7 padding.
 pub fn cbc_decrypt(aes: &Aes, iv: &[u8; BLOCK_SIZE], ciphertext: &[u8]) -> Result<Vec<u8>> {
-    if ciphertext.is_empty() || ciphertext.len() % BLOCK_SIZE != 0 {
+    if ciphertext.is_empty() || !ciphertext.len().is_multiple_of(BLOCK_SIZE) {
         return Err(CryptoError::InvalidLength {
             reason: "CBC ciphertext must be a non-empty multiple of 16 bytes",
         });
@@ -187,7 +187,10 @@ mod tests {
     #[test]
     fn pkcs7_rejects_bad_padding() {
         assert_eq!(pkcs7_unpad(&[]).unwrap_err(), CryptoError::BadPadding);
-        assert_eq!(pkcs7_unpad(&[1u8; 15]).unwrap_err(), CryptoError::BadPadding);
+        assert_eq!(
+            pkcs7_unpad(&[1u8; 15]).unwrap_err(),
+            CryptoError::BadPadding
+        );
         // Last byte claims 0 bytes of padding.
         let mut block = [2u8; 16];
         block[15] = 0;

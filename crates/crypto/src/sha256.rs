@@ -15,7 +15,7 @@ fn first_primes(n: usize) -> Vec<u64> {
     let mut primes = Vec::with_capacity(n);
     let mut candidate = 2u64;
     while primes.len() < n {
-        if primes.iter().all(|&p| candidate % p != 0) {
+        if primes.iter().all(|&p| !candidate.is_multiple_of(p)) {
             primes.push(candidate);
         }
         candidate += 1;
@@ -30,7 +30,7 @@ fn frac_sqrt_bits(p: u64) -> u32 {
     let mut lo: u128 = 0;
     let mut hi: u128 = 1u128 << 67; // sqrt(p * 2^64) < 2^67 for p < 2^6
     while lo < hi {
-        let mid = (lo + hi + 1) / 2;
+        let mid = (lo + hi).div_ceil(2);
         if mid.checked_mul(mid).map(|m| m <= target).unwrap_or(false) {
             lo = mid;
         } else {
@@ -48,7 +48,7 @@ fn frac_cbrt_bits(p: u64) -> u32 {
     let mut lo: u128 = 0;
     let mut hi: u128 = 1u128 << 36;
     while lo < hi {
-        let mid = (lo + hi + 1) / 2;
+        let mid = (lo + hi).div_ceil(2);
         let sq = mid * mid; // < 2^72
         if sq.checked_mul(mid).map(|m| m <= target).unwrap_or(false) {
             lo = mid;

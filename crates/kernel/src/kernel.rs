@@ -274,8 +274,8 @@ impl Kernel {
             self.smod_detach(pid, "execve")?;
         }
         let layout = self.layout;
-        let vm = VmSpace::new_user(new_name, layout, Arc::new(new_text), 4, 4)
-            .map_err(Errno::from)?;
+        let vm =
+            VmSpace::new_user(new_name, layout, Arc::new(new_text), 4, 4).map_err(Errno::from)?;
         let p = self.procs.get_mut(pid)?;
         p.name = new_name.to_string();
         p.vm = vm;

@@ -7,9 +7,7 @@ use secmod_vm::VmSpace;
 use serde::{Deserialize, Serialize};
 
 /// A process identifier.
-#[derive(
-    Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct Pid(pub u32);
 
 impl std::fmt::Display for Pid {
@@ -140,7 +138,13 @@ mod tests {
 
     #[test]
     fn process_lifecycle_basics() {
-        let mut p = Process::new(Pid(2), Pid(1), "client", Credential::user(1000, 100), vm("c"));
+        let mut p = Process::new(
+            Pid(2),
+            Pid(1),
+            "client",
+            Credential::user(1000, 100),
+            vm("c"),
+        );
         assert!(p.is_alive());
         assert!(!p.in_smod_pair());
         assert_eq!(p.pid.to_string(), "pid2");

@@ -159,7 +159,8 @@ impl Kernel {
             sessions_started: 0,
             calls_dispatched: 0,
         });
-        self.tracer.record(Event::ModuleRegistered { module: id, name });
+        self.tracer
+            .record(Event::ModuleRegistered { module: id, name });
         Ok(id)
     }
 
@@ -242,8 +243,14 @@ impl Kernel {
                 None => false,
                 Some(p) => {
                     let mut candidates: Vec<String> = vec!["__start_session__".to_string()];
-                    candidates
-                        .extend(module.package.stub_table.stubs.iter().map(|s| s.symbol.clone()));
+                    candidates.extend(
+                        module
+                            .package
+                            .stub_table
+                            .stubs
+                            .iter()
+                            .map(|s| s.symbol.clone()),
+                    );
                     candidates.iter().any(|function| {
                         let env = Environment::for_smod_call(
                             &client_proc.name,
@@ -252,13 +259,13 @@ impl Kernel {
                             function,
                             client_proc.cred.uid as i64,
                         );
-                        module.policy.is_allowed(&[p.clone()], &env)
+                        module.policy.is_allowed(std::slice::from_ref(&p), &env)
                     })
                 }
             }
         };
-        let policy_cost = self.cost.policy_per_node_ns * policy_complexity as u64
-            + self.cost.credential_check_ns;
+        let policy_cost =
+            self.cost.policy_per_node_ns * policy_complexity as u64 + self.cost.credential_check_ns;
         self.charge(client, policy_cost);
         if !allowed {
             return Err(Errno::EACCES);
@@ -270,8 +277,8 @@ impl Kernel {
             let text = module.plaintext.text.data.clone();
             let client_proc = self.procs.get(client)?;
             let name = format!("smod-handle[{}:{}]", module_name, client_proc.pid);
-            let vm = VmSpace::new_user(&name, self.layout, Arc::new(text), 1, 1)
-                .map_err(Errno::from)?;
+            let vm =
+                VmSpace::new_user(&name, self.layout, Arc::new(text), 1, 1).map_err(Errno::from)?;
             (vm, name)
         };
         let client_cred = self.procs.get(client)?.cred.clone();
@@ -340,11 +347,7 @@ impl Kernel {
     pub fn sys_smod_session_info(&mut self, handle: Pid) -> SysResult<()> {
         let trap = self.cost.syscall_trap_ns;
         self.charge(handle, trap);
-        let link = self
-            .procs
-            .get(handle)?
-            .smod
-            .ok_or(Errno::EINVAL)?;
+        let link = self.procs.get(handle)?.smod.ok_or(Errno::EINVAL)?;
         let session_id = link.session;
         let (client, state) = {
             let s = self.sessions.get(&session_id).ok_or(Errno::EINVAL)?;
@@ -617,7 +620,9 @@ mod tests {
         // strlen: read a NUL-terminated string from shared memory.
         let strlen_id = stub_table.by_name("strlen").unwrap().func_id;
         functions.register(strlen_id, |ctx, args| {
-            let addr = Vaddr(u64::from_le_bytes(args[..8].try_into().map_err(|_| Errno::EINVAL)?));
+            let addr = Vaddr(u64::from_le_bytes(
+                args[..8].try_into().map_err(|_| Errno::EINVAL)?,
+            ));
             let mut len = 0u64;
             loop {
                 let byte = ctx.read(Vaddr(addr.0 + len), 1)?;
@@ -671,7 +676,13 @@ mod tests {
             .func_id
     }
 
-    fn call(k: &mut Kernel, client: Pid, m_id: ModuleId, func_id: u32, args: Vec<u8>) -> SysResult<Vec<u8>> {
+    fn call(
+        k: &mut Kernel,
+        client: Pid,
+        m_id: ModuleId,
+        func_id: u32,
+        args: Vec<u8>,
+    ) -> SysResult<Vec<u8>> {
         k.sys_smod_call(
             client,
             SmodCallArgs {
@@ -690,8 +701,14 @@ mod tests {
         let client = spawn_alice(&mut k);
         assert_eq!(k.sys_smod_find(client, "libc", 36).unwrap(), m_id);
         assert_eq!(k.sys_smod_find(client, "libc", 0).unwrap(), m_id);
-        assert_eq!(k.sys_smod_find(client, "libc", 9).unwrap_err(), Errno::ENOENT);
-        assert_eq!(k.sys_smod_find(client, "libz", 0).unwrap_err(), Errno::ENOENT);
+        assert_eq!(
+            k.sys_smod_find(client, "libc", 9).unwrap_err(),
+            Errno::ENOENT
+        );
+        assert_eq!(
+            k.sys_smod_find(client, "libz", 0).unwrap_err(),
+            Errno::ENOENT
+        );
     }
 
     #[test]
@@ -711,7 +728,10 @@ mod tests {
             k.sys_smod_add(
                 registrar,
                 package.clone(),
-                ModuleKeyDelivery::Raw { key: key.clone(), nonce },
+                ModuleKeyDelivery::Raw {
+                    key: key.clone(),
+                    nonce
+                },
                 b"wrong-mac",
                 PolicyEngine::new(),
                 FunctionTable::new(),
@@ -724,7 +744,10 @@ mod tests {
             k.sys_smod_add(
                 registrar,
                 package.clone(),
-                ModuleKeyDelivery::Raw { key: b"ffffffffffffffff".to_vec(), nonce },
+                ModuleKeyDelivery::Raw {
+                    key: b"ffffffffffffffff".to_vec(),
+                    nonce
+                },
                 b"mac-key",
                 PolicyEngine::new(),
                 FunctionTable::new(),
@@ -794,7 +817,13 @@ mod tests {
         let (mut k, m_id) = kernel_with_module();
         // mallory has no credential for libc.
         let mallory = k
-            .spawn_process("mallory", Credential::user(666, 666), vec![0x90; 4096], 4, 4)
+            .spawn_process(
+                "mallory",
+                Credential::user(666, 666),
+                vec![0x90; 4096],
+                4,
+                4,
+            )
             .unwrap();
         assert_eq!(
             k.sys_smod_start_session(mallory, m_id).unwrap_err(),
@@ -859,7 +888,8 @@ mod tests {
         // Client writes a C string into its heap; SMOD strlen sees it
         // through the shared pages.
         let addr = Vaddr(k.layout.data_base + 64);
-        k.write_user_memory(client, addr, b"hello, secmodule\0").unwrap();
+        k.write_user_memory(client, addr, b"hello, secmodule\0")
+            .unwrap();
         let strlen_id = k
             .registry
             .get(m_id)
@@ -869,7 +899,14 @@ mod tests {
             .by_name("strlen")
             .unwrap()
             .func_id;
-        let reply = call(&mut k, client, m_id, strlen_id, addr.0.to_le_bytes().to_vec()).unwrap();
+        let reply = call(
+            &mut k,
+            client,
+            m_id,
+            strlen_id,
+            addr.0.to_le_bytes().to_vec(),
+        )
+        .unwrap();
         assert_eq!(u64::from_le_bytes(reply.try_into().unwrap()), 16);
     }
 
@@ -888,7 +925,10 @@ mod tests {
             .unwrap()
             .func_id;
         let reply = call(&mut k, client, m_id, getpid_id, vec![]).unwrap();
-        assert_eq!(u64::from_le_bytes(reply.try_into().unwrap()), client.0 as u64);
+        assert_eq!(
+            u64::from_le_bytes(reply.try_into().unwrap()),
+            client.0 as u64
+        );
         // And the native getpid syscall from the handle also reports the client.
         assert_eq!(k.sys_getpid(handle).unwrap(), client);
     }
@@ -901,8 +941,14 @@ mod tests {
         let debugger = k
             .spawn_process("gdb", Credential::root(), vec![0x90; 4096], 2, 2)
             .unwrap();
-        assert_eq!(k.sys_ptrace_attach(debugger, handle).unwrap_err(), Errno::EPERM);
-        assert_eq!(k.sys_ptrace_attach(debugger, client).unwrap_err(), Errno::EPERM);
+        assert_eq!(
+            k.sys_ptrace_attach(debugger, handle).unwrap_err(),
+            Errno::EPERM
+        );
+        assert_eq!(
+            k.sys_ptrace_attach(debugger, client).unwrap_err(),
+            Errno::EPERM
+        );
         // Crashing the handle never produces a core image.
         assert!(!k.crash_process(handle).unwrap());
         assert!(k
@@ -967,11 +1013,17 @@ mod tests {
         // Owner cannot remove while a session is active.
         let registrar = Pid(1);
         establish(&mut k, client, m_id);
-        assert_eq!(k.sys_smod_remove(registrar, m_id).unwrap_err(), Errno::EBUSY);
+        assert_eq!(
+            k.sys_smod_remove(registrar, m_id).unwrap_err(),
+            Errno::EBUSY
+        );
         // After the client exits, removal succeeds.
         k.sys_exit(client, 0).unwrap();
         k.sys_smod_remove(registrar, m_id).unwrap();
-        assert_eq!(k.sys_smod_find(client, "libc", 0).unwrap_err(), Errno::ENOENT);
+        assert_eq!(
+            k.sys_smod_find(client, "libc", 0).unwrap_err(),
+            Errno::ENOENT
+        );
     }
 
     #[test]
@@ -1021,8 +1073,14 @@ mod tests {
         let smod_ns = k.clock.now_ns() - t1;
 
         let ratio = smod_ns as f64 / getpid_ns as f64;
-        assert!((0.4..1.2).contains(&(getpid_ns as f64 / 1000.0)), "getpid {getpid_ns} ns");
-        assert!((4.0..12.0).contains(&(smod_ns as f64 / 1000.0)), "smod {smod_ns} ns");
+        assert!(
+            (0.4..1.2).contains(&(getpid_ns as f64 / 1000.0)),
+            "getpid {getpid_ns} ns"
+        );
+        assert!(
+            (4.0..12.0).contains(&(smod_ns as f64 / 1000.0)),
+            "smod {smod_ns} ns"
+        );
         assert!(ratio > 5.0 && ratio < 20.0, "ratio {ratio}");
     }
 

@@ -72,8 +72,7 @@ impl<'a> HandleCtx<'a> {
 
 /// A function body: takes the execution context and the marshalled argument
 /// bytes from the shared stack, returns the marshalled result bytes.
-pub type FunctionBody =
-    Arc<dyn Fn(&mut HandleCtx<'_>, &[u8]) -> SysResult<Vec<u8>> + Send + Sync>;
+pub type FunctionBody = Arc<dyn Fn(&mut HandleCtx<'_>, &[u8]) -> SysResult<Vec<u8>> + Send + Sync>;
 
 /// The table of function bodies for one module, keyed by function id
 /// (matching the module's stub table).

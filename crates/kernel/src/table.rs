@@ -33,7 +33,8 @@ impl ProcessTable {
     /// Insert a brand-new process built around `vm`.
     pub fn spawn(&mut self, ppid: Pid, name: &str, cred: Credential, vm: VmSpace) -> Pid {
         let pid = self.allocate_pid();
-        self.procs.insert(pid, Process::new(pid, ppid, name, cred, vm));
+        self.procs
+            .insert(pid, Process::new(pid, ppid, name, cred, vm));
         pid
     }
 

@@ -164,10 +164,14 @@ mod tests {
     fn disabled_tracer_records_nothing() {
         let mut t = Tracer::new();
         t.set_enabled(false);
-        t.record(Event::ModuleRemoved { module: ModuleId(1) });
+        t.record(Event::ModuleRemoved {
+            module: ModuleId(1),
+        });
         assert!(t.is_empty());
         t.set_enabled(true);
-        t.record(Event::ModuleRemoved { module: ModuleId(1) });
+        t.record(Event::ModuleRemoved {
+            module: ModuleId(1),
+        });
         assert_eq!(t.len(), 1);
     }
 }

@@ -192,7 +192,8 @@ impl ModuleBuilder {
             .add_function(FunctionSpec::new("strlen", 48))
             .add_function(FunctionSpec::new("memcpy", 80))
             .add_function(FunctionSpec::new("testincr", 24));
-        b.build(false).expect("libc_like image is structurally valid")
+        b.build(false)
+            .expect("libc_like image is structurally valid")
     }
 }
 

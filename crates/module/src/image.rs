@@ -156,8 +156,10 @@ mod tests {
         let mut img = ModuleImage::empty("x", 1);
         img.symbols.push(Symbol::function("zeta", 0x200, 0x10));
         img.symbols.push(Symbol::function("alpha", 0x100, 0x10));
-        img.symbols.push(Symbol::function("hidden", 0x000, 0x10).local());
-        img.symbols.push(Symbol::object("table", SectionKind::Data, 0, 8));
+        img.symbols
+            .push(Symbol::function("hidden", 0x000, 0x10).local());
+        img.symbols
+            .push(Symbol::object("table", SectionKind::Data, 0, 8));
         let funcs = img.exported_functions();
         assert_eq!(funcs.len(), 2);
         assert_eq!(funcs[0].name, "alpha");

@@ -89,7 +89,11 @@ pub fn link_at(
         };
         if reloc.offset + 4 > buf.len() {
             return Err(ModuleError::OutOfBounds {
-                what: format!("relocation at {:#x} in {}", reloc.offset, reloc.section.name()),
+                what: format!(
+                    "relocation at {:#x} in {}",
+                    reloc.offset,
+                    reloc.section.name()
+                ),
             });
         }
         let value: u32 = match reloc.kind {
@@ -163,8 +167,11 @@ mod tests {
 
         // Find the relocations and verify the encoded values.
         for reloc in &img.relocations {
-            let field =
-                u32::from_le_bytes(linked.text[reloc.offset..reloc.offset + 4].try_into().unwrap());
+            let field = u32::from_le_bytes(
+                linked.text[reloc.offset..reloc.offset + 4]
+                    .try_into()
+                    .unwrap(),
+            );
             match (&reloc.kind, reloc.target.as_str()) {
                 (RelocKind::Abs32, "counter") => {
                     assert_eq!(field as u64, linked.address_of("counter").unwrap());
@@ -197,11 +204,8 @@ mod tests {
         let mut externs = HashMap::new();
         externs.insert("external_fn".to_string(), 0x9000u64);
         let linked = link_at(&img, 0x1000, 0x2000, 0x3000, &externs).unwrap();
-        let reloc_fields: Vec<std::ops::Range<usize>> = img
-            .relocations
-            .iter()
-            .map(|r| r.patched_range())
-            .collect();
+        let reloc_fields: Vec<std::ops::Range<usize>> =
+            img.relocations.iter().map(|r| r.patched_range()).collect();
         for (i, (&orig, &new)) in img.text.data.iter().zip(linked.text.iter()).enumerate() {
             let in_reloc = reloc_fields.iter().any(|r| r.contains(&i));
             if !in_reloc {

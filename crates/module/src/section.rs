@@ -67,8 +67,12 @@ impl Section {
     /// Align the current end of the section to `align` bytes (padding with
     /// zeros for data, NOP-like 0x90 for text), returning the new length.
     pub fn align_to(&mut self, align: usize) -> usize {
-        let pad_byte = if self.kind == SectionKind::Text { 0x90 } else { 0x00 };
-        while self.data.len() % align != 0 {
+        let pad_byte = if self.kind == SectionKind::Text {
+            0x90
+        } else {
+            0x00
+        };
+        while !self.data.len().is_multiple_of(align) {
             self.data.push(pad_byte);
         }
         self.data.len()

@@ -52,9 +52,7 @@ impl LicenseeExpr {
             LicenseeExpr::All(parts) | LicenseeExpr::Any(parts) => {
                 parts.iter().flat_map(|p| p.principals()).collect()
             }
-            LicenseeExpr::Threshold { of, .. } => {
-                of.iter().flat_map(|p| p.principals()).collect()
-            }
+            LicenseeExpr::Threshold { of, .. } => of.iter().flat_map(|p| p.principals()).collect(),
         }
     }
 }
@@ -223,9 +221,12 @@ mod tests {
         assert!(a.verify(b"wrong-key").is_err());
 
         // Unsigned delegation never verifies.
-        let unsigned =
-            Assertion::delegation(vendor, LicenseeExpr::Single(Principal::from_key("x", b"x")), "true")
-                .unwrap();
+        let unsigned = Assertion::delegation(
+            vendor,
+            LicenseeExpr::Single(Principal::from_key("x", b"x")),
+            "true",
+        )
+        .unwrap();
         assert!(unsigned.verify(b"vendor-key").is_err());
     }
 

@@ -186,9 +186,15 @@ mod tests {
         let env = Environment::for_smod_call("payroll", "libcrypto", 2, "aes_encrypt", 1000);
         assert_eq!(env.get("module"), Some(&AttrValue::Str("libcrypto".into())));
         assert_eq!(env.get("module_version"), Some(&AttrValue::Int(2)));
-        assert_eq!(env.get("function"), Some(&AttrValue::Str("aes_encrypt".into())));
+        assert_eq!(
+            env.get("function"),
+            Some(&AttrValue::Str("aes_encrypt".into()))
+        );
         assert_eq!(env.get("uid"), Some(&AttrValue::Int(1000)));
-        assert_eq!(env.get("app_domain"), Some(&AttrValue::Str("payroll".into())));
+        assert_eq!(
+            env.get("app_domain"),
+            Some(&AttrValue::Str("payroll".into()))
+        );
     }
 
     #[test]

@@ -40,9 +40,9 @@ impl AuditLog {
     /// Append a record for a decision.
     pub fn record(&mut self, requesters: &[Principal], env: &Environment, decision: &Decision) {
         let get_str = |name: &str| {
-            env.get(name).and_then(|v| match v {
-                crate::attr::AttrValue::Str(s) => Some(s.clone()),
-                other => Some(other.to_string()),
+            env.get(name).map(|v| match v {
+                crate::attr::AttrValue::Str(s) => s.clone(),
+                other => other.to_string(),
             })
         };
         self.records.push(AuditRecord {
@@ -111,8 +111,8 @@ mod tests {
 
         for (module, function) in [("libc", "malloc"), ("libc", "free"), ("libm", "sin")] {
             let env = Environment::for_smod_call("app", module, 1, function, 1000);
-            let d = engine.query(&[alice.clone()], &env).unwrap();
-            log.record(&[alice.clone()], &env, &d);
+            let d = engine.query(std::slice::from_ref(&alice), &env).unwrap();
+            log.record(std::slice::from_ref(&alice), &env, &d);
         }
 
         assert_eq!(log.len(), 3);
@@ -135,12 +135,12 @@ mod tests {
         let mut log = AuditLog::new();
         for _ in 0..5 {
             let env = Environment::for_smod_call("app", "libcrypto", 1, "aes_encrypt", 1000);
-            let d = engine.query(&[alice.clone()], &env).unwrap();
-            log.record(&[alice.clone()], &env, &d);
+            let d = engine.query(std::slice::from_ref(&alice), &env).unwrap();
+            log.record(std::slice::from_ref(&alice), &env, &d);
         }
         let env = Environment::for_smod_call("app", "libcrypto", 1, "aes_decrypt", 1000);
-        let d = engine.query(&[alice.clone()], &env).unwrap();
-        log.record(&[alice.clone()], &env, &d);
+        let d = engine.query(std::slice::from_ref(&alice), &env).unwrap();
+        log.record(std::slice::from_ref(&alice), &env, &d);
 
         let counts = log.usage_counts();
         assert_eq!(

@@ -336,9 +336,7 @@ mod tests {
         engine.register_key(&vendor(), b"vendor-key");
         engine.register_key(&distributor, b"dist-key");
         engine
-            .add_assertion(
-                Assertion::policy(LicenseeExpr::Single(vendor()), "").unwrap(),
-            )
+            .add_assertion(Assertion::policy(LicenseeExpr::Single(vendor()), "").unwrap())
             .unwrap();
         engine
             .add_assertion(

@@ -226,7 +226,8 @@ mod tests {
 
     #[test]
     fn display_of_parsed_expression_reparses_to_same_ast() {
-        let original = parse("(uid >= 1000 || is_admin) && module == \"libc\" && !blocked").unwrap();
+        let original =
+            parse("(uid >= 1000 || is_admin) && module == \"libc\" && !blocked").unwrap();
         let reparsed = parse(&original.to_string()).unwrap();
         assert_eq!(original, reparsed);
     }

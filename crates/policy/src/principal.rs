@@ -45,7 +45,12 @@ impl std::fmt::Display for Principal {
         if self.is_policy_root() {
             write!(f, "POLICY")
         } else {
-            write!(f, "{}[{}]", self.name, &self.fingerprint[..8.min(self.fingerprint.len())])
+            write!(
+                f,
+                "{}[{}]",
+                self.name,
+                &self.fingerprint[..8.min(self.fingerprint.len())]
+            )
         }
     }
 }

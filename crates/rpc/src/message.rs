@@ -142,9 +142,7 @@ impl RpcMessage {
             MSG_CALL => {
                 let rpcvers = d.get_u32()?;
                 if rpcvers != RPC_VERSION {
-                    return Err(RpcError::ProtocolMismatch(format!(
-                        "rpc version {rpcvers}"
-                    )));
+                    return Err(RpcError::ProtocolMismatch(format!("rpc version {rpcvers}")));
                 }
                 let program = d.get_u32()?;
                 let version = d.get_u32()?;

@@ -74,7 +74,9 @@ mod tests {
 
     #[test]
     fn large_record_is_fragmented_and_reassembled() {
-        let data: Vec<u8> = (0..(MAX_FRAGMENT * 2 + 100)).map(|i| (i % 251) as u8).collect();
+        let data: Vec<u8> = (0..(MAX_FRAGMENT * 2 + 100))
+            .map(|i| (i % 251) as u8)
+            .collect();
         let mut buf = Vec::new();
         write_record(&mut buf, &data).unwrap();
         // Expect 3 fragments: check there are 3 headers worth of extra bytes.

@@ -131,11 +131,8 @@ impl RpcServer {
                 let per_conn = server.clone();
                 std::thread::spawn(move || {
                     let mut stream = stream;
-                    loop {
-                        let record = match read_record(&mut stream) {
-                            Ok(r) => r,
-                            Err(_) => break, // peer hung up
-                        };
+                    // Serve until the peer hangs up (read error).
+                    while let Ok(record) = read_record(&mut stream) {
                         let reply = match RpcMessage::decode(&record) {
                             Ok(msg) => per_conn.dispatch_message(&msg),
                             Err(_) => RpcMessage::Reply {
@@ -246,13 +243,19 @@ mod tests {
         }
         // Unknown procedure.
         let reply = s.dispatch_message(&call(300_000, 1, 99, b""));
-        assert!(matches!(reply, RpcMessage::Reply { body, .. } if body.stat == AcceptStat::ProcUnavail));
+        assert!(
+            matches!(reply, RpcMessage::Reply { body, .. } if body.stat == AcceptStat::ProcUnavail)
+        );
         // Unknown version of a known program.
         let reply = s.dispatch_message(&call(300_000, 2, 1, b""));
-        assert!(matches!(reply, RpcMessage::Reply { body, .. } if body.stat == AcceptStat::ProgMismatch));
+        assert!(
+            matches!(reply, RpcMessage::Reply { body, .. } if body.stat == AcceptStat::ProgMismatch)
+        );
         // Unknown program.
         let reply = s.dispatch_message(&call(111, 1, 1, b""));
-        assert!(matches!(reply, RpcMessage::Reply { body, .. } if body.stat == AcceptStat::ProgUnavail));
+        assert!(
+            matches!(reply, RpcMessage::Reply { body, .. } if body.stat == AcceptStat::ProgUnavail)
+        );
         assert_eq!(s.calls_served(), 2);
     }
 

@@ -6,7 +6,7 @@
 use crate::message::AcceptStat;
 use crate::server::RpcServer;
 use crate::xdr::{XdrDecoder, XdrEncoder};
-use crate::{Result, RpcError, RpcClient};
+use crate::{Result, RpcClient, RpcError};
 
 /// Program number of the testincr service (in the user-defined range).
 pub const TESTINCR_PROGRAM: u32 = 0x2000_0001;
@@ -21,8 +21,10 @@ pub const PROC_ECHO: u32 = 2;
 
 /// Register the testincr program on a server.
 pub fn register_testincr(server: &RpcServer) {
-    server.register(TESTINCR_PROGRAM, TESTINCR_VERSION, |procedure, args| {
-        match procedure {
+    server.register(
+        TESTINCR_PROGRAM,
+        TESTINCR_VERSION,
+        |procedure, args| match procedure {
             PROC_NULL => Ok(Vec::new()),
             PROC_INCR => {
                 let mut d = XdrDecoder::new(args);
@@ -39,8 +41,8 @@ pub fn register_testincr(server: &RpcServer) {
                 Ok(e.into_bytes())
             }
             _ => Err(AcceptStat::ProcUnavail),
-        }
-    });
+        },
+    );
 }
 
 /// A typed client for the testincr service.

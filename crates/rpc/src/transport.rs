@@ -30,10 +30,8 @@ impl Endpoint {
     pub fn temp_unix(tag: &str) -> Endpoint {
         static COUNTER: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
         let n = COUNTER.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-        let path = std::env::temp_dir().join(format!(
-            "secmod-rpc-{tag}-{}-{n}.sock",
-            std::process::id()
-        ));
+        let path =
+            std::env::temp_dir().join(format!("secmod-rpc-{tag}-{}-{n}.sock", std::process::id()));
         Endpoint::Unix(path)
     }
 }

@@ -171,7 +171,11 @@ mod tests {
     #[test]
     fn integer_roundtrip() {
         let mut e = XdrEncoder::new();
-        e.put_u32(42).put_i32(-7).put_u64(1 << 40).put_i64(-(1 << 40)).put_bool(true);
+        e.put_u32(42)
+            .put_i32(-7)
+            .put_u64(1 << 40)
+            .put_i64(-(1 << 40))
+            .put_bool(true);
         let bytes = e.into_bytes();
         assert_eq!(bytes.len(), 4 + 4 + 8 + 8 + 4);
         let mut d = XdrDecoder::new(&bytes);

@@ -38,7 +38,7 @@ impl Vaddr {
 
     /// Is this address page aligned?
     pub const fn is_page_aligned(self) -> bool {
-        self.0 % PAGE_SIZE == 0
+        self.0.is_multiple_of(PAGE_SIZE)
     }
 
     /// Address of the start of the containing page.
@@ -233,10 +233,7 @@ mod tests {
         let r = VRange::from_raw(0x1800, 0x3800);
         let pages: Vec<u64> = r.pages().map(|p| p.0).collect();
         assert_eq!(pages, vec![0x1000, 0x2000, 0x3000]);
-        assert_eq!(
-            r.page_aligned(),
-            VRange::from_raw(0x1000, 0x4000)
-        );
+        assert_eq!(r.page_aligned(), VRange::from_raw(0x1000, 0x4000));
     }
 
     proptest::proptest! {

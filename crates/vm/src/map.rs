@@ -247,7 +247,7 @@ pub fn validate_user_range(range: VRange) -> Result<()> {
             reason: "empty range",
         });
     }
-    if range.start.0 % PAGE_SIZE != 0 || range.end.0 % PAGE_SIZE != 0 {
+    if !range.start.0.is_multiple_of(PAGE_SIZE) || !range.end.0.is_multiple_of(PAGE_SIZE) {
         return Err(VmError::InvalidRange {
             reason: "range must be page aligned",
         });
@@ -323,7 +323,7 @@ mod tests {
     fn unmap_whole_and_partial() {
         let mut m = VmMap::new();
         m.insert(anon(0x1000, 4, "a")).unwrap(); // 0x1000-0x5000
-        // Unmap the middle two pages; entry is split into two remainders.
+                                                 // Unmap the middle two pages; entry is split into two remainders.
         assert_eq!(m.unmap(VRange::from_raw(0x2000, 0x4000)).unwrap(), 1);
         assert_eq!(m.len(), 2);
         assert!(m.entry_at(Vaddr(0x1000)).is_some());
@@ -367,7 +367,9 @@ mod tests {
         assert_eq!(m.entry_at(Vaddr(0x1000)).unwrap().prot, Protection::RW);
         assert_eq!(m.entry_at(Vaddr(0x2000)).unwrap().prot, Protection::READ);
         assert_eq!(m.entry_at(Vaddr(0x3000)).unwrap().prot, Protection::RW);
-        assert!(m.protect(VRange::from_raw(0x1, 0x2), Protection::READ).is_err());
+        assert!(m
+            .protect(VRange::from_raw(0x1, 0x2), Protection::READ)
+            .is_err());
     }
 
     #[test]

@@ -181,9 +181,7 @@ mod tests {
 
         // Client writes into the new pages; handle sees them via peer fault.
         client.write_bytes(old, b"new heap page").unwrap();
-        let got = handle
-            .read_bytes_with_peer(old, 13, Some(&client))
-            .unwrap();
+        let got = handle.read_bytes_with_peer(old, 13, Some(&client)).unwrap();
         assert_eq!(got, b"new heap page");
         assert!(handle.stats.peer_shares >= 1);
     }

@@ -420,7 +420,10 @@ impl VmSpace {
     pub fn shares_pages_with(&self, other: &VmSpace, range: VRange) -> bool {
         for page_addr in range.pages() {
             let a = self.map.entry_at(page_addr).and_then(|e| e.amap().cloned());
-            let b = other.map.entry_at(page_addr).and_then(|e| e.amap().cloned());
+            let b = other
+                .map
+                .entry_at(page_addr)
+                .and_then(|e| e.amap().cloned());
             match (a, b) {
                 (Some(a), Some(b)) => {
                     if !Arc::ptr_eq(&a, &b) {
@@ -579,7 +582,8 @@ mod tests {
         );
 
         // The heap/stack pages are literally the same frames.
-        let heap_range = VRange::from_raw(client.layout.data_base, client.layout.data_base + PAGE_SIZE);
+        let heap_range =
+            VRange::from_raw(client.layout.data_base, client.layout.data_base + PAGE_SIZE);
         assert!(handle.shares_pages_with(&client, heap_range));
     }
 
@@ -652,7 +656,12 @@ mod tests {
         // pull it in via a peer fault.
         // (The handle has its own text here; use an address in the client
         // text region that the handle does not map — extend client text.)
-        let client_text_end = client.map.entry_at(Vaddr(client.layout.text_base)).unwrap().range.end;
+        let client_text_end = client
+            .map
+            .entry_at(Vaddr(client.layout.text_base))
+            .unwrap()
+            .range
+            .end;
         let extra_text = VRange::new(client_text_end, Vaddr(client_text_end.0 + PAGE_SIZE));
         client
             .map
@@ -678,7 +687,9 @@ mod tests {
         handle.force_share_from(&mut client, share).unwrap();
         let secret = handle.map_secret_region().unwrap();
 
-        handle.write_bytes(secret.start, b"secret stack data").unwrap();
+        handle
+            .write_bytes(secret.start, b"secret stack data")
+            .unwrap();
         // The client cannot see it: the address is outside the share region
         // so a peer fault will not map it.
         let err = client

@@ -71,8 +71,10 @@ mod tests {
 
     #[test]
     fn display_contains_counters() {
-        let mut s = VmStats::default();
-        s.peer_shares = 3;
+        let s = VmStats {
+            peer_shares: 3,
+            ..Default::default()
+        };
         let text = s.to_string();
         assert!(text.contains("peer_shares=3"));
     }

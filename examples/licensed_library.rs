@@ -24,8 +24,11 @@ fn vendor_policy() -> PolicyEngine {
     // The platform operator trusts the vendor for this module.
     policy
         .add_assertion(
-            Assertion::policy(LicenseeExpr::Single(vendor.clone()), "module == \"libimaging\"")
-                .unwrap(),
+            Assertion::policy(
+                LicenseeExpr::Single(vendor.clone()),
+                "module == \"libimaging\"",
+            )
+            .unwrap(),
         )
         .unwrap();
     // The vendor licenses customer A for everything…
@@ -107,7 +110,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Customer B may preview but not render at production quality.
     world.call(customer_b, "render_preview", &[9, 9])?;
     record("customer-b", CUSTOMER_B, "render_preview", true);
-    let denied = world.call(customer_b, "render_production", &[9, 9]).is_err();
+    let denied = world
+        .call(customer_b, "render_production", &[9, 9])
+        .is_err();
     record("customer-b", CUSTOMER_B, "render_production", !denied);
     println!("customer B production render denied: {denied}");
 

@@ -40,10 +40,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 4. Ordinary calls now relay through sys_smod_call to the handle.
     let doubled = world.call(client, "double", &21u64.to_le_bytes())?;
-    println!("double(21) = {}", u64::from_le_bytes(doubled.try_into().unwrap()));
+    println!(
+        "double(21) = {}",
+        u64::from_le_bytes(doubled.try_into().unwrap())
+    );
 
     let greeting = world.call(client, "greet", b"secmodule")?;
-    println!("greet(\"secmodule\") = {}", String::from_utf8_lossy(&greeting));
+    println!(
+        "greet(\"secmodule\") = {}",
+        String::from_utf8_lossy(&greeting)
+    );
 
     // 5. A process without the credential is turned away at session start.
     let intruder = world.spawn_client("intruder", Credential::user(666, 666))?;

@@ -53,8 +53,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Each batch user submits jobs of different sizes; the kernel clock
     // advances by the modelled cost of each call plus the charged work.
     let mut cpu_by_uid: BTreeMap<u32, u64> = BTreeMap::new();
-    for (round, (uid, pid)) in std::iter::repeat(clients.clone())
-        .take(3)
+    for (round, (uid, pid)) in std::iter::repeat_n(clients.clone(), 3)
         .flatten()
         .enumerate()
     {
@@ -66,7 +65,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("\n-- resource governor report (simulated) --");
     for (uid, ns) in &cpu_by_uid {
-        println!("uid {uid}: {:.2} ms of governed library time", *ns as f64 / 1e6);
+        println!(
+            "uid {uid}: {:.2} ms of governed library time",
+            *ns as f64 / 1e6
+        );
     }
     println!(
         "total simulated time: {:.2} ms across {} sessions",

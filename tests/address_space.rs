@@ -47,7 +47,9 @@ fn data_heap_and_stack_are_shared_text_is_not() {
     // Stack pages likewise.
     let stack_top = layout.stack_top;
     let stack_page = VRange::from_raw(stack_top - 4096, stack_top);
-    assert!(handle_proc.vm.shares_pages_with(&client_proc.vm, stack_page));
+    assert!(handle_proc
+        .vm
+        .shares_pages_with(&client_proc.vm, stack_page));
 
     // Text entries are private on both sides.
     let text_addr = Vaddr(layout.text_base);
@@ -113,7 +115,9 @@ fn writes_by_the_handle_are_visible_to_the_client_and_vice_versa() {
     );
 
     // Client writes directly; verify through the kernel's handle-side view.
-    world.poke(client, Vaddr(addr.0 + 512), b"client wrote this").unwrap();
+    world
+        .poke(client, Vaddr(addr.0 + 512), b"client wrote this")
+        .unwrap();
     let handle = world.kernel.procs.get(client).unwrap().smod.unwrap().peer;
     let via_handle = world
         .kernel
@@ -132,10 +136,9 @@ fn client_heap_growth_remains_shared() {
         .kernel
         .sys_obreak(client, Vaddr(old_brk.0 + 8 * 4096))
         .unwrap();
-    world.poke(client, old_brk, b"grown after handshake").unwrap();
-    let seen = world
-        .kernel
-        .read_user_memory(handle, old_brk, 21)
+    world
+        .poke(client, old_brk, b"grown after handshake")
         .unwrap();
+    let seen = world.kernel.read_user_memory(handle, old_brk, 21).unwrap();
     assert_eq!(seen, b"grown after handshake");
 }

@@ -79,5 +79,7 @@ fn the_unconverted_client_cannot_reach_libc_functions() {
         .spawn_client("stranger", Credential::user(3000, 3000))
         .unwrap();
     assert!(world.connect(stranger, "libc", 0).is_err());
-    assert!(world.call(stranger, "malloc", &32u64.to_le_bytes()).is_err());
+    assert!(world
+        .call(stranger, "malloc", &32u64.to_le_bytes())
+        .is_err());
 }

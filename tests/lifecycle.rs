@@ -33,7 +33,9 @@ fn figure1_sequence_in_order() {
     // crt0: steps (1)-(4).
     world.connect(client, "liblife", 0).unwrap();
     // main: steps (5)-(8).
-    let reply = world.call(client, "testincr", &41u64.to_le_bytes()).unwrap();
+    let reply = world
+        .call(client, "testincr", &41u64.to_le_bytes())
+        .unwrap();
     assert_eq!(u64::from_le_bytes(reply.try_into().unwrap()), 42);
 
     // The kernel trace must show the exact Figure 1 order.

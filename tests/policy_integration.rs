@@ -76,8 +76,11 @@ fn delegation_chain_from_vendor_to_customer() {
     policy.register_key(&vendor, b"vendor-signing-key");
     policy
         .add_assertion(
-            Assertion::policy(LicenseeExpr::Single(vendor.clone()), "module == \"libchain\"")
-                .unwrap(),
+            Assertion::policy(
+                LicenseeExpr::Single(vendor.clone()),
+                "module == \"libchain\"",
+            )
+            .unwrap(),
         )
         .unwrap();
     policy
@@ -162,7 +165,7 @@ fn threshold_policy_for_security_critical_modules() {
     let env = secmod_policy::Environment::for_smod_call("ops", "libfirewall", 1, "reload", 0);
     let a = Principal::from_key("auditor-a", AUDITOR_A);
     let b = Principal::from_key("auditor-b", AUDITOR_B);
-    assert!(!policy.is_allowed(&[a.clone()], &env));
-    assert!(!policy.is_allowed(&[b.clone()], &env));
+    assert!(!policy.is_allowed(std::slice::from_ref(&a), &env));
+    assert!(!policy.is_allowed(std::slice::from_ref(&b), &env));
     assert!(policy.is_allowed(&[a, b], &env));
 }

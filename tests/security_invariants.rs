@@ -120,15 +120,19 @@ fn credentials_are_checked_on_every_call_not_just_session_start() {
 #[test]
 fn no_core_dumps_and_no_ptrace_for_the_pair() {
     let (mut world, client, handle) = world_with_client();
-    let debugger = world
-        .spawn_client("debugger", Credential::root())
-        .unwrap();
+    let debugger = world.spawn_client("debugger", Credential::root()).unwrap();
     assert_eq!(
-        world.kernel.sys_ptrace_attach(debugger, handle).unwrap_err(),
+        world
+            .kernel
+            .sys_ptrace_attach(debugger, handle)
+            .unwrap_err(),
         Errno::EPERM
     );
     assert_eq!(
-        world.kernel.sys_ptrace_attach(debugger, client).unwrap_err(),
+        world
+            .kernel
+            .sys_ptrace_attach(debugger, client)
+            .unwrap_err(),
         Errno::EPERM
     );
     // Crashing either member produces no core image.
@@ -219,7 +223,13 @@ fn wrapped_key_delivery_goes_through_the_host_rsa_key() {
     // The kernel decrypted the text correctly (fingerprint verified inside
     // sys_smod_add), so the plaintext matches the original image.
     assert_eq!(
-        world.kernel.registry.get(m_id).unwrap().plaintext.fingerprint(),
+        world
+            .kernel
+            .registry
+            .get(m_id)
+            .unwrap()
+            .plaintext
+            .fingerprint(),
         m.package.plaintext_fingerprint
     );
 }

@@ -97,7 +97,11 @@ fn dispatch_records_frame_pointer_and_return_address() {
         .unwrap();
     world.connect(client, "libstack", 0).unwrap();
 
-    let args = ArgWriter::new().push_u64(11).push_u64(22).push_u64(33).finish();
+    let args = ArgWriter::new()
+        .push_u64(11)
+        .push_u64(22)
+        .push_u64(33)
+        .finish();
     let reply = world.call(client, "sum3", &args).unwrap();
     assert_eq!(u64::from_le_bytes(reply.try_into().unwrap()), 66);
 }

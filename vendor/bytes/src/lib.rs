@@ -1,0 +1,174 @@
+//! Local shim standing in for the real `bytes` crate so the workspace
+//! builds without network access to crates.io.
+//!
+//! Provides `BytesMut` plus the `Buf`/`BufMut` trait methods the XDR
+//! codec uses: big-endian integer put/get, slice append, and front-of-
+//! buffer consumption. Backed by a `Vec<u8>` with a read cursor instead of
+//! the real crate's refcounted buffer — fine for the codec, which never
+//! splits or shares buffers.
+
+/// Read-side trait mirroring `bytes::Buf` (the used subset).
+pub trait Buf {
+    /// Bytes left to consume.
+    fn remaining(&self) -> usize;
+    /// Consume and return the next byte.
+    fn get_u8(&mut self) -> u8;
+    /// Consume a big-endian u32.
+    fn get_u32(&mut self) -> u32;
+    /// Consume a big-endian i32.
+    fn get_i32(&mut self) -> i32;
+    /// Consume a big-endian u64.
+    fn get_u64(&mut self) -> u64;
+    /// Consume a big-endian i64.
+    fn get_i64(&mut self) -> i64;
+    /// Consume `dst.len()` bytes into `dst`.
+    fn copy_to_slice(&mut self, dst: &mut [u8]);
+}
+
+/// Write-side trait mirroring `bytes::BufMut` (the used subset).
+pub trait BufMut {
+    /// Append one byte.
+    fn put_u8(&mut self, v: u8);
+    /// Append a big-endian u32.
+    fn put_u32(&mut self, v: u32);
+    /// Append a big-endian i32.
+    fn put_i32(&mut self, v: i32);
+    /// Append a big-endian u64.
+    fn put_u64(&mut self, v: u64);
+    /// Append a big-endian i64.
+    fn put_i64(&mut self, v: i64);
+    /// Append a byte slice.
+    fn put_slice(&mut self, src: &[u8]);
+}
+
+/// Growable byte buffer with a consuming read cursor.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+    head: usize,
+}
+
+impl BytesMut {
+    /// Create an empty buffer.
+    pub fn new() -> Self {
+        BytesMut::default()
+    }
+
+    /// Unconsumed length.
+    pub fn len(&self) -> usize {
+        self.data.len() - self.head
+    }
+
+    /// Is everything consumed?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Copy the unconsumed bytes out.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.data[self.head..].to_vec()
+    }
+
+    fn take(&mut self, n: usize) -> &[u8] {
+        assert!(
+            self.len() >= n,
+            "BytesMut underflow: need {n}, have {}",
+            self.len()
+        );
+        let start = self.head;
+        self.head += n;
+        &self.data[start..self.head]
+    }
+}
+
+impl From<&[u8]> for BytesMut {
+    fn from(src: &[u8]) -> Self {
+        BytesMut {
+            data: src.to_vec(),
+            head: 0,
+        }
+    }
+}
+
+impl Buf for BytesMut {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        self.take(1)[0]
+    }
+
+    fn get_u32(&mut self) -> u32 {
+        u32::from_be_bytes(self.take(4).try_into().unwrap())
+    }
+
+    fn get_i32(&mut self) -> i32 {
+        i32::from_be_bytes(self.take(4).try_into().unwrap())
+    }
+
+    fn get_u64(&mut self) -> u64 {
+        u64::from_be_bytes(self.take(8).try_into().unwrap())
+    }
+
+    fn get_i64(&mut self) -> i64 {
+        i64::from_be_bytes(self.take(8).try_into().unwrap())
+    }
+
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        let n = dst.len();
+        dst.copy_from_slice(self.take(n));
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_u8(&mut self, v: u8) {
+        self.data.push(v);
+    }
+
+    fn put_u32(&mut self, v: u32) {
+        self.data.extend_from_slice(&v.to_be_bytes());
+    }
+
+    fn put_i32(&mut self, v: i32) {
+        self.data.extend_from_slice(&v.to_be_bytes());
+    }
+
+    fn put_u64(&mut self, v: u64) {
+        self.data.extend_from_slice(&v.to_be_bytes());
+    }
+
+    fn put_i64(&mut self, v: i64) {
+        self.data.extend_from_slice(&v.to_be_bytes());
+    }
+
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_then_get_roundtrip() {
+        let mut b = BytesMut::new();
+        b.put_u32(0x0102_0304);
+        b.put_u8(9);
+        b.put_slice(&[1, 2]);
+        assert_eq!(b.len(), 7);
+        assert_eq!(b.get_u32(), 0x0102_0304);
+        assert_eq!(b.get_u8(), 9);
+        let mut two = [0u8; 2];
+        b.copy_to_slice(&mut two);
+        assert_eq!(two, [1, 2]);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn underflow_panics() {
+        BytesMut::from(&[1u8][..]).get_u32();
+    }
+}

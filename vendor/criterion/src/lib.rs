@@ -1,0 +1,258 @@
+//! Local shim standing in for the real `criterion` crate so the workspace
+//! builds (and benches run) without network access to crates.io.
+//!
+//! Implements the subset of criterion's API the `secmod_bench` suite uses —
+//! `criterion_group!`/`criterion_main!`, `Criterion::benchmark_group`,
+//! `bench_function`/`bench_with_input`, `BenchmarkId`, `Throughput`,
+//! `black_box`, `Bencher::iter` — over a simple warmup-then-measure timing
+//! loop. No statistics, plots, or baselines: each benchmark prints one
+//! `group/name  time: <median-ish mean> ns/iter` line. Measurement budget
+//! per benchmark is `SECMOD_BENCH_MS` milliseconds (default 60; CI smoke
+//! sets it low). Replace with upstream criterion when the environment can
+//! fetch crates.
+//!
+//! `cargo bench` invokes each bench binary with libtest-style arguments
+//! (`--bench`, filters); the harness accepts a single optional substring
+//! filter and ignores flags.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export of the std black-box, criterion's modern implementation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+fn measure_ms() -> u64 {
+    std::env::var("SECMOD_BENCH_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(60)
+}
+
+/// Identifier for a parameterised benchmark, `function/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Combine a function name and a displayable parameter.
+    pub fn new<S: Into<String>, P: Display>(function_name: S, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Throughput annotation; reported as MiB/s or Melem/s next to the time.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Timing loop handed to each benchmark closure.
+pub struct Bencher {
+    ns_per_iter: f64,
+}
+
+impl Bencher {
+    /// Run `f` repeatedly: a short warmup, then timed batches until the
+    /// measurement budget is spent.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let warmup = Duration::from_millis(measure_ms().div_ceil(4));
+        let budget = Duration::from_millis(measure_ms());
+
+        // Warmup while estimating the per-iteration cost.
+        let start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while start.elapsed() < warmup {
+            black_box(f());
+            warm_iters += 1;
+        }
+        let est_ns = (warmup.as_nanos() as f64 / warm_iters.max(1) as f64).max(1.0);
+
+        // Measure in batches sized to ~1/10 of the budget each.
+        let batch = ((budget.as_nanos() as f64 / 10.0 / est_ns) as u64).max(1);
+        let mut total_iters: u64 = 0;
+        let mut total_ns: u128 = 0;
+        let deadline = Instant::now() + budget;
+        while Instant::now() < deadline {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            total_ns += t0.elapsed().as_nanos();
+            total_iters += batch;
+        }
+        self.ns_per_iter = total_ns as f64 / total_iters.max(1) as f64;
+    }
+}
+
+fn report(group: &str, id: &str, ns_per_iter: f64, throughput: Option<Throughput>) {
+    let rate = match throughput {
+        Some(Throughput::Bytes(b)) => {
+            let mib_s = b as f64 / (ns_per_iter / 1e9) / (1024.0 * 1024.0);
+            format!("  thrpt: {mib_s:10.1} MiB/s")
+        }
+        Some(Throughput::Elements(n)) => {
+            let melem_s = n as f64 / (ns_per_iter / 1e9) / 1e6;
+            format!("  thrpt: {melem_s:10.2} Melem/s")
+        }
+        None => String::new(),
+    };
+    let name = if group.is_empty() {
+        id.to_string()
+    } else {
+        format!("{group}/{id}")
+    };
+    println!("{name:<48} time: {ns_per_iter:12.1} ns/iter{rate}");
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a mut Criterion,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the per-iteration throughput used for rate reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Criterion-compat no-op: the shim sizes batches by wall-clock budget.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Benchmark `f` under `id` within this group.
+    pub fn bench_function<I: Into<BenchmarkId>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id.id);
+        if self.criterion.matches(&full) {
+            let mut b = Bencher { ns_per_iter: 0.0 };
+            f(&mut b);
+            report(&self.name, &id.id, b.ns_per_iter, self.throughput);
+        }
+        self
+    }
+
+    /// Benchmark `f` with a borrowed input value.
+    pub fn bench_with_input<I: Into<BenchmarkId>, T: ?Sized, F: FnMut(&mut Bencher, &T)>(
+        &mut self,
+        id: I,
+        input: &T,
+        mut f: F,
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// End the group (criterion-compat; reporting already happened).
+    pub fn finish(self) {}
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Criterion {
+    /// Build a driver configured from the command line (`cargo bench`
+    /// passes libtest-style flags; the first non-flag argument is treated
+    /// as a substring filter).
+    pub fn from_args() -> Self {
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Criterion { filter }
+    }
+
+    fn matches(&self, full_name: &str) -> bool {
+        match &self.filter {
+            Some(f) => full_name.contains(f.as_str()),
+            None => true,
+        }
+    }
+
+    /// Open a named benchmark group.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            criterion: self,
+            throughput: None,
+        }
+    }
+
+    /// Benchmark a standalone function outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        if self.matches(id) {
+            let mut b = Bencher { ns_per_iter: 0.0 };
+            f(&mut b);
+            report("", id, b.ns_per_iter, None);
+        }
+        self
+    }
+}
+
+/// Define a benchmark group function from a list of `fn(&mut Criterion)`
+/// targets, mirroring criterion's macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Define `main` running the given benchmark groups, mirroring criterion's
+/// macro of the same name.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        std::env::set_var("SECMOD_BENCH_MS", "4");
+        let mut b = Bencher { ns_per_iter: 0.0 };
+        b.iter(|| black_box(1u64 + 1));
+        assert!(b.ns_per_iter > 0.0);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        let id = BenchmarkId::new("encrypt", 4096);
+        assert_eq!(id.id, "encrypt/4096");
+    }
+}

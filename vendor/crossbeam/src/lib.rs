@@ -1,0 +1,71 @@
+//! Local shim standing in for the real `crossbeam` crate so the workspace
+//! builds without network access to crates.io.
+//!
+//! Only `crossbeam::channel::{bounded, Sender, Receiver}` is used (the
+//! native backend's rendezvous request/reply pair), so that is all the shim
+//! provides, backed by `std::sync::mpsc::sync_channel`. Unlike crossbeam's
+//! MPMC receiver, this one is single-consumer — sufficient for the
+//! one-handle-thread-per-session design.
+
+pub mod channel {
+    //! Bounded channels with crossbeam's `channel` module interface.
+
+    use std::sync::mpsc;
+
+    /// Error returned by [`Sender::send`] when the receiver is gone;
+    /// carries the unsent message like crossbeam's.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Error returned by [`Receiver::recv`] when all senders are gone.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Sending half of a bounded channel. Cloneable, as in crossbeam.
+    #[derive(Clone)]
+    pub struct Sender<T>(mpsc::SyncSender<T>);
+
+    /// Receiving half of a bounded channel.
+    pub struct Receiver<T>(mpsc::Receiver<T>);
+
+    /// Create a bounded channel; capacity 0 gives a rendezvous channel
+    /// where each send blocks until a receiver is ready.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (Sender(tx), Receiver(rx))
+    }
+
+    impl<T> Sender<T> {
+        /// Block until the message is delivered or the channel disconnects.
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            self.0.send(msg).map_err(|mpsc::SendError(m)| SendError(m))
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Block until a message arrives or the channel disconnects.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.recv().map_err(|_| RecvError)
+        }
+
+        /// Non-blocking receive; `None` when the channel is empty or
+        /// disconnected.
+        pub fn try_recv(&self) -> Option<T> {
+            self.0.try_recv().ok()
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn rendezvous_roundtrip() {
+            let (tx, rx) = bounded::<u32>(0);
+            let t = std::thread::spawn(move || tx.send(7));
+            assert_eq!(rx.recv(), Ok(7));
+            assert_eq!(t.join().unwrap(), Ok(()));
+            assert_eq!(rx.recv(), Err(RecvError));
+        }
+    }
+}

@@ -1,0 +1,408 @@
+//! Local shim standing in for the real `proptest` crate so the workspace's
+//! property tests run without network access to crates.io.
+//!
+//! Implements the subset the workspace uses: the `proptest!` macro (with
+//! optional `#![proptest_config(...)]`), integer range strategies,
+//! `num::*::ANY`, `bool::ANY`, `collection::vec`, `array::uniform{4,8,16,32}`,
+//! a small `[class]{m,n}`-style string-regex strategy, and the
+//! `prop_assert*` macros. Sampling is deterministic per test name
+//! (SplitMix64) and there is **no shrinking** — a failure prints the
+//! asserted values but not a minimised case. Swap in upstream proptest for
+//! real shrinking when the environment can fetch crates.
+
+/// Deterministic generator driving all strategies (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seed from a test name so each property test gets a stable but
+    /// distinct stream.
+    pub fn from_name(name: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h = (h ^ b as u64).wrapping_mul(0x100_0000_01b3);
+        }
+        TestRng { state: h }
+    }
+
+    /// Next 64 pseudo-random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw from `[0, n)`; `n` must be nonzero.
+    pub fn below(&mut self, n: u128) -> u128 {
+        debug_assert!(n > 0);
+        ((self.next_u64() as u128) << 64 | self.next_u64() as u128) % n
+    }
+}
+
+/// A source of random values of one type.
+pub trait Strategy {
+    /// The produced value type.
+    type Value;
+    /// Draw one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! int_range_strategies {
+    ($($t:ty),* $(,)?) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start() as i128, *self.end() as i128);
+                assert!(lo <= hi, "empty range strategy");
+                (lo + rng.below((hi - lo + 1) as u128) as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! tuple_strategies {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategies! {
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+}
+
+pub mod num {
+    //! Full-width integer strategies, mirroring `proptest::num`.
+
+    macro_rules! num_mods {
+        ($($m:ident),* $(,)?) => {$(
+            pub mod $m {
+                //! `ANY` strategy for the primitive of the same name.
+
+                /// Strategy yielding any value of the type.
+                #[derive(Clone, Copy, Debug)]
+                pub struct Any;
+
+                /// Any value, uniformly over the whole domain.
+                pub const ANY: Any = Any;
+
+                impl crate::Strategy for Any {
+                    type Value = $m;
+                    fn sample(&self, rng: &mut crate::TestRng) -> $m {
+                        rng.next_u64() as $m
+                    }
+                }
+            }
+        )*};
+    }
+
+    num_mods!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+}
+
+pub mod bool {
+    //! Boolean strategy, mirroring `proptest::bool`.
+
+    /// Strategy yielding either boolean.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Any;
+
+    /// Fair coin.
+    pub const ANY: Any = Any;
+
+    impl crate::Strategy for Any {
+        type Value = bool;
+        fn sample(&self, rng: &mut crate::TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies, mirroring `proptest::collection`.
+
+    use super::{Strategy, TestRng};
+
+    /// Inclusive size bounds for generated collections.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with sizes drawn from a [`SizeRange`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: SizeRange,
+    }
+
+    /// Vectors of values from `elem`, sized within `size`.
+    pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            elem,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.lo + rng.below((self.size.hi - self.size.lo + 1) as u128) as usize;
+            (0..len).map(|_| self.elem.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod array {
+    //! Fixed-size array strategies, mirroring `proptest::array`.
+
+    use super::{Strategy, TestRng};
+
+    /// Strategy producing `[S::Value; N]` with each element from `S`.
+    #[derive(Debug, Clone)]
+    pub struct UniformArrayStrategy<S, const N: usize>(S);
+
+    impl<S: Strategy, const N: usize> Strategy for UniformArrayStrategy<S, N> {
+        type Value = [S::Value; N];
+        fn sample(&self, rng: &mut TestRng) -> [S::Value; N] {
+            std::array::from_fn(|_| self.0.sample(rng))
+        }
+    }
+
+    macro_rules! uniform_fns {
+        ($($name:ident => $n:literal),* $(,)?) => {$(
+            /// Array of the given arity, each element drawn from `s`.
+            pub fn $name<S: Strategy>(s: S) -> UniformArrayStrategy<S, $n> {
+                UniformArrayStrategy(s)
+            }
+        )*};
+    }
+
+    uniform_fns!(uniform4 => 4, uniform8 => 8, uniform16 => 16, uniform32 => 32);
+}
+
+// String strategies from a tiny regex subset: sequences of literal chars or
+// `[...]` classes, each optionally repeated `{m}`/`{m,n}`. Covers patterns
+// like "[a-zA-Z0-9 ]{0,64}".
+impl Strategy for &str {
+    type Value = String;
+
+    fn sample(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        let mut chars = self.chars().peekable();
+        while let Some(c) = chars.next() {
+            let class: Vec<char> = match c {
+                '[' => {
+                    let mut body = Vec::new();
+                    loop {
+                        match chars.next() {
+                            None => panic!("proptest shim: unterminated [ in regex {self:?}"),
+                            Some(']') => break,
+                            Some(lo) => {
+                                if chars.peek() == Some(&'-') {
+                                    chars.next();
+                                    let hi = chars.next().unwrap_or_else(|| {
+                                        panic!("proptest shim: dangling - in regex {self:?}")
+                                    });
+                                    body.extend(lo..=hi);
+                                } else {
+                                    body.push(lo);
+                                }
+                            }
+                        }
+                    }
+                    body
+                }
+                c => vec![c],
+            };
+            let (lo, hi) = if chars.peek() == Some(&'{') {
+                chars.next();
+                let spec: String = chars.by_ref().take_while(|&c| c != '}').collect();
+                match spec.split_once(',') {
+                    Some((m, n)) => (
+                        m.trim().parse().expect("bad {m,n} in regex"),
+                        n.trim().parse().expect("bad {m,n} in regex"),
+                    ),
+                    None => {
+                        let n: usize = spec.trim().parse().expect("bad {m} in regex");
+                        (n, n)
+                    }
+                }
+            } else {
+                (1usize, 1usize)
+            };
+            let count = lo + rng.below((hi - lo + 1) as u128) as usize;
+            for _ in 0..count {
+                out.push(class[rng.below(class.len() as u128) as usize]);
+            }
+        }
+        out
+    }
+}
+
+/// Per-test configuration, mirroring `proptest::prelude::ProptestConfig`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+pub mod prelude {
+    //! Common imports, mirroring `proptest::prelude`.
+    pub use crate::{ProptestConfig, Strategy};
+}
+
+/// Define property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a test running the body over `config.cases` sampled inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { cfg = ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { cfg = ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (cfg = ($cfg:expr) $($(#[$meta:meta])* fn $name:ident ($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::ProptestConfig = $cfg;
+                let mut __rng = $crate::TestRng::from_name(concat!(module_path!(), "::", stringify!($name)));
+                for __case in 0..__config.cases {
+                    $(let $arg = $crate::Strategy::sample(&($strat), &mut __rng);)+
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// `assert!` under proptest's name (no shrinking in the shim).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// `assert_eq!` under proptest's name (no shrinking in the shim).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// `assert_ne!` under proptest's name (no shrinking in the shim).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = TestRng::from_name("ranges");
+        for _ in 0..1000 {
+            let v = (10u8..=20).sample(&mut rng);
+            assert!((10..=20).contains(&v));
+            let w = (-8i64..8).sample(&mut rng);
+            assert!((-8..8).contains(&w));
+            let x = (0u64..1u64 << 40).sample(&mut rng);
+            assert!(x < 1 << 40);
+        }
+    }
+
+    #[test]
+    fn vec_sizes_respect_bounds() {
+        let mut rng = TestRng::from_name("vecs");
+        for _ in 0..200 {
+            let v = collection::vec(0u8..=255, 3..7).sample(&mut rng);
+            assert!((3..7).contains(&v.len()));
+        }
+        let exact = collection::vec(0u8..=255, 16).sample(&mut rng);
+        assert_eq!(exact.len(), 16);
+    }
+
+    #[test]
+    fn regex_subset_generates_matching_strings() {
+        let mut rng = TestRng::from_name("regex");
+        for _ in 0..200 {
+            let s = "[a-zA-Z0-9 ]{0,64}".sample(&mut rng);
+            assert!(s.len() <= 64);
+            assert!(s.chars().all(|c| c.is_ascii_alphanumeric() || c == ' '));
+        }
+        assert_eq!("abc".sample(&mut rng), "abc");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+        #[test]
+        fn the_macro_itself_works(a in 0u32..100, b in 0u32..100) {
+            prop_assert_eq!(a + b, b + a);
+            prop_assert!(a < 100 && b < 100);
+        }
+    }
+}

@@ -1,0 +1,83 @@
+//! Local shim standing in for the real `rand` crate so the workspace builds
+//! without network access to crates.io.
+//!
+//! The workspace touches `rand` in exactly one place: seeding
+//! `HashDrbg::from_entropy` via `rand::rngs::OsRng.fill_bytes`. This shim
+//! reads `/dev/urandom` for that, falling back to a SplitMix64 stream
+//! seeded from the clock and pid if the device is unavailable (e.g. in a
+//! stripped-down sandbox). All deterministic randomness in the tree comes
+//! from `secmod_crypto::rng`, not from here.
+
+use std::io::Read;
+
+/// Minimal mirror of `rand_core::RngCore`.
+pub trait RngCore {
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fill `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+}
+
+pub mod rngs {
+    //! Entropy-backed generators, mirroring `rand::rngs`.
+
+    use super::*;
+
+    /// Operating-system entropy source (`/dev/urandom`).
+    #[derive(Clone, Copy, Debug, Default)]
+    pub struct OsRng;
+
+    fn fallback_fill(dest: &mut [u8]) {
+        // SplitMix64 over a clock/pid seed: not cryptographic, but this
+        // path only runs when /dev/urandom itself is missing.
+        let now = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0);
+        let mut state = now ^ ((std::process::id() as u64) << 32);
+        for chunk in dest.chunks_mut(8) {
+            state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^= z >> 31;
+            let bytes = z.to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+
+    impl RngCore for OsRng {
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            let mut buf = [0u8; 8];
+            self.fill_bytes(&mut buf);
+            u64::from_le_bytes(buf)
+        }
+
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            match std::fs::File::open("/dev/urandom").and_then(|mut f| f.read_exact(dest)) {
+                Ok(()) => {}
+                Err(_) => fallback_fill(dest),
+            }
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn os_rng_fills() {
+            let mut a = [0u8; 32];
+            let mut b = [0u8; 32];
+            OsRng.fill_bytes(&mut a);
+            OsRng.fill_bytes(&mut b);
+            assert_ne!(a, b, "two 256-bit draws should never collide");
+        }
+    }
+}

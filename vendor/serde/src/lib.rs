@@ -1,0 +1,18 @@
+//! Local shim standing in for the real `serde` crate so the workspace
+//! builds without network access to crates.io.
+//!
+//! The workspace currently uses serde only as `#[derive(Serialize,
+//! Deserialize)]` annotations marking which types are intended to be
+//! wire/disk-stable; no code path serializes yet. These marker traits (and
+//! the derives re-exported from the sibling `serde_derive` shim) keep those
+//! annotations compiling. Swap in upstream serde when real serialization
+//! lands.
+
+/// Marker trait mirroring `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize` (lifetime elided — nothing
+/// in the workspace names the `'de` parameter).
+pub trait Deserialize {}
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,45 @@
+//! Derive-macro half of the local `serde` shim.
+//!
+//! The workspace builds offline, so instead of the real `serde_derive` this
+//! crate provides `#[derive(Serialize)]` / `#[derive(Deserialize)]` macros
+//! that emit empty marker-trait impls. The workspace only uses the derives
+//! as type annotations; nothing serializes at runtime yet. If a future PR
+//! needs real serialization, replace `vendor/serde*` with the upstream
+//! crates and delete this shim.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extract the type name following the `struct`/`enum`/`union` keyword.
+///
+/// Derive input has outer attributes stripped, so scanning top-level tokens
+/// is sufficient for the non-generic types this workspace derives on.
+fn type_name(input: TokenStream) -> String {
+    let mut iter = input.into_iter();
+    while let Some(tt) = iter.next() {
+        if let TokenTree::Ident(id) = &tt {
+            let kw = id.to_string();
+            if kw == "struct" || kw == "enum" || kw == "union" {
+                if let Some(TokenTree::Ident(name)) = iter.next() {
+                    return name.to_string();
+                }
+            }
+        }
+    }
+    panic!("serde_derive shim: could not find type name in derive input");
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl ::serde::Serialize for {name} {{}}")
+        .parse()
+        .unwrap()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl ::serde::Deserialize for {name} {{}}")
+        .parse()
+        .unwrap()
+}
