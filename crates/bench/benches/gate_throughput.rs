@@ -1,0 +1,61 @@
+//! Gateway throughput: what the sharded decision cache buys (and costs)
+//! relative to uncached `PolicyEngine::query`, per workload shape.
+//!
+//! `cached_hot` / `uncached_hot` isolate the per-decision win on a
+//! repeated request (the zipfian best case); `scenario/*` runs the full
+//! multi-threaded scenario engine end to end, so the numbers include
+//! thread spawn, universe construction, and churn-actor kernel work.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use secmod_gate::{build_universe, run_scenario, AccessRequest, ScenarioConfig, ScenarioKind};
+
+fn bench_config(kind: ScenarioKind) -> ScenarioConfig {
+    ScenarioConfig {
+        threads: 2,
+        ops_per_thread: 2_000,
+        ..ScenarioConfig::full(kind, 42)
+    }
+}
+
+fn gate_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gate");
+
+    // Single repeated decision: cache hit vs full fixpoint, same universe.
+    let cfg = bench_config(ScenarioKind::Uniform);
+    let (gateway, universe) = build_universe(&cfg);
+    let requesters = std::slice::from_ref(&universe.tenants[0]);
+    let request = AccessRequest {
+        requesters,
+        app_domain: "bench",
+        module: &universe.modules[0],
+        version: 1,
+        operation: &universe.operations[1],
+        uid: 1000,
+    };
+    assert!(
+        gateway.is_allowed(&request),
+        "bench request must be allowed"
+    );
+    group.bench_function("cached_hot", |b| {
+        b.iter(|| gateway.check(std::hint::black_box(&request)).unwrap())
+    });
+    let env = request.environment();
+    group.bench_function("uncached_hot", |b| {
+        b.iter(|| gateway.with_engine(|e| e.query(std::hint::black_box(requesters), &env).unwrap()))
+    });
+
+    // Full scenario engine, 2 threads end to end.
+    for kind in ScenarioKind::ALL {
+        let cfg = bench_config(kind);
+        group.throughput(Throughput::Elements(
+            cfg.threads as u64 * cfg.ops_per_thread,
+        ));
+        group.bench_with_input(BenchmarkId::new("scenario", kind.name()), &cfg, |b, cfg| {
+            b.iter(|| run_scenario(std::hint::black_box(cfg)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, gate_throughput);
+criterion_main!(benches);

@@ -1,0 +1,342 @@
+//! The sharded decision cache: the gateway's analogue of an LSM access
+//! vector cache (AVC).
+//!
+//! Repeated `PolicyEngine::query` evaluations for the same (principal set,
+//! module, operation) are served from here instead of re-running the
+//! delegation fixpoint. The cache is split into N shards, each behind its
+//! own mutex, so concurrent lookups from different threads rarely contend;
+//! a request's shard is chosen by mixing its full key. Every key carries
+//! the invalidation epoch it was computed under, so a stale decision can
+//! never match after an epoch bump — old-epoch entries simply age out
+//! through eviction.
+
+use parking_lot::Mutex;
+use secmod_policy::Decision;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+
+/// FNV-1a over a byte string; the gate's cheap non-cryptographic hash.
+pub(crate) fn fnv64(bytes: &[u8]) -> u64 {
+    fnv64_chain(0xcbf2_9ce4_8422_2325, bytes)
+}
+
+/// Continue an FNV-1a chain from a previous state (with a separator fold so
+/// `("ab","c")` and `("a","bc")` hash differently).
+pub(crate) fn fnv64_chain(mut h: u64, bytes: &[u8]) -> u64 {
+    h = (h ^ 0xff).wrapping_mul(0x100_0000_01b3);
+    for &b in bytes {
+        h = (h ^ b as u64).wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// SplitMix64 finalizer: turns a structured value into well-spread bits.
+pub(crate) fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// The full identity of a cached decision. Two requests share an entry only
+/// if every field matches — including the epoch, which is what makes
+/// invalidation safe without walking the cache.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// Order-insensitive fingerprint of the requesting principal set.
+    pub principals: u64,
+    /// Fingerprint of the module name.
+    pub module: u64,
+    /// Fingerprint of the operation plus the rest of the action
+    /// environment (app domain, module version, uid).
+    pub operation: u64,
+    /// The gateway invalidation epoch the decision was computed under.
+    pub epoch: u64,
+}
+
+impl CacheKey {
+    fn mixed(&self) -> u64 {
+        mix64(
+            self.principals
+                ^ self.module.rotate_left(17)
+                ^ self.operation.rotate_left(31)
+                ^ self.epoch.rotate_left(47),
+        )
+    }
+}
+
+/// Sizing knobs for [`DecisionCache`].
+#[derive(Clone, Copy, Debug)]
+pub struct CacheConfig {
+    /// Number of independently locked shards (rounded up to a power of
+    /// two, minimum 1).
+    pub shards: usize,
+    /// Total entry budget across all shards.
+    pub capacity: usize,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        CacheConfig {
+            shards: 16,
+            capacity: 4096,
+        }
+    }
+}
+
+/// Counter snapshot, taken with [`DecisionCache::stats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that fell through to the policy engine.
+    pub misses: u64,
+    /// Entries displaced to make room.
+    pub evictions: u64,
+    /// Entries written.
+    pub insertions: u64,
+    /// Entries currently resident.
+    pub entries: usize,
+}
+
+impl CacheStats {
+    /// Fraction of lookups served from the cache (0 when none happened).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+struct Entry {
+    decision: Decision,
+    last_used: u64,
+}
+
+struct Shard {
+    map: HashMap<CacheKey, Entry>,
+    /// Shard-local recency clock; bumped on every touch.
+    tick: u64,
+    capacity: usize,
+}
+
+/// How many resident entries an eviction inspects: Redis-style sampled LRU
+/// rather than exact LRU, so eviction stays O(1)-ish without an intrusive
+/// list.
+const EVICTION_SAMPLE: usize = 8;
+
+impl Shard {
+    fn touch(&mut self, key: &CacheKey) -> Option<Decision> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.map.get_mut(key).map(|e| {
+            e.last_used = tick;
+            e.decision.clone()
+        })
+    }
+
+    /// Insert, displacing the least-recently-used of a small sample when
+    /// full. Returns whether an eviction happened.
+    fn insert(&mut self, key: CacheKey, decision: Decision) -> bool {
+        self.tick += 1;
+        let tick = self.tick;
+        if let Some(e) = self.map.get_mut(&key) {
+            // Another thread raced us to the same miss; keep theirs fresh.
+            e.last_used = tick;
+            return false;
+        }
+        let mut evicted = false;
+        if self.map.len() >= self.capacity {
+            // Rotate the sample window through the map (keyed off the
+            // recency clock): HashMap iteration order is stable between
+            // mutations, so always sampling the front would make entries
+            // past the window unevictable.
+            let len = self.map.len();
+            let start = if len > EVICTION_SAMPLE {
+                (self.tick as usize).wrapping_mul(7) % (len - EVICTION_SAMPLE + 1)
+            } else {
+                0
+            };
+            if let Some(victim) = self
+                .map
+                .iter()
+                .skip(start)
+                .take(EVICTION_SAMPLE)
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| *k)
+            {
+                self.map.remove(&victim);
+                evicted = true;
+            }
+        }
+        self.map.insert(
+            key,
+            Entry {
+                decision,
+                last_used: tick,
+            },
+        );
+        evicted
+    }
+}
+
+/// A bounded, sharded map from [`CacheKey`] to [`Decision`] with approximate
+/// LRU eviction and hit/miss/eviction accounting.
+pub struct DecisionCache {
+    shards: Vec<Mutex<Shard>>,
+    mask: u64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    insertions: AtomicU64,
+}
+
+impl DecisionCache {
+    /// Build a cache from the given sizing.
+    pub fn new(config: CacheConfig) -> DecisionCache {
+        let shards = config.shards.max(1).next_power_of_two();
+        let per_shard = config.capacity.div_ceil(shards).max(1);
+        DecisionCache {
+            shards: (0..shards)
+                .map(|_| {
+                    Mutex::new(Shard {
+                        map: HashMap::with_capacity(per_shard),
+                        tick: 0,
+                        capacity: per_shard,
+                    })
+                })
+                .collect(),
+            mask: shards as u64 - 1,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            insertions: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, key: &CacheKey) -> &Mutex<Shard> {
+        &self.shards[(key.mixed() & self.mask) as usize]
+    }
+
+    /// Look up a decision, refreshing its recency on a hit.
+    pub fn get(&self, key: &CacheKey) -> Option<Decision> {
+        let found = self.shard(key).lock().touch(key);
+        match &found {
+            Some(_) => self.hits.fetch_add(1, Relaxed),
+            None => self.misses.fetch_add(1, Relaxed),
+        };
+        found
+    }
+
+    /// Record a freshly computed decision.
+    pub fn insert(&self, key: CacheKey, decision: Decision) {
+        let evicted = self.shard(&key).lock().insert(key, decision);
+        self.insertions.fetch_add(1, Relaxed);
+        if evicted {
+            self.evictions.fetch_add(1, Relaxed);
+        }
+    }
+
+    /// Number of independently locked shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Snapshot the counters and the resident entry count.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Relaxed),
+            misses: self.misses.load(Relaxed),
+            evictions: self.evictions.load(Relaxed),
+            insertions: self.insertions.load(Relaxed),
+            entries: self.shards.iter().map(|s| s.lock().map.len()).sum(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(n: u64, epoch: u64) -> CacheKey {
+        CacheKey {
+            principals: n,
+            module: n.rotate_left(7),
+            operation: n.rotate_left(13),
+            epoch,
+        }
+    }
+
+    fn allow() -> Decision {
+        Decision::Allow {
+            used_assertions: vec![0],
+        }
+    }
+
+    #[test]
+    fn hit_miss_accounting() {
+        let cache = DecisionCache::new(CacheConfig::default());
+        assert_eq!(cache.get(&key(1, 0)), None);
+        cache.insert(key(1, 0), allow());
+        assert_eq!(cache.get(&key(1, 0)), Some(allow()));
+        assert_eq!(cache.get(&key(2, 0)), None);
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.insertions, s.entries), (1, 2, 1, 1));
+        assert!((s.hit_rate() - 1.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn epoch_is_part_of_the_key() {
+        let cache = DecisionCache::new(CacheConfig::default());
+        cache.insert(key(1, 0), allow());
+        assert_eq!(cache.get(&key(1, 1)), None, "stale epoch must never hit");
+        assert_eq!(cache.get(&key(1, 0)), Some(allow()));
+    }
+
+    #[test]
+    fn capacity_is_bounded_and_evictions_are_counted() {
+        let cache = DecisionCache::new(CacheConfig {
+            shards: 4,
+            capacity: 64,
+        });
+        for n in 0..1000 {
+            cache.insert(key(n, 0), Decision::Deny);
+        }
+        let s = cache.stats();
+        assert!(s.entries <= 64, "entries {} exceed capacity", s.entries);
+        assert_eq!(s.insertions, 1000);
+        assert!(s.evictions >= 1000 - 64);
+    }
+
+    #[test]
+    fn eviction_prefers_cold_entries() {
+        // One shard, capacity 8: keep touching key 0, flood with others;
+        // the hot key should survive sampled-LRU eviction.
+        let cache = DecisionCache::new(CacheConfig {
+            shards: 1,
+            capacity: 8,
+        });
+        cache.insert(key(0, 0), allow());
+        for n in 1..200 {
+            assert_eq!(cache.get(&key(0, 0)), Some(allow()), "hot key evicted");
+            cache.insert(key(n, 0), Decision::Deny);
+        }
+    }
+
+    #[test]
+    fn shard_count_rounds_to_power_of_two() {
+        let cache = DecisionCache::new(CacheConfig {
+            shards: 5,
+            capacity: 100,
+        });
+        assert_eq!(cache.shard_count(), 8);
+        let one = DecisionCache::new(CacheConfig {
+            shards: 0,
+            capacity: 1,
+        });
+        assert_eq!(one.shard_count(), 1);
+    }
+}

@@ -1,0 +1,316 @@
+//! The access-control gateway: a thread-safe front for
+//! `secmod_policy::PolicyEngine` that serves repeated decisions from the
+//! sharded cache and invalidates them by epoch.
+//!
+//! Invalidation contract: every mutation that can change a decision bumps
+//! an epoch *before the mutating call returns* —
+//!
+//! * [`Gateway::add_assertion`] and [`Gateway::register_key`] bump the
+//!   gateway's own epoch (mirroring `PolicyEngine::revision`),
+//! * `Kernel::sys_smod_remove` and `Kernel::smod_detach` bump the kernel's
+//!   `smod_epoch`, which callers fold in with
+//!   [`Gateway::sync_kernel_epoch`] (or [`Gateway::bump_epoch`] when no
+//!   kernel is in the loop).
+//!
+//! Because the epoch is part of every cache key, a lookup that starts after
+//! a mutation completes can only hit entries computed at the new epoch —
+//! stale decisions are unreachable, not merely flushed-eventually.
+
+use crate::cache::{fnv64, fnv64_chain, mix64, CacheConfig, CacheKey, CacheStats, DecisionCache};
+use parking_lot::RwLock;
+use secmod_kernel::Kernel;
+use secmod_policy::{Assertion, Decision, Environment, PolicyEngine, Principal};
+use std::sync::atomic::{AtomicU64, Ordering::SeqCst};
+
+/// One access-control question: may `requesters` invoke `operation` of
+/// `module`? Carries the same attributes `Environment::for_smod_call`
+/// derives the action environment from, so a cached answer covers exactly
+/// the inputs an uncached `PolicyEngine::query` would see.
+#[derive(Clone, Copy, Debug)]
+pub struct AccessRequest<'a> {
+    /// The principals making the request (usually one per tenant).
+    pub requesters: &'a [Principal],
+    /// The application domain attribute.
+    pub app_domain: &'a str,
+    /// The module being called.
+    pub module: &'a str,
+    /// The module version.
+    pub version: u32,
+    /// The function/operation being invoked.
+    pub operation: &'a str,
+    /// The calling uid.
+    pub uid: i64,
+}
+
+impl AccessRequest<'_> {
+    /// The action environment an uncached query would evaluate against.
+    pub fn environment(&self) -> Environment {
+        Environment::for_smod_call(
+            self.app_domain,
+            self.module,
+            self.version,
+            self.operation,
+            self.uid,
+        )
+    }
+
+    /// The cache identity of this request at `epoch`.
+    fn cache_key(&self, epoch: u64) -> CacheKey {
+        // Requester order must not matter, just as `PolicyEngine::query`
+        // treats requesters as a set — so sort the fingerprints and hash
+        // the sequence. (A commutative wrapping sum would be cheaper but
+        // algebraically collapsible: distinct sets with equal sums would
+        // share an entry and be served each other's decisions.)
+        let principals = match self.requesters {
+            [single] => mix64(single.fingerprint()),
+            many => {
+                let mut fps: Vec<u64> = many.iter().map(|p| p.fingerprint()).collect();
+                fps.sort_unstable();
+                fps.iter().fold(fnv64(b"principal-set"), |h, fp| {
+                    fnv64_chain(h, &fp.to_le_bytes())
+                })
+            }
+        };
+        let mut operation = fnv64(self.operation.as_bytes());
+        operation = fnv64_chain(operation, self.app_domain.as_bytes());
+        operation = fnv64_chain(operation, &u64::from(self.version).to_le_bytes());
+        operation = fnv64_chain(operation, &self.uid.to_le_bytes());
+        CacheKey {
+            principals,
+            module: fnv64(self.module.as_bytes()),
+            operation,
+            epoch,
+        }
+    }
+}
+
+/// The concurrent decision gateway. Shareable across threads (`&self`
+/// everywhere); see the module docs for the invalidation contract.
+pub struct Gateway {
+    engine: RwLock<PolicyEngine>,
+    cache: DecisionCache,
+    /// Epoch component owned by the gateway: bumped by local mutations.
+    epoch: AtomicU64,
+    /// Epoch component observed from a kernel via `sync_kernel_epoch`.
+    kernel_epoch: AtomicU64,
+}
+
+impl Gateway {
+    /// Front `engine` with a decision cache of the given sizing.
+    pub fn new(engine: PolicyEngine, config: CacheConfig) -> Gateway {
+        // Start from the engine's own revision so a pre-populated engine
+        // handed to several gateways yields distinct epochs after divergent
+        // mutations.
+        let epoch = AtomicU64::new(engine.revision());
+        Gateway {
+            engine: RwLock::new(engine),
+            cache: DecisionCache::new(config),
+            epoch,
+            kernel_epoch: AtomicU64::new(0),
+        }
+    }
+
+    /// The effective invalidation epoch folded into every cache key.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+            .load(SeqCst)
+            .wrapping_add(self.kernel_epoch.load(SeqCst))
+    }
+
+    /// Answer an access request, from cache when possible.
+    pub fn check(&self, req: &AccessRequest) -> secmod_policy::Result<Decision> {
+        if let Some(decision) = self.cache.get(&req.cache_key(self.epoch())) {
+            return Ok(decision);
+        }
+        // Miss: evaluate under the engine read lock. The epoch is re-read
+        // under the lock so the entry is labelled with the epoch the engine
+        // state actually corresponds to (mutators bump while holding the
+        // write lock).
+        let engine = self.engine.read();
+        let key = req.cache_key(self.epoch());
+        let decision = engine.query(req.requesters, &req.environment())?;
+        self.cache.insert(key, decision.clone());
+        Ok(decision)
+    }
+
+    /// Convenience wrapper returning a plain boolean (errors count as deny).
+    pub fn is_allowed(&self, req: &AccessRequest) -> bool {
+        matches!(self.check(req), Ok(d) if d.is_allowed())
+    }
+
+    /// Add an assertion to the fronted engine, invalidating the cache.
+    pub fn add_assertion(&self, assertion: Assertion) -> secmod_policy::Result<usize> {
+        let mut engine = self.engine.write();
+        let idx = engine.add_assertion(assertion)?;
+        self.epoch.fetch_add(1, SeqCst);
+        Ok(idx)
+    }
+
+    /// Register a principal's key material, invalidating the cache (key
+    /// registration can make previously rejected assertions admissible, so
+    /// it is treated as decision-affecting just like in `PolicyEngine`).
+    pub fn register_key(&self, principal: &Principal, key_material: &[u8]) {
+        let mut engine = self.engine.write();
+        engine.register_key(principal, key_material);
+        self.epoch.fetch_add(1, SeqCst);
+    }
+
+    /// Invalidate every cached decision without touching the engine — the
+    /// hook for out-of-band events (session detach, module removal) when no
+    /// kernel handle is available to sync from.
+    pub fn bump_epoch(&self) {
+        self.epoch.fetch_add(1, SeqCst);
+    }
+
+    /// Fold a kernel's SecModule invalidation epoch into this gateway's, so
+    /// decisions cached before a `sys_smod_remove`/`smod_detach` can no
+    /// longer be served. Monotone: a stale kernel snapshot never rewinds
+    /// the epoch.
+    pub fn sync_kernel_epoch(&self, kernel: &Kernel) {
+        self.kernel_epoch.fetch_max(kernel.smod_epoch(), SeqCst);
+    }
+
+    /// Run a closure against the fronted engine (read-locked): the escape
+    /// hatch for reporting and for coherence tests that need the uncached
+    /// answer.
+    pub fn with_engine<R>(&self, f: impl FnOnce(&PolicyEngine) -> R) -> R {
+        f(&self.engine.read())
+    }
+
+    /// Snapshot the cache counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use secmod_policy::LicenseeExpr;
+
+    fn alice() -> Principal {
+        Principal::from_key("alice", b"alice-key")
+    }
+
+    fn gateway_with_alice() -> Gateway {
+        let gate = Gateway::new(PolicyEngine::new(), CacheConfig::default());
+        gate.add_assertion(
+            Assertion::policy(LicenseeExpr::Single(alice()), "module == \"libc\"").unwrap(),
+        )
+        .unwrap();
+        gate
+    }
+
+    fn req<'a>(
+        requesters: &'a [Principal],
+        module: &'a str,
+        operation: &'a str,
+    ) -> AccessRequest<'a> {
+        AccessRequest {
+            requesters,
+            app_domain: "app",
+            module,
+            version: 1,
+            operation,
+            uid: 1000,
+        }
+    }
+
+    #[test]
+    fn repeated_checks_hit_the_cache() {
+        let gate = gateway_with_alice();
+        let requesters = [alice()];
+        let r = req(&requesters, "libc", "malloc");
+        assert!(gate.check(&r).unwrap().is_allowed());
+        assert!(gate.check(&r).unwrap().is_allowed());
+        assert!(gate.check(&r).unwrap().is_allowed());
+        let s = gate.cache_stats();
+        assert_eq!((s.hits, s.misses), (2, 1));
+        // A different operation is a different key.
+        assert!(gate.is_allowed(&req(&requesters, "libc", "free")));
+        assert_eq!(gate.cache_stats().misses, 2);
+    }
+
+    #[test]
+    fn requester_order_does_not_split_the_cache() {
+        let gate = Gateway::new(PolicyEngine::new(), CacheConfig::default());
+        let bob = Principal::from_key("bob", b"bob-key");
+        gate.add_assertion(
+            Assertion::policy(
+                LicenseeExpr::All(vec![
+                    LicenseeExpr::Single(alice()),
+                    LicenseeExpr::Single(bob.clone()),
+                ]),
+                "",
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        let ab = [alice(), bob.clone()];
+        let ba = [bob, alice()];
+        assert!(gate
+            .check(&req(&ab, "libc", "malloc"))
+            .unwrap()
+            .is_allowed());
+        assert!(gate
+            .check(&req(&ba, "libc", "malloc"))
+            .unwrap()
+            .is_allowed());
+        let s = gate.cache_stats();
+        assert_eq!((s.hits, s.misses), (1, 1));
+    }
+
+    #[test]
+    fn mutation_invalidates_previous_decisions() {
+        let gate = gateway_with_alice();
+        let requesters = [alice()];
+        let r = req(&requesters, "libm", "sin");
+        // libm denied under the initial policy — and the denial is cached.
+        assert!(!gate.is_allowed(&r));
+        assert!(!gate.is_allowed(&r));
+        assert_eq!(gate.cache_stats().hits, 1);
+        // Granting libm must be visible immediately.
+        gate.add_assertion(
+            Assertion::policy(LicenseeExpr::Single(alice()), "module == \"libm\"").unwrap(),
+        )
+        .unwrap();
+        assert!(gate.is_allowed(&r), "stale deny served after add_assertion");
+    }
+
+    #[test]
+    fn kernel_epoch_sync_invalidates_and_is_monotone() {
+        let gate = gateway_with_alice();
+        let requesters = [alice()];
+        let r = req(&requesters, "libc", "malloc");
+        assert!(gate.is_allowed(&r));
+        assert!(gate.is_allowed(&r));
+        assert_eq!(gate.cache_stats().hits, 1);
+
+        // A fresh kernel (epoch 0) must not rewind the gateway's epoch; a
+        // real detach-driven bump is exercised end-to-end by the scenario
+        // engine's churn tests.
+        let kernel = Kernel::default();
+        assert_eq!(kernel.smod_epoch(), 0);
+        let before = gate.epoch();
+        gate.sync_kernel_epoch(&kernel);
+        assert_eq!(gate.epoch(), before);
+        gate.bump_epoch();
+        assert_eq!(gate.epoch(), before + 1);
+        // The old cached entry is unreachable: next check is a miss.
+        assert!(gate.is_allowed(&r));
+        assert_eq!(gate.cache_stats().hits, 1);
+        assert_eq!(gate.cache_stats().misses, 2);
+    }
+
+    #[test]
+    fn with_engine_exposes_uncached_answers() {
+        let gate = gateway_with_alice();
+        let requesters = [alice()];
+        let r = req(&requesters, "libc", "malloc");
+        let cached = gate.check(&r).unwrap();
+        let uncached = gate
+            .with_engine(|e| e.query(r.requesters, &r.environment()))
+            .unwrap();
+        assert_eq!(cached, uncached);
+    }
+}

@@ -1,0 +1,109 @@
+//! Cache-coherence property: for ANY interleaving of queries and
+//! invalidating mutations, the gateway answers exactly what an uncached
+//! `PolicyEngine::query` answers.
+//!
+//! The test drives a [`Gateway`] and a mirror (uncached) engine with the
+//! same randomly generated operation sequence — policy grants, key
+//! registrations, delegations, out-of-band epoch bumps — and demands
+//! byte-identical decisions after every step, including a repeat query that
+//! is expected to come from the cache. A stale cached decision, a missed
+//! invalidation, or a cache key that conflates two distinct requests all
+//! fail this property.
+
+use proptest::prelude::*;
+use proptest::{collection, prop_assert_eq, proptest};
+use secmod_gate::{AccessRequest, CacheConfig, Gateway};
+use secmod_policy::{Assertion, LicenseeExpr, PolicyEngine, Principal};
+
+/// A fixed cast of principals with their key material.
+fn cast() -> Vec<(Principal, Vec<u8>)> {
+    (0..16)
+        .map(|i| {
+            let key = format!("coherence-key-{i}").into_bytes();
+            (Principal::from_key(&format!("p{i}"), &key), key)
+        })
+        .collect()
+}
+
+const MODULES: [&str; 4] = ["mod0", "mod1", "mod2", "mod3"];
+const FUNCTIONS: [&str; 4] = ["op0", "op1", "op2", "op3"];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn gateway_matches_uncached_engine(
+        ops in collection::vec((0u8..6, 0u8..=255, 0u8..=255, 0u8..=255), 0..60)
+    ) {
+        let cast = cast();
+        // A deliberately tiny cache so eviction churn is in play too.
+        let gateway = Gateway::new(
+            PolicyEngine::new(),
+            CacheConfig { shards: 4, capacity: 32 },
+        );
+        let mut mirror = PolicyEngine::new();
+
+        for (code, a, b, c) in ops {
+            let pa = &cast[a as usize % cast.len()];
+            let pb = &cast[b as usize % cast.len()];
+            match code {
+                // Queries: sometimes one requester, sometimes two.
+                0 | 1 => {
+                    let mut requesters = vec![pa.0.clone()];
+                    if c % 2 == 1 {
+                        requesters.push(pb.0.clone());
+                    }
+                    let req = AccessRequest {
+                        requesters: &requesters,
+                        app_domain: "prop",
+                        module: MODULES[b as usize % MODULES.len()],
+                        version: 1,
+                        operation: FUNCTIONS[c as usize % FUNCTIONS.len()],
+                        uid: 1000 + (a % 8) as i64,
+                    };
+                    let uncached = mirror.query(&requesters, &req.environment());
+                    prop_assert_eq!(gateway.check(&req), uncached.clone());
+                    // The repeat is expected to be a cache hit — and must
+                    // still be indistinguishable from the uncached answer.
+                    prop_assert_eq!(gateway.check(&req), uncached);
+                }
+                // Direct policy grant (conditionally scoped to a module).
+                2 => {
+                    let cond = if c % 2 == 0 {
+                        String::new()
+                    } else {
+                        format!("module == \"{}\"", MODULES[b as usize % MODULES.len()])
+                    };
+                    let assertion =
+                        Assertion::policy(LicenseeExpr::Single(pa.0.clone()), &cond).unwrap();
+                    prop_assert_eq!(
+                        gateway.add_assertion(assertion.clone()),
+                        mirror.add_assertion(assertion)
+                    );
+                }
+                // Key registration: can retroactively admit delegations.
+                3 => {
+                    gateway.register_key(&pa.0, &pa.1);
+                    mirror.register_key(&pa.0, &pa.1);
+                }
+                // Delegation: rejected identically by both sides until the
+                // authorizer's key is registered.
+                4 => {
+                    let assertion = Assertion::delegation(
+                        pa.0.clone(),
+                        LicenseeExpr::Single(pb.0.clone()),
+                        &format!("function != \"{}\"", FUNCTIONS[c as usize % FUNCTIONS.len()]),
+                    )
+                    .unwrap()
+                    .sign(&pa.1);
+                    prop_assert_eq!(
+                        gateway.add_assertion(assertion.clone()),
+                        mirror.add_assertion(assertion)
+                    );
+                }
+                // Out-of-band invalidation (the kernel detach/remove class):
+                // must never change any answer.
+                _ => gateway.bump_epoch(),
+            }
+        }
+    }
+}

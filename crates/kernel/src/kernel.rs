@@ -43,6 +43,10 @@ pub struct Kernel {
     pub(crate) next_session: u32,
     /// Count of context switches performed (for reporting).
     pub context_switches: u64,
+    /// Monotone epoch bumped by every SecModule event that can invalidate a
+    /// cached access decision (`sys_smod_remove`, `smod_detach`). Gateways
+    /// fold this into their cache keys; see `Kernel::smod_epoch`.
+    pub(crate) smod_epoch: u64,
 }
 
 impl std::fmt::Debug for Kernel {
@@ -77,7 +81,15 @@ impl Kernel {
             layout: Layout::openbsd_i386(),
             next_session: 1,
             context_switches: 0,
+            smod_epoch: 0,
         }
+    }
+
+    /// The SecModule invalidation epoch: strictly increases whenever a
+    /// module is removed or a session detaches, so any decision cached
+    /// against an earlier epoch is dead on arrival.
+    pub fn smod_epoch(&self) -> u64 {
+        self.smod_epoch
     }
 
     /// Boot with a custom address-space layout (smaller layouts make unit

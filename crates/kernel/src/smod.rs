@@ -181,6 +181,7 @@ impl Kernel {
         }
         let removed = self.registry.remove(m_id)?;
         let _ = self.keystore.revoke(removed.key);
+        self.smod_epoch += 1;
         self.tracer.record(Event::ModuleRemoved { module: m_id });
         Ok(())
     }
@@ -528,6 +529,7 @@ impl Kernel {
         }
         let _ = self.msgs.remove(session.call_queue);
         let _ = self.msgs.remove(session.reply_queue);
+        self.smod_epoch += 1;
         self.tracer.record(Event::SessionDetached {
             session: session_id,
             reason: reason.to_string(),
@@ -1024,6 +1026,23 @@ mod tests {
             k.sys_smod_find(client, "libc", 0).unwrap_err(),
             Errno::ENOENT
         );
+    }
+
+    #[test]
+    fn smod_epoch_bumps_on_detach_and_remove() {
+        let (mut k, m_id) = kernel_with_module();
+        let client = spawn_alice(&mut k);
+        assert_eq!(k.smod_epoch(), 0);
+        establish(&mut k, client, m_id);
+        // Establishing alone does not invalidate anything.
+        assert_eq!(k.smod_epoch(), 0);
+        k.smod_detach(client, "test").unwrap();
+        assert_eq!(k.smod_epoch(), 1);
+        k.sys_smod_remove(Pid(1), m_id).unwrap();
+        assert_eq!(k.smod_epoch(), 2);
+        // A failed removal must not bump.
+        assert_eq!(k.sys_smod_remove(Pid(1), m_id).unwrap_err(), Errno::ENOENT);
+        assert_eq!(k.smod_epoch(), 2);
     }
 
     #[test]

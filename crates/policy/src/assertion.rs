@@ -33,10 +33,10 @@ pub enum LicenseeExpr {
 
 impl LicenseeExpr {
     /// Is this expression satisfied by the given set of supporting
-    /// principals (identified by fingerprint)?
-    pub fn satisfied_by(&self, supporters: &std::collections::HashSet<String>) -> bool {
+    /// principals (identified by their precomputed 64-bit fingerprints)?
+    pub fn satisfied_by(&self, supporters: &std::collections::HashSet<u64>) -> bool {
         match self {
-            LicenseeExpr::Single(p) => supporters.contains(&p.fingerprint),
+            LicenseeExpr::Single(p) => supporters.contains(&p.fingerprint()),
             LicenseeExpr::All(parts) => parts.iter().all(|p| p.satisfied_by(supporters)),
             LicenseeExpr::Any(parts) => parts.iter().any(|p| p.satisfied_by(supporters)),
             LicenseeExpr::Threshold { k, of } => {
@@ -149,8 +149,8 @@ mod tests {
     use super::*;
     use std::collections::HashSet;
 
-    fn fp(p: &Principal) -> String {
-        p.fingerprint.clone()
+    fn fp(p: &Principal) -> u64 {
+        p.fingerprint()
     }
 
     #[test]
@@ -167,7 +167,7 @@ mod tests {
             ]),
         ]);
 
-        let mut sup: HashSet<String> = HashSet::new();
+        let mut sup: HashSet<u64> = HashSet::new();
         assert!(!expr.satisfied_by(&sup));
         sup.insert(fp(&bob));
         assert!(!expr.satisfied_by(&sup));
@@ -188,7 +188,7 @@ mod tests {
             k: 3,
             of: ps.iter().cloned().map(LicenseeExpr::Single).collect(),
         };
-        let mut sup: HashSet<String> = HashSet::new();
+        let mut sup: HashSet<u64> = HashSet::new();
         sup.insert(fp(&ps[0]));
         sup.insert(fp(&ps[1]));
         assert!(!expr.satisfied_by(&sup));

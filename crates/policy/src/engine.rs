@@ -46,6 +46,10 @@ pub struct PolicyEngine {
     keys: HashMap<String, Vec<u8>>,
     /// How to treat attributes missing from the environment.
     pub missing_attr: MissingAttr,
+    /// Monotone mutation counter: bumped by every state change that can
+    /// alter a decision (`add_assertion`, `register_key`). Decision caches
+    /// fold this into their keys so stale results can never be served.
+    revision: u64,
 }
 
 impl PolicyEngine {
@@ -54,11 +58,19 @@ impl PolicyEngine {
         PolicyEngine::default()
     }
 
+    /// The engine's mutation revision: strictly increases with every
+    /// decision-affecting change, so callers caching `query` results can
+    /// invalidate on mismatch.
+    pub fn revision(&self) -> u64 {
+        self.revision
+    }
+
     /// Register a principal's key material so its assertions can be
     /// signature-checked.
     pub fn register_key(&mut self, principal: &Principal, key_material: &[u8]) {
         self.keys
             .insert(principal.fingerprint.clone(), key_material.to_vec());
+        self.revision += 1;
     }
 
     /// Add an assertion.  Non-policy assertions must verify against the
@@ -74,6 +86,7 @@ impl PolicyEngine {
             assertion.verify(key)?;
         }
         self.assertions.push(assertion);
+        self.revision += 1;
         Ok(self.assertions.len() - 1)
     }
 
@@ -104,8 +117,13 @@ impl PolicyEngine {
     /// Evaluate a request made by `requesters` for an action described by
     /// `env`.
     pub fn query(&self, requesters: &[Principal], env: &Environment) -> Result<Decision> {
-        let mut support: HashSet<String> =
-            requesters.iter().map(|p| p.fingerprint.clone()).collect();
+        let mut support: HashSet<u64> = requesters.iter().map(|p| p.fingerprint()).collect();
+        // The Allow decision itself never rests on the 64-bit fingerprint:
+        // root support is tracked through the full-string `is_policy_root`
+        // check (on the handful of requesters and fired assertions, not in
+        // the hot membership tests), so an fp64 collision with
+        // POLICY_ROOT_FP cannot forge an authorisation.
+        let mut root_supported = requesters.iter().any(|p| p.is_policy_root());
         let mut used: Vec<usize> = Vec::new();
         let mut fired: HashSet<usize> = HashSet::new();
 
@@ -117,7 +135,7 @@ impl PolicyEngine {
                 if fired.contains(&idx) {
                     continue;
                 }
-                if support.contains(&assertion.authorizer.fingerprint) {
+                if support.contains(&assertion.authorizer.fingerprint()) {
                     // Already supported; firing it adds nothing.
                     continue;
                 }
@@ -127,12 +145,15 @@ impl PolicyEngine {
                 if !evaluate(&assertion.conditions, env, self.missing_attr)? {
                     continue;
                 }
-                support.insert(assertion.authorizer.fingerprint.clone());
+                support.insert(assertion.authorizer.fingerprint());
+                if assertion.authorizer.is_policy_root() {
+                    root_supported = true;
+                }
                 fired.insert(idx);
                 used.push(idx);
                 progressed = true;
             }
-            if support.contains(&Principal::policy_root().fingerprint) {
+            if root_supported {
                 return Ok(Decision::Allow {
                     used_assertions: used,
                 });
@@ -314,6 +335,23 @@ mod tests {
             )
             .unwrap();
         assert!(!engine.is_allowed(&[alice()], &Environment::new()));
+    }
+
+    #[test]
+    fn revision_bumps_on_every_invalidating_mutation() {
+        let mut engine = PolicyEngine::new();
+        assert_eq!(engine.revision(), 0);
+        engine.register_key(&vendor(), b"vendor-key");
+        assert_eq!(engine.revision(), 1);
+        engine
+            .add_assertion(Assertion::policy(LicenseeExpr::Single(alice()), "").unwrap())
+            .unwrap();
+        assert_eq!(engine.revision(), 2);
+        // A rejected assertion changes nothing and must not bump.
+        let unsigned =
+            Assertion::delegation(vendor(), LicenseeExpr::Single(alice()), "true").unwrap();
+        assert!(engine.add_assertion(unsigned).is_err());
+        assert_eq!(engine.revision(), 2);
     }
 
     #[test]

@@ -13,25 +13,72 @@ use serde::{Deserialize, Serialize};
 pub struct Principal {
     /// Human-readable name (unique within a policy domain).
     pub name: String,
-    /// Hex fingerprint of the principal's key material.
-    pub fingerprint: String,
+    /// Hex fingerprint of the principal's key material. Crate-visible only
+    /// so the `fp64` invariant below cannot be broken by field mutation;
+    /// external readers use [`Principal::hex_fingerprint`].
+    pub(crate) fingerprint: String,
+    /// Precomputed 64-bit digest of `fingerprint`, used as the hot-path
+    /// identity in `PolicyEngine::query` and as a cache-key component so
+    /// callers never re-hash key material per decision.
+    ///
+    /// Invariant: `fp64 == fp64_of(fingerprint)`, enforced by keeping both
+    /// fields non-public — construction goes through
+    /// `from_key`/`policy_root`. The vendored serde shim derives are
+    /// marker-only (nothing deserializes); when swapping in real serde,
+    /// this field must be `#[serde(skip)]` and recomputed from
+    /// `fingerprint` on deserialize, never accepted from input, or a
+    /// forged `fp64` could impersonate another principal in `query`.
+    fp64: u64,
+}
+
+/// FNV-1a over a byte string; `const` so the policy root's fingerprint is a
+/// compile-time constant.
+const fn fp64_of(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut i = 0;
+    while i < bytes.len() {
+        h = (h ^ bytes[i] as u64).wrapping_mul(0x100_0000_01b3);
+        i += 1;
+    }
+    h
 }
 
 impl Principal {
+    /// The 64-bit fingerprint of the distinguished policy root.
+    pub const POLICY_ROOT_FP: u64 = fp64_of(b"POLICY");
+
     /// The distinguished policy root (KeyNote's `POLICY` authorizer).
     pub fn policy_root() -> Principal {
         Principal {
             name: "POLICY".to_string(),
             fingerprint: "POLICY".to_string(),
+            fp64: Principal::POLICY_ROOT_FP,
         }
     }
 
     /// Create a principal from a name and key material.
     pub fn from_key(name: &str, key_material: &[u8]) -> Principal {
+        let fingerprint = to_hex(&Sha256::digest(key_material));
+        let fp64 = fp64_of(fingerprint.as_bytes());
         Principal {
             name: name.to_string(),
-            fingerprint: to_hex(&Sha256::digest(key_material)),
+            fingerprint,
+            fp64,
         }
+    }
+
+    /// The precomputed 64-bit fingerprint: a cheap, stable identity derived
+    /// from the hex fingerprint at construction time. This is what the
+    /// compliance checker and the decision cache key on.
+    pub fn fingerprint(&self) -> u64 {
+        self.fp64
+    }
+
+    /// The full hex fingerprint of the principal's key material (the
+    /// collision-resistant identity; the 64-bit [`Principal::fingerprint`]
+    /// is a derived fast path).
+    pub fn hex_fingerprint(&self) -> &str {
+        &self.fingerprint
     }
 
     /// Is this the policy root?
@@ -74,6 +121,22 @@ mod tests {
         assert_eq!(a1, a2);
         assert_ne!(a1.fingerprint, b.fingerprint);
         assert!(!a1.is_policy_root());
+    }
+
+    #[test]
+    fn fingerprint64_is_precomputed_and_distinct() {
+        let a = Principal::from_key("alice", b"alice-key");
+        let b = Principal::from_key("bob", b"bob-key");
+        assert_eq!(
+            a.fingerprint(),
+            Principal::from_key("x", b"alice-key").fingerprint()
+        );
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        assert_eq!(
+            Principal::policy_root().fingerprint(),
+            Principal::POLICY_ROOT_FP
+        );
+        assert_ne!(a.fingerprint(), Principal::POLICY_ROOT_FP);
     }
 
     #[test]

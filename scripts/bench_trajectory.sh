@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Capture one bench-trajectory point: run the bench-smoke set and extract
+# every criterion `ns/iter` line into a JSON file, so per-PR performance
+# history accumulates instead of evaporating (ROADMAP open item).
+#
+# Usage: scripts/bench_trajectory.sh [OUT_JSON] [LABEL]
+#   OUT_JSON  where to write the point   (default: target/bench_trajectory.json,
+#             untracked — pass BENCH_PR<N>.json explicitly when recording the
+#             committed per-PR point, so casual runs never clobber a baseline)
+#   LABEL     free-text tag for the point (default: $BENCH_LABEL or "local")
+#
+# Honors SECMOD_BENCH_MS (per-benchmark measurement budget, default 2 —
+# the CI smoke budget; raise it locally for less noisy points).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${1:-target/bench_trajectory.json}"
+LABEL="${2:-${BENCH_LABEL:-local}}"
+BUDGET="${SECMOD_BENCH_MS:-2}"
+
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+SECMOD_BENCH_MS="$BUDGET" cargo bench --workspace | tee "$RAW"
+
+{
+    printf '{\n'
+    printf '  "label": "%s",\n' "$LABEL"
+    printf '  "bench_ms": %s,\n' "$BUDGET"
+    printf '  "benches": [\n'
+    awk '/time:/ && /ns\/iter/ {
+        t = ""
+        for (i = 1; i <= NF; i++) if ($i == "time:") t = $(i + 1)
+        if (t == "") next
+        if (n++) printf ",\n"
+        printf "    {\"name\": \"%s\", \"ns_per_iter\": %s}", $1, t
+    } END { if (n) printf "\n" }' "$RAW"
+    printf '  ]\n'
+    printf '}\n'
+} > "$OUT"
+
+COUNT="$(grep -c ns_per_iter "$OUT" || true)"
+echo "bench_trajectory: wrote $COUNT benches to $OUT (label=$LABEL, ${BUDGET}ms budget)"
+test "$COUNT" -gt 0 || { echo "bench_trajectory: no ns/iter lines captured" >&2; exit 1; }

@@ -1,12 +1,13 @@
 //! Workspace facade for the SecModule baseline reproduction.
 //!
-//! Re-exports the eight member crates under one roof so downstream code
+//! Re-exports the nine member crates under one roof so downstream code
 //! (and the integration tests / examples in this package) can reach any
 //! layer through a single dependency. The interesting code lives in the
 //! members; see the workspace README for the layout and the paper mapping.
 
 pub use secmod_core as core;
 pub use secmod_crypto as crypto;
+pub use secmod_gate as gate;
 pub use secmod_kernel as kernel;
 pub use secmod_module as module;
 pub use secmod_policy as policy;

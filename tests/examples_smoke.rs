@@ -79,3 +79,51 @@ fn every_example_builds_and_runs() {
         );
     }
 }
+
+/// `gate_report` must run all four workload scenarios and report ops/sec
+/// and a cache hit rate for each — and, because decisions are
+/// seed-deterministic, two runs with the same seed must agree on every
+/// allow/deny count even though timing differs.
+#[test]
+fn gate_report_covers_all_scenarios_deterministically() {
+    let dir = examples_dir();
+    if !dir.join("gate_report").exists() {
+        build_examples();
+    }
+    let run = || {
+        let output = Command::new(dir.join("gate_report"))
+            .args(["--threads", "2", "--ops", "2000", "--seed", "7"])
+            .output()
+            .expect("run gate_report");
+        assert!(output.status.success(), "gate_report failed: {output:?}");
+        String::from_utf8_lossy(&output.stdout).into_owned()
+    };
+    let first = run();
+    for scenario in ["uniform", "zipfian", "thrash", "churn"] {
+        assert!(
+            first.contains(scenario),
+            "gate_report output is missing the {scenario} scenario:\n{first}"
+        );
+    }
+    assert!(first.contains("ops/sec"), "no throughput column:\n{first}");
+    assert!(first.contains("hit-rate"), "no hit-rate column:\n{first}");
+
+    // Strip the timing-dependent columns; the decision columns must match.
+    let decisions = |out: &str| -> Vec<(String, String)> {
+        out.lines()
+            .filter(|l| l.contains("allow"))
+            .filter_map(|l| {
+                let allow = l.split("allow").nth(1)?.split_whitespace().next()?;
+                let deny = l.split("deny").nth(1)?.split_whitespace().next()?;
+                Some((allow.to_string(), deny.to_string()))
+            })
+            .collect()
+    };
+    let second = run();
+    assert_eq!(
+        decisions(&first),
+        decisions(&second),
+        "allow/deny splits changed between identically seeded runs"
+    );
+    assert_eq!(decisions(&first).len(), 4, "expected one row per scenario");
+}

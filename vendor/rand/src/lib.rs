@@ -1,12 +1,18 @@
 //! Local shim standing in for the real `rand` crate so the workspace builds
 //! without network access to crates.io.
 //!
-//! The workspace touches `rand` in exactly one place: seeding
-//! `HashDrbg::from_entropy` via `rand::rngs::OsRng.fill_bytes`. This shim
-//! reads `/dev/urandom` for that, falling back to a SplitMix64 stream
-//! seeded from the clock and pid if the device is unavailable (e.g. in a
-//! stripped-down sandbox). All deterministic randomness in the tree comes
-//! from `secmod_crypto::rng`, not from here.
+//! Two API subsets are implemented:
+//!
+//! * `rand::rngs::OsRng.fill_bytes` — entropy for
+//!   `HashDrbg::from_entropy`, read from `/dev/urandom` with a
+//!   SplitMix64-over-clock/pid fallback for stripped-down sandboxes.
+//! * `rand::rngs::SmallRng` + `rand::SeedableRng::seed_from_u64` + the
+//!   `rand::Rng` extension (`gen_range`/`gen_bool`) — the deterministic
+//!   generator `secmod_gate`'s scenario engine seeds per worker thread.
+//!
+//! All other deterministic randomness in the tree comes from
+//! `secmod_crypto::rng`, not from here. Swap in upstream rand (+rand_core)
+//! for the full strategy/distribution surface.
 
 use std::io::Read;
 
@@ -19,6 +25,37 @@ pub trait RngCore {
     /// Fill `dest` with random bytes.
     fn fill_bytes(&mut self, dest: &mut [u8]);
 }
+
+/// Minimal mirror of `rand_core::SeedableRng`: only the `seed_from_u64`
+/// constructor the workspace uses.
+pub trait SeedableRng: Sized {
+    /// Build a generator from a 64-bit seed; the same seed always yields
+    /// the same stream.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Minimal mirror of the `rand::Rng` extension trait: uniform draws from a
+/// half-open `u64` range and Bernoulli draws.
+pub trait Rng: RngCore {
+    /// Uniform draw from `[range.start, range.end)`; panics on an empty
+    /// range like upstream.
+    fn gen_range(&mut self, range: std::ops::Range<u64>) -> u64 {
+        assert!(range.start < range.end, "gen_range on empty range");
+        let span = range.end - range.start;
+        // Multiply-shift rejection-free mapping; bias is < 2^-64 * span,
+        // irrelevant for workload generation.
+        let wide = (self.next_u64() as u128).wrapping_mul(span as u128);
+        range.start + (wide >> 64) as u64
+    }
+
+    /// Bernoulli draw: `true` with probability `p` (clamped to [0, 1]).
+    fn gen_bool(&mut self, p: f64) -> bool {
+        let threshold = (p.clamp(0.0, 1.0) * u64::MAX as f64) as u64;
+        self.next_u64() <= threshold
+    }
+}
+
+impl<T: RngCore> Rng for T {}
 
 pub mod rngs {
     //! Entropy-backed generators, mirroring `rand::rngs`.
@@ -67,9 +104,48 @@ pub mod rngs {
         }
     }
 
+    /// A small, fast, deterministic generator (SplitMix64 core). Upstream's
+    /// `SmallRng` is xoshiro-based; the statistical contract the workspace
+    /// relies on — a reproducible, well-mixed stream per seed — is the same.
+    #[derive(Clone, Debug)]
+    pub struct SmallRng {
+        state: u64,
+    }
+
+    impl crate::SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // Pre-mix so small consecutive seeds diverge immediately.
+            SmallRng {
+                state: seed ^ 0x5851_f42d_4c95_7f2d,
+            }
+        }
+    }
+
+    impl crate::RngCore for SmallRng {
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            for chunk in dest.chunks_mut(8) {
+                let bytes = self.next_u64().to_le_bytes();
+                chunk.copy_from_slice(&bytes[..chunk.len()]);
+            }
+        }
+    }
+
     #[cfg(test)]
     mod tests {
         use super::*;
+        use crate::{Rng, SeedableRng};
 
         #[test]
         fn os_rng_fills() {
@@ -78,6 +154,30 @@ pub mod rngs {
             OsRng.fill_bytes(&mut a);
             OsRng.fill_bytes(&mut b);
             assert_ne!(a, b, "two 256-bit draws should never collide");
+        }
+
+        #[test]
+        fn small_rng_is_deterministic_per_seed() {
+            let mut a = SmallRng::seed_from_u64(42);
+            let mut b = SmallRng::seed_from_u64(42);
+            let mut c = SmallRng::seed_from_u64(43);
+            let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+            let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+            let zs: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
+            assert_eq!(xs, ys);
+            assert_ne!(xs, zs);
+        }
+
+        #[test]
+        fn gen_range_and_gen_bool_respect_bounds() {
+            let mut rng = SmallRng::seed_from_u64(7);
+            for _ in 0..1000 {
+                let v = rng.gen_range(10..20);
+                assert!((10..20).contains(&v));
+            }
+            assert!(rng.gen_bool(1.0));
+            let heads = (0..1000).filter(|_| rng.gen_bool(0.5)).count();
+            assert!((300..700).contains(&heads), "suspicious coin: {heads}");
         }
     }
 }
