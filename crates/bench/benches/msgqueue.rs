@@ -15,7 +15,7 @@ fn msgqueue(c: &mut Criterion) {
     for size in [16usize, 256, 4096] {
         let payload = vec![1u8; size];
         group.bench_with_input(BenchmarkId::new("msgsnd_msgrcv", size), &size, |b, _| {
-            let mut msgs = MsgSubsystem::new();
+            let msgs = MsgSubsystem::new();
             let q = msgs.msgget();
             b.iter(|| {
                 msgs.msgsnd(

@@ -13,6 +13,12 @@
 //! This is the backend the wall-clock Figure 8 reproduction uses: absolute
 //! numbers reflect modern hardware, but the ordering (native syscall ≪ SMOD
 //! dispatch ≪ local RPC) and rough ratios match the paper.
+//!
+//! Which lock is held where: the shared heap sits behind one `RwLock`
+//! (readers concurrent, writers exclusive — held only for the duration of
+//! a `read`/`write` byte copy); the call rendezvous itself holds no lock
+//! at all, it is a pair of bounded(0) channels, so a session serialises
+//! its own calls but separate sessions never contend.
 
 use crate::{Result, SmodError};
 use crossbeam::channel::{bounded, Receiver, Sender};

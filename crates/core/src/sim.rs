@@ -6,6 +6,17 @@
 //! runs the crt0-style session handshake on their behalf, and dispatches
 //! calls through `sys_smod_call`.  Everything is deterministic, and the
 //! kernel's simulated clock gives reproducible Figure 8-style timings.
+//!
+//! Concurrency: the underlying kernel is `&self` end to end, so once the
+//! world is set up (modules installed, clients connected — the `&mut self`
+//! methods), any number of threads may drive [`SimWorld::call`] /
+//! [`SimWorld::native_getpid`] / [`SimWorld::peek`] / [`SimWorld::poke`]
+//! concurrently through a shared `&SimWorld`. Which lock is held where: a
+//! dispatch takes the kernel's process-map and session-map read locks just
+//! long enough to clone handles, the per-call policy check is a lookup in
+//! the module's sharded decision cache (engine read lock only on a miss),
+//! and the body runs under the client/handle pair's two process mutexes —
+//! so calls on different sessions proceed in parallel.
 
 use crate::secure_module::SecureModule;
 use crate::{Result, SmodError};
@@ -52,7 +63,7 @@ impl SimWorld {
 
     /// Boot a world with a custom cost model.
     pub fn with_cost_model(cost: CostModel) -> SimWorld {
-        let mut kernel = Kernel::new(cost);
+        let kernel = Kernel::new(cost);
         let registrar = kernel
             .spawn_process("smod-registrar", Credential::root(), vec![0x90; 4096], 2, 2)
             .expect("registrar process");
@@ -123,8 +134,9 @@ impl SimWorld {
         Ok(session)
     }
 
-    /// Dispatch a call through `sys_smod_call` by symbol name.
-    pub fn call(&mut self, client: Pid, symbol: &str, args: &[u8]) -> Result<Vec<u8>> {
+    /// Dispatch a call through `sys_smod_call` by symbol name. Takes
+    /// `&self`: safe to drive from many threads at once.
+    pub fn call(&self, client: Pid, symbol: &str, args: &[u8]) -> Result<Vec<u8>> {
         let m_id = *self
             .client_modules
             .get(&client)
@@ -147,17 +159,17 @@ impl SimWorld {
     }
 
     /// Native (non-SecModule) `getpid()` for the baseline measurement.
-    pub fn native_getpid(&mut self, client: Pid) -> Result<Pid> {
+    pub fn native_getpid(&self, client: Pid) -> Result<Pid> {
         Ok(self.kernel.sys_getpid(client)?)
     }
 
     /// Write into a client's memory (test/workload convenience).
-    pub fn poke(&mut self, client: Pid, addr: Vaddr, data: &[u8]) -> Result<()> {
+    pub fn poke(&self, client: Pid, addr: Vaddr, data: &[u8]) -> Result<()> {
         Ok(self.kernel.write_user_memory(client, addr, data)?)
     }
 
     /// Read from a client's memory.
-    pub fn peek(&mut self, client: Pid, addr: Vaddr, len: usize) -> Result<Vec<u8>> {
+    pub fn peek(&self, client: Pid, addr: Vaddr, len: usize) -> Result<Vec<u8>> {
         Ok(self.kernel.read_user_memory(client, addr, len)?)
     }
 
@@ -173,7 +185,7 @@ impl SimWorld {
     }
 
     /// Measure the simulated time of `f` in nanoseconds.
-    pub fn measure<T>(&mut self, f: impl FnOnce(&mut SimWorld) -> T) -> (T, u64) {
+    pub fn measure<T>(&self, f: impl FnOnce(&SimWorld) -> T) -> (T, u64) {
         let start = self.now_ns();
         let value = f(self);
         (value, self.now_ns() - start)
@@ -237,7 +249,7 @@ mod tests {
 
     #[test]
     fn install_connect_call() {
-        let (mut world, client) = connected_world();
+        let (world, client) = connected_world();
         assert!(world.module_id("libdemo").is_some());
         let reply = world.call(client, "incr", &41u64.to_le_bytes()).unwrap();
         assert_eq!(u64::from_le_bytes(reply.try_into().unwrap()), 42);
@@ -245,7 +257,7 @@ mod tests {
 
     #[test]
     fn handle_reads_client_heap_through_shared_pages() {
-        let (mut world, client) = connected_world();
+        let (world, client) = connected_world();
         let addr = world.heap_base();
         world.poke(client, addr, b"shared secret").unwrap();
         let mut args = addr.0.to_le_bytes().to_vec();
@@ -302,7 +314,7 @@ mod tests {
 
     #[test]
     fn simulated_time_advances_per_call() {
-        let (mut world, client) = connected_world();
+        let (world, client) = connected_world();
         let (_, smod_ns) = world.measure(|w| w.call(client, "incr", &1u64.to_le_bytes()).unwrap());
         let (_, getpid_ns) = world.measure(|w| w.native_getpid(client).unwrap());
         assert!(smod_ns > getpid_ns);

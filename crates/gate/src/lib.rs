@@ -17,17 +17,24 @@
 //! * [`gateway`] — the [`Gateway`]: a `Sync` front for
 //!   [`secmod_policy::PolicyEngine`] whose mutating operations
 //!   (`add_assertion`, `register_key`) bump an invalidation **epoch**, and
-//!   which folds `Kernel::smod_epoch` (bumped by `sys_smod_remove` /
-//!   `smod_detach`) in through [`Gateway::sync_kernel_epoch`]. The epoch
-//!   is part of every cache key, so a stale decision is unreachable the
-//!   moment a mutation returns — coherence by construction, which the
+//!   which folds the kernel's `smod_epoch` (bumped by `sys_smod_remove` /
+//!   `smod_detach`) in through [`Gateway::observe_kernel_epoch`]. The
+//!   epoch is part of every cache key, so a stale decision is unreachable
+//!   the moment a mutation returns — coherence by construction, which the
 //!   crate's property test (`tests/coherence.rs`) checks against an
 //!   uncached engine across arbitrary interleavings.
+//!
+//!   Since PR 3 the cache and gateway modules *live in* `secmod_policy`
+//!   (re-exported here unchanged): the kernel embeds one shared gateway
+//!   per registered module, so `sys_smod_call`'s per-call check is a
+//!   cache lookup inside the kernel dispatch path itself, and concurrent
+//!   sessions on one module share the same cache.
 //! * [`scenario`] — a **workload scenario engine** generating
 //!   deterministic multi-tenant traffic (uniform, zipfian hot-key,
-//!   adversarial cache-thrash, and session churn against a live simulated
-//!   kernel) from many threads, reporting ops/sec and hit rate per
-//!   scenario.
+//!   adversarial cache-thrash, session churn against a live simulated
+//!   kernel, and multi-threaded dispatch through the real
+//!   `sys_smod_call` path) from many threads, reporting ops/sec and hit
+//!   rate per scenario.
 //!
 //! Quick taste:
 //!
@@ -42,12 +49,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-pub mod cache;
-pub mod gateway;
+pub use secmod_policy::cache;
+pub use secmod_policy::gateway;
 pub mod scenario;
 
 pub use cache::{CacheConfig, CacheKey, CacheStats, DecisionCache};
 pub use gateway::{AccessRequest, Gateway};
 pub use scenario::{
-    build_universe, run_scenario, ScenarioConfig, ScenarioKind, ScenarioReport, Universe,
+    build_dispatch_kernel, build_universe, run_scenario, DispatchKernel, ScenarioConfig,
+    ScenarioKind, ScenarioReport, Universe,
 };

@@ -17,6 +17,11 @@
 //!   detaches real kernel SecModule sessions mid-stream; every detach
 //!   bumps `Kernel::smod_epoch`, which the actor folds into the gateway,
 //!   invalidating the cache under the workers' feet.
+//! * **kernel** — the real thing: N threads drive `sys_smod_call` on one
+//!   shared `&self` kernel, each through its own established session on
+//!   the same module, so every per-call check goes through the module's
+//!   *embedded* gateway (the decision cache inside the kernel dispatch
+//!   path) rather than a free-standing one.
 //!
 //! All randomness comes from per-thread `SmallRng` streams seeded from
 //! `ScenarioConfig::seed`, so the request sequence — and therefore the
@@ -29,14 +34,15 @@ use crate::gateway::{AccessRequest, Gateway};
 use crossbeam::channel;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+use secmod_kernel::smod::SmodCallArgs;
 use secmod_kernel::smodreg::FunctionTable;
-use secmod_kernel::{Credential, Kernel};
-use secmod_module::builder::ModuleBuilder;
-use secmod_module::SmodPackage;
+use secmod_kernel::{Credential, Errno, Kernel, Pid};
+use secmod_module::builder::{FunctionSpec, ModuleBuilder};
+use secmod_module::{ModuleId, SmodPackage, StubTable};
 use secmod_policy::{Assertion, LicenseeExpr, PolicyEngine, Principal};
 use std::time::{Duration, Instant};
 
-/// The four traffic shapes the engine can generate.
+/// The five traffic shapes the engine can generate.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum ScenarioKind {
     /// Uniform tenant/module/operation draws.
@@ -47,15 +53,18 @@ pub enum ScenarioKind {
     AdversarialThrash,
     /// Uniform traffic plus kernel sessions detaching mid-stream.
     Churn,
+    /// Concurrent `sys_smod_call` dispatch through one shared kernel.
+    KernelDispatch,
 }
 
 impl ScenarioKind {
     /// Every scenario, in report order.
-    pub const ALL: [ScenarioKind; 4] = [
+    pub const ALL: [ScenarioKind; 5] = [
         ScenarioKind::Uniform,
         ScenarioKind::ZipfianHotKey,
         ScenarioKind::AdversarialThrash,
         ScenarioKind::Churn,
+        ScenarioKind::KernelDispatch,
     ];
 
     /// Short name used in reports and CLI arguments.
@@ -65,6 +74,7 @@ impl ScenarioKind {
             ScenarioKind::ZipfianHotKey => "zipfian",
             ScenarioKind::AdversarialThrash => "thrash",
             ScenarioKind::Churn => "churn",
+            ScenarioKind::KernelDispatch => "kernel",
         }
     }
 }
@@ -258,7 +268,9 @@ fn run_worker(
     let mut stats = WorkerStats::default();
     for op_idx in 0..cfg.ops_per_thread {
         let (tenant, module, operation, uid) = match cfg.kind {
-            ScenarioKind::Uniform | ScenarioKind::Churn => {
+            // KernelDispatch never reaches run_worker (it has its own
+            // runner); the arm exists only for exhaustiveness.
+            ScenarioKind::Uniform | ScenarioKind::Churn | ScenarioKind::KernelDispatch => {
                 let tenant = rng.gen_range(0..universe.tenants.len() as u64) as usize;
                 (
                     tenant,
@@ -308,8 +320,8 @@ fn run_worker(
 
 /// Build the kernel the churn actor cycles sessions against: one
 /// registered module with an always-allow policy for the actor's client.
-fn churn_kernel() -> (Kernel, secmod_module::ModuleId, secmod_kernel::Pid) {
-    let mut kernel = Kernel::default();
+fn churn_kernel() -> (Kernel, ModuleId, Pid) {
+    let kernel = Kernel::default();
     let registrar = kernel
         .spawn_process(
             "churn-registrar",
@@ -359,7 +371,7 @@ fn churn_kernel() -> (Kernel, secmod_module::ModuleId, secmod_kernel::Pid) {
 /// folding the kernel's invalidation epoch into the gateway after every
 /// detach.
 fn run_churn_actor(gateway: &Gateway, cycles: u64) -> WorkerStats {
-    let (mut kernel, m_id, client) = churn_kernel();
+    let (kernel, m_id, client) = churn_kernel();
     for _ in 0..cycles {
         let (_session, handle) = kernel
             .sys_smod_start_session(client, m_id)
@@ -367,12 +379,192 @@ fn run_churn_actor(gateway: &Gateway, cycles: u64) -> WorkerStats {
         kernel.sys_smod_session_info(handle).expect("handle ready");
         kernel.sys_smod_handle_info(client).expect("handshake");
         kernel.smod_detach(client, "churn").expect("detach");
-        gateway.sync_kernel_epoch(&kernel);
+        gateway.observe_kernel_epoch(kernel.smod_epoch());
     }
     WorkerStats {
         epoch_bumps: kernel.smod_epoch(),
         ..WorkerStats::default()
     }
+}
+
+/// A live kernel-dispatch universe: one shared kernel, one registered
+/// module (whose embedded gateway serves every per-call check), and one
+/// established session per worker thread. Built by
+/// [`build_dispatch_kernel`]; also reused by the `fig8_concurrent` bench.
+pub struct DispatchKernel {
+    /// The shared kernel; every syscall takes `&self`.
+    pub kernel: Kernel,
+    /// The registered benchmark module.
+    pub module: ModuleId,
+    /// One connected client per worker thread (thread i drives client i).
+    pub clients: Vec<Pid>,
+    /// Function ids of the module's operations; index 0 is the
+    /// `"restricted"` operation that the policy denies.
+    pub func_ids: Vec<u32>,
+}
+
+/// Build a kernel for the kernel-dispatch scenario: one module protected
+/// by a vendor → per-tenant delegation policy (each decision is a two-hop
+/// fixpoint when uncached, exactly what the embedded decision cache
+/// amortises), `threads` clients with per-tenant credentials, and an
+/// established session per client. The module's gateway is sized by
+/// `cfg.cache` — pass [`CacheConfig::disabled`] to measure the uncached
+/// baseline through the identical code path.
+pub fn build_dispatch_kernel(cfg: &ScenarioConfig) -> DispatchKernel {
+    const MODULE_NAME: &str = "libdispatch";
+    let kernel = Kernel::with_gate_config(secmod_kernel::CostModel::default(), cfg.cache);
+    // Tracing every dispatch from N threads would serialise the workers on
+    // the tracer mutex and grow an unbounded log; the scenario measures
+    // dispatch, not tracing.
+    kernel.tracer.set_enabled(false);
+    let registrar = kernel
+        .spawn_process(
+            "dispatch-registrar",
+            Credential::root(),
+            vec![0x90; 4096],
+            2,
+            2,
+        )
+        .expect("spawn registrar");
+
+    // The module image: operation 0 is "restricted", the rest are opN.
+    let operations: Vec<String> = std::iter::once("restricted".to_string())
+        .chain((1..cfg.operations.max(2)).map(|o| format!("op{o}")))
+        .collect();
+    let mut builder = ModuleBuilder::new(MODULE_NAME, 1);
+    for op in &operations {
+        builder.add_function(FunctionSpec::new(op, 64));
+    }
+    let image = builder.build(false).expect("build dispatch image");
+    let stub_table = StubTable::generate(&image);
+    let func_ids: Vec<u32> = operations
+        .iter()
+        .map(|op| stub_table.by_name(op).expect("stub exists").func_id)
+        .collect();
+    let mut functions = FunctionTable::new();
+    for &func_id in &func_ids {
+        functions.register(func_id, |_ctx, args| {
+            let v = u64::from_le_bytes(args[..8].try_into().map_err(|_| Errno::EINVAL)?);
+            Ok((v + 1).to_le_bytes().to_vec())
+        });
+    }
+
+    // Policy: root trusts the vendor for this module; the vendor delegates
+    // to each tenant for everything but "restricted".
+    let vendor_key = format!("dispatch-vendor-key-{}", cfg.seed);
+    let vendor = Principal::from_key("vendor", vendor_key.as_bytes());
+    let mut policy = PolicyEngine::new();
+    policy.register_key(&vendor, vendor_key.as_bytes());
+    policy
+        .add_assertion(
+            Assertion::policy(
+                LicenseeExpr::Single(vendor.clone()),
+                &format!("module == \"{MODULE_NAME}\""),
+            )
+            .unwrap(),
+        )
+        .unwrap();
+    // One delegation per tenant (not per worker): the policy's size — and
+    // therefore the uncached fixpoint cost — is set by `cfg.tenants`, so an
+    // uncached 1-thread baseline evaluates the same policy a cached
+    // 8-thread run does. Workers use the first `cfg.threads` tenants.
+    let tenant_keys: Vec<Vec<u8>> = (0..cfg.tenants.max(cfg.threads))
+        .map(|t| format!("tenant-key-{t}-{}", cfg.seed).into_bytes())
+        .collect();
+    for key in &tenant_keys {
+        let tenant = Principal::from_key("tenant", key);
+        policy
+            .add_assertion(
+                Assertion::delegation(
+                    vendor.clone(),
+                    LicenseeExpr::Single(tenant),
+                    "function != \"restricted\"",
+                )
+                .unwrap()
+                .sign(vendor_key.as_bytes()),
+            )
+            .unwrap();
+    }
+
+    let module_key = b"0123456789abcdef".to_vec();
+    let nonce = [9u8; 8];
+    let enc = secmod_crypto::SelectiveEncryptor::new(&module_key, nonce).expect("encryptor");
+    let package = SmodPackage::seal(&image, &enc, b"dispatch-mac-key").expect("seal");
+    let module = kernel
+        .sys_smod_add(
+            registrar,
+            package,
+            secmod_kernel::smod::ModuleKeyDelivery::Raw {
+                key: module_key,
+                nonce,
+            },
+            b"dispatch-mac-key",
+            policy,
+            functions,
+        )
+        .expect("register dispatch module");
+
+    let clients: Vec<Pid> = tenant_keys
+        .iter()
+        .take(cfg.threads)
+        .enumerate()
+        .map(|(t, key)| {
+            let client = kernel
+                .spawn_process(
+                    &format!("dispatch-client{t}"),
+                    Credential::user(1000 + t as u32, 100).with_smod_credential(MODULE_NAME, key),
+                    vec![0x90; 4096],
+                    4,
+                    4,
+                )
+                .expect("spawn dispatch client");
+            let (_session, handle) = kernel
+                .sys_smod_start_session(client, module)
+                .expect("start session");
+            kernel.sys_smod_session_info(handle).expect("handle ready");
+            kernel.sys_smod_handle_info(client).expect("handshake");
+            client
+        })
+        .collect();
+
+    DispatchKernel {
+        kernel,
+        module,
+        clients,
+        func_ids,
+    }
+}
+
+/// One kernel-dispatch worker: issue `ops_per_thread` `sys_smod_call`s on
+/// this thread's own session, drawing the operation uniformly (so the
+/// deterministic slice aimed at `"restricted"` is denied by policy).
+fn run_kernel_worker(
+    dispatch: &DispatchKernel,
+    cfg: &ScenarioConfig,
+    thread_idx: u64,
+) -> WorkerStats {
+    let mut rng = SmallRng::seed_from_u64(cfg.seed ^ mix64(thread_idx + 1));
+    let client = dispatch.clients[thread_idx as usize];
+    let mut stats = WorkerStats::default();
+    for op_idx in 0..cfg.ops_per_thread {
+        let func_id = dispatch.func_ids[rng.gen_range(0..dispatch.func_ids.len() as u64) as usize];
+        let outcome = dispatch.kernel.sys_smod_call(
+            client,
+            SmodCallArgs {
+                m_id: dispatch.module,
+                func_id,
+                frame_pointer: 0xBFFF_0000,
+                return_address: 0x0000_1000,
+                args: op_idx.to_le_bytes().to_vec(),
+            },
+        );
+        match outcome {
+            Ok(_) => stats.allows += 1,
+            Err(Errno::EACCES) => stats.denies += 1,
+            Err(e) => panic!("unexpected dispatch error: {e:?}"),
+        }
+    }
+    stats
 }
 
 /// The outcome of one scenario run.
@@ -426,8 +618,13 @@ impl std::fmt::Display for ScenarioReport {
 /// Run one scenario: build the universe, drive the gateway from
 /// `cfg.threads` worker threads (plus the churn actor for
 /// [`ScenarioKind::Churn`]), and aggregate the per-thread counters over a
-/// crossbeam channel.
+/// crossbeam channel. [`ScenarioKind::KernelDispatch`] instead drives the
+/// real kernel dispatch path and reports the *embedded* module gateway's
+/// cache counters.
 pub fn run_scenario(cfg: &ScenarioConfig) -> ScenarioReport {
+    if cfg.kind == ScenarioKind::KernelDispatch {
+        return run_kernel_scenario(cfg);
+    }
     let (gateway, universe) = build_universe(cfg);
     let actors = cfg.threads + usize::from(cfg.kind == ScenarioKind::Churn);
     let (tx, rx) = channel::bounded::<WorkerStats>(actors);
@@ -476,6 +673,55 @@ pub fn run_scenario(cfg: &ScenarioConfig) -> ScenarioReport {
         denies,
         epoch_bumps,
         cache: gateway.cache_stats(),
+    }
+}
+
+/// The [`ScenarioKind::KernelDispatch`] runner: N threads hammer
+/// `sys_smod_call` on one shared kernel, one session each, all checks
+/// served by the module's embedded gateway.
+fn run_kernel_scenario(cfg: &ScenarioConfig) -> ScenarioReport {
+    let dispatch = build_dispatch_kernel(cfg);
+    let (tx, rx) = channel::bounded::<WorkerStats>(cfg.threads);
+
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for thread_idx in 0..cfg.threads {
+            let tx = tx.clone();
+            let dispatch = &dispatch;
+            scope.spawn(move || {
+                let stats = run_kernel_worker(dispatch, cfg, thread_idx as u64);
+                tx.send(stats).expect("report kernel worker stats");
+            });
+        }
+    });
+    let elapsed = start.elapsed();
+
+    let mut allows = 0;
+    let mut denies = 0;
+    for _ in 0..cfg.threads {
+        let stats = rx.recv().expect("collect kernel worker stats");
+        allows += stats.allows;
+        denies += stats.denies;
+    }
+
+    let cache = dispatch
+        .kernel
+        .registry
+        .get(dispatch.module)
+        .expect("module registered")
+        .gateway
+        .cache_stats();
+    let total_ops = cfg.total_ops();
+    ScenarioReport {
+        kind: cfg.kind,
+        threads: cfg.threads,
+        total_ops,
+        elapsed,
+        ops_per_sec: total_ops as f64 / elapsed.as_secs_f64().max(1e-9),
+        allows,
+        denies,
+        epoch_bumps: dispatch.kernel.smod_epoch(),
+        cache,
     }
 }
 
@@ -528,6 +774,34 @@ mod tests {
             zipf.hit_rate() > 0.9,
             "zipf hit rate {:.3} suspiciously low",
             zipf.hit_rate()
+        );
+    }
+
+    #[test]
+    fn kernel_dispatch_serves_checks_from_the_embedded_cache() {
+        let report = run_scenario(&ScenarioConfig::quick(ScenarioKind::KernelDispatch, 11));
+        assert_eq!(report.allows + report.denies, report.total_ops);
+        assert!(report.allows > 0, "allowed operations must dominate");
+        assert!(report.denies > 0, "the restricted operation must be denied");
+        assert!(
+            report.hit_rate() > 0.9,
+            "kernel-path hit rate {:.3} suspiciously low",
+            report.hit_rate()
+        );
+    }
+
+    #[test]
+    fn kernel_dispatch_uncached_baseline_never_hits() {
+        let mut cfg = ScenarioConfig::quick(ScenarioKind::KernelDispatch, 11);
+        cfg.cache = CacheConfig::disabled();
+        let report = run_scenario(&cfg);
+        assert_eq!(report.cache.hits, 0, "disabled cache must never hit");
+        // Identical traffic, identical decisions: the cache only changes
+        // the cost of computing an answer, never the answer.
+        let cached = run_scenario(&ScenarioConfig::quick(ScenarioKind::KernelDispatch, 11));
+        assert_eq!(
+            (report.allows, report.denies),
+            (cached.allows, cached.denies)
         );
     }
 

@@ -10,10 +10,23 @@
 //! invalidation, or a cache key that conflates two distinct requests all
 //! fail this property.
 
+//! A second family of tests drives the *kernel-backed* path: the gateway
+//! embedded in a registered module, exercised through real
+//! `sys_smod_call`s, with sessions detaching and modules being removed and
+//! re-registered around the concurrent callers — the cached kernel must
+//! remain indistinguishable from an uncached one across every mutation
+//! interleaving, and a detach/remove must never let a stale Allow through.
+
 use proptest::prelude::*;
 use proptest::{collection, prop_assert_eq, proptest};
-use secmod_gate::{AccessRequest, CacheConfig, Gateway};
-use secmod_policy::{Assertion, LicenseeExpr, PolicyEngine, Principal};
+use secmod_gate::{build_dispatch_kernel, AccessRequest, CacheConfig, Gateway};
+use secmod_gate::{ScenarioConfig, ScenarioKind};
+use secmod_kernel::smod::{ModuleKeyDelivery, SmodCallArgs};
+use secmod_kernel::smodreg::FunctionTable;
+use secmod_kernel::{Credential, Errno, Kernel, Pid};
+use secmod_module::builder::ModuleBuilder;
+use secmod_module::{ModuleId, SmodPackage, StubTable};
+use secmod_policy::{Assertion, Environment, LicenseeExpr, PolicyEngine, Principal};
 
 /// A fixed cast of principals with their key material.
 fn cast() -> Vec<(Principal, Vec<u8>)> {
@@ -106,4 +119,311 @@ proptest! {
             }
         }
     }
+}
+
+// ====================================================================
+// Kernel-backed coherence: the embedded per-module gateway, driven
+// through the real dispatch path.
+// ====================================================================
+
+const CLIENT_KEYS: [&[u8]; 2] = [b"kcoh-client-key-0", b"kcoh-client-key-1"];
+const MAC_KEY: &[u8] = b"kcoh-mac-key";
+
+/// Register the libc-like module whose policy initially grants client 0
+/// everything except `strlen`, returning the kernel, module id and the two
+/// connected clients.
+fn kernel_universe() -> (Kernel, ModuleId, Vec<Pid>) {
+    let kernel = Kernel::default();
+    kernel.tracer.set_enabled(false);
+    let registrar = kernel
+        .spawn_process("registrar", Credential::root(), vec![0x90; 4096], 2, 2)
+        .unwrap();
+
+    let image = ModuleBuilder::libc_like();
+    let key = b"0123456789abcdef".to_vec();
+    let nonce = [5u8; 8];
+    let enc = secmod_crypto::SelectiveEncryptor::new(&key, nonce).unwrap();
+    let package = SmodPackage::seal(&image, &enc, MAC_KEY).unwrap();
+
+    let mut policy = PolicyEngine::new();
+    policy
+        .add_assertion(
+            Assertion::policy(
+                LicenseeExpr::Single(Principal::from_key("c0", CLIENT_KEYS[0])),
+                "function != \"strlen\"",
+            )
+            .unwrap(),
+        )
+        .unwrap();
+
+    let stub_table = StubTable::generate(&image);
+    let mut functions = FunctionTable::new();
+    for stub in &stub_table.stubs {
+        functions.register(stub.func_id, |_ctx, _args| Ok(vec![1]));
+    }
+
+    let m_id = kernel
+        .sys_smod_add(
+            registrar,
+            package,
+            ModuleKeyDelivery::Raw { key, nonce },
+            MAC_KEY,
+            policy,
+            functions,
+        )
+        .unwrap();
+
+    let clients: Vec<Pid> = (0..2)
+        .map(|i| {
+            let client = kernel
+                .spawn_process(
+                    &format!("kcoh{i}"),
+                    Credential::user(1000 + i, 100)
+                        .with_smod_credential("libc", CLIENT_KEYS[i as usize]),
+                    vec![0x90; 4096],
+                    4,
+                    4,
+                )
+                .unwrap();
+            // Client 1 has no grant yet; establish its session only once a
+            // grant exists — so at build time only client 0 connects.
+            client
+        })
+        .collect();
+    establish(&kernel, clients[0], m_id);
+    (kernel, m_id, clients)
+}
+
+fn establish(kernel: &Kernel, client: Pid, m_id: ModuleId) {
+    let (_s, handle) = kernel.sys_smod_start_session(client, m_id).unwrap();
+    kernel.sys_smod_session_info(handle).unwrap();
+    kernel.sys_smod_handle_info(client).unwrap();
+}
+
+fn dispatch(kernel: &Kernel, client: Pid, m_id: ModuleId, func_id: u32) -> Result<bool, Errno> {
+    match kernel.sys_smod_call(
+        client,
+        SmodCallArgs {
+            m_id,
+            func_id,
+            frame_pointer: 0,
+            return_address: 0,
+            args: 7u64.to_le_bytes().to_vec(),
+        },
+    ) {
+        Ok(_) => Ok(true),
+        Err(Errno::EACCES) => Ok(false),
+        Err(e) => Err(e),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+    /// For ANY interleaving of kernel dispatches, policy grants (live,
+    /// through the embedded gateway), and session detach/re-establish
+    /// cycles (kernel epoch bumps), the cached kernel answers exactly what
+    /// an uncached mirror engine answers.
+    #[test]
+    fn kernel_gateway_matches_uncached_engine(
+        ops in collection::vec((0u8..5, 0u8..=255, 0u8..=255), 1..40)
+    ) {
+        let (kernel, m_id, clients) = kernel_universe();
+        let module = kernel.registry.get(m_id).unwrap();
+        let stubs: Vec<(u32, String)> = module
+            .package
+            .stub_table
+            .stubs
+            .iter()
+            .map(|s| (s.func_id, s.symbol.clone()))
+            .collect();
+        // The uncached mirror: same assertions, queried directly.
+        let mut mirror = PolicyEngine::new();
+        mirror
+            .add_assertion(
+                Assertion::policy(
+                    LicenseeExpr::Single(Principal::from_key("c0", CLIENT_KEYS[0])),
+                    "function != \"strlen\"",
+                )
+                .unwrap(),
+            )
+            .unwrap();
+        let mut connected = [true, false];
+
+        for (code, a, b) in ops {
+            let who = (a % 2) as usize;
+            let (func_id, symbol) = &stubs[b as usize % stubs.len()];
+            match code {
+                // A dispatch, checked against the mirror (repeated so the
+                // second answer is expected to come from the cache).
+                0 | 1 => {
+                    if !connected[who] {
+                        continue;
+                    }
+                    let client = clients[who];
+                    let principal = Principal::from_key("p", CLIENT_KEYS[who]);
+                    let env = Environment::for_smod_call(
+                        &format!("kcoh{who}"),
+                        "libc",
+                        36,
+                        symbol,
+                        1000 + who as i64,
+                    );
+                    let expected = mirror.is_allowed(std::slice::from_ref(&principal), &env);
+                    prop_assert_eq!(dispatch(&kernel, client, m_id, *func_id), Ok(expected));
+                    prop_assert_eq!(dispatch(&kernel, client, m_id, *func_id), Ok(expected));
+                }
+                // A live policy grant through the embedded gateway; must be
+                // visible to the very next dispatch.
+                2 => {
+                    let cond = if b % 2 == 0 {
+                        String::new()
+                    } else {
+                        format!("function != \"{symbol}\"")
+                    };
+                    let assertion = Assertion::policy(
+                        LicenseeExpr::Single(Principal::from_key("p", CLIENT_KEYS[who])),
+                        &cond,
+                    )
+                    .unwrap();
+                    let module = kernel.registry.get(m_id).unwrap();
+                    prop_assert_eq!(
+                        module.gateway.add_assertion(assertion.clone()).is_ok(),
+                        mirror.add_assertion(assertion).is_ok()
+                    );
+                }
+                // Detach + re-establish: bumps the kernel epoch, which the
+                // next dispatch must fold in before consulting the cache.
+                3 => {
+                    if connected[who] {
+                        kernel.smod_detach(clients[who], "coherence churn").unwrap();
+                        connected[who] = false;
+                    }
+                }
+                // (Re)connect, if the policy currently admits a session.
+                _ => {
+                    if !connected[who]
+                        && kernel.sys_smod_start_session(clients[who], m_id).is_ok()
+                    {
+                        let handle =
+                            kernel.procs.with(clients[who], |p| p.smod.unwrap().peer).unwrap();
+                        kernel.sys_smod_session_info(handle).unwrap();
+                        kernel.sys_smod_handle_info(clients[who]).unwrap();
+                        connected[who] = true;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// A module removal (epoch bump) must invalidate every decision cached for
+/// it: re-registering the same name/version with a *stricter* policy must
+/// not serve the old policy's cached Allow to the new module.
+#[test]
+fn remove_and_reregister_never_serves_stale_allow() {
+    let (kernel, m_id, clients) = kernel_universe();
+    let module = kernel.registry.get(m_id).unwrap();
+    let getpid_id = module.package.stub_table.by_name("getpid").unwrap().func_id;
+    // Warm the cache with Allows for client 0.
+    assert_eq!(dispatch(&kernel, clients[0], m_id, getpid_id), Ok(true));
+    assert_eq!(dispatch(&kernel, clients[0], m_id, getpid_id), Ok(true));
+    drop(module);
+
+    // Tear down and remove the module (both bump the kernel epoch).
+    kernel.smod_detach(clients[0], "teardown").unwrap();
+    kernel.sys_smod_remove(Pid(1), m_id).unwrap();
+
+    // Re-register the same module name/version with an empty (deny-all)
+    // policy. If the old epoch's cached Allow leaked through, the session
+    // start below would succeed.
+    let image = ModuleBuilder::libc_like();
+    let key = b"0123456789abcdef".to_vec();
+    let nonce = [5u8; 8];
+    let enc = secmod_crypto::SelectiveEncryptor::new(&key, nonce).unwrap();
+    let package = SmodPackage::seal(&image, &enc, MAC_KEY).unwrap();
+    let m2 = kernel
+        .sys_smod_add(
+            Pid(1),
+            package,
+            ModuleKeyDelivery::Raw { key, nonce },
+            MAC_KEY,
+            PolicyEngine::new(),
+            FunctionTable::new(),
+        )
+        .unwrap();
+    assert_ne!(m2, m_id);
+    assert_eq!(
+        kernel.sys_smod_start_session(clients[0], m2).unwrap_err(),
+        Errno::EACCES,
+        "stale cached Allow served to the re-registered module"
+    );
+}
+
+/// Sessions detaching *while* other threads dispatch concurrently must
+/// never flip a decision: allowed operations stay allowed, the restricted
+/// operation stays denied, across every epoch bump the churn injects.
+#[test]
+fn concurrent_dispatch_with_racing_detach_stays_coherent() {
+    let cfg = ScenarioConfig {
+        threads: 3,
+        ops_per_thread: 1_500,
+        ..ScenarioConfig::quick(ScenarioKind::KernelDispatch, 23)
+    };
+    let dispatch_kernel = build_dispatch_kernel(&cfg);
+    let kernel = &dispatch_kernel.kernel;
+    let m_id = dispatch_kernel.module;
+    let restricted = dispatch_kernel.func_ids[0];
+    let allowed = dispatch_kernel.func_ids[1];
+
+    // A churn client with its own credential cycles sessions, bumping the
+    // kernel epoch under the workers' feet.
+    let churn_key = b"kcoh-churn-key".to_vec();
+    {
+        let module = kernel.registry.get(m_id).unwrap();
+        let vendor_key = format!("dispatch-vendor-key-{}", cfg.seed);
+        module
+            .gateway
+            .add_assertion(
+                Assertion::delegation(
+                    Principal::from_key("vendor", vendor_key.as_bytes()),
+                    LicenseeExpr::Single(Principal::from_key("churn", &churn_key)),
+                    "function != \"restricted\"",
+                )
+                .unwrap()
+                .sign(vendor_key.as_bytes()),
+            )
+            .unwrap();
+    }
+    let churn_client = kernel
+        .spawn_process(
+            "churn",
+            Credential::user(4242, 42).with_smod_credential("libdispatch", &churn_key),
+            vec![0x90; 4096],
+            4,
+            4,
+        )
+        .unwrap();
+
+    std::thread::scope(|s| {
+        for (t, &client) in dispatch_kernel.clients.iter().enumerate() {
+            s.spawn(move || {
+                for i in 0..cfg.ops_per_thread {
+                    let func = if i % 3 == 0 { restricted } else { allowed };
+                    let outcome = dispatch(kernel, client, m_id, func).unwrap();
+                    assert_eq!(
+                        outcome,
+                        func != restricted,
+                        "thread {t} op {i}: stale decision served during churn"
+                    );
+                }
+            });
+        }
+        s.spawn(move || {
+            for _ in 0..200 {
+                establish(kernel, churn_client, m_id);
+                kernel.smod_detach(churn_client, "race churn").unwrap();
+            }
+        });
+    });
+    assert!(kernel.smod_epoch() >= 200, "churn never bumped the epoch");
 }

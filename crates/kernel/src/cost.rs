@@ -37,6 +37,11 @@ pub struct CostModel {
     pub copy_per_byte_ns: u64,
     /// Evaluating one node of a policy condition expression.
     pub policy_per_node_ns: u64,
+    /// Serving an access decision from the module gateway's sharded
+    /// decision cache (one lookup), charged instead of
+    /// `policy_per_node_ns × complexity` when the per-call check hits.
+    /// Calibrated to the measured ~85 ns cached-hit cost of the gate.
+    pub cached_decision_ns: u64,
     /// Fixed cost of the credential lookup + session validation done on
     /// every `smod_call`.
     pub credential_check_ns: u64,
@@ -70,6 +75,7 @@ impl CostModel {
             page_fault_ns: 2_500,
             copy_per_byte_ns: 6,
             policy_per_node_ns: 120,
+            cached_decision_ns: 85,
             credential_check_ns: 300,
             stub_receive_ns: 350,
             stub_call_ns: 150,
@@ -88,6 +94,7 @@ impl CostModel {
             page_fault_ns: 0,
             copy_per_byte_ns: 0,
             policy_per_node_ns: 0,
+            cached_decision_ns: 0,
             credential_check_ns: 0,
             stub_receive_ns: 0,
             stub_call_ns: 0,

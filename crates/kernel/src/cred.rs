@@ -20,6 +20,9 @@ pub struct Credential {
     /// needed SecModules, as well as the credentials that allow access to
     /// it are linked in" to the client executable.)
     smod_credentials: BTreeMap<String, Vec<u8>>,
+    /// The policy principal derived from each credential, computed once at
+    /// attach time so the per-call check never re-hashes key material.
+    smod_principals: BTreeMap<String, Principal>,
 }
 
 impl Credential {
@@ -30,6 +33,7 @@ impl Credential {
             gid: 0,
             groups: Vec::new(),
             smod_credentials: BTreeMap::new(),
+            smod_principals: BTreeMap::new(),
         }
     }
 
@@ -40,13 +44,20 @@ impl Credential {
             gid,
             groups: Vec::new(),
             smod_credentials: BTreeMap::new(),
+            smod_principals: BTreeMap::new(),
         }
     }
 
-    /// Attach a SecModule credential for `module` (builder style).
+    /// Attach a SecModule credential for `module` (builder style). The
+    /// policy principal is derived (SHA-256 of the key material) here,
+    /// once, not on every access check.
     pub fn with_smod_credential(mut self, module: &str, key_material: &[u8]) -> Credential {
         self.smod_credentials
             .insert(module.to_string(), key_material.to_vec());
+        self.smod_principals.insert(
+            module.to_string(),
+            Principal::from_key(&format!("uid{}", self.uid), key_material),
+        );
         self
     }
 
@@ -56,10 +67,10 @@ impl Credential {
     }
 
     /// The policy principal this credential identifies for `module`
-    /// (derived from the credential key material), if present.
+    /// (derived from the credential key material at attach time), if
+    /// present.
     pub fn principal_for(&self, module: &str) -> Option<Principal> {
-        self.smod_credential(module)
-            .map(|key| Principal::from_key(&format!("uid{}", self.uid), key))
+        self.smod_principals.get(module).cloned()
     }
 
     /// Does the credential carry any SecModule material at all?

@@ -2,22 +2,48 @@
 //!
 //! The SecModule syscall family of Figure 4 is implemented in
 //! [`crate::smod`] as further methods on [`Kernel`].
+//!
+//! # Concurrency
+//!
+//! Every syscall takes `&self`: the kernel is a concurrency-bearing core
+//! that many threads drive at once. Who holds which lock:
+//!
+//! * [`ProcessTable`] — 16 `RwLock`-sharded pid maps (shard write-locked
+//!   only by spawn/fork/reap), one `Mutex` per process body. Pair
+//!   operations (dispatch, force-share) lock both members in ascending
+//!   pid order.
+//! * [`SmodRegistry`] — `RwLock` around the module table; sessions pin
+//!   their module's `Arc` at establishment, so dispatch never touches the
+//!   registry lock at all.
+//! * sessions — 16 `RwLock`-sharded session maps; per-session counters
+//!   and handshake state are atomics inside the shared `Session`, which
+//!   also pins both processes' lock handles for the dispatch pair.
+//! * [`MsgSubsystem`], [`Tracer`], [`secmod_crypto::KeyStore`] — each
+//!   behind its own `Mutex` (tracing is skipped entirely when disabled).
+//! * clock and context-switch counter — cache-line-striped atomics
+//!   (stripe by charged pid, sum on read); `smod_epoch` — one atomic,
+//!   loaded on the hot path and RMW'd only by detach/remove.
+//!
+//! Lock ordering: process-map shard / session shard read → process pair;
+//! no path holds a process lock while taking a registry or session
+//! *write* lock.
 
-use crate::clock::SimClock;
+use crate::clock::{SimClock, StripedCounter};
 use crate::cost::CostModel;
 use crate::cred::Credential;
 use crate::errno::Errno;
 use crate::msgqueue::{Message, MsgQueueId, MsgSubsystem};
 use crate::proc::{Pid, ProcState, Process};
-use crate::smod::{Session, SessionId};
+use crate::smod::SessionTable;
 use crate::smodreg::SmodRegistry;
 use crate::table::ProcessTable;
 use crate::trace::{Event, Tracer};
 use crate::SysResult;
 use secmod_crypto::KeyStore;
+use secmod_policy::CacheConfig;
 use secmod_vm::obreak::sys_obreak;
 use secmod_vm::{Layout, Vaddr, VmSpace};
-use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering::SeqCst};
 use std::sync::Arc;
 
 /// The simulated kernel.
@@ -28,25 +54,32 @@ pub struct Kernel {
     pub msgs: MsgSubsystem,
     /// The simulated clock.
     pub clock: SimClock,
-    /// The cost model used to charge operations to the clock.
+    /// The cost model used to charge operations to the clock (immutable
+    /// after boot).
     pub cost: CostModel,
     /// The kernel key store (module keys live only here).
     pub keystore: KeyStore,
-    /// The SecModule registry.
+    /// The SecModule registry; each registered module embeds its shared
+    /// decision-gateway.
     pub registry: SmodRegistry,
     /// Active SecModule sessions.
-    pub sessions: BTreeMap<SessionId, Session>,
+    pub sessions: SessionTable,
     /// Event tracer.
     pub tracer: Tracer,
-    /// Default address-space layout for new processes.
+    /// Default address-space layout for new processes (immutable after
+    /// boot).
     pub layout: Layout,
-    pub(crate) next_session: u32,
-    /// Count of context switches performed (for reporting).
-    pub context_switches: u64,
+    /// Decision-cache sizing applied to every module registered through
+    /// `sys_smod_add`. Set before registering modules;
+    /// [`CacheConfig::disabled`] yields the uncached baseline kernel.
+    pub gate_config: CacheConfig,
+    pub(crate) next_session: AtomicU32,
+    context_switches: StripedCounter,
     /// Monotone epoch bumped by every SecModule event that can invalidate a
-    /// cached access decision (`sys_smod_remove`, `smod_detach`). Gateways
-    /// fold this into their cache keys; see `Kernel::smod_epoch`.
-    pub(crate) smod_epoch: u64,
+    /// cached access decision (`sys_smod_remove`, `smod_detach`). The
+    /// per-module gateways fold this into their cache keys; see
+    /// `Kernel::smod_epoch`.
+    pub(crate) smod_epoch: AtomicU64,
 }
 
 impl std::fmt::Debug for Kernel {
@@ -76,12 +109,13 @@ impl Kernel {
             cost,
             keystore: KeyStore::new(b"secmodule-kernel-keystore"),
             registry: SmodRegistry::new(),
-            sessions: BTreeMap::new(),
+            sessions: SessionTable::new(),
             tracer: Tracer::new(),
             layout: Layout::openbsd_i386(),
-            next_session: 1,
-            context_switches: 0,
-            smod_epoch: 0,
+            gate_config: CacheConfig::default(),
+            next_session: AtomicU32::new(1),
+            context_switches: StripedCounter::new(),
+            smod_epoch: AtomicU64::new(0),
         }
     }
 
@@ -89,7 +123,12 @@ impl Kernel {
     /// module is removed or a session detaches, so any decision cached
     /// against an earlier epoch is dead on arrival.
     pub fn smod_epoch(&self) -> u64 {
-        self.smod_epoch
+        self.smod_epoch.load(SeqCst)
+    }
+
+    /// Count of context switches performed (for reporting).
+    pub fn context_switches(&self) -> u64 {
+        self.context_switches.sum()
     }
 
     /// Boot with a custom address-space layout (smaller layouts make unit
@@ -100,18 +139,27 @@ impl Kernel {
         k
     }
 
-    /// Charge `ns` of kernel time to the clock and to `pid`'s CPU time.
-    pub(crate) fn charge(&mut self, pid: Pid, ns: u64) {
-        self.clock.advance(ns);
-        if let Ok(p) = self.procs.get_mut(pid) {
-            p.cpu_time_ns += ns;
-        }
+    /// Boot with a custom decision-cache sizing for registered modules
+    /// ([`CacheConfig::disabled`] gives the uncached-baseline kernel).
+    pub fn with_gate_config(cost: CostModel, gate_config: CacheConfig) -> Kernel {
+        let mut k = Kernel::new(cost);
+        k.gate_config = gate_config;
+        k
     }
 
-    /// Record a context switch.
-    pub(crate) fn context_switch(&mut self) {
-        self.context_switches += 1;
-        self.clock.advance(self.cost.context_switch_ns);
+    /// Charge `ns` of kernel time to the clock and to `pid`'s CPU time.
+    /// The clock stripe is chosen by the pid so concurrent charges from
+    /// different processes do not contend on one counter cache line.
+    pub(crate) fn charge(&self, pid: Pid, ns: u64) {
+        self.clock.advance_striped(pid.0 as u64, ns);
+        let _ = self.procs.with_mut(pid, |p| p.cpu_time_ns += ns);
+    }
+
+    /// Record `n` context switches attributed to `pid`'s stripe.
+    pub(crate) fn context_switch_n(&self, pid: Pid, n: u64) {
+        self.context_switches.add(pid.0 as u64, n);
+        self.clock
+            .advance_striped(pid.0 as u64, n * self.cost.context_switch_ns);
     }
 
     // ----------------------------------------------------------------
@@ -121,7 +169,7 @@ impl Kernel {
     /// Create a user process (the moral equivalent of `exec` from init):
     /// a fresh address space with the given program text.
     pub fn spawn_process(
-        &mut self,
+        &self,
         name: &str,
         cred: Credential,
         text: Vec<u8>,
@@ -136,88 +184,90 @@ impl Kernel {
     /// `getpid()`.  For a handle process this returns the *client's* pid, as
     /// §4.3 requires ("getpid() and related calls must return the PIDs
     /// related to the client, not the handle!").
-    pub fn sys_getpid(&mut self, pid: Pid) -> SysResult<Pid> {
+    pub fn sys_getpid(&self, pid: Pid) -> SysResult<Pid> {
         let cost = self.cost.getpid_cost();
         self.charge(pid, cost);
-        let p = self.procs.get(pid)?;
-        if p.flags.smod_handle {
-            if let Some(link) = p.smod {
-                return Ok(link.peer);
+        self.procs.with(pid, |p| {
+            if p.flags.smod_handle {
+                if let Some(link) = p.smod {
+                    return link.peer;
+                }
             }
-        }
-        Ok(pid)
+            pid
+        })
     }
 
     /// `fork()`: duplicate the calling process (copy-on-write address
     /// space).  The child does not inherit any SecModule session; the
     /// paper's special handling (re-creating a handle for the child) is
     /// provided by [`Kernel::sys_smod_fork`].
-    pub fn sys_fork(&mut self, parent: Pid) -> SysResult<Pid> {
+    pub fn sys_fork(&self, parent: Pid) -> SysResult<Pid> {
         let fork_cost = self.cost.fork_ns;
         self.charge(parent, fork_cost);
         let child_pid = self.procs.allocate_pid();
-        let parent_proc = self.procs.get(parent)?;
-        let child_name = format!("{}-child", parent_proc.name);
-        let mut child_vm = parent_proc.vm.fork(&child_name);
-        // The child is not (yet) part of any smod pair.
-        let share = parent_proc.vm.smod_share_range();
-        if share.is_some() {
-            // Clear the inherited share marker; a new session must be set up.
-            child_vm = {
-                let mut vm = child_vm;
-                // VmSpace keeps the marker private; rebuilding the flag is
-                // done by simply leaving it — harmless because the child has
-                // no peer until a session exists.
-                vm.stats.reset();
-                vm
-            };
-        }
-        let mut child = Process::new(
-            child_pid,
-            parent,
-            &child_name,
-            parent_proc.cred.clone(),
-            child_vm,
-        );
-        child.flags.no_coredump = parent_proc.flags.no_coredump;
+        let child = self.procs.with(parent, |parent_proc| {
+            let child_name = format!("{}-child", parent_proc.name);
+            let mut child_vm = parent_proc.vm.fork(&child_name);
+            // The child is not (yet) part of any smod pair.
+            if parent_proc.vm.smod_share_range().is_some() {
+                // Clear the inherited share marker; a new session must be
+                // set up. VmSpace keeps the marker private; resetting the
+                // stats is all that is needed — the child has no peer until
+                // a session exists.
+                child_vm.stats.reset();
+            }
+            let mut child = Process::new(
+                child_pid,
+                parent,
+                &child_name,
+                parent_proc.cred.clone(),
+                child_vm,
+            );
+            child.flags.no_coredump = parent_proc.flags.no_coredump;
+            child
+        })?;
         self.procs.insert(child);
         Ok(child_pid)
     }
 
     /// `exit()`: the process becomes a zombie; if it is a SecModule client
     /// its handle is killed and the session removed.
-    pub fn sys_exit(&mut self, pid: Pid, status: i32) -> SysResult<()> {
+    pub fn sys_exit(&self, pid: Pid, status: i32) -> SysResult<()> {
         let trap = self.cost.syscall_trap_ns;
         self.charge(pid, trap);
         // Detach any smod session first (kills the handle).
-        if self.procs.get(pid)?.smod.is_some() {
+        if self.procs.with(pid, |p| p.smod.is_some())? {
             self.smod_detach(pid, "client exit")?;
         }
-        let p = self.procs.get_mut(pid)?;
-        p.state = ProcState::Zombie(status);
-        Ok(())
+        self.procs
+            .with_mut(pid, |p| p.state = ProcState::Zombie(status))
     }
 
     /// `wait()`: reap a zombie child.  Handle processes are invisible to
     /// `wait` (§4.3: scheduling-related calls "must be modified such that
     /// they effect the client, not the handle").
-    pub fn sys_wait(&mut self, parent: Pid) -> SysResult<(Pid, i32)> {
+    pub fn sys_wait(&self, parent: Pid) -> SysResult<(Pid, i32)> {
         let trap = self.cost.syscall_trap_ns;
         self.charge(parent, trap);
-        let children = self.procs.children_of(parent);
-        if children.is_empty() {
-            return Err(Errno::ECHILD);
-        }
-        let zombie = self.procs.iter().find_map(|p| {
-            if p.ppid == parent && !p.flags.smod_handle {
-                match p.state {
-                    ProcState::Zombie(status) => Some((p.pid, status)),
-                    _ => None,
-                }
-            } else {
-                None
+        // One pass over the table: remember whether any child exists at
+        // all (for ECHILD) while stopping at the first reapable zombie.
+        let mut has_child = false;
+        let zombie = self.procs.scan_first(|p| {
+            if p.ppid != parent {
+                return None;
+            }
+            has_child = true;
+            if p.flags.smod_handle {
+                return None;
+            }
+            match p.state {
+                ProcState::Zombie(status) => Some((p.pid, status)),
+                _ => None,
             }
         });
+        if !has_child && zombie.is_none() {
+            return Err(Errno::ECHILD);
+        }
         match zombie {
             Some((pid, status)) => {
                 self.procs.remove(pid);
@@ -230,29 +280,29 @@ impl Kernel {
     /// `kill()`: deliver a signal.  Signals aimed at handle processes are
     /// redirected to their client (§4.3: "signals … must be modified such
     /// that they effect the client, not the handle").
-    pub fn sys_kill(&mut self, sender: Pid, target: Pid, signal: i32) -> SysResult<()> {
+    pub fn sys_kill(&self, sender: Pid, target: Pid, signal: i32) -> SysResult<()> {
         let trap = self.cost.syscall_trap_ns;
         self.charge(sender, trap);
-        let redirected = {
-            let t = self.procs.get(target)?;
+        let redirected = self.procs.with(target, |t| {
             if t.flags.smod_handle {
                 t.smod.map(|l| l.peer).unwrap_or(target)
             } else {
                 target
             }
-        };
-        let t = self.procs.get_mut(redirected)?;
-        t.pending_signals.push(signal);
-        Ok(())
+        })?;
+        self.procs
+            .with_mut(redirected, |t| t.pending_signals.push(signal))
     }
 
     /// `ptrace()` attach: denied outright for any process associated with a
     /// SecModule handle (§3.1 item 4).
-    pub fn sys_ptrace_attach(&mut self, tracer: Pid, target: Pid) -> SysResult<()> {
+    pub fn sys_ptrace_attach(&self, tracer: Pid, target: Pid) -> SysResult<()> {
         let trap = self.cost.syscall_trap_ns;
         self.charge(tracer, trap);
-        let t = self.procs.get(target)?;
-        if t.flags.no_ptrace || t.flags.smod_handle || t.flags.smod_client {
+        let denied = self.procs.with(target, |t| {
+            t.flags.no_ptrace || t.flags.smod_handle || t.flags.smod_client
+        })?;
+        if denied {
             self.tracer.record(Event::PtraceDenied { tracer, target });
             return Err(Errno::EPERM);
         }
@@ -261,14 +311,13 @@ impl Kernel {
 
     /// Simulate a crash of `pid` (e.g. SIGSEGV).  Returns whether a core
     /// image was produced; for smod pair members it never is.
-    pub fn crash_process(&mut self, pid: Pid) -> SysResult<bool> {
+    pub fn crash_process(&self, pid: Pid) -> SysResult<bool> {
         // Tear down any session (also protects the module text mapped in a
         // crashing handle).
-        if self.procs.get(pid)?.smod.is_some() {
+        if self.procs.with(pid, |p| p.smod.is_some())? {
             self.smod_detach_either(pid, "crash")?;
         }
-        let p = self.procs.get_mut(pid)?;
-        let dumped = p.crash(11);
+        let dumped = self.procs.with_mut(pid, |p| p.crash(11))?;
         if !dumped {
             self.tracer.record(Event::CoreDumpSuppressed { pid });
         }
@@ -279,20 +328,19 @@ impl Kernel {
     /// the SecModule system, kill the associated handle process, and then …
     /// run sys_execve() as per normal."  The new image starts with a fresh
     /// address space and no session.
-    pub fn sys_execve(&mut self, pid: Pid, new_name: &str, new_text: Vec<u8>) -> SysResult<()> {
+    pub fn sys_execve(&self, pid: Pid, new_name: &str, new_text: Vec<u8>) -> SysResult<()> {
         let trap = self.cost.syscall_trap_ns + self.cost.fork_ns / 2;
         self.charge(pid, trap);
-        if self.procs.get(pid)?.smod.is_some() {
+        if self.procs.with(pid, |p| p.smod.is_some())? {
             self.smod_detach(pid, "execve")?;
         }
-        let layout = self.layout;
-        let vm =
-            VmSpace::new_user(new_name, layout, Arc::new(new_text), 4, 4).map_err(Errno::from)?;
-        let p = self.procs.get_mut(pid)?;
-        p.name = new_name.to_string();
-        p.vm = vm;
-        p.flags.smod_client = false;
-        Ok(())
+        let vm = VmSpace::new_user(new_name, self.layout, Arc::new(new_text), 4, 4)
+            .map_err(Errno::from)?;
+        self.procs.with_mut(pid, |p| {
+            p.name = new_name.to_string();
+            p.vm = vm;
+            p.flags.smod_client = false;
+        })
     }
 
     // ----------------------------------------------------------------
@@ -301,44 +349,42 @@ impl Kernel {
 
     /// `obreak()` — grow or shrink the heap.  For smod pair members the new
     /// memory is a shared mapping (the paper's modified `sys_obreak`).
-    pub fn sys_obreak(&mut self, pid: Pid, new_break: Vaddr) -> SysResult<Vaddr> {
+    pub fn sys_obreak(&self, pid: Pid, new_break: Vaddr) -> SysResult<Vaddr> {
         let trap = self.cost.syscall_trap_ns;
         self.charge(pid, trap);
-        let p = self.procs.get_mut(pid)?;
-        let outcome = sys_obreak(&mut p.vm, new_break).map_err(Errno::from)?;
-        Ok(outcome.new_brk)
+        self.procs
+            .with_mut(pid, |p| {
+                sys_obreak(&mut p.vm, new_break).map_err(Errno::from)
+            })?
+            .map(|outcome| outcome.new_brk)
     }
 
     /// Read bytes from a process's memory (kernel copyin), resolving shared
     /// mappings through the smod peer if necessary.
-    pub fn read_user_memory(&mut self, pid: Pid, addr: Vaddr, len: usize) -> SysResult<Vec<u8>> {
-        let peer_pid = self.procs.get(pid)?.smod.map(|l| l.peer);
+    pub fn read_user_memory(&self, pid: Pid, addr: Vaddr, len: usize) -> SysResult<Vec<u8>> {
+        let peer_pid = self.procs.with(pid, |p| p.smod.map(|l| l.peer))?;
         match peer_pid {
-            None => {
-                let p = self.procs.get_mut(pid)?;
-                p.vm.read_bytes(addr, len).map_err(Errno::from)
-            }
-            Some(peer) => {
-                let (p, q) = self.procs.get_pair_mut(pid, peer)?;
+            None => self
+                .procs
+                .with_mut(pid, |p| p.vm.read_bytes(addr, len).map_err(Errno::from))?,
+            Some(peer) => self.procs.with_pair_mut(pid, peer, |p, q| {
                 p.vm.read_bytes_with_peer(addr, len, Some(&q.vm))
                     .map_err(Errno::from)
-            }
+            })?,
         }
     }
 
     /// Write bytes into a process's memory (kernel copyout).
-    pub fn write_user_memory(&mut self, pid: Pid, addr: Vaddr, data: &[u8]) -> SysResult<()> {
-        let peer_pid = self.procs.get(pid)?.smod.map(|l| l.peer);
+    pub fn write_user_memory(&self, pid: Pid, addr: Vaddr, data: &[u8]) -> SysResult<()> {
+        let peer_pid = self.procs.with(pid, |p| p.smod.map(|l| l.peer))?;
         match peer_pid {
-            None => {
-                let p = self.procs.get_mut(pid)?;
-                p.vm.write_bytes(addr, data).map_err(Errno::from)
-            }
-            Some(peer) => {
-                let (p, q) = self.procs.get_pair_mut(pid, peer)?;
+            None => self
+                .procs
+                .with_mut(pid, |p| p.vm.write_bytes(addr, data).map_err(Errno::from))?,
+            Some(peer) => self.procs.with_pair_mut(pid, peer, |p, q| {
                 p.vm.write_bytes_with_peer(addr, data, Some(&q.vm))
                     .map_err(Errno::from)
-            }
+            })?,
         }
     }
 
@@ -347,21 +393,21 @@ impl Kernel {
     // ----------------------------------------------------------------
 
     /// `msgget(IPC_PRIVATE)`.
-    pub fn sys_msgget(&mut self, pid: Pid) -> SysResult<MsgQueueId> {
+    pub fn sys_msgget(&self, pid: Pid) -> SysResult<MsgQueueId> {
         let trap = self.cost.syscall_trap_ns;
         self.charge(pid, trap);
         Ok(self.msgs.msgget())
     }
 
     /// `msgsnd`.
-    pub fn sys_msgsnd(&mut self, pid: Pid, queue: MsgQueueId, msg: Message) -> SysResult<()> {
+    pub fn sys_msgsnd(&self, pid: Pid, queue: MsgQueueId, msg: Message) -> SysResult<()> {
         let cost = self.cost.syscall_trap_ns + self.cost.msg_op_ns;
         self.charge(pid, cost);
         self.msgs.msgsnd(queue, msg)
     }
 
     /// `msgrcv` (non-blocking: `EAGAIN` when nothing matches).
-    pub fn sys_msgrcv(&mut self, pid: Pid, queue: MsgQueueId, mtype: i64) -> SysResult<Message> {
+    pub fn sys_msgrcv(&self, pid: Pid, queue: MsgQueueId, mtype: i64) -> SysResult<Message> {
         let cost = self.cost.syscall_trap_ns + self.cost.msg_op_ns;
         self.charge(pid, cost);
         self.msgs.msgrcv(queue, mtype)
@@ -398,15 +444,21 @@ mod tests {
         Kernel::new(CostModel::default())
     }
 
-    fn spawn(k: &mut Kernel, name: &str) -> Pid {
+    fn spawn(k: &Kernel, name: &str) -> Pid {
         k.spawn_process(name, Credential::user(1000, 100), vec![0x90u8; 4096], 4, 4)
             .unwrap()
     }
 
     #[test]
+    fn kernel_is_sync_and_send() {
+        fn assert_sync_send<T: Sync + Send>() {}
+        assert_sync_send::<Kernel>();
+    }
+
+    #[test]
     fn getpid_charges_cost_and_returns_pid() {
-        let mut k = kernel();
-        let p = spawn(&mut k, "client");
+        let k = kernel();
+        let p = spawn(&k, "client");
         let before = k.clock.now_ns();
         assert_eq!(k.sys_getpid(p).unwrap(), p);
         assert_eq!(k.clock.now_ns() - before, k.cost.getpid_cost());
@@ -415,8 +467,8 @@ mod tests {
 
     #[test]
     fn fork_creates_cow_child() {
-        let mut k = kernel();
-        let parent = spawn(&mut k, "parent");
+        let k = kernel();
+        let parent = spawn(&k, "parent");
         let addr = Vaddr(k.layout.data_base);
         k.write_user_memory(parent, addr, b"parent").unwrap();
         let child = k.sys_fork(parent).unwrap();
@@ -424,13 +476,13 @@ mod tests {
         assert_eq!(k.read_user_memory(child, addr, 6).unwrap(), b"parent");
         k.write_user_memory(child, addr, b"child!").unwrap();
         assert_eq!(k.read_user_memory(parent, addr, 6).unwrap(), b"parent");
-        assert_eq!(k.procs.get(child).unwrap().ppid, parent);
+        assert_eq!(k.procs.with(child, |p| p.ppid).unwrap(), parent);
     }
 
     #[test]
     fn exit_and_wait() {
-        let mut k = kernel();
-        let parent = spawn(&mut k, "parent");
+        let k = kernel();
+        let parent = spawn(&k, "parent");
         let child = k.sys_fork(parent).unwrap();
         // No zombie yet: wait would block.
         assert_eq!(k.sys_wait(parent).unwrap_err(), Errno::EAGAIN);
@@ -443,27 +495,30 @@ mod tests {
 
     #[test]
     fn kill_delivers_signals() {
-        let mut k = kernel();
-        let a = spawn(&mut k, "a");
-        let b = spawn(&mut k, "b");
+        let k = kernel();
+        let a = spawn(&k, "a");
+        let b = spawn(&k, "b");
         k.sys_kill(a, b, 15).unwrap();
-        assert_eq!(k.procs.get(b).unwrap().pending_signals, vec![15]);
+        assert_eq!(
+            k.procs.with(b, |p| p.pending_signals.clone()).unwrap(),
+            vec![15]
+        );
         assert_eq!(k.sys_kill(a, Pid(99), 9).unwrap_err(), Errno::ESRCH);
     }
 
     #[test]
     fn ptrace_of_ordinary_process_is_allowed() {
-        let mut k = kernel();
-        let a = spawn(&mut k, "debugger");
-        let b = spawn(&mut k, "target");
+        let k = kernel();
+        let a = spawn(&k, "debugger");
+        let b = spawn(&k, "target");
         k.sys_ptrace_attach(a, b).unwrap();
     }
 
     #[test]
     fn obreak_grows_heap() {
-        let mut k = kernel();
-        let p = spawn(&mut k, "p");
-        let old = k.procs.get(p).unwrap().vm.brk();
+        let k = kernel();
+        let p = spawn(&k, "p");
+        let old = k.procs.with(p, |proc_| proc_.vm.brk()).unwrap();
         let new = k.sys_obreak(p, Vaddr(old.0 + 8192)).unwrap();
         assert_eq!(new.0, old.0 + 8192);
         k.write_user_memory(p, old, b"grown").unwrap();
@@ -471,8 +526,8 @@ mod tests {
 
     #[test]
     fn message_queues_work_through_syscalls() {
-        let mut k = kernel();
-        let p = spawn(&mut k, "p");
+        let k = kernel();
+        let p = spawn(&k, "p");
         let q = k.sys_msgget(p).unwrap();
         k.sys_msgsnd(
             p,
@@ -489,20 +544,20 @@ mod tests {
 
     #[test]
     fn ordinary_crash_dumps_core() {
-        let mut k = kernel();
-        let p = spawn(&mut k, "p");
+        let k = kernel();
+        let p = spawn(&k, "p");
         assert!(k.crash_process(p).unwrap());
-        assert!(!k.procs.get(p).unwrap().is_alive());
+        assert!(!k.procs.with(p, |proc_| proc_.is_alive()).unwrap());
     }
 
     #[test]
     fn execve_replaces_image() {
-        let mut k = kernel();
-        let p = spawn(&mut k, "old");
+        let k = kernel();
+        let p = spawn(&k, "old");
         let addr = Vaddr(k.layout.data_base);
         k.write_user_memory(p, addr, b"old data").unwrap();
         k.sys_execve(p, "new", vec![0xCCu8; 4096]).unwrap();
-        assert_eq!(k.procs.get(p).unwrap().name, "new");
+        assert_eq!(k.procs.with(p, |proc_| proc_.name.clone()).unwrap(), "new");
         // Old heap contents are gone (fresh zero-filled heap).
         assert_eq!(k.read_user_memory(p, addr, 8).unwrap(), vec![0u8; 8]);
     }

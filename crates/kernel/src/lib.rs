@@ -55,7 +55,7 @@ pub use cred::Credential;
 pub use errno::Errno;
 pub use kernel::Kernel;
 pub use proc::{Pid, ProcFlags, ProcState, Process};
-pub use smod::{SessionId, SmodCallArgs};
+pub use smod::{Session, SessionId, SessionState, SessionTable, SmodCallArgs};
 pub use smodreg::RegisteredModule;
 pub use trace::{Event, Tracer};
 

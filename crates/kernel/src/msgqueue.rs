@@ -8,8 +8,10 @@
 
 use crate::errno::Errno;
 use crate::SysResult;
+use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 
 /// A message queue identifier.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
@@ -32,62 +34,85 @@ struct Queue {
 }
 
 /// The kernel's set of message queues.
+///
+/// Interior-mutable: the queue map sits behind one mutex (queue operations
+/// are short and the SMOD dispatch path touches per-session queues, not a
+/// global hot queue), the operation counters are atomics.
 #[derive(Debug, Default)]
 pub struct MsgSubsystem {
+    inner: Mutex<MsgInner>,
+    sends: AtomicU64,
+    receives: AtomicU64,
+}
+
+#[derive(Debug)]
+struct MsgInner {
     queues: BTreeMap<MsgQueueId, Queue>,
     next_id: u32,
     /// Maximum bytes a single queue may hold (SYSV `msgmnb`).
-    pub max_queue_bytes: usize,
-    /// Operation counters.
-    pub sends: u64,
-    /// Operation counters.
-    pub receives: u64,
+    max_queue_bytes: usize,
+}
+
+impl Default for MsgInner {
+    fn default() -> Self {
+        MsgInner {
+            queues: BTreeMap::new(),
+            next_id: 1,
+            max_queue_bytes: 16384,
+        }
+    }
 }
 
 impl MsgSubsystem {
     /// Create the subsystem with the traditional 16 KiB per-queue limit.
     pub fn new() -> MsgSubsystem {
-        MsgSubsystem {
-            queues: BTreeMap::new(),
-            next_id: 1,
-            max_queue_bytes: 16384,
-            sends: 0,
-            receives: 0,
-        }
+        MsgSubsystem::default()
     }
 
     /// `msgget(IPC_PRIVATE)`: create a new queue.
-    pub fn msgget(&mut self) -> MsgQueueId {
-        let id = MsgQueueId(self.next_id);
-        self.next_id += 1;
-        self.queues.insert(id, Queue::default());
+    pub fn msgget(&self) -> MsgQueueId {
+        let mut inner = self.inner.lock();
+        let id = MsgQueueId(inner.next_id);
+        inner.next_id += 1;
+        inner.queues.insert(id, Queue::default());
         id
     }
 
     /// Remove a queue (`msgctl(IPC_RMID)`).
-    pub fn remove(&mut self, id: MsgQueueId) -> SysResult<()> {
-        self.queues.remove(&id).map(|_| ()).ok_or(Errno::EIDRM)
+    pub fn remove(&self, id: MsgQueueId) -> SysResult<()> {
+        self.inner
+            .lock()
+            .queues
+            .remove(&id)
+            .map(|_| ())
+            .ok_or(Errno::EIDRM)
     }
 
     /// Does the queue exist?
     pub fn exists(&self, id: MsgQueueId) -> bool {
-        self.queues.contains_key(&id)
+        self.inner.lock().queues.contains_key(&id)
+    }
+
+    /// Change the per-queue byte limit (SYSV `msgmnb`).
+    pub fn set_max_queue_bytes(&self, max: usize) {
+        self.inner.lock().max_queue_bytes = max;
     }
 
     /// `msgsnd`: append a message.  Fails with `EAGAIN` if the queue is
     /// full (the simulator never blocks the sender).
-    pub fn msgsnd(&mut self, id: MsgQueueId, msg: Message) -> SysResult<()> {
+    pub fn msgsnd(&self, id: MsgQueueId, msg: Message) -> SysResult<()> {
         if msg.mtype <= 0 {
             return Err(Errno::EINVAL);
         }
-        let max = self.max_queue_bytes;
-        let queue = self.queues.get_mut(&id).ok_or(Errno::EIDRM)?;
+        let mut inner = self.inner.lock();
+        let max = inner.max_queue_bytes;
+        let queue = inner.queues.get_mut(&id).ok_or(Errno::EIDRM)?;
         if queue.total_bytes + msg.data.len() > max {
             return Err(Errno::EAGAIN);
         }
         queue.total_bytes += msg.data.len();
         queue.messages.push_back(msg);
-        self.sends += 1;
+        self.sends.fetch_add(1, Relaxed);
         Ok(())
     }
 
@@ -95,8 +120,9 @@ impl MsgSubsystem {
     /// (or the first message of any type when `mtype == 0`).  Returns
     /// `EAGAIN` when no matching message is queued — the kernel proper turns
     /// that into blocking the caller.
-    pub fn msgrcv(&mut self, id: MsgQueueId, mtype: i64) -> SysResult<Message> {
-        let queue = self.queues.get_mut(&id).ok_or(Errno::EIDRM)?;
+    pub fn msgrcv(&self, id: MsgQueueId, mtype: i64) -> SysResult<Message> {
+        let mut inner = self.inner.lock();
+        let queue = inner.queues.get_mut(&id).ok_or(Errno::EIDRM)?;
         let pos = if mtype == 0 {
             if queue.messages.is_empty() {
                 None
@@ -110,7 +136,7 @@ impl MsgSubsystem {
             Some(i) => {
                 let msg = queue.messages.remove(i).expect("index valid");
                 queue.total_bytes -= msg.data.len();
-                self.receives += 1;
+                self.receives.fetch_add(1, Relaxed);
                 Ok(msg)
             }
             None => Err(Errno::EAGAIN),
@@ -119,10 +145,22 @@ impl MsgSubsystem {
 
     /// Number of messages waiting in a queue.
     pub fn depth(&self, id: MsgQueueId) -> SysResult<usize> {
-        self.queues
+        self.inner
+            .lock()
+            .queues
             .get(&id)
             .map(|q| q.messages.len())
             .ok_or(Errno::EIDRM)
+    }
+
+    /// Total `msgsnd` operations performed.
+    pub fn sends(&self) -> u64 {
+        self.sends.load(Relaxed)
+    }
+
+    /// Total `msgrcv` operations performed.
+    pub fn receives(&self) -> u64 {
+        self.receives.load(Relaxed)
     }
 }
 
@@ -139,7 +177,7 @@ mod tests {
 
     #[test]
     fn create_send_receive() {
-        let mut m = MsgSubsystem::new();
+        let m = MsgSubsystem::new();
         let q = m.msgget();
         assert!(m.exists(q));
         assert_eq!(m.depth(q).unwrap(), 0);
@@ -153,13 +191,13 @@ mod tests {
         let got = m.msgrcv(q, 0).unwrap();
         assert_eq!(got.data, b"hello");
         assert_eq!(m.msgrcv(q, 0).unwrap_err(), Errno::EAGAIN);
-        assert_eq!(m.sends, 2);
-        assert_eq!(m.receives, 2);
+        assert_eq!(m.sends(), 2);
+        assert_eq!(m.receives(), 2);
     }
 
     #[test]
     fn fifo_order_within_type() {
-        let mut m = MsgSubsystem::new();
+        let m = MsgSubsystem::new();
         let q = m.msgget();
         for i in 0..5u8 {
             m.msgsnd(q, msg(7, &[i])).unwrap();
@@ -171,7 +209,7 @@ mod tests {
 
     #[test]
     fn invalid_type_and_missing_queue() {
-        let mut m = MsgSubsystem::new();
+        let m = MsgSubsystem::new();
         let q = m.msgget();
         assert_eq!(m.msgsnd(q, msg(0, b"x")).unwrap_err(), Errno::EINVAL);
         assert_eq!(m.msgsnd(q, msg(-1, b"x")).unwrap_err(), Errno::EINVAL);
@@ -185,8 +223,8 @@ mod tests {
 
     #[test]
     fn queue_capacity_limit() {
-        let mut m = MsgSubsystem::new();
-        m.max_queue_bytes = 10;
+        let m = MsgSubsystem::new();
+        m.set_max_queue_bytes(10);
         let q = m.msgget();
         m.msgsnd(q, msg(1, &[0u8; 6])).unwrap();
         assert_eq!(m.msgsnd(q, msg(1, &[0u8; 6])).unwrap_err(), Errno::EAGAIN);
@@ -197,7 +235,7 @@ mod tests {
 
     #[test]
     fn remove_queue() {
-        let mut m = MsgSubsystem::new();
+        let m = MsgSubsystem::new();
         let q = m.msgget();
         m.msgsnd(q, msg(1, b"x")).unwrap();
         m.remove(q).unwrap();

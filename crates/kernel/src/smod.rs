@@ -1,15 +1,28 @@
 //! The SecModule syscall family (paper Figure 4) and session management.
+//!
+//! The dispatch path (`sys_smod_call`) takes `&self` and is driven from
+//! many threads at once. Its per-call credential/policy check goes through
+//! the module's embedded [`secmod_policy::Gateway`]: on the hot path the
+//! decision is one sharded-cache lookup (the kernel folds its `smod_epoch`
+//! into the gateway first, so a detach/remove that completed before the
+//! call began makes every older cached decision unreachable); only a miss
+//! falls back to the full `PolicyEngine` fixpoint, and the cost model
+//! charges the cached vs uncached cost accordingly.
 
 use crate::errno::Errno;
 use crate::kernel::Kernel;
 use crate::msgqueue::MsgQueueId;
-use crate::proc::{Pid, ProcState, SmodLink};
+use crate::proc::{Pid, ProcState, Process, SmodLink};
 use crate::smodreg::{FunctionTable, HandleCtx, RegisteredModule};
+use crate::table::ProcRef;
 use crate::trace::Event;
 use crate::SysResult;
+use parking_lot::RwLock;
 use secmod_module::{ModuleId, SmodPackage};
-use secmod_policy::{Environment, PolicyEngine};
+use secmod_policy::{AccessRequest, PolicyEngine};
 use secmod_vm::VmSpace;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering::Relaxed, Ordering::SeqCst};
 use std::sync::Arc;
 
 /// A SecModule session identifier.
@@ -35,8 +48,32 @@ pub enum SessionState {
     Established,
 }
 
-/// An active client/handle session.
-#[derive(Clone, Debug)]
+impl SessionState {
+    fn from_u8(v: u8) -> SessionState {
+        match v {
+            0 => SessionState::Created,
+            1 => SessionState::HandleReady,
+            _ => SessionState::Established,
+        }
+    }
+
+    fn as_u8(self) -> u8 {
+        match self {
+            SessionState::Created => 0,
+            SessionState::HandleReady => 1,
+            SessionState::Established => 2,
+        }
+    }
+}
+
+/// An active client/handle session. Shared (`Arc`) between the session
+/// table and in-flight dispatches; the handshake state and call counter
+/// are atomics so the dispatch path never takes a session lock. The
+/// session also pins the registered module and both processes' lock
+/// handles, so a dispatch resolves everything it needs with a single
+/// sharded map lookup (the caller's link) plus one session lookup — no
+/// registry traffic on the hot path.
+#[derive(Debug)]
 pub struct Session {
     /// The session id.
     pub id: SessionId,
@@ -50,10 +87,128 @@ pub struct Session {
     pub call_queue: MsgQueueId,
     /// Message queue used for handle → client replies.
     pub reply_queue: MsgQueueId,
+    state: AtomicU8,
+    calls: AtomicU64,
+    /// The registered module (shared with the registry): dispatch goes
+    /// straight to its gateway and function table.
+    module_ref: Arc<RegisteredModule>,
+    /// The client process's lock handle.
+    client_ref: ProcRef,
+    /// The handle process's lock handle.
+    handle_ref: ProcRef,
+}
+
+impl Session {
     /// Handshake state.
-    pub state: SessionState,
+    pub fn state(&self) -> SessionState {
+        SessionState::from_u8(self.state.load(SeqCst))
+    }
+
     /// Number of calls dispatched over this session.
-    pub calls: u64,
+    pub fn calls(&self) -> u64 {
+        self.calls.load(Relaxed)
+    }
+
+    /// The registered module this session dispatches into.
+    pub fn module_ref(&self) -> &Arc<RegisteredModule> {
+        &self.module_ref
+    }
+
+    /// Advance the handshake if it is exactly at `from`; returns whether
+    /// the transition happened (false ⇒ out-of-order handshake step).
+    fn transition(&self, from: SessionState, to: SessionState) -> bool {
+        self.state
+            .compare_exchange(from.as_u8(), to.as_u8(), SeqCst, SeqCst)
+            .is_ok()
+    }
+
+    fn note_call(&self) {
+        self.calls.fetch_add(1, Relaxed);
+    }
+
+    /// Lock the client/handle pair (pid-ordered) and run `f(handle,
+    /// client)`.
+    fn with_pair<R>(&self, f: impl FnOnce(&mut Process, &mut Process) -> R) -> SysResult<R> {
+        crate::table::lock_pair_ordered(
+            self.handle,
+            &self.handle_ref,
+            self.client,
+            &self.client_ref,
+            f,
+        )
+    }
+}
+
+const SESSION_SHARDS: usize = 16;
+
+/// The kernel's table of active sessions: sharded `RwLock`s around shared
+/// [`Session`]s. Dispatch reads clone the `Arc` and drop the shard lock;
+/// only session establishment and teardown take a write lock, and
+/// concurrent dispatches on different sessions touch different shard lock
+/// words.
+#[derive(Debug)]
+pub struct SessionTable {
+    shards: [RwLock<BTreeMap<SessionId, Arc<Session>>>; SESSION_SHARDS],
+}
+
+impl Default for SessionTable {
+    fn default() -> Self {
+        SessionTable {
+            shards: std::array::from_fn(|_| RwLock::new(BTreeMap::new())),
+        }
+    }
+}
+
+impl SessionTable {
+    /// Create an empty table.
+    pub fn new() -> SessionTable {
+        SessionTable::default()
+    }
+
+    fn shard(&self, id: SessionId) -> &RwLock<BTreeMap<SessionId, Arc<Session>>> {
+        &self.shards[crate::clock::stripe_index(id.0 as u64, SESSION_SHARDS)]
+    }
+
+    /// Look up a session.
+    pub fn get(&self, id: SessionId) -> Option<Arc<Session>> {
+        self.shard(id).read().get(&id).cloned()
+    }
+
+    /// Number of active sessions.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.read().len()).sum()
+    }
+
+    /// Are there no active sessions?
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(|s| s.read().is_empty())
+    }
+
+    /// Is any active session bound to `module`?
+    pub fn any_for_module(&self, module: ModuleId) -> bool {
+        self.shards
+            .iter()
+            .any(|s| s.read().values().any(|session| session.module == module))
+    }
+
+    /// Snapshot of the active sessions (ascending session id).
+    pub fn snapshot(&self) -> Vec<Arc<Session>> {
+        let mut all: Vec<Arc<Session>> = self
+            .shards
+            .iter()
+            .flat_map(|s| s.read().values().cloned().collect::<Vec<_>>())
+            .collect();
+        all.sort_unstable_by_key(|s| s.id);
+        all
+    }
+
+    fn insert(&self, session: Arc<Session>) {
+        self.shard(session.id).write().insert(session.id, session);
+    }
+
+    fn remove(&self, id: SessionId) -> Option<Arc<Session>> {
+        self.shard(id).write().remove(&id)
+    }
 }
 
 /// Arguments to `sys_smod_call` (paper: `sys_smod_call(framep, rtnaddr,
@@ -106,9 +261,11 @@ impl Kernel {
     /// The kernel imports the module key into its key store (it never again
     /// leaves kernel space), verifies the package MAC, unseals the text and
     /// checks the plaintext fingerprint, and stores the module together with
-    /// its access policy and function bodies.
+    /// its access policy — fronted by a shared, decision-caching
+    /// [`secmod_policy::Gateway`] sized by [`Kernel::gate_config`] — and
+    /// function bodies.
     pub fn sys_smod_add(
-        &mut self,
+        &self,
         registered_by: Pid,
         package: SmodPackage,
         key_delivery: ModuleKeyDelivery,
@@ -118,7 +275,7 @@ impl Kernel {
     ) -> SysResult<ModuleId> {
         let trap = self.cost.syscall_trap_ns;
         self.charge(registered_by, trap);
-        let uid = self.procs.get(registered_by)?.cred.uid;
+        let uid = self.procs.with(registered_by, |p| p.cred.uid)?;
 
         package.verify_mac(mac_key).map_err(|_| Errno::EACCES)?;
 
@@ -148,17 +305,15 @@ impl Kernel {
 
         let id = self.registry.allocate_id();
         let name = package.image.name.clone();
-        self.registry.insert(RegisteredModule {
+        self.registry.insert(RegisteredModule::new(
             id,
             package,
             plaintext,
             key,
-            policy,
+            secmod_policy::Gateway::new(policy, self.gate_config),
             functions,
-            registered_by_uid: uid,
-            sessions_started: 0,
-            calls_dispatched: 0,
-        });
+            uid,
+        ));
         self.tracer
             .record(Event::ModuleRegistered { module: id, name });
         Ok(id)
@@ -166,29 +321,32 @@ impl Kernel {
 
     /// `sys_smod_remove`: deregister a module.  Only the registering uid (or
     /// root) may remove it, and not while sessions are active.
-    pub fn sys_smod_remove(&mut self, caller: Pid, m_id: ModuleId) -> SysResult<()> {
+    pub fn sys_smod_remove(&self, caller: Pid, m_id: ModuleId) -> SysResult<()> {
         let trap = self.cost.syscall_trap_ns;
         self.charge(caller, trap);
-        let uid = self.procs.get(caller)?.cred.uid;
+        let uid = self.procs.with(caller, |p| p.cred.uid)?;
         {
             let module = self.registry.get(m_id)?;
             if uid != 0 && uid != module.registered_by_uid {
                 return Err(Errno::EPERM);
             }
         }
-        if self.sessions.values().any(|s| s.module == m_id) {
-            return Err(Errno::EBUSY);
-        }
-        let removed = self.registry.remove(m_id)?;
+        // The session check runs under the registry write lock so it
+        // cannot race an in-flight sys_smod_start_session, which publishes
+        // its session under the registry *read* lock (see
+        // `SmodRegistry::remove_if`).
+        let removed = self
+            .registry
+            .remove_if(m_id, || !self.sessions.any_for_module(m_id))?;
         let _ = self.keystore.revoke(removed.key);
-        self.smod_epoch += 1;
+        self.smod_epoch.fetch_add(1, SeqCst);
         self.tracer.record(Event::ModuleRemoved { module: m_id });
         Ok(())
     }
 
     /// `sys_smod_find(name, version)`: look up a registered module.
     /// A version of 0 means "latest".
-    pub fn sys_smod_find(&mut self, caller: Pid, name: &str, version: u32) -> SysResult<ModuleId> {
+    pub fn sys_smod_find(&self, caller: Pid, name: &str, version: u32) -> SysResult<ModuleId> {
         let trap = self.cost.syscall_trap_ns;
         self.charge(caller, trap);
         if !self.procs.exists(caller) {
@@ -207,85 +365,92 @@ impl Kernel {
     // ----------------------------------------------------------------
 
     /// `sys_smod_start_session`: the kernel verifies the client's
-    /// credentials against the module policy, "forcibly forks" the handle
-    /// co-process (which alone receives the module text and a small secret
-    /// heap/stack segment), and links the pair.
+    /// credentials against the module policy (through the module's shared
+    /// gateway, so repeated session churn against the same module hits the
+    /// decision cache), "forcibly forks" the handle co-process (which alone
+    /// receives the module text and a small secret heap/stack segment), and
+    /// links the pair.
     pub fn sys_smod_start_session(
-        &mut self,
+        &self,
         client: Pid,
         m_id: ModuleId,
     ) -> SysResult<(SessionId, Pid)> {
         let cost = self.cost.syscall_trap_ns + self.cost.fork_ns;
         self.charge(client, cost);
 
-        if self.procs.get(client)?.smod.is_some() {
+        if self.procs.with(client, |p| p.smod.is_some())? {
             // One session per client in this prototype (the paper's model:
             // the handle is started per client request).
             return Err(Errno::EBUSY);
         }
 
-        // Credential / policy check for session establishment.
-        let (module_name, module_version, policy_complexity) = {
-            let module = self.registry.get(m_id)?;
-            (
-                module.package.image.name.clone(),
-                module.package.image.version.0,
-                module.policy.total_complexity(),
-            )
-        };
-        // A session may be established if the credential authorises the
-        // session itself or *any* exported function — individual calls are
-        // still checked one by one in sys_smod_call.
-        let allowed = {
-            let client_proc = self.procs.get(client)?;
-            let principal = client_proc.cred.principal_for(&module_name);
-            let module = self.registry.get(m_id)?;
-            match principal {
-                None => false,
-                Some(p) => {
-                    let mut candidates: Vec<String> = vec!["__start_session__".to_string()];
-                    candidates.extend(
+        let module = self.registry.get(m_id)?;
+        let module_name = module.package.image.name.clone();
+        let module_version = module.package.image.version.0;
+
+        // Credential / policy check for session establishment. A session
+        // may be established if the credential authorises the session
+        // itself or *any* exported function — individual calls are still
+        // checked one by one in sys_smod_call. Each candidate question
+        // goes through the gateway, so a cycling client re-establishing a
+        // session answers from cache.
+        let (client_name, client_cred) = self
+            .procs
+            .with(client, |p| (p.name.clone(), p.cred.clone()))?;
+        module.gateway.observe_kernel_epoch(self.smod_epoch());
+        let mut all_cached = true;
+        let allowed = match client_cred.principal_for(&module_name) {
+            None => false,
+            Some(principal) => {
+                let requesters = [principal];
+                std::iter::once("__start_session__")
+                    .chain(
                         module
                             .package
                             .stub_table
                             .stubs
                             .iter()
-                            .map(|s| s.symbol.clone()),
-                    );
-                    candidates.iter().any(|function| {
-                        let env = Environment::for_smod_call(
-                            &client_proc.name,
-                            &module_name,
-                            module_version,
-                            function,
-                            client_proc.cred.uid as i64,
-                        );
-                        module.policy.is_allowed(std::slice::from_ref(&p), &env)
+                            .map(|s| s.symbol.as_str()),
+                    )
+                    .any(|function| {
+                        let request = AccessRequest {
+                            requesters: &requesters,
+                            app_domain: &client_name,
+                            module: &module_name,
+                            version: module_version,
+                            operation: function,
+                            uid: client_cred.uid as i64,
+                        };
+                        let (allowed, cached) = module.gateway.is_allowed_with_origin(&request);
+                        all_cached &= cached;
+                        allowed
                     })
-                }
             }
         };
-        let policy_cost =
-            self.cost.policy_per_node_ns * policy_complexity as u64 + self.cost.credential_check_ns;
+        let policy_cost = if all_cached {
+            self.cost.cached_decision_ns + self.cost.credential_check_ns
+        } else {
+            self.cost.policy_per_node_ns * module.policy_complexity as u64
+                + self.cost.credential_check_ns
+        };
         self.charge(client, policy_cost);
         if !allowed {
             return Err(Errno::EACCES);
         }
 
         // Build the handle's address space: module text only in the handle.
-        let (handle_vm, handle_name) = {
-            let module = self.registry.get(m_id)?;
-            let text = module.plaintext.text.data.clone();
-            let client_proc = self.procs.get(client)?;
-            let name = format!("smod-handle[{}:{}]", module_name, client_proc.pid);
-            let vm =
-                VmSpace::new_user(&name, self.layout, Arc::new(text), 1, 1).map_err(Errno::from)?;
-            (vm, name)
-        };
-        let client_cred = self.procs.get(client)?.cred.clone();
+        let handle_name = format!("smod-handle[{}:{}]", module_name, client);
+        let handle_vm = VmSpace::new_user(
+            &handle_name,
+            self.layout,
+            Arc::new(module.plaintext.text.data.clone()),
+            1,
+            1,
+        )
+        .map_err(Errno::from)?;
         let handle = self.procs.allocate_pid();
         let mut handle_proc =
-            crate::proc::Process::new(handle, client, &handle_name, client_cred, handle_vm);
+            crate::proc::Process::new(handle, client, &handle_name, client_cred.clone(), handle_vm);
         handle_proc.flags.no_coredump = true;
         handle_proc.flags.no_ptrace = true;
         handle_proc.flags.smod_handle = true;
@@ -295,25 +460,44 @@ impl Kernel {
         let call_queue = self.msgs.msgget();
         let reply_queue = self.msgs.msgget();
 
-        let session = SessionId(self.next_session);
-        self.next_session += 1;
-        self.sessions.insert(
-            session,
-            Session {
-                id: session,
-                client,
-                handle,
-                module: m_id,
-                call_queue,
-                reply_queue,
-                state: SessionState::Created,
-                calls: 0,
-            },
-        );
+        let session = SessionId(self.next_session.fetch_add(1, Relaxed));
+        let session_entry = Arc::new(Session {
+            id: session,
+            client,
+            handle,
+            module: m_id,
+            call_queue,
+            reply_queue,
+            state: AtomicU8::new(SessionState::Created.as_u8()),
+            calls: AtomicU64::new(0),
+            module_ref: Arc::clone(&module),
+            client_ref: self.procs.get(client)?,
+            handle_ref: self.procs.get(handle)?,
+        });
+        // Publish the session under the registry read lock, re-checking
+        // that the module is still registered: a concurrent
+        // sys_smod_remove holds the registry *write* lock across its
+        // no-active-sessions check, so it either sees this session (and
+        // returns EBUSY) or has already removed the module (and this
+        // re-check fails) — a session can never be established against a
+        // removed module.
+        let published = self
+            .registry
+            .if_present(m_id, || self.sessions.insert(session_entry));
+        if published.is_err() {
+            self.procs.remove(handle);
+            let _ = self.msgs.remove(call_queue);
+            let _ = self.msgs.remove(reply_queue);
+            return Err(Errno::ENOENT);
+        }
 
-        // Link the pair and apply the client-side restrictions.
-        {
-            let p = self.procs.get_mut(client)?;
+        // Link the pair and apply the client-side restrictions. The link is
+        // a check-and-set under the client's lock so two racing
+        // start_sessions for one client cannot both succeed.
+        let linked = self.procs.with_mut(client, |p| {
+            if p.smod.is_some() {
+                return false;
+            }
             p.flags.smod_client = true;
             p.flags.no_coredump = true;
             p.flags.no_ptrace = true;
@@ -322,16 +506,24 @@ impl Kernel {
                 peer: handle,
                 module: m_id,
             });
+            true
+        })?;
+        if !linked {
+            // Lost the race: tear the half-built session down again.
+            self.sessions.remove(session);
+            self.procs.remove(handle);
+            let _ = self.msgs.remove(call_queue);
+            let _ = self.msgs.remove(reply_queue);
+            return Err(Errno::EBUSY);
         }
-        {
-            let h = self.procs.get_mut(handle)?;
+        self.procs.with_mut(handle, |h| {
             h.smod = Some(SmodLink {
                 session,
                 peer: client,
                 module: m_id,
             });
-        }
-        self.registry.get_mut(m_id)?.sessions_started += 1;
+        })?;
+        module.note_session_started(client.0 as u64);
         self.tracer.record(Event::SessionStarted {
             session,
             client,
@@ -345,41 +537,34 @@ impl Kernel {
     /// The kernel forcibly unmaps the handle's data/heap/stack and shares
     /// the client's pages into the same address range
     /// (`uvmspace_force_share`), then maps the handle's secret stack/heap.
-    pub fn sys_smod_session_info(&mut self, handle: Pid) -> SysResult<()> {
+    pub fn sys_smod_session_info(&self, handle: Pid) -> SysResult<()> {
         let trap = self.cost.syscall_trap_ns;
         self.charge(handle, trap);
-        let link = self.procs.get(handle)?.smod.ok_or(Errno::EINVAL)?;
-        let session_id = link.session;
-        let (client, state) = {
-            let s = self.sessions.get(&session_id).ok_or(Errno::EINVAL)?;
-            if s.handle != handle {
-                return Err(Errno::EPERM);
-            }
-            (s.client, s.state)
-        };
-        if state != SessionState::Created {
+        let link = self.procs.with(handle, |p| p.smod)?.ok_or(Errno::EINVAL)?;
+        let session = self.sessions.get(link.session).ok_or(Errno::EINVAL)?;
+        if session.handle != handle {
+            return Err(Errno::EPERM);
+        }
+        if !session.transition(SessionState::Created, SessionState::HandleReady) {
             return Err(Errno::EINVAL);
         }
 
         let share_range = self.layout.share_region();
-        let shared_entries = {
-            let (handle_proc, client_proc) = self.procs.get_pair_mut(handle, client)?;
-            let shared = handle_proc
-                .vm
-                .force_share_from(&mut client_proc.vm, share_range)
-                .map_err(Errno::from)?;
-            handle_proc.vm.map_secret_region().map_err(Errno::from)?;
-            shared
-        };
+        let shared_entries =
+            self.procs
+                .with_pair_mut(handle, session.client, |handle_proc, client_proc| {
+                    let shared = handle_proc
+                        .vm
+                        .force_share_from(&mut client_proc.vm, share_range)
+                        .map_err(Errno::from)?;
+                    handle_proc.vm.map_secret_region().map_err(Errno::from)?;
+                    Ok::<usize, Errno>(shared)
+                })??;
         let share_cost = self.cost.force_share_per_entry_ns * shared_entries as u64;
         self.charge(handle, share_cost);
 
-        self.sessions
-            .get_mut(&session_id)
-            .expect("session exists")
-            .state = SessionState::HandleReady;
         self.tracer.record(Event::HandleReady {
-            session: session_id,
+            session: session.id,
             shared_entries,
         });
         Ok(())
@@ -387,21 +572,19 @@ impl Kernel {
 
     /// `sys_smod_handle_info`: called *by the client* to conclude the
     /// handshake (Figure 1 step 4).
-    pub fn sys_smod_handle_info(&mut self, client: Pid) -> SysResult<()> {
+    pub fn sys_smod_handle_info(&self, client: Pid) -> SysResult<()> {
         let trap = self.cost.syscall_trap_ns;
         self.charge(client, trap);
-        let link = self.procs.get(client)?.smod.ok_or(Errno::EINVAL)?;
-        let session_id = link.session;
-        let s = self.sessions.get_mut(&session_id).ok_or(Errno::EINVAL)?;
-        if s.client != client {
+        let link = self.procs.with(client, |p| p.smod)?.ok_or(Errno::EINVAL)?;
+        let session = self.sessions.get(link.session).ok_or(Errno::EINVAL)?;
+        if session.client != client {
             return Err(Errno::EPERM);
         }
-        if s.state != SessionState::HandleReady {
+        if !session.transition(SessionState::HandleReady, SessionState::Established) {
             return Err(Errno::EINVAL);
         }
-        s.state = SessionState::Established;
         self.tracer.record(Event::HandshakeComplete {
-            session: session_id,
+            session: session.id,
         });
         Ok(())
     }
@@ -414,95 +597,113 @@ impl Kernel {
     ///
     /// The kernel verifies that the caller really is the client of an
     /// established session for `m_id`, re-checks the credentials against
-    /// the module policy for the named function, relays the call to the
+    /// the module policy for the named function — through the module's
+    /// shared gateway, so the hot path is one decision-cache lookup and
+    /// only a miss runs the full policy fixpoint — relays the call to the
     /// handle (message send, context switch), runs the function body with
     /// access to the shared address space, and relays the result back.
-    pub fn sys_smod_call(&mut self, caller: Pid, call: SmodCallArgs) -> SysResult<Vec<u8>> {
+    ///
+    /// Takes `&self`: any number of threads may dispatch concurrently;
+    /// calls on different sessions only share read locks and the module's
+    /// sharded decision cache.
+    pub fn sys_smod_call(&self, caller: Pid, call: SmodCallArgs) -> SysResult<Vec<u8>> {
         // --- validation -------------------------------------------------
-        let link = self.procs.get(caller)?.smod.ok_or(Errno::EPERM)?;
-        let session_id = link.session;
-        let (client, handle, session_module, state) = {
-            let s = self.sessions.get(&session_id).ok_or(Errno::EPERM)?;
-            (s.client, s.handle, s.module, s.state)
-        };
+        let link = self.procs.with(caller, |p| p.smod)?.ok_or(Errno::EPERM)?;
+        let session = self.sessions.get(link.session).ok_or(Errno::EPERM)?;
         // Only the client process bound to the session may call through it —
         // this is the "handle must be valid only for a specific process"
         // requirement (question 2 in §1).
-        if caller != client {
+        if caller != session.client {
             return Err(Errno::EPERM);
         }
-        if state != SessionState::Established {
+        if session.state() != SessionState::Established {
             return Err(Errno::EINVAL);
         }
-        if call.m_id != session_module {
+        if call.m_id != session.module {
             return Err(Errno::EACCES);
         }
 
         // --- per-call credential / policy check -------------------------
-        let (symbol, policy_complexity, allowed) = {
-            let module = self.registry.get(call.m_id)?;
-            let stub = module
-                .package
-                .stub_table
-                .by_id(call.func_id)
-                .ok_or(Errno::ENOENT)?;
-            let symbol = stub.symbol.clone();
-            let client_proc = self.procs.get(client)?;
-            let principal = client_proc.cred.principal_for(&module.package.image.name);
-            let env = Environment::for_smod_call(
-                &client_proc.name,
-                &module.package.image.name,
-                module.package.image.version.0,
-                &symbol,
-                client_proc.cred.uid as i64,
-            );
-            let allowed = match principal {
-                Some(p) => module.policy.is_allowed(&[p], &env),
-                None => false,
-            };
-            (symbol, module.policy.total_complexity(), allowed)
+        // The decision comes from the module's shared gateway: the kernel
+        // epoch is folded in first (cheap monotone atomic max), so any
+        // detach/remove that completed before this call started has already
+        // invalidated every older cached decision. The module comes from
+        // the session itself — zero registry traffic per call.
+        let module = session.module_ref();
+        let stub = module
+            .package
+            .stub_table
+            .by_id(call.func_id)
+            .ok_or(Errno::ENOENT)?;
+        let (client_name, principal, uid) = self.procs.with(session.client, |p| {
+            (
+                p.name.clone(),
+                p.cred.principal_for(&module.package.image.name),
+                p.cred.uid,
+            )
+        })?;
+        module.gateway.observe_kernel_epoch(self.smod_epoch());
+        let (allowed, cached) = match principal {
+            None => (false, false),
+            Some(principal) => {
+                let requesters = [principal];
+                let request = AccessRequest {
+                    requesters: &requesters,
+                    app_domain: &client_name,
+                    module: &module.package.image.name,
+                    version: module.package.image.version.0,
+                    operation: &stub.symbol,
+                    uid: uid as i64,
+                };
+                module.gateway.is_allowed_with_origin(&request)
+            }
         };
 
-        let overhead = self.cost.smod_call_overhead(call.args.len())
-            + self.cost.policy_per_node_ns * policy_complexity as u64;
-        self.charge(caller, overhead);
-        self.context_switch();
-        self.context_switch();
+        let policy_cost = if cached {
+            self.cost.cached_decision_ns
+        } else {
+            self.cost.policy_per_node_ns * module.policy_complexity as u64
+        };
+        let overhead = self.cost.smod_call_overhead(call.args.len()) + policy_cost;
+        self.context_switch_n(caller, 2);
 
-        self.tracer.record(Event::SmodCall {
-            session: session_id,
-            func_id: call.func_id,
-            symbol: symbol.clone(),
-            allowed,
-        });
+        if self.tracer.enabled() {
+            self.tracer.record(Event::SmodCall {
+                session: session.id,
+                func_id: call.func_id,
+                symbol: stub.symbol.clone(),
+                allowed,
+            });
+        }
         if !allowed {
+            self.charge(caller, overhead);
             return Err(Errno::EACCES);
         }
 
         // --- execute the function body in the handle ---------------------
-        let body = {
-            let module = self.registry.get(call.m_id)?;
-            module.functions.get(call.func_id).ok_or(Errno::ENOSYS)?
-        };
-        let (result, extra_ns) = {
-            let (handle_proc, client_proc) = self.procs.get_pair_mut(handle, client)?;
+        // The session pins both processes' lock handles, so the pair is
+        // locked (pid-ordered) without touching the process map; the
+        // caller's overhead and the handle's extra time are charged under
+        // the locks already held.
+        let body = module.functions.get(call.func_id).ok_or(Errno::ENOSYS)?;
+        let (result, extra_ns) = session.with_pair(|handle_proc, client_proc| {
+            client_proc.cpu_time_ns += overhead;
             let mut ctx = HandleCtx {
                 handle_vm: &mut handle_proc.vm,
                 client_vm: &client_proc.vm,
-                client_pid: client,
+                client_pid: session.client,
                 extra_ns: 0,
             };
             let result = body(&mut ctx, &call.args);
+            handle_proc.cpu_time_ns += ctx.extra_ns;
             (result, ctx.extra_ns)
-        };
-        self.charge(handle, extra_ns);
+        })?;
+        self.clock
+            .advance_striped(caller.0 as u64, overhead + extra_ns);
 
         // --- bookkeeping --------------------------------------------------
-        self.sessions
-            .get_mut(&session_id)
-            .expect("session exists")
-            .calls += 1;
-        self.registry.get_mut(call.m_id)?.calls_dispatched += 1;
+        session.note_call();
+        module.note_call_dispatched(caller.0 as u64);
         result
     }
 
@@ -512,35 +713,34 @@ impl Kernel {
 
     /// Detach the SecModule session of a *client* process: kill the handle,
     /// remove the queues and the session, clear the flags.
-    pub fn smod_detach(&mut self, client: Pid, reason: &str) -> SysResult<()> {
-        let link = self.procs.get(client)?.smod.ok_or(Errno::EINVAL)?;
-        let session_id = link.session;
-        let session = self.sessions.remove(&session_id).ok_or(Errno::EINVAL)?;
+    pub fn smod_detach(&self, client: Pid, reason: &str) -> SysResult<()> {
+        let link = self.procs.with(client, |p| p.smod)?.ok_or(Errno::EINVAL)?;
+        let session = self.sessions.remove(link.session).ok_or(Errno::EINVAL)?;
 
         // Kill the handle.
-        if let Ok(h) = self.procs.get_mut(session.handle) {
+        let _ = self.procs.with_mut(session.handle, |h| {
             h.state = ProcState::Zombie(0);
             h.smod = None;
-        }
+        });
         // Clear the client.
-        if let Ok(c) = self.procs.get_mut(client) {
+        let _ = self.procs.with_mut(client, |c| {
             c.smod = None;
             c.flags.smod_client = false;
-        }
+        });
         let _ = self.msgs.remove(session.call_queue);
         let _ = self.msgs.remove(session.reply_queue);
-        self.smod_epoch += 1;
+        self.smod_epoch.fetch_add(1, SeqCst);
         self.tracer.record(Event::SessionDetached {
-            session: session_id,
+            session: session.id,
             reason: reason.to_string(),
         });
         Ok(())
     }
 
     /// Detach a session given *either* member of the pair.
-    pub fn smod_detach_either(&mut self, pid: Pid, reason: &str) -> SysResult<()> {
-        let link = self.procs.get(pid)?.smod.ok_or(Errno::EINVAL)?;
-        let client = if self.procs.get(pid)?.flags.smod_handle {
+    pub fn smod_detach_either(&self, pid: Pid, reason: &str) -> SysResult<()> {
+        let link = self.procs.with(pid, |p| p.smod)?.ok_or(Errno::EINVAL)?;
+        let client = if self.procs.with(pid, |p| p.flags.smod_handle)? {
             link.peer
         } else {
             pid
@@ -553,8 +753,8 @@ impl Kernel {
     /// the handle for the second."  Here: fork the client, then establish a
     /// brand-new session (and handle) for the child against the same module.
     /// "Multiple clients should not share the handle."
-    pub fn sys_smod_fork(&mut self, client: Pid) -> SysResult<(Pid, SessionId, Pid)> {
-        let link = self.procs.get(client)?.smod.ok_or(Errno::EINVAL)?;
+    pub fn sys_smod_fork(&self, client: Pid) -> SysResult<(Pid, SessionId, Pid)> {
+        let link = self.procs.with(client, |p| p.smod)?.ok_or(Errno::EINVAL)?;
         let module = link.module;
         let child = self.sys_fork(client)?;
         // The child gets its own handle and session.
@@ -565,9 +765,9 @@ impl Kernel {
     }
 
     /// The session a client currently holds, if any.
-    pub fn session_of(&self, pid: Pid) -> Option<&Session> {
-        let link = self.procs.get(pid).ok().and_then(|p| p.smod)?;
-        self.sessions.get(&link.session)
+    pub fn session_of(&self, pid: Pid) -> Option<Arc<Session>> {
+        let link = self.procs.with(pid, |p| p.smod).ok()??;
+        self.sessions.get(link.session)
     }
 }
 
@@ -587,7 +787,7 @@ mod tests {
     /// Build and register the paper's libc-like module with an
     /// "alice is always allowed" policy, returning (kernel, module id).
     fn kernel_with_module() -> (Kernel, ModuleId) {
-        let mut k = Kernel::new(CostModel::default());
+        let k = Kernel::new(CostModel::default());
         let registrar = k
             .spawn_process("registrar", Credential::root(), vec![0x90; 4096], 2, 2)
             .unwrap();
@@ -649,7 +849,7 @@ mod tests {
         (k, m_id)
     }
 
-    fn spawn_alice(k: &mut Kernel) -> Pid {
+    fn spawn_alice(k: &Kernel) -> Pid {
         k.spawn_process(
             "client",
             Credential::user(1000, 100).with_smod_credential("libc", ALICE_KEY),
@@ -660,7 +860,7 @@ mod tests {
         .unwrap()
     }
 
-    fn establish(k: &mut Kernel, client: Pid, m_id: ModuleId) -> (SessionId, Pid) {
+    fn establish(k: &Kernel, client: Pid, m_id: ModuleId) -> (SessionId, Pid) {
         let (session, handle) = k.sys_smod_start_session(client, m_id).unwrap();
         k.sys_smod_session_info(handle).unwrap();
         k.sys_smod_handle_info(client).unwrap();
@@ -679,7 +879,7 @@ mod tests {
     }
 
     fn call(
-        k: &mut Kernel,
+        k: &Kernel,
         client: Pid,
         m_id: ModuleId,
         func_id: u32,
@@ -699,8 +899,8 @@ mod tests {
 
     #[test]
     fn registration_and_find() {
-        let (mut k, m_id) = kernel_with_module();
-        let client = spawn_alice(&mut k);
+        let (k, m_id) = kernel_with_module();
+        let client = spawn_alice(&k);
         assert_eq!(k.sys_smod_find(client, "libc", 36).unwrap(), m_id);
         assert_eq!(k.sys_smod_find(client, "libc", 0).unwrap(), m_id);
         assert_eq!(
@@ -715,7 +915,7 @@ mod tests {
 
     #[test]
     fn add_rejects_bad_mac_and_bad_key() {
-        let mut k = Kernel::new(CostModel::default());
+        let k = Kernel::new(CostModel::default());
         let registrar = k
             .spawn_process("r", Credential::root(), vec![0x90; 4096], 2, 2)
             .unwrap();
@@ -774,27 +974,33 @@ mod tests {
 
     #[test]
     fn full_handshake_and_call() {
-        let (mut k, m_id) = kernel_with_module();
-        let client = spawn_alice(&mut k);
-        let (session, handle) = establish(&mut k, client, m_id);
+        let (k, m_id) = kernel_with_module();
+        let client = spawn_alice(&k);
+        let (session, handle) = establish(&k, client, m_id);
 
         // The pair is linked both ways.
-        assert_eq!(k.procs.get(client).unwrap().smod.unwrap().peer, handle);
-        assert_eq!(k.procs.get(handle).unwrap().smod.unwrap().peer, client);
+        assert_eq!(
+            k.procs.with(client, |p| p.smod.unwrap().peer).unwrap(),
+            handle
+        );
+        assert_eq!(
+            k.procs.with(handle, |p| p.smod.unwrap().peer).unwrap(),
+            client
+        );
         assert_eq!(k.session_of(client).unwrap().id, session);
 
         // testincr(41) == 42.
         let func = testincr_id(&k, m_id);
-        let reply = call(&mut k, client, m_id, func, 41u64.to_le_bytes().to_vec()).unwrap();
+        let reply = call(&k, client, m_id, func, 41u64.to_le_bytes().to_vec()).unwrap();
         assert_eq!(u64::from_le_bytes(reply.try_into().unwrap()), 42);
-        assert_eq!(k.session_of(client).unwrap().calls, 1);
-        assert_eq!(k.registry.get(m_id).unwrap().calls_dispatched, 1);
+        assert_eq!(k.session_of(client).unwrap().calls(), 1);
+        assert_eq!(k.registry.get(m_id).unwrap().calls_dispatched(), 1);
     }
 
     #[test]
     fn handshake_order_is_enforced() {
-        let (mut k, m_id) = kernel_with_module();
-        let client = spawn_alice(&mut k);
+        let (k, m_id) = kernel_with_module();
+        let client = spawn_alice(&k);
         let (_, handle) = k.sys_smod_start_session(client, m_id).unwrap();
         // Client cannot conclude before the handle reported ready.
         assert_eq!(k.sys_smod_handle_info(client).unwrap_err(), Errno::EINVAL);
@@ -803,7 +1009,7 @@ mod tests {
         // Calls are rejected before the handshake completes.
         let func = testincr_id(&k, m_id);
         assert_eq!(
-            call(&mut k, client, m_id, func, 1u64.to_le_bytes().to_vec()).unwrap_err(),
+            call(&k, client, m_id, func, 1u64.to_le_bytes().to_vec()).unwrap_err(),
             Errno::EINVAL
         );
         // Correct order works.
@@ -816,7 +1022,7 @@ mod tests {
 
     #[test]
     fn credential_failure_denies_session_and_calls() {
-        let (mut k, m_id) = kernel_with_module();
+        let (k, m_id) = kernel_with_module();
         // mallory has no credential for libc.
         let mallory = k
             .spawn_process(
@@ -849,24 +1055,24 @@ mod tests {
 
     #[test]
     fn stolen_session_cannot_be_used_by_another_process() {
-        let (mut k, m_id) = kernel_with_module();
-        let client = spawn_alice(&mut k);
-        establish(&mut k, client, m_id);
+        let (k, m_id) = kernel_with_module();
+        let client = spawn_alice(&k);
+        establish(&k, client, m_id);
         // A different process — even with the same credentials — cannot call
         // through the client's session.
-        let thief = spawn_alice(&mut k);
+        let thief = spawn_alice(&k);
         let func = testincr_id(&k, m_id);
         assert_eq!(
-            call(&mut k, thief, m_id, func, 1u64.to_le_bytes().to_vec()).unwrap_err(),
+            call(&k, thief, m_id, func, 1u64.to_le_bytes().to_vec()).unwrap_err(),
             Errno::EPERM
         );
     }
 
     #[test]
     fn module_text_is_only_mapped_in_the_handle() {
-        let (mut k, m_id) = kernel_with_module();
-        let client = spawn_alice(&mut k);
-        let (_, handle) = establish(&mut k, client, m_id);
+        let (k, m_id) = kernel_with_module();
+        let client = spawn_alice(&k);
+        let (_, handle) = establish(&k, client, m_id);
 
         let text_base = k.layout.text_base;
         // The handle's text at text_base is the module's plaintext text.
@@ -883,9 +1089,9 @@ mod tests {
 
     #[test]
     fn shared_memory_lets_the_handle_work_on_client_data() {
-        let (mut k, m_id) = kernel_with_module();
-        let client = spawn_alice(&mut k);
-        establish(&mut k, client, m_id);
+        let (k, m_id) = kernel_with_module();
+        let client = spawn_alice(&k);
+        establish(&k, client, m_id);
 
         // Client writes a C string into its heap; SMOD strlen sees it
         // through the shared pages.
@@ -901,22 +1107,15 @@ mod tests {
             .by_name("strlen")
             .unwrap()
             .func_id;
-        let reply = call(
-            &mut k,
-            client,
-            m_id,
-            strlen_id,
-            addr.0.to_le_bytes().to_vec(),
-        )
-        .unwrap();
+        let reply = call(&k, client, m_id, strlen_id, addr.0.to_le_bytes().to_vec()).unwrap();
         assert_eq!(u64::from_le_bytes(reply.try_into().unwrap()), 16);
     }
 
     #[test]
     fn smod_getpid_reports_the_client_pid() {
-        let (mut k, m_id) = kernel_with_module();
-        let client = spawn_alice(&mut k);
-        let (_, handle) = establish(&mut k, client, m_id);
+        let (k, m_id) = kernel_with_module();
+        let client = spawn_alice(&k);
+        let (_, handle) = establish(&k, client, m_id);
         let getpid_id = k
             .registry
             .get(m_id)
@@ -926,7 +1125,7 @@ mod tests {
             .by_name("getpid")
             .unwrap()
             .func_id;
-        let reply = call(&mut k, client, m_id, getpid_id, vec![]).unwrap();
+        let reply = call(&k, client, m_id, getpid_id, vec![]).unwrap();
         assert_eq!(
             u64::from_le_bytes(reply.try_into().unwrap()),
             client.0 as u64
@@ -937,9 +1136,9 @@ mod tests {
 
     #[test]
     fn ptrace_and_coredumps_are_restricted_for_the_pair() {
-        let (mut k, m_id) = kernel_with_module();
-        let client = spawn_alice(&mut k);
-        let (_, handle) = establish(&mut k, client, m_id);
+        let (k, m_id) = kernel_with_module();
+        let client = spawn_alice(&k);
+        let (_, handle) = establish(&k, client, m_id);
         let debugger = k
             .spawn_process("gdb", Credential::root(), vec![0x90; 4096], 2, 2)
             .unwrap();
@@ -962,11 +1161,11 @@ mod tests {
 
     #[test]
     fn exit_kills_the_handle_and_removes_the_session() {
-        let (mut k, m_id) = kernel_with_module();
-        let client = spawn_alice(&mut k);
-        let (_, handle) = establish(&mut k, client, m_id);
+        let (k, m_id) = kernel_with_module();
+        let client = spawn_alice(&k);
+        let (_, handle) = establish(&k, client, m_id);
         k.sys_exit(client, 0).unwrap();
-        assert!(!k.procs.get(handle).unwrap().is_alive());
+        assert!(!k.procs.with(handle, |p| p.is_alive()).unwrap());
         assert!(k.sessions.is_empty());
         assert!(k
             .tracer
@@ -977,11 +1176,11 @@ mod tests {
 
     #[test]
     fn execve_detaches_and_allows_a_fresh_session() {
-        let (mut k, m_id) = kernel_with_module();
-        let client = spawn_alice(&mut k);
-        let (_, handle) = establish(&mut k, client, m_id);
+        let (k, m_id) = kernel_with_module();
+        let client = spawn_alice(&k);
+        let (_, handle) = establish(&k, client, m_id);
         k.sys_execve(client, "newprog", vec![0xCC; 4096]).unwrap();
-        assert!(!k.procs.get(handle).unwrap().is_alive());
+        assert!(!k.procs.with(handle, |p| p.is_alive()).unwrap());
         assert!(k.sessions.is_empty());
         // The new image can set up a new session (its crt0 would do this).
         let (session2, handle2) = k.sys_smod_start_session(client, m_id).unwrap();
@@ -992,29 +1191,29 @@ mod tests {
 
     #[test]
     fn smod_fork_gives_the_child_its_own_handle() {
-        let (mut k, m_id) = kernel_with_module();
-        let client = spawn_alice(&mut k);
-        let (session, handle) = establish(&mut k, client, m_id);
+        let (k, m_id) = kernel_with_module();
+        let client = spawn_alice(&k);
+        let (session, handle) = establish(&k, client, m_id);
         let (child, child_session, child_handle) = k.sys_smod_fork(client).unwrap();
         assert_ne!(child_session, session);
         assert_ne!(child_handle, handle);
         // Both clients can call independently.
         let func = testincr_id(&k, m_id);
-        let r1 = call(&mut k, client, m_id, func, 10u64.to_le_bytes().to_vec()).unwrap();
-        let r2 = call(&mut k, child, m_id, func, 20u64.to_le_bytes().to_vec()).unwrap();
+        let r1 = call(&k, client, m_id, func, 10u64.to_le_bytes().to_vec()).unwrap();
+        let r2 = call(&k, child, m_id, func, 20u64.to_le_bytes().to_vec()).unwrap();
         assert_eq!(u64::from_le_bytes(r1.try_into().unwrap()), 11);
         assert_eq!(u64::from_le_bytes(r2.try_into().unwrap()), 21);
     }
 
     #[test]
     fn remove_requires_owner_and_no_sessions() {
-        let (mut k, m_id) = kernel_with_module();
-        let client = spawn_alice(&mut k);
+        let (k, m_id) = kernel_with_module();
+        let client = spawn_alice(&k);
         // Non-owner cannot remove.
         assert_eq!(k.sys_smod_remove(client, m_id).unwrap_err(), Errno::EPERM);
         // Owner cannot remove while a session is active.
         let registrar = Pid(1);
-        establish(&mut k, client, m_id);
+        establish(&k, client, m_id);
         assert_eq!(
             k.sys_smod_remove(registrar, m_id).unwrap_err(),
             Errno::EBUSY
@@ -1030,10 +1229,10 @@ mod tests {
 
     #[test]
     fn smod_epoch_bumps_on_detach_and_remove() {
-        let (mut k, m_id) = kernel_with_module();
-        let client = spawn_alice(&mut k);
+        let (k, m_id) = kernel_with_module();
+        let client = spawn_alice(&k);
         assert_eq!(k.smod_epoch(), 0);
-        establish(&mut k, client, m_id);
+        establish(&k, client, m_id);
         // Establishing alone does not invalidate anything.
         assert_eq!(k.smod_epoch(), 0);
         k.smod_detach(client, "test").unwrap();
@@ -1047,9 +1246,9 @@ mod tests {
 
     #[test]
     fn double_session_per_client_is_rejected() {
-        let (mut k, m_id) = kernel_with_module();
-        let client = spawn_alice(&mut k);
-        establish(&mut k, client, m_id);
+        let (k, m_id) = kernel_with_module();
+        let client = spawn_alice(&k);
+        establish(&k, client, m_id);
         assert_eq!(
             k.sys_smod_start_session(client, m_id).unwrap_err(),
             Errno::EBUSY
@@ -1058,27 +1257,93 @@ mod tests {
 
     #[test]
     fn wrong_module_or_function_is_rejected() {
-        let (mut k, m_id) = kernel_with_module();
-        let client = spawn_alice(&mut k);
-        establish(&mut k, client, m_id);
+        let (k, m_id) = kernel_with_module();
+        let client = spawn_alice(&k);
+        establish(&k, client, m_id);
         let func = testincr_id(&k, m_id);
         // Unknown function id.
         assert_eq!(
-            call(&mut k, client, m_id, 9999, vec![]).unwrap_err(),
+            call(&k, client, m_id, 9999, vec![]).unwrap_err(),
             Errno::ENOENT
         );
         // Module id not matching the session.
         assert_eq!(
-            call(&mut k, client, ModuleId(999), func, vec![]).unwrap_err(),
+            call(&k, client, ModuleId(999), func, vec![]).unwrap_err(),
             Errno::EACCES
         );
     }
 
     #[test]
+    fn per_call_check_hits_the_module_gateway_cache() {
+        let (k, m_id) = kernel_with_module();
+        let client = spawn_alice(&k);
+        establish(&k, client, m_id);
+        let func = testincr_id(&k, m_id);
+
+        // First call misses (plus the session-establishment lookups);
+        // repeated calls of the same function are pure cache hits.
+        let before = k.registry.get(m_id).unwrap().gateway.cache_stats();
+        for i in 0..50u64 {
+            call(&k, client, m_id, func, i.to_le_bytes().to_vec()).unwrap();
+        }
+        let after = k.registry.get(m_id).unwrap().gateway.cache_stats();
+        assert!(
+            after.hits >= before.hits + 49,
+            "cached dispatch must hit: {before:?} -> {after:?}"
+        );
+        assert_eq!(
+            after.misses,
+            before.misses + 1,
+            "only the first call may miss"
+        );
+
+        // And the cached calls are cheaper on the simulated clock than the
+        // uncached first one.
+        let t0 = k.clock.now_ns();
+        call(&k, client, m_id, func, 1u64.to_le_bytes().to_vec()).unwrap();
+        let cached_ns = k.clock.now_ns() - t0;
+        let uncached_equiv = k.cost.smod_call_overhead(8)
+            + k.cost.policy_per_node_ns
+                * k.registry.get(m_id).unwrap().policy_complexity.max(1) as u64;
+        assert!(
+            cached_ns < uncached_equiv + 2 * k.cost.context_switch_ns,
+            "cached call {cached_ns} ns not cheaper than uncached model"
+        );
+    }
+
+    #[test]
+    fn concurrent_dispatch_from_many_threads() {
+        let (k, m_id) = kernel_with_module();
+        let func = testincr_id(&k, m_id);
+        let clients: Vec<Pid> = (0..4)
+            .map(|_| {
+                let c = spawn_alice(&k);
+                establish(&k, c, m_id);
+                c
+            })
+            .collect();
+        let k = &k;
+        std::thread::scope(|s| {
+            for &c in &clients {
+                s.spawn(move || {
+                    for i in 0..500u64 {
+                        let r = call(k, c, m_id, func, i.to_le_bytes().to_vec()).unwrap();
+                        assert_eq!(u64::from_le_bytes(r.try_into().unwrap()), i + 1);
+                    }
+                });
+            }
+        });
+        assert_eq!(k.registry.get(m_id).unwrap().calls_dispatched(), 4 * 500);
+        for &c in &clients {
+            assert_eq!(k.session_of(c).unwrap().calls(), 500);
+        }
+    }
+
+    #[test]
     fn simulated_cost_reproduces_figure8_magnitudes() {
-        let (mut k, m_id) = kernel_with_module();
-        let client = spawn_alice(&mut k);
-        establish(&mut k, client, m_id);
+        let (k, m_id) = kernel_with_module();
+        let client = spawn_alice(&k);
+        establish(&k, client, m_id);
         let func = testincr_id(&k, m_id);
 
         // Native getpid cost.
@@ -1088,7 +1353,7 @@ mod tests {
 
         // SMOD(testincr) cost.
         let t1 = k.clock.now_ns();
-        call(&mut k, client, m_id, func, 5u64.to_le_bytes().to_vec()).unwrap();
+        call(&k, client, m_id, func, 5u64.to_le_bytes().to_vec()).unwrap();
         let smod_ns = k.clock.now_ns() - t1;
 
         let ratio = smod_ns as f64 / getpid_ns as f64;
@@ -1105,14 +1370,14 @@ mod tests {
 
     #[test]
     fn figure1_event_sequence_is_recorded() {
-        let (mut k, m_id) = kernel_with_module();
-        let client = spawn_alice(&mut k);
+        let (k, m_id) = kernel_with_module();
+        let client = spawn_alice(&k);
         k.sys_smod_find(client, "libc", 0).unwrap();
         let (_, handle) = k.sys_smod_start_session(client, m_id).unwrap();
         k.sys_smod_session_info(handle).unwrap();
         k.sys_smod_handle_info(client).unwrap();
         let func = testincr_id(&k, m_id);
-        call(&mut k, client, m_id, func, 1u64.to_le_bytes().to_vec()).unwrap();
+        call(&k, client, m_id, func, 1u64.to_le_bytes().to_vec()).unwrap();
 
         let kinds: Vec<&'static str> = k
             .tracer

@@ -11,14 +11,17 @@
 //! that exposes the handle's view of the shared client memory, exactly the
 //! access a real SecModule function would have.
 
+use crate::clock::StripedCounter;
 use crate::errno::Errno;
 use crate::proc::Pid;
 use crate::SysResult;
+use parking_lot::RwLock;
 use secmod_crypto::keystore::KeyHandle;
 use secmod_module::{ModuleId, ModuleImage, SmodPackage};
-use secmod_policy::PolicyEngine;
+use secmod_policy::Gateway;
 use secmod_vm::{Vaddr, VmSpace};
 use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU32, Ordering::Relaxed};
 use std::sync::Arc;
 
 /// The execution context a module function body receives: the handle's
@@ -118,6 +121,14 @@ impl FunctionTable {
 }
 
 /// A module registered with the kernel.
+///
+/// Shared (`Arc`) between the registry and in-flight syscalls: everything
+/// set at registration time is immutable, the per-module statistics are
+/// atomics, and the access policy lives inside a concurrent
+/// [`Gateway`] whose sharded decision cache serves the per-call check of
+/// `sys_smod_call` — the gateway is *inside* the kernel's dispatch path,
+/// the way the LSM access vector cache sits inside the hook, not in front
+/// of it.
 pub struct RegisteredModule {
     /// The module id assigned at registration.
     pub id: ModuleId,
@@ -129,16 +140,68 @@ pub struct RegisteredModule {
     pub plaintext: ModuleImage,
     /// The key that seals/unseals the module text (kernel key store handle).
     pub key: KeyHandle,
-    /// The access policy evaluated on every session start and every call.
-    pub policy: PolicyEngine,
+    /// The access policy behind a concurrent, decision-caching gateway.
+    /// Every session start and every call is checked here; concurrent
+    /// sessions against this module share this one gateway (and therefore
+    /// its cache) instead of re-checking independently.
+    pub gateway: Gateway,
+    /// AST node count of the policy at registration time, used by the cost
+    /// model to charge uncached (full fixpoint) policy evaluations.
+    pub policy_complexity: usize,
     /// Function bodies executed by the handle.
     pub functions: FunctionTable,
     /// Uid of the principal that registered the module (may remove it).
     pub registered_by_uid: u32,
+    sessions_started: StripedCounter,
+    calls_dispatched: StripedCounter,
+}
+
+impl RegisteredModule {
+    /// Assemble a registered module around an already-built gateway
+    /// (`Gateway::new(policy, cache_config)` is the usual entry point).
+    pub fn new(
+        id: ModuleId,
+        package: SmodPackage,
+        plaintext: ModuleImage,
+        key: KeyHandle,
+        gateway: Gateway,
+        functions: FunctionTable,
+        registered_by_uid: u32,
+    ) -> RegisteredModule {
+        let policy_complexity = gateway.with_engine(|e| e.total_complexity());
+        RegisteredModule {
+            id,
+            package,
+            plaintext,
+            key,
+            gateway,
+            policy_complexity,
+            functions,
+            registered_by_uid,
+            sessions_started: StripedCounter::new(),
+            calls_dispatched: StripedCounter::new(),
+        }
+    }
+
     /// Number of sessions ever started against this module.
-    pub sessions_started: u64,
+    pub fn sessions_started(&self) -> u64 {
+        self.sessions_started.sum()
+    }
+
     /// Number of calls dispatched against this module.
-    pub calls_dispatched: u64,
+    pub fn calls_dispatched(&self) -> u64 {
+        self.calls_dispatched.sum()
+    }
+
+    /// Record a session start (hint: the client pid, for striping).
+    pub(crate) fn note_session_started(&self, hint: u64) {
+        self.sessions_started.add(hint, 1);
+    }
+
+    /// Record a dispatched call (hint: the caller pid, for striping).
+    pub(crate) fn note_call_dispatched(&self, hint: u64) {
+        self.calls_dispatched.add(hint, 1);
+    }
 }
 
 impl std::fmt::Debug for RegisteredModule {
@@ -153,53 +216,95 @@ impl std::fmt::Debug for RegisteredModule {
 }
 
 /// The registry of all SecModules known to the kernel.
-#[derive(Debug, Default)]
+///
+/// The module table sits behind a `RwLock`; lookups on the dispatch path
+/// take the read lock just long enough to clone the module's `Arc`, so
+/// registration/removal (write-locked, rare) never stalls in-flight calls
+/// for long and concurrent dispatches never contend with each other here.
+#[derive(Default)]
 pub struct SmodRegistry {
-    modules: BTreeMap<ModuleId, RegisteredModule>,
-    next_id: u32,
+    modules: RwLock<BTreeMap<ModuleId, Arc<RegisteredModule>>>,
+    next_id: AtomicU32,
+}
+
+impl std::fmt::Debug for SmodRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SmodRegistry")
+            .field("modules", &self.len())
+            .finish()
+    }
 }
 
 impl SmodRegistry {
     /// Create an empty registry.
     pub fn new() -> SmodRegistry {
         SmodRegistry {
-            modules: BTreeMap::new(),
-            next_id: 1,
+            modules: RwLock::new(BTreeMap::new()),
+            next_id: AtomicU32::new(1),
         }
     }
 
     /// Allocate the next module id.
-    pub fn allocate_id(&mut self) -> ModuleId {
-        let id = ModuleId(self.next_id);
-        self.next_id += 1;
-        id
+    pub fn allocate_id(&self) -> ModuleId {
+        ModuleId(self.next_id.fetch_add(1, Relaxed))
     }
 
     /// Insert a registered module.
-    pub fn insert(&mut self, module: RegisteredModule) {
-        self.modules.insert(module.id, module);
+    pub fn insert(&self, module: RegisteredModule) {
+        self.modules.write().insert(module.id, Arc::new(module));
     }
 
-    /// Look up by id.
-    pub fn get(&self, id: ModuleId) -> SysResult<&RegisteredModule> {
-        self.modules.get(&id).ok_or(Errno::ENOENT)
-    }
-
-    /// Mutable lookup by id.
-    pub fn get_mut(&mut self, id: ModuleId) -> SysResult<&mut RegisteredModule> {
-        self.modules.get_mut(&id).ok_or(Errno::ENOENT)
+    /// Look up by id, returning a shared handle usable without holding any
+    /// registry lock.
+    pub fn get(&self, id: ModuleId) -> SysResult<Arc<RegisteredModule>> {
+        self.modules.read().get(&id).cloned().ok_or(Errno::ENOENT)
     }
 
     /// Remove a module.
-    pub fn remove(&mut self, id: ModuleId) -> SysResult<RegisteredModule> {
-        self.modules.remove(&id).ok_or(Errno::ENOENT)
+    pub fn remove(&self, id: ModuleId) -> SysResult<Arc<RegisteredModule>> {
+        self.modules.write().remove(&id).ok_or(Errno::ENOENT)
+    }
+
+    /// Remove a module only if `may_remove()` holds, evaluated *under the
+    /// registry write lock*. Together with [`SmodRegistry::if_present`]
+    /// (whose closure runs under the read lock) this closes the
+    /// check-then-act window between "no sessions are active" and an
+    /// in-flight session establishment: the establishment publishes its
+    /// session while read-locked here, so this write-locked check either
+    /// sees that session (and refuses with `EBUSY`) or excludes it until
+    /// the removal is done (and the establishment's re-check then fails).
+    pub fn remove_if(
+        &self,
+        id: ModuleId,
+        may_remove: impl FnOnce() -> bool,
+    ) -> SysResult<Arc<RegisteredModule>> {
+        let mut modules = self.modules.write();
+        if !modules.contains_key(&id) {
+            return Err(Errno::ENOENT);
+        }
+        if !may_remove() {
+            return Err(Errno::EBUSY);
+        }
+        modules.remove(&id).ok_or(Errno::ENOENT)
+    }
+
+    /// Run `f` while holding the registry read lock, provided `id` is
+    /// (still) registered. See [`SmodRegistry::remove_if`] for the
+    /// invariant this pair maintains.
+    pub fn if_present<R>(&self, id: ModuleId, f: impl FnOnce() -> R) -> SysResult<R> {
+        let modules = self.modules.read();
+        if !modules.contains_key(&id) {
+            return Err(Errno::ENOENT);
+        }
+        Ok(f())
     }
 
     /// Find a module by name and version (`sys_smod_find`).  A version of 0
     /// matches the highest registered version of that name.
     pub fn find(&self, name: &str, version: u32) -> SysResult<ModuleId> {
+        let modules = self.modules.read();
         let mut best: Option<(u32, ModuleId)> = None;
-        for m in self.modules.values() {
+        for m in modules.values() {
             if m.package.image.name != name {
                 continue;
             }
@@ -217,17 +322,17 @@ impl SmodRegistry {
 
     /// Number of registered modules.
     pub fn len(&self) -> usize {
-        self.modules.len()
+        self.modules.read().len()
     }
 
     /// Is the registry empty?
     pub fn is_empty(&self) -> bool {
-        self.modules.is_empty()
+        self.modules.read().is_empty()
     }
 
-    /// Iterate over the registered modules.
-    pub fn iter(&self) -> impl Iterator<Item = &RegisteredModule> {
-        self.modules.values()
+    /// Snapshot of the registered modules (shared handles).
+    pub fn snapshot(&self) -> Vec<Arc<RegisteredModule>> {
+        self.modules.read().values().cloned().collect()
     }
 }
 
@@ -236,6 +341,7 @@ mod tests {
     use super::*;
     use secmod_crypto::KeyStore;
     use secmod_module::builder::ModuleBuilder;
+    use secmod_policy::{CacheConfig, PolicyEngine};
 
     fn registered(name: &str, version: u32, id: u32) -> RegisteredModule {
         let mut b = ModuleBuilder::new(name, version);
@@ -244,17 +350,15 @@ mod tests {
         let ks = KeyStore::new(b"test");
         let key = ks.generate("k", 16).unwrap();
         let pkg = SmodPackage::seal_unencrypted(&image, b"mac").unwrap();
-        RegisteredModule {
-            id: ModuleId(id),
-            package: pkg,
-            plaintext: image,
+        RegisteredModule::new(
+            ModuleId(id),
+            pkg,
+            image,
             key,
-            policy: PolicyEngine::new(),
-            functions: FunctionTable::new(),
-            registered_by_uid: 0,
-            sessions_started: 0,
-            calls_dispatched: 0,
-        }
+            Gateway::new(PolicyEngine::new(), CacheConfig::default()),
+            FunctionTable::new(),
+            0,
+        )
     }
 
     #[test]
@@ -271,7 +375,7 @@ mod tests {
 
     #[test]
     fn registry_find_by_name_and_version() {
-        let mut r = SmodRegistry::new();
+        let r = SmodRegistry::new();
         let id1 = r.allocate_id();
         let id2 = r.allocate_id();
         let id3 = r.allocate_id();

@@ -6,7 +6,9 @@
 
 use crate::proc::Pid;
 use crate::smod::SessionId;
+use parking_lot::Mutex;
 use secmod_module::ModuleId;
+use std::sync::atomic::{AtomicBool, Ordering::Relaxed};
 
 /// A kernel event.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -91,51 +93,68 @@ pub enum Event {
 }
 
 /// An in-memory event log.
-#[derive(Debug, Default)]
+///
+/// Interior-mutable so the `&self` kernel syscall paths can record from
+/// many threads: the enabled flag is an atomic checked before the log mutex
+/// is touched, so disabled tracing (the benchmark configuration) costs one
+/// relaxed load and takes no lock.
+#[derive(Debug)]
 pub struct Tracer {
-    events: Vec<Event>,
-    enabled: bool,
+    events: Mutex<Vec<Event>>,
+    enabled: AtomicBool,
+}
+
+impl Default for Tracer {
+    fn default() -> Self {
+        Tracer::new()
+    }
 }
 
 impl Tracer {
     /// Create an enabled tracer.
     pub fn new() -> Tracer {
         Tracer {
-            events: Vec::new(),
-            enabled: true,
+            events: Mutex::new(Vec::new()),
+            enabled: AtomicBool::new(true),
         }
     }
 
     /// Enable or disable recording (disabled tracing is free).
-    pub fn set_enabled(&mut self, enabled: bool) {
-        self.enabled = enabled;
+    pub fn set_enabled(&self, enabled: bool) {
+        self.enabled.store(enabled, Relaxed);
+    }
+
+    /// Is recording enabled? Callers building expensive event payloads
+    /// (string clones on a hot path) check this first.
+    pub fn enabled(&self) -> bool {
+        self.enabled.load(Relaxed)
     }
 
     /// Record an event.
-    pub fn record(&mut self, event: Event) {
-        if self.enabled {
-            self.events.push(event);
+    pub fn record(&self, event: Event) {
+        if self.enabled.load(Relaxed) {
+            self.events.lock().push(event);
         }
     }
 
-    /// All recorded events in order.
-    pub fn events(&self) -> &[Event] {
-        &self.events
+    /// Snapshot of all recorded events in order.
+    pub fn events(&self) -> Vec<Event> {
+        self.events.lock().clone()
     }
 
     /// Clear the log.
-    pub fn clear(&mut self) {
-        self.events.clear();
+    pub fn clear(&self) {
+        self.events.lock().clear();
     }
 
     /// Number of recorded events.
     pub fn len(&self) -> usize {
-        self.events.len()
+        self.events.lock().len()
     }
 
     /// Is the log empty?
     pub fn is_empty(&self) -> bool {
-        self.events.is_empty()
+        self.events.lock().is_empty()
     }
 }
 
@@ -145,7 +164,7 @@ mod tests {
 
     #[test]
     fn records_in_order_and_clears() {
-        let mut t = Tracer::new();
+        let t = Tracer::new();
         assert!(t.is_empty());
         t.record(Event::ModuleFound {
             client: Pid(2),
@@ -162,7 +181,7 @@ mod tests {
 
     #[test]
     fn disabled_tracer_records_nothing() {
-        let mut t = Tracer::new();
+        let t = Tracer::new();
         t.set_enabled(false);
         t.record(Event::ModuleRemoved {
             module: ModuleId(1),

@@ -10,10 +10,9 @@
 //! never match after an epoch bump — old-epoch entries simply age out
 //! through eviction.
 
+use crate::engine::Decision;
 use parking_lot::Mutex;
-use secmod_policy::Decision;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 
 /// FNV-1a over a byte string; the gate's cheap non-cryptographic hash.
 pub(crate) fn fnv64(bytes: &[u8]) -> u64 {
@@ -31,7 +30,9 @@ pub(crate) fn fnv64_chain(mut h: u64, bytes: &[u8]) -> u64 {
 }
 
 /// SplitMix64 finalizer: turns a structured value into well-spread bits.
-pub(crate) fn mix64(mut z: u64) -> u64 {
+/// Public because workload generators (the gate's scenario engine) reuse it
+/// to derive per-thread seeds.
+pub fn mix64(mut z: u64) -> u64 {
     z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
@@ -84,6 +85,18 @@ impl Default for CacheConfig {
     }
 }
 
+impl CacheConfig {
+    /// A configuration that disables caching entirely: every lookup misses
+    /// and nothing is ever stored. Used to measure the uncached baseline
+    /// through otherwise identical code paths.
+    pub fn disabled() -> CacheConfig {
+        CacheConfig {
+            shards: 1,
+            capacity: 0,
+        }
+    }
+}
+
 /// Counter snapshot, taken with [`DecisionCache::stats`].
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct CacheStats {
@@ -121,6 +134,13 @@ struct Shard {
     /// Shard-local recency clock; bumped on every touch.
     tick: u64,
     capacity: usize,
+    /// Per-shard statistics, mutated under the shard mutex already held by
+    /// every lookup — a global atomic here would bounce one cache line
+    /// between every dispatching core on every single hit.
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+    insertions: u64,
 }
 
 /// How many resident entries an eviction inspects: Redis-style sampled LRU
@@ -132,23 +152,48 @@ impl Shard {
     fn touch(&mut self, key: &CacheKey) -> Option<Decision> {
         self.tick += 1;
         let tick = self.tick;
-        self.map.get_mut(key).map(|e| {
+        let found = self.map.get_mut(key).map(|e| {
             e.last_used = tick;
             e.decision.clone()
-        })
+        });
+        match found {
+            Some(_) => self.hits += 1,
+            None => self.misses += 1,
+        }
+        found
+    }
+
+    /// Clone-free variant of `touch`: project the resident decision
+    /// through `f` while it stays in the map.
+    fn probe<R>(&mut self, key: &CacheKey, f: impl FnOnce(&Decision) -> R) -> Option<R> {
+        self.tick += 1;
+        let tick = self.tick;
+        let found = self.map.get_mut(key).map(|e| {
+            e.last_used = tick;
+            f(&e.decision)
+        });
+        match found {
+            Some(_) => self.hits += 1,
+            None => self.misses += 1,
+        }
+        found
     }
 
     /// Insert, displacing the least-recently-used of a small sample when
-    /// full. Returns whether an eviction happened.
-    fn insert(&mut self, key: CacheKey, decision: Decision) -> bool {
+    /// full.
+    fn insert(&mut self, key: CacheKey, decision: Decision) {
+        self.insertions += 1;
+        if self.capacity == 0 {
+            // Caching disabled: never store anything.
+            return;
+        }
         self.tick += 1;
         let tick = self.tick;
         if let Some(e) = self.map.get_mut(&key) {
             // Another thread raced us to the same miss; keep theirs fresh.
             e.last_used = tick;
-            return false;
+            return;
         }
-        let mut evicted = false;
         if self.map.len() >= self.capacity {
             // Rotate the sample window through the map (keyed off the
             // recency clock): HashMap iteration order is stable between
@@ -169,7 +214,7 @@ impl Shard {
                 .map(|(k, _)| *k)
             {
                 self.map.remove(&victim);
-                evicted = true;
+                self.evictions += 1;
             }
         }
         self.map.insert(
@@ -179,26 +224,27 @@ impl Shard {
                 last_used: tick,
             },
         );
-        evicted
     }
 }
 
 /// A bounded, sharded map from [`CacheKey`] to [`Decision`] with approximate
-/// LRU eviction and hit/miss/eviction accounting.
+/// LRU eviction and hit/miss/eviction accounting. All accounting is
+/// per-shard (summed by [`DecisionCache::stats`]), so a lookup touches no
+/// memory shared beyond its own shard.
 pub struct DecisionCache {
     shards: Vec<Mutex<Shard>>,
     mask: u64,
-    hits: AtomicU64,
-    misses: AtomicU64,
-    evictions: AtomicU64,
-    insertions: AtomicU64,
 }
 
 impl DecisionCache {
     /// Build a cache from the given sizing.
     pub fn new(config: CacheConfig) -> DecisionCache {
         let shards = config.shards.max(1).next_power_of_two();
-        let per_shard = config.capacity.div_ceil(shards).max(1);
+        let per_shard = if config.capacity == 0 {
+            0
+        } else {
+            config.capacity.div_ceil(shards).max(1)
+        };
         DecisionCache {
             shards: (0..shards)
                 .map(|_| {
@@ -206,14 +252,14 @@ impl DecisionCache {
                         map: HashMap::with_capacity(per_shard),
                         tick: 0,
                         capacity: per_shard,
+                        hits: 0,
+                        misses: 0,
+                        evictions: 0,
+                        insertions: 0,
                     })
                 })
                 .collect(),
             mask: shards as u64 - 1,
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-            evictions: AtomicU64::new(0),
-            insertions: AtomicU64::new(0),
         }
     }
 
@@ -223,21 +269,21 @@ impl DecisionCache {
 
     /// Look up a decision, refreshing its recency on a hit.
     pub fn get(&self, key: &CacheKey) -> Option<Decision> {
-        let found = self.shard(key).lock().touch(key);
-        match &found {
-            Some(_) => self.hits.fetch_add(1, Relaxed),
-            None => self.misses.fetch_add(1, Relaxed),
-        };
-        found
+        self.shard(key).lock().touch(key)
+    }
+
+    /// Look up a decision and project it through `f` *without cloning it*:
+    /// the closure runs under the shard lock against the resident entry.
+    /// The hot dispatch path only needs `Decision::is_allowed`, so this
+    /// avoids a per-hit heap allocation (cloning an Allow copies its
+    /// `used_assertions` vector).
+    pub fn probe<R>(&self, key: &CacheKey, f: impl FnOnce(&Decision) -> R) -> Option<R> {
+        self.shard(key).lock().probe(key, f)
     }
 
     /// Record a freshly computed decision.
     pub fn insert(&self, key: CacheKey, decision: Decision) {
-        let evicted = self.shard(&key).lock().insert(key, decision);
-        self.insertions.fetch_add(1, Relaxed);
-        if evicted {
-            self.evictions.fetch_add(1, Relaxed);
-        }
+        self.shard(&key).lock().insert(key, decision);
     }
 
     /// Number of independently locked shards.
@@ -245,15 +291,19 @@ impl DecisionCache {
         self.shards.len()
     }
 
-    /// Snapshot the counters and the resident entry count.
+    /// Snapshot the counters and the resident entry count (sums the
+    /// per-shard accounting).
     pub fn stats(&self) -> CacheStats {
-        CacheStats {
-            hits: self.hits.load(Relaxed),
-            misses: self.misses.load(Relaxed),
-            evictions: self.evictions.load(Relaxed),
-            insertions: self.insertions.load(Relaxed),
-            entries: self.shards.iter().map(|s| s.lock().map.len()).sum(),
+        let mut stats = CacheStats::default();
+        for shard in &self.shards {
+            let shard = shard.lock();
+            stats.hits += shard.hits;
+            stats.misses += shard.misses;
+            stats.evictions += shard.evictions;
+            stats.insertions += shard.insertions;
+            stats.entries += shard.map.len();
         }
+        stats
     }
 }
 
@@ -324,6 +374,15 @@ mod tests {
             assert_eq!(cache.get(&key(0, 0)), Some(allow()), "hot key evicted");
             cache.insert(key(n, 0), Decision::Deny);
         }
+    }
+
+    #[test]
+    fn disabled_cache_never_stores() {
+        let cache = DecisionCache::new(CacheConfig::disabled());
+        cache.insert(key(1, 0), allow());
+        assert_eq!(cache.get(&key(1, 0)), None, "disabled cache must not hit");
+        let s = cache.stats();
+        assert_eq!((s.entries, s.evictions, s.hits), (0, 0, 0));
     }
 
     #[test]

@@ -7,19 +7,21 @@
 //!
 //! * [`Gateway::add_assertion`] and [`Gateway::register_key`] bump the
 //!   gateway's own epoch (mirroring `PolicyEngine::revision`),
-//! * `Kernel::sys_smod_remove` and `Kernel::smod_detach` bump the kernel's
-//!   `smod_epoch`, which callers fold in with
-//!   [`Gateway::sync_kernel_epoch`] (or [`Gateway::bump_epoch`] when no
-//!   kernel is in the loop).
+//! * the kernel's `sys_smod_remove` and `smod_detach` bump its
+//!   `smod_epoch`, which the kernel (or any other holder of a monotone
+//!   external epoch) folds in with [`Gateway::observe_kernel_epoch`] —
+//!   or [`Gateway::bump_epoch`] when no kernel is in the loop.
 //!
 //! Because the epoch is part of every cache key, a lookup that starts after
 //! a mutation completes can only hit entries computed at the new epoch —
 //! stale decisions are unreachable, not merely flushed-eventually.
 
+use crate::assertion::Assertion;
+use crate::attr::Environment;
 use crate::cache::{fnv64, fnv64_chain, mix64, CacheConfig, CacheKey, CacheStats, DecisionCache};
+use crate::engine::{Decision, PolicyEngine};
+use crate::principal::Principal;
 use parking_lot::RwLock;
-use secmod_kernel::Kernel;
-use secmod_policy::{Assertion, Decision, Environment, PolicyEngine, Principal};
 use std::sync::atomic::{AtomicU64, Ordering::SeqCst};
 
 /// One access-control question: may `requesters` invoke `operation` of
@@ -118,19 +120,53 @@ impl Gateway {
     }
 
     /// Answer an access request, from cache when possible.
-    pub fn check(&self, req: &AccessRequest) -> secmod_policy::Result<Decision> {
-        if let Some(decision) = self.cache.get(&req.cache_key(self.epoch())) {
-            return Ok(decision);
+    pub fn check(&self, req: &AccessRequest) -> crate::Result<Decision> {
+        self.check_with_origin(req).map(|(decision, _)| decision)
+    }
+
+    /// Answer an access request and report where the answer came from:
+    /// `true` means the decision was served from the cache, `false` means
+    /// the full policy fixpoint ran. Callers that charge different costs
+    /// for cached vs uncached checks (the kernel's `sys_smod_call`) use
+    /// this variant.
+    pub fn check_with_origin(&self, req: &AccessRequest) -> crate::Result<(Decision, bool)> {
+        let mut key = req.cache_key(self.epoch());
+        if let Some(decision) = self.cache.get(&key) {
+            return Ok((decision, true));
         }
         // Miss: evaluate under the engine read lock. The epoch is re-read
         // under the lock so the entry is labelled with the epoch the engine
         // state actually corresponds to (mutators bump while holding the
-        // write lock).
+        // write lock); only the epoch component can have changed, so the
+        // request hashes are not recomputed.
         let engine = self.engine.read();
-        let key = req.cache_key(self.epoch());
+        key.epoch = self.epoch();
         let decision = engine.query(req.requesters, &req.environment())?;
         self.cache.insert(key, decision.clone());
-        Ok(decision)
+        Ok((decision, false))
+    }
+
+    /// The hot-path variant of [`Gateway::check_with_origin`]: answer only
+    /// "is this allowed?" plus the cache origin, without cloning the
+    /// cached [`Decision`] (an Allow carries its `used_assertions` vector;
+    /// cloning it per call would put a heap allocation inside the very
+    /// path the cache exists to make cheap). Errors count as deny, as in
+    /// [`Gateway::is_allowed`].
+    pub fn is_allowed_with_origin(&self, req: &AccessRequest) -> (bool, bool) {
+        let mut key = req.cache_key(self.epoch());
+        if let Some(allowed) = self.cache.probe(&key, |decision| decision.is_allowed()) {
+            return (allowed, true);
+        }
+        let engine = self.engine.read();
+        key.epoch = self.epoch();
+        match engine.query(req.requesters, &req.environment()) {
+            Ok(decision) => {
+                let allowed = decision.is_allowed();
+                self.cache.insert(key, decision);
+                (allowed, false)
+            }
+            Err(_) => (false, false),
+        }
     }
 
     /// Convenience wrapper returning a plain boolean (errors count as deny).
@@ -139,7 +175,7 @@ impl Gateway {
     }
 
     /// Add an assertion to the fronted engine, invalidating the cache.
-    pub fn add_assertion(&self, assertion: Assertion) -> secmod_policy::Result<usize> {
+    pub fn add_assertion(&self, assertion: Assertion) -> crate::Result<usize> {
         let mut engine = self.engine.write();
         let idx = engine.add_assertion(assertion)?;
         self.epoch.fetch_add(1, SeqCst);
@@ -162,12 +198,19 @@ impl Gateway {
         self.epoch.fetch_add(1, SeqCst);
     }
 
-    /// Fold a kernel's SecModule invalidation epoch into this gateway's, so
-    /// decisions cached before a `sys_smod_remove`/`smod_detach` can no
-    /// longer be served. Monotone: a stale kernel snapshot never rewinds
-    /// the epoch.
-    pub fn sync_kernel_epoch(&self, kernel: &Kernel) {
-        self.kernel_epoch.fetch_max(kernel.smod_epoch(), SeqCst);
+    /// Fold a kernel's SecModule invalidation epoch (the value of its
+    /// `smod_epoch()`) into this gateway's, so decisions cached before a
+    /// `sys_smod_remove`/`smod_detach` can no longer be served. Monotone:
+    /// a stale kernel snapshot never rewinds the epoch.
+    pub fn observe_kernel_epoch(&self, kernel_epoch: u64) {
+        // Load-before-RMW: on the steady-state hot path the observed epoch
+        // is already current, and a plain load of a shared cache line does
+        // not bounce it between cores the way an unconditional fetch_max
+        // would.
+        if self.kernel_epoch.load(SeqCst) >= kernel_epoch {
+            return;
+        }
+        self.kernel_epoch.fetch_max(kernel_epoch, SeqCst);
     }
 
     /// Run a closure against the fronted engine (read-locked): the escape
@@ -186,7 +229,7 @@ impl Gateway {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use secmod_policy::LicenseeExpr;
+    use crate::assertion::LicenseeExpr;
 
     fn alice() -> Principal {
         Principal::from_key("alice", b"alice-key")
@@ -286,20 +329,36 @@ mod tests {
         assert!(gate.is_allowed(&r));
         assert_eq!(gate.cache_stats().hits, 1);
 
-        // A fresh kernel (epoch 0) must not rewind the gateway's epoch; a
-        // real detach-driven bump is exercised end-to-end by the scenario
-        // engine's churn tests.
-        let kernel = Kernel::default();
-        assert_eq!(kernel.smod_epoch(), 0);
+        // A fresh kernel snapshot (epoch 0) must not rewind the gateway's
+        // epoch; a real detach-driven bump is exercised end-to-end by the
+        // gate crate's scenario engine and kernel-backed coherence tests.
         let before = gate.epoch();
-        gate.sync_kernel_epoch(&kernel);
+        gate.observe_kernel_epoch(0);
         assert_eq!(gate.epoch(), before);
+        // Observing a newer kernel epoch invalidates; observing an older
+        // one afterwards changes nothing (monotone fold).
+        gate.observe_kernel_epoch(3);
+        assert_eq!(gate.epoch(), before + 3);
+        gate.observe_kernel_epoch(2);
+        assert_eq!(gate.epoch(), before + 3);
         gate.bump_epoch();
-        assert_eq!(gate.epoch(), before + 1);
+        assert_eq!(gate.epoch(), before + 4);
         // The old cached entry is unreachable: next check is a miss.
         assert!(gate.is_allowed(&r));
         assert_eq!(gate.cache_stats().hits, 1);
         assert_eq!(gate.cache_stats().misses, 2);
+    }
+
+    #[test]
+    fn check_with_origin_reports_cache_hits() {
+        let gate = gateway_with_alice();
+        let requesters = [alice()];
+        let r = req(&requesters, "libc", "malloc");
+        let (first, hit_first) = gate.check_with_origin(&r).unwrap();
+        let (second, hit_second) = gate.check_with_origin(&r).unwrap();
+        assert_eq!(first, second);
+        assert!(!hit_first, "first check must run the engine");
+        assert!(hit_second, "second check must be served from cache");
     }
 
     #[test]

@@ -26,6 +26,11 @@
 //! * [`unix`] — the coarse uid/gid baseline the paper contrasts ("the
 //!   current UNIX methods for access control is purely binary").
 //! * [`audit`] — an audit trail of decisions for the examples and tests.
+//! * [`cache`] / [`gateway`] — the concurrent decision layer: a sharded,
+//!   epoch-invalidated decision cache and the [`Gateway`] fronting a
+//!   [`PolicyEngine`] with it. These live here (rather than in
+//!   `secmod_gate`, which re-exports them) so the kernel can embed one
+//!   gateway per registered module without a dependency cycle.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -34,8 +39,10 @@ pub mod assertion;
 pub mod ast;
 pub mod attr;
 pub mod audit;
+pub mod cache;
 pub mod engine;
 pub mod eval;
+pub mod gateway;
 pub mod lexer;
 pub mod parser;
 pub mod principal;
@@ -43,7 +50,9 @@ pub mod unix;
 
 pub use assertion::{Assertion, LicenseeExpr};
 pub use attr::{AttrValue, Environment};
+pub use cache::{CacheConfig, CacheKey, CacheStats, DecisionCache};
 pub use engine::{Decision, PolicyEngine};
+pub use gateway::{AccessRequest, Gateway};
 pub use principal::Principal;
 pub use unix::UnixPolicy;
 

@@ -9,6 +9,12 @@ use serde::{Deserialize, Serialize};
 /// string whose SHA-256 fingerprint identifies the principal, and signatures
 /// are HMACs under that byte string (a symmetric stand-in that keeps the
 /// simulation self-contained).
+///
+/// Both identities — the hex fingerprint and its 64-bit digest `fp64` — are
+/// computed **once, at construction** ([`Principal::from_key`]); no hashing
+/// happens per decision. Hot paths (`PolicyEngine::query`'s support-set
+/// membership, the decision cache key) compare the precomputed
+/// [`Principal::fingerprint`] value only.
 #[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct Principal {
     /// Human-readable name (unique within a policy domain).
@@ -68,20 +74,24 @@ impl Principal {
     }
 
     /// The precomputed 64-bit fingerprint: a cheap, stable identity derived
-    /// from the hex fingerprint at construction time. This is what the
-    /// compliance checker and the decision cache key on.
+    /// from the hex fingerprint at construction time (a field read — no
+    /// per-call hashing). This is what the compliance checker and the
+    /// decision cache key on.
+    #[must_use]
     pub fn fingerprint(&self) -> u64 {
         self.fp64
     }
 
     /// The full hex fingerprint of the principal's key material (the
     /// collision-resistant identity; the 64-bit [`Principal::fingerprint`]
-    /// is a derived fast path).
+    /// is a derived fast path). Also precomputed at construction.
+    #[must_use]
     pub fn hex_fingerprint(&self) -> &str {
         &self.fingerprint
     }
 
     /// Is this the policy root?
+    #[must_use]
     pub fn is_policy_root(&self) -> bool {
         self.fingerprint == "POLICY"
     }

@@ -1,9 +1,11 @@
 //! Walkthrough: the `secmod_gate` scenario report.
 //!
-//! Runs the four workload scenarios — uniform, zipfian hot-key,
-//! adversarial cache-thrash, and session churn — against the sharded
-//! decision-cache gateway and prints ops/sec, cache hit rate, and the
-//! (seed-deterministic) allow/deny split for each.
+//! Runs the five workload scenarios — uniform, zipfian hot-key,
+//! adversarial cache-thrash, session churn, and multi-threaded kernel
+//! dispatch — against the sharded decision-cache gateway (for the kernel
+//! scenario: the gateway *embedded in* the kernel's dispatch path) and
+//! prints ops/sec, cache hit rate, and the (seed-deterministic)
+//! allow/deny split for each.
 //!
 //! ```sh
 //! cargo run --release --example gate_report
@@ -57,4 +59,6 @@ fn main() {
     println!("  zipfian  hot tenants dominate — the multi-tenant skew a decision cache exists for");
     println!("  thrash   adversarial unique-key stream: hit rate pinned at 0, pure overhead");
     println!("  churn    uniform traffic while kernel sessions detach mid-stream (epoch bumps)");
+    println!("  kernel   N threads drive sys_smod_call on one shared kernel; every per-call");
+    println!("           check is served by the module's embedded decision-cache gateway");
 }

@@ -61,7 +61,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "simulated time elapsed: {:.3} ms, context switches: {}",
         world.now_ns() as f64 / 1e6,
-        world.kernel.context_switches
+        world.kernel.context_switches()
     );
     Ok(())
 }

@@ -81,7 +81,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let module_stats = world.kernel.registry.get(m_id).unwrap();
     println!(
         "libsolver: {} sessions started, {} calls dispatched",
-        module_stats.sessions_started, module_stats.calls_dispatched
+        module_stats.sessions_started(),
+        module_stats.calls_dispatched()
     );
     Ok(())
 }

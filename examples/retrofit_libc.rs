@@ -64,7 +64,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "\nsimulated time: {:.3} ms, sessions: {}, context switches: {}",
         world.now_ns() as f64 / 1e6,
         world.kernel.sessions.len(),
-        world.kernel.context_switches
+        world.kernel.context_switches()
     );
     Ok(())
 }

@@ -3,20 +3,46 @@
 # every criterion `ns/iter` line into a JSON file, so per-PR performance
 # history accumulates instead of evaporating (ROADMAP open item).
 #
-# Usage: scripts/bench_trajectory.sh [OUT_JSON] [LABEL]
-#   OUT_JSON  where to write the point   (default: target/bench_trajectory.json,
-#             untracked — pass BENCH_PR<N>.json explicitly when recording the
-#             committed per-PR point, so casual runs never clobber a baseline)
-#   LABEL     free-text tag for the point (default: $BENCH_LABEL or "local")
+# Usage: scripts/bench_trajectory.sh [OUT_JSON] [LABEL] [--compare BASELINE_JSON] [--threshold PCT]
+#   OUT_JSON    where to write the point (default: target/bench_trajectory.json,
+#               untracked — pass BENCH_PR<N>.json explicitly when recording the
+#               committed per-PR point, so casual runs never clobber a baseline)
+#   LABEL       free-text tag for the point (default: $BENCH_LABEL or "local")
+#   --compare   after capturing, compare the hot-path benches against the
+#               given committed baseline point and FAIL (exit 1) when any of
+#               them regressed more than the threshold. The hot set:
+#               fig8_dispatch/*, arg_marshalling/*, gate/cached_hot.
+#   --threshold regression threshold in percent (default: $BENCH_REGRESSION_PCT
+#               or 25 — generous because the CI smoke budget is tiny and noisy)
 #
 # Honors SECMOD_BENCH_MS (per-benchmark measurement budget, default 2 —
 # the CI smoke budget; raise it locally for less noisy points).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${1:-target/bench_trajectory.json}"
-LABEL="${2:-${BENCH_LABEL:-local}}"
+OUT="target/bench_trajectory.json"
+LABEL="${BENCH_LABEL:-local}"
+BASELINE=""
+THRESHOLD="${BENCH_REGRESSION_PCT:-25}"
 BUDGET="${SECMOD_BENCH_MS:-2}"
+
+positional=0
+while [ $# -gt 0 ]; do
+    case "$1" in
+        --compare)
+            BASELINE="$2"; shift 2 ;;
+        --threshold)
+            THRESHOLD="$2"; shift 2 ;;
+        *)
+            positional=$((positional + 1))
+            case "$positional" in
+                1) OUT="$1" ;;
+                2) LABEL="$1" ;;
+                *) echo "bench_trajectory: unexpected argument $1" >&2; exit 2 ;;
+            esac
+            shift ;;
+    esac
+done
 
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
@@ -41,3 +67,68 @@ SECMOD_BENCH_MS="$BUDGET" cargo bench --workspace | tee "$RAW"
 COUNT="$(grep -c ns_per_iter "$OUT" || true)"
 echo "bench_trajectory: wrote $COUNT benches to $OUT (label=$LABEL, ${BUDGET}ms budget)"
 test "$COUNT" -gt 0 || { echo "bench_trajectory: no ns/iter lines captured" >&2; exit 1; }
+
+# ---- perf regression gate -------------------------------------------------
+if [ -n "$BASELINE" ]; then
+    test -f "$BASELINE" || { echo "bench_trajectory: baseline $BASELINE not found" >&2; exit 1; }
+    echo "bench_trajectory: comparing hot-path benches against $BASELINE (threshold ${THRESHOLD}%)"
+    # Extract "name ns" pairs from a trajectory JSON (one entry per line as
+    # written above — this parser owns both sides of the format).
+    extract() {
+        sed -n 's/.*"name": "\([^"]*\)", "ns_per_iter": \([0-9.]*\).*/\1 \2/p' "$1"
+    }
+    # Re-measure one bench (substring filter) and print its ns/iter.
+    remeasure() {
+        SECMOD_BENCH_MS="$BUDGET" cargo bench --workspace -- "$1" 2>/dev/null \
+            | awk -v n="$1" '$1 == n && /ns\/iter/ {
+                  for (i = 1; i <= NF; i++) if ($i == "time:") print $(i + 1)
+              }' | head -1
+    }
+    extract "$BASELINE" > "$RAW.base"
+    extract "$OUT" > "$RAW.new"
+    FAIL=0
+    while read -r name base_ns; do
+        case "$name" in
+            # rpc_testincr round-trips a real Unix socket: it measures the
+            # host's socket stack, not this tree, and is far too
+            # load-sensitive to gate on.
+            fig8_dispatch/rpc_testincr) continue ;;
+            fig8_dispatch/*|arg_marshalling/*|gate/cached_hot) ;;
+            *) continue ;;
+        esac
+        new_ns="$(awk -v n="$name" '$1 == n { print $2 }' "$RAW.new")"
+        if [ -z "$new_ns" ]; then
+            echo "  MISSING  $name (present in baseline, absent in this run)"
+            FAIL=1
+            continue
+        fi
+        over() {
+            awk -v b="$base_ns" -v c="$1" -v t="$THRESHOLD" \
+                'BEGIN { exit ((c - b) / b * 100.0 > t) ? 0 : 1 }'
+        }
+        # CPU-steal noise on small benches is one-sided (only ever slower),
+        # so a flagged bench is re-measured up to twice and the minimum
+        # observation is what gets judged.
+        retries=0
+        while over "$new_ns" && [ "$retries" -lt 2 ]; do
+            retries=$((retries + 1))
+            echo "  retry    $name: ${new_ns} ns vs ${base_ns} ns baseline (attempt $retries)"
+            again="$(remeasure "$name")"
+            if [ -n "$again" ]; then
+                new_ns="$(awk -v a="$new_ns" -v b="$again" 'BEGIN { print (b < a) ? b : a }')"
+            fi
+        done
+        verdict="$(awk -v b="$base_ns" -v c="$new_ns" -v t="$THRESHOLD" 'BEGIN {
+            pct = (c - b) / b * 100.0
+            printf "%+.1f%% (%.1f -> %.1f ns)", pct, b, c
+            exit (pct > t) ? 1 : 0
+        }')" || { echo "  REGRESSED $name: $verdict"; FAIL=1; continue; }
+        echo "  ok       $name: $verdict"
+    done < "$RAW.base"
+    rm -f "$RAW.base" "$RAW.new"
+    if [ "$FAIL" -ne 0 ]; then
+        echo "bench_trajectory: hot-path regression beyond ${THRESHOLD}% vs $BASELINE" >&2
+        exit 1
+    fi
+    echo "bench_trajectory: no hot-path regression beyond ${THRESHOLD}%"
+fi

@@ -29,7 +29,11 @@ fn establish() -> (SimWorld, Pid, Pid) {
         )
         .unwrap();
     world.connect(client, "libaddr", 0).unwrap();
-    let handle = world.kernel.procs.get(client).unwrap().smod.unwrap().peer;
+    let handle = world
+        .kernel
+        .procs
+        .with(client, |p| p.smod.unwrap().peer)
+        .unwrap();
     (world, client, handle)
 }
 
@@ -37,39 +41,42 @@ fn establish() -> (SimWorld, Pid, Pid) {
 fn data_heap_and_stack_are_shared_text_is_not() {
     let (world, client, handle) = establish();
     let layout = world.kernel.layout;
-    let client_proc = world.kernel.procs.get(client).unwrap();
-    let handle_proc = world.kernel.procs.get(handle).unwrap();
+    world
+        .kernel
+        .procs
+        .with_pair_mut(client, handle, |client_proc, handle_proc| {
+            // Heap pages are literally the same frames.
+            let heap_page = VRange::from_raw(layout.data_base, layout.data_base + 4096);
+            assert!(handle_proc.vm.shares_pages_with(&client_proc.vm, heap_page));
 
-    // Heap pages are literally the same frames.
-    let heap_page = VRange::from_raw(layout.data_base, layout.data_base + 4096);
-    assert!(handle_proc.vm.shares_pages_with(&client_proc.vm, heap_page));
+            // Stack pages likewise.
+            let stack_top = layout.stack_top;
+            let stack_page = VRange::from_raw(stack_top - 4096, stack_top);
+            assert!(handle_proc
+                .vm
+                .shares_pages_with(&client_proc.vm, stack_page));
 
-    // Stack pages likewise.
-    let stack_top = layout.stack_top;
-    let stack_page = VRange::from_raw(stack_top - 4096, stack_top);
-    assert!(handle_proc
-        .vm
-        .shares_pages_with(&client_proc.vm, stack_page));
+            // Text entries are private on both sides.
+            let text_addr = Vaddr(layout.text_base);
+            assert!(!client_proc.vm.map.entry_at(text_addr).unwrap().shared);
+            assert!(!handle_proc.vm.map.entry_at(text_addr).unwrap().shared);
 
-    // Text entries are private on both sides.
-    let text_addr = Vaddr(layout.text_base);
-    assert!(!client_proc.vm.map.entry_at(text_addr).unwrap().shared);
-    assert!(!handle_proc.vm.map.entry_at(text_addr).unwrap().shared);
-
-    // Both record the same forced-share range.
-    assert_eq!(
-        client_proc.vm.smod_share_range(),
-        handle_proc.vm.smod_share_range()
-    );
-    assert_eq!(
-        client_proc.vm.smod_share_range().unwrap(),
-        layout.share_region()
-    );
+            // Both record the same forced-share range.
+            assert_eq!(
+                client_proc.vm.smod_share_range(),
+                handle_proc.vm.smod_share_range()
+            );
+            assert_eq!(
+                client_proc.vm.smod_share_range().unwrap(),
+                layout.share_region()
+            );
+        })
+        .unwrap();
 }
 
 #[test]
 fn secret_stack_heap_exists_only_in_the_handle() {
-    let (mut world, client, handle) = establish();
+    let (world, client, handle) = establish();
     let layout = world.kernel.layout;
     let secret = layout.secret_region();
 
@@ -77,32 +84,31 @@ fn secret_stack_heap_exists_only_in_the_handle() {
     assert!(world
         .kernel
         .procs
-        .get(handle)
-        .unwrap()
-        .vm
-        .has_mapping(secret.start));
+        .with(handle, |p| p.vm.has_mapping(secret.start))
+        .unwrap());
     // …the client does not, and cannot fault it in even through the peer
     // (the secret region is outside the share range).
     assert!(!world
         .kernel
         .procs
-        .get(client)
-        .unwrap()
-        .vm
-        .has_mapping(secret.start));
-    let err = {
-        let (client_proc, handle_proc) = world.kernel.procs.get_pair_mut(client, handle).unwrap();
-        client_proc
-            .vm
-            .fault_with_peer(secret.start, AccessType::Read, Some(&handle_proc.vm))
-            .unwrap_err()
-    };
+        .with(client, |p| p.vm.has_mapping(secret.start))
+        .unwrap());
+    let err = world
+        .kernel
+        .procs
+        .with_pair_mut(client, handle, |client_proc, handle_proc| {
+            client_proc
+                .vm
+                .fault_with_peer(secret.start, AccessType::Read, Some(&handle_proc.vm))
+                .unwrap_err()
+        })
+        .unwrap();
     assert!(matches!(err, secmod_vm::VmError::SegmentationFault { .. }));
 }
 
 #[test]
 fn writes_by_the_handle_are_visible_to_the_client_and_vice_versa() {
-    let (mut world, client, _handle) = establish();
+    let (world, client, _handle) = establish();
     let addr = world.heap_base();
 
     // Handle writes via a protected call; client reads directly.
@@ -118,7 +124,11 @@ fn writes_by_the_handle_are_visible_to_the_client_and_vice_versa() {
     world
         .poke(client, Vaddr(addr.0 + 512), b"client wrote this")
         .unwrap();
-    let handle = world.kernel.procs.get(client).unwrap().smod.unwrap().peer;
+    let handle = world
+        .kernel
+        .procs
+        .with(client, |p| p.smod.unwrap().peer)
+        .unwrap();
     let via_handle = world
         .kernel
         .read_user_memory(handle, Vaddr(addr.0 + 512), 17)
@@ -130,8 +140,8 @@ fn writes_by_the_handle_are_visible_to_the_client_and_vice_versa() {
 fn client_heap_growth_remains_shared() {
     // The modified sys_obreak + uvm_fault path: memory the client maps after
     // the handshake is still visible to the handle.
-    let (mut world, client, handle) = establish();
-    let old_brk = world.kernel.procs.get(client).unwrap().vm.brk();
+    let (world, client, handle) = establish();
+    let old_brk = world.kernel.procs.with(client, |p| p.vm.brk()).unwrap();
     world
         .kernel
         .sys_obreak(client, Vaddr(old_brk.0 + 8 * 4096))

@@ -73,7 +73,7 @@ fn figure1_sequence_in_order() {
         .events()
         .iter()
         .any(|e| matches!(e, Event::SmodCall { allowed: true, .. })));
-    assert_eq!(world.kernel.session_of(client).unwrap().calls, 1);
+    assert_eq!(world.kernel.session_of(client).unwrap().calls(), 1);
 }
 
 #[test]
@@ -92,7 +92,7 @@ fn session_survives_many_calls_and_detaches_cleanly() {
         let reply = world.call(client, "testincr", &i.to_le_bytes()).unwrap();
         assert_eq!(u64::from_le_bytes(reply.try_into().unwrap()), i + 1);
     }
-    assert_eq!(world.kernel.session_of(client).unwrap().calls, 100);
+    assert_eq!(world.kernel.session_of(client).unwrap().calls(), 100);
 
     world.disconnect(client).unwrap();
     assert!(world.kernel.session_of(client).is_none());

@@ -25,13 +25,17 @@ fn world_with_client() -> (SimWorld, Pid, Pid) {
         )
         .unwrap();
     world.connect(client, "libsec", 0).unwrap();
-    let handle = world.kernel.procs.get(client).unwrap().smod.unwrap().peer;
+    let handle = world
+        .kernel
+        .procs
+        .with(client, |p| p.smod.unwrap().peer)
+        .unwrap();
     (world, client, handle)
 }
 
 #[test]
 fn client_never_sees_module_text() {
-    let (mut world, client, handle) = world_with_client();
+    let (world, client, handle) = world_with_client();
     let text_base = world.kernel.layout.text_base;
     let m_id = world.module_id("libsec").unwrap();
     let module_text = world
@@ -60,7 +64,8 @@ fn client_never_sees_module_text() {
 
     // And the registered package on disk is encrypted: the sealed text does
     // not contain the plaintext bytes.
-    let sealed = &world.kernel.registry.get(m_id).unwrap().package;
+    let registered = world.kernel.registry.get(m_id).unwrap();
+    let sealed = &registered.package;
     assert!(sealed.encrypted);
     assert_ne!(sealed.image.text.data, module_text);
 }
@@ -101,11 +106,15 @@ fn handle_is_bound_to_exactly_one_client() {
 
 #[test]
 fn credentials_are_checked_on_every_call_not_just_session_start() {
-    let (mut world, client, _handle) = world_with_client();
+    let (world, client, _handle) = world_with_client();
     // Establish the session legitimately, then strip the credential from the
     // process (simulating a credential that expires or is revoked).
     world.call(client, "noop", &[]).unwrap();
-    world.kernel.procs.get_mut(client).unwrap().cred = Credential::user(1000, 100);
+    world
+        .kernel
+        .procs
+        .with_mut(client, |p| p.cred = Credential::user(1000, 100))
+        .unwrap();
     let err = world.call(client, "noop", &[]).unwrap_err();
     assert!(matches!(err, secmod_core::SmodError::Kernel(Errno::EACCES)));
     // The denied call is visible in the audit trail.
@@ -153,12 +162,12 @@ fn no_core_dumps_and_no_ptrace_for_the_pair() {
 
 #[test]
 fn execve_detaches_the_session_and_kills_the_handle() {
-    let (mut world, client, handle) = world_with_client();
+    let (world, client, handle) = world_with_client();
     world
         .kernel
         .sys_execve(client, "fresh-image", vec![0xCC; 4096])
         .unwrap();
-    assert!(!world.kernel.procs.get(handle).unwrap().is_alive());
+    assert!(!world.kernel.procs.with(handle, |p| p.is_alive()).unwrap());
     assert!(world.kernel.sessions.is_empty());
     assert!(world
         .kernel
@@ -192,7 +201,7 @@ fn wrapped_key_delivery_goes_through_the_host_rsa_key() {
     use secmod_kernel::smod::ModuleKeyDelivery;
 
     let m = module();
-    let mut world = SimWorld::new();
+    let world = SimWorld::new();
 
     // Give the kernel a host RSA key.
     let mut rng = HashDrbg::new(b"host-key-seed");
