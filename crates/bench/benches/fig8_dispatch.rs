@@ -1,9 +1,15 @@
 //! Criterion version of Figure 8: native getpid vs SMOD dispatch (native
-//! backend) vs local RPC, per call.
+//! backend) vs local RPC, per call. The RPC row comes in two transports:
+//! the paper's Unix socket (host-socket-bound, excluded from the perf
+//! gate) and the in-process shared-memory ring pair (`shm:`), which
+//! measures the identical record-marked RPC protocol without the socket
+//! stack — stable enough to live inside the `--compare` gate.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use secmod_core::native::{native_getpid, NativeModule, NativeSession};
-use secmod_rpc::services::{spawn_local_testincr_server, TestIncrClient};
+use secmod_rpc::services::{
+    spawn_local_testincr_server, spawn_shm_testincr_server, TestIncrClient,
+};
 
 const KEY: &[u8] = b"bench-credential";
 
@@ -33,6 +39,16 @@ fn fig8_dispatch(c: &mut Criterion) {
         b.iter(|| {
             j += 1;
             std::hint::black_box(rpc.incr(j).unwrap())
+        })
+    });
+
+    let shm_server = spawn_shm_testincr_server().unwrap();
+    let shm_rpc = TestIncrClient::connect(shm_server.endpoint()).unwrap();
+    let mut m = 0u64;
+    group.bench_function("rpc_testincr_shm", |b| {
+        b.iter(|| {
+            m += 1;
+            std::hint::black_box(shm_rpc.incr(m).unwrap())
         })
     });
 

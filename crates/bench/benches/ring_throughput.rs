@@ -1,0 +1,154 @@
+//! `ring_throughput`: the batched dispatch path (`sys_smod_call_batch`
+//! over submission/completion rings) swept across batch sizes
+//! {1, 8, 32, 128}, against the single-call cached `sys_smod_call`
+//! baseline on the same kernel.
+//!
+//! Every row runs the identical per-entry work (cached policy check +
+//! `testincr`-style body); what the sweep varies is how many entries
+//! share one syscall's worth of fixed cost (session/credential/gateway
+//! resolution, pair locking, accounting). The acceptance bar this bench
+//! demonstrates: batch-32 cached dispatch sustains ≥ 2x the single-call
+//! cached throughput on the same box. A summary block after the
+//! criterion entries prints the measured ratio explicitly.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use secmod_gate::{build_dispatch_kernel, DispatchKernel, ScenarioConfig, ScenarioKind};
+use secmod_kernel::smod::SmodCallArgs;
+use secmod_ring::{CompletionRing, Ring, SmodCallReq, SubmissionRing};
+use std::time::Instant;
+
+const BATCH_SIZES: [usize; 4] = [1, 8, 32, 128];
+
+fn dispatch_kernel() -> DispatchKernel {
+    build_dispatch_kernel(&ScenarioConfig {
+        threads: 1,
+        ..ScenarioConfig::full(ScenarioKind::KernelDispatch, 42)
+    })
+}
+
+fn single_call(dispatch: &DispatchKernel, func_id: u32, i: u64) {
+    let reply = dispatch
+        .kernel
+        .sys_smod_call(
+            dispatch.clients[0],
+            SmodCallArgs {
+                m_id: dispatch.module,
+                func_id,
+                frame_pointer: 0xBFFF_0000,
+                return_address: 0x0000_1000,
+                args: i.to_le_bytes().to_vec(),
+            },
+        )
+        .expect("allowed dispatch");
+    std::hint::black_box(reply);
+}
+
+/// One submit → drain → complete cycle of `n` entries.
+fn batch_cycle(
+    dispatch: &DispatchKernel,
+    sq: &SubmissionRing,
+    cq: &CompletionRing,
+    session: u32,
+    func_id: u32,
+    n: usize,
+) {
+    for i in 0..n {
+        sq.push_spsc(SmodCallReq {
+            session,
+            proc_id: func_id,
+            user_data: i as u64,
+            args: (i as u64).to_le_bytes().to_vec(),
+        })
+        .expect("ring sized to the batch");
+    }
+    let report = dispatch
+        .kernel
+        .sys_smod_call_batch(dispatch.clients[0], sq, cq, n)
+        .expect("batch dispatch");
+    assert_eq!(report.completed, n);
+    for _ in 0..n {
+        std::hint::black_box(cq.pop_spsc().expect("completion present"));
+    }
+}
+
+/// Wall-clock ops/sec over `total` calls issued in batches of `n`
+/// (`n == 0` means the single-call baseline).
+fn measure_ops_per_sec(dispatch: &DispatchKernel, n: usize, total: u64) -> f64 {
+    let func_id = dispatch.func_ids[1];
+    let start = Instant::now();
+    if n == 0 {
+        for i in 0..total {
+            single_call(dispatch, func_id, i);
+        }
+    } else {
+        let session = dispatch
+            .kernel
+            .session_of(dispatch.clients[0])
+            .unwrap()
+            .id
+            .0;
+        let (sq, cq): (SubmissionRing, CompletionRing) =
+            (Ring::with_capacity(n), Ring::with_capacity(n));
+        for _ in 0..total / n as u64 {
+            batch_cycle(dispatch, &sq, &cq, session, func_id, n);
+        }
+    }
+    total as f64 / start.elapsed().as_secs_f64().max(1e-9)
+}
+
+fn ring_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ring_throughput");
+    let dispatch = dispatch_kernel();
+    let func_id = dispatch.func_ids[1];
+    let session = dispatch
+        .kernel
+        .session_of(dispatch.clients[0])
+        .unwrap()
+        .id
+        .0;
+
+    group.throughput(Throughput::Elements(1));
+    let mut i = 0u64;
+    group.bench_function("single_call_cached", |b| {
+        b.iter(|| {
+            i += 1;
+            single_call(&dispatch, func_id, i);
+        })
+    });
+
+    for n in BATCH_SIZES {
+        let (sq, cq): (SubmissionRing, CompletionRing) =
+            (Ring::with_capacity(n), Ring::with_capacity(n));
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_function(BenchmarkId::new("batch", n), |b| {
+            b.iter(|| batch_cycle(&dispatch, &sq, &cq, session, func_id, n))
+        });
+    }
+    group.finish();
+
+    // Explicit acceptance summary (wall-clock, outside the criterion loop
+    // so the ratio is printed even under tiny CI budgets).
+    let single = measure_ops_per_sec(&dispatch, 0, 16_384);
+    println!("\nring_throughput summary (cached dispatch, 1 producer):");
+    println!("  single call      : {single:>12.0} ops/sec");
+    let mut batch32 = 0.0;
+    for n in BATCH_SIZES {
+        let ops = measure_ops_per_sec(&dispatch, n, 32_768);
+        if n == 32 {
+            batch32 = ops;
+        }
+        println!("  batch {n:>4}       : {ops:>12.0} ops/sec");
+    }
+    let ratio = batch32 / single.max(1e-9);
+    println!(
+        "  batch@32 / single = {ratio:.1}x {}",
+        if ratio >= 2.0 {
+            "(>= 2x acceptance bar)"
+        } else {
+            "(BELOW the 2x acceptance bar!)"
+        }
+    );
+}
+
+criterion_group!(benches, ring_throughput);
+criterion_main!(benches);

@@ -32,9 +32,10 @@
 //! * [`scenario`] — a **workload scenario engine** generating
 //!   deterministic multi-tenant traffic (uniform, zipfian hot-key,
 //!   adversarial cache-thrash, session churn against a live simulated
-//!   kernel, and multi-threaded dispatch through the real
-//!   `sys_smod_call` path) from many threads, reporting ops/sec and hit
-//!   rate per scenario.
+//!   kernel, multi-threaded dispatch through the real `sys_smod_call`
+//!   path — pinned sessions or a sessions-≫-threads pool — and batched
+//!   ring dispatch through `sys_smod_call_batch`) from many threads,
+//!   reporting ops/sec and hit rate per scenario.
 //!
 //! Quick taste:
 //!
@@ -56,6 +57,6 @@ pub mod scenario;
 pub use cache::{CacheConfig, CacheKey, CacheStats, DecisionCache};
 pub use gateway::{AccessRequest, Gateway};
 pub use scenario::{
-    build_dispatch_kernel, build_universe, run_scenario, DispatchKernel, ScenarioConfig,
-    ScenarioKind, ScenarioReport, Universe,
+    build_dispatch_kernel, build_dispatch_kernel_with_clients, build_universe, run_scenario,
+    DispatchKernel, ScenarioConfig, ScenarioKind, ScenarioReport, Universe,
 };

@@ -22,6 +22,16 @@
 //!   the same module, so every per-call check goes through the module's
 //!   *embedded* gateway (the decision cache inside the kernel dispatch
 //!   path) rather than a free-standing one.
+//! * **pool** — the session-pool variant of **kernel**: far more
+//!   established sessions than worker threads (`tenants` sessions, e.g.
+//!   64, round-robined across the workers), so consecutive dispatches
+//!   from one thread land on *different* sessions and the session-table
+//!   shards feel honest multi-tenant pressure instead of one pinned
+//!   session per thread.
+//! * **ring** — the batched path: each producer thread fills its own
+//!   submission ring with `SmodCallReq`s while drainer threads run
+//!   `sys_smod_call_batch`, which resolves the session once per batch and
+//!   completes entries through the paired completion ring.
 //!
 //! All randomness comes from per-thread `SmallRng` streams seeded from
 //! `ScenarioConfig::seed`, so the request sequence — and therefore the
@@ -40,9 +50,12 @@ use secmod_kernel::{Credential, Errno, Kernel, Pid};
 use secmod_module::builder::{FunctionSpec, ModuleBuilder};
 use secmod_module::{ModuleId, SmodPackage, StubTable};
 use secmod_policy::{Assertion, LicenseeExpr, PolicyEngine, Principal};
+use secmod_ring::{
+    CompletionRing, RingPairConfig, SmodCallReq, SubmissionRing, SMOD_BATCH_DEFAULT_BUDGET,
+};
 use std::time::{Duration, Instant};
 
-/// The five traffic shapes the engine can generate.
+/// The seven traffic shapes the engine can generate.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum ScenarioKind {
     /// Uniform tenant/module/operation draws.
@@ -55,16 +68,24 @@ pub enum ScenarioKind {
     Churn,
     /// Concurrent `sys_smod_call` dispatch through one shared kernel.
     KernelDispatch,
+    /// Kernel dispatch with sessions ≫ threads, round-robined per worker
+    /// (session-table shard pressure).
+    SessionPool,
+    /// Batched dispatch: producer threads fill per-session submission
+    /// rings, drainer threads run `sys_smod_call_batch`.
+    RingDispatch,
 }
 
 impl ScenarioKind {
     /// Every scenario, in report order.
-    pub const ALL: [ScenarioKind; 5] = [
+    pub const ALL: [ScenarioKind; 7] = [
         ScenarioKind::Uniform,
         ScenarioKind::ZipfianHotKey,
         ScenarioKind::AdversarialThrash,
         ScenarioKind::Churn,
         ScenarioKind::KernelDispatch,
+        ScenarioKind::SessionPool,
+        ScenarioKind::RingDispatch,
     ];
 
     /// Short name used in reports and CLI arguments.
@@ -75,6 +96,8 @@ impl ScenarioKind {
             ScenarioKind::AdversarialThrash => "thrash",
             ScenarioKind::Churn => "churn",
             ScenarioKind::KernelDispatch => "kernel",
+            ScenarioKind::SessionPool => "pool",
+            ScenarioKind::RingDispatch => "ring",
         }
     }
 }
@@ -268,9 +291,13 @@ fn run_worker(
     let mut stats = WorkerStats::default();
     for op_idx in 0..cfg.ops_per_thread {
         let (tenant, module, operation, uid) = match cfg.kind {
-            // KernelDispatch never reaches run_worker (it has its own
-            // runner); the arm exists only for exhaustiveness.
-            ScenarioKind::Uniform | ScenarioKind::Churn | ScenarioKind::KernelDispatch => {
+            // The kernel-backed kinds never reach run_worker (they have
+            // their own runners); the arms exist only for exhaustiveness.
+            ScenarioKind::Uniform
+            | ScenarioKind::Churn
+            | ScenarioKind::KernelDispatch
+            | ScenarioKind::SessionPool
+            | ScenarioKind::RingDispatch => {
                 let tenant = rng.gen_range(0..universe.tenants.len() as u64) as usize;
                 (
                     tenant,
@@ -388,15 +415,19 @@ fn run_churn_actor(gateway: &Gateway, cycles: u64) -> WorkerStats {
 }
 
 /// A live kernel-dispatch universe: one shared kernel, one registered
-/// module (whose embedded gateway serves every per-call check), and one
-/// established session per worker thread. Built by
-/// [`build_dispatch_kernel`]; also reused by the `fig8_concurrent` bench.
+/// module (whose embedded gateway serves every per-call check), and a
+/// pool of established sessions. Built by [`build_dispatch_kernel`] (one
+/// client per worker thread) or [`build_dispatch_kernel_with_clients`]
+/// (an explicit session-pool size); also reused by the `fig8_concurrent`
+/// and `ring_throughput` benches.
 pub struct DispatchKernel {
     /// The shared kernel; every syscall takes `&self`.
     pub kernel: Kernel,
     /// The registered benchmark module.
     pub module: ModuleId,
-    /// One connected client per worker thread (thread i drives client i).
+    /// The connected clients. For [`ScenarioKind::KernelDispatch`] thread
+    /// i drives client i; for [`ScenarioKind::SessionPool`] the workers
+    /// round-robin over the whole pool.
     pub clients: Vec<Pid>,
     /// Function ids of the module's operations; index 0 is the
     /// `"restricted"` operation that the policy denies.
@@ -411,6 +442,17 @@ pub struct DispatchKernel {
 /// `cfg.cache` — pass [`CacheConfig::disabled`] to measure the uncached
 /// baseline through the identical code path.
 pub fn build_dispatch_kernel(cfg: &ScenarioConfig) -> DispatchKernel {
+    build_dispatch_kernel_with_clients(cfg, cfg.threads)
+}
+
+/// [`build_dispatch_kernel`] with an explicit connected-client count: the
+/// session-pool and ring scenarios establish more sessions than worker
+/// threads. `n_clients` is clamped to the tenant key space
+/// (`cfg.tenants.max(cfg.threads)`) so every client has a delegation.
+pub fn build_dispatch_kernel_with_clients(
+    cfg: &ScenarioConfig,
+    n_clients: usize,
+) -> DispatchKernel {
     const MODULE_NAME: &str = "libdispatch";
     let kernel = Kernel::with_gate_config(secmod_kernel::CostModel::default(), cfg.cache);
     // Tracing every dispatch from N threads would serialise the workers on
@@ -506,7 +548,7 @@ pub fn build_dispatch_kernel(cfg: &ScenarioConfig) -> DispatchKernel {
 
     let clients: Vec<Pid> = tenant_keys
         .iter()
-        .take(cfg.threads)
+        .take(n_clients.clamp(1, tenant_keys.len()))
         .enumerate()
         .map(|(t, key)| {
             let client = kernel
@@ -535,18 +577,27 @@ pub fn build_dispatch_kernel(cfg: &ScenarioConfig) -> DispatchKernel {
     }
 }
 
-/// One kernel-dispatch worker: issue `ops_per_thread` `sys_smod_call`s on
-/// this thread's own session, drawing the operation uniformly (so the
-/// deterministic slice aimed at `"restricted"` is denied by policy).
+/// One kernel-dispatch worker: issue `ops_per_thread` `sys_smod_call`s,
+/// drawing the operation uniformly (so the deterministic slice aimed at
+/// `"restricted"` is denied by policy). [`ScenarioKind::KernelDispatch`]
+/// pins the worker to its own session; [`ScenarioKind::SessionPool`]
+/// round-robins every worker across the whole session pool, so
+/// consecutive dispatches from one thread hit different session-table
+/// shards (and different per-process locks) every time.
 fn run_kernel_worker(
     dispatch: &DispatchKernel,
     cfg: &ScenarioConfig,
     thread_idx: u64,
 ) -> WorkerStats {
     let mut rng = SmallRng::seed_from_u64(cfg.seed ^ mix64(thread_idx + 1));
-    let client = dispatch.clients[thread_idx as usize];
     let mut stats = WorkerStats::default();
     for op_idx in 0..cfg.ops_per_thread {
+        let client = match cfg.kind {
+            ScenarioKind::SessionPool => {
+                dispatch.clients[(thread_idx as usize + op_idx as usize) % dispatch.clients.len()]
+            }
+            _ => dispatch.clients[thread_idx as usize],
+        };
         let func_id = dispatch.func_ids[rng.gen_range(0..dispatch.func_ids.len() as u64) as usize];
         let outcome = dispatch.kernel.sys_smod_call(
             client,
@@ -565,6 +616,163 @@ fn run_kernel_worker(
         }
     }
     stats
+}
+
+/// One ring producer: fill this session's submission ring with
+/// `ops_per_thread` requests (same uniform operation draw as the
+/// single-call workers, so the allow/deny split is seed-identical to
+/// [`ScenarioKind::KernelDispatch`]), reaping completions as they appear
+/// to keep the rings flowing, then drain the tail.
+fn run_ring_producer(
+    dispatch: &DispatchKernel,
+    rings: &(SubmissionRing, CompletionRing),
+    cfg: &ScenarioConfig,
+    thread_idx: u64,
+) -> WorkerStats {
+    let mut rng = SmallRng::seed_from_u64(cfg.seed ^ mix64(thread_idx + 1));
+    let (sq, cq) = rings;
+    let session = dispatch
+        .kernel
+        .session_of(dispatch.clients[thread_idx as usize])
+        .expect("producer session established")
+        .id
+        .0;
+    let mut stats = WorkerStats::default();
+    let mut sent = 0u64;
+    let mut received = 0u64;
+    let mut pending: Option<SmodCallReq> = None;
+    while received < cfg.ops_per_thread {
+        let mut progressed = false;
+        if sent < cfg.ops_per_thread {
+            let req = pending.take().unwrap_or_else(|| {
+                let func_id =
+                    dispatch.func_ids[rng.gen_range(0..dispatch.func_ids.len() as u64) as usize];
+                SmodCallReq {
+                    session,
+                    proc_id: func_id,
+                    user_data: sent,
+                    args: sent.to_le_bytes().to_vec(),
+                }
+            });
+            // This thread is the ring's only producer: SPSC fast path.
+            match sq.push_spsc(req) {
+                Ok(()) => {
+                    sent += 1;
+                    progressed = true;
+                }
+                Err(back) => pending = Some(back),
+            }
+        }
+        // And the only consumer of its completion ring.
+        while let Some(resp) = cq.pop_spsc() {
+            received += 1;
+            progressed = true;
+            if resp.is_ok() {
+                stats.allows += 1;
+            } else if resp.errno == Errno::EACCES.code() {
+                stats.denies += 1;
+            } else {
+                panic!("unexpected ring completion errno {}", resp.errno);
+            }
+        }
+        if !progressed {
+            std::thread::yield_now();
+        }
+    }
+    stats
+}
+
+/// The [`ScenarioKind::RingDispatch`] runner: `cfg.threads` producers fill
+/// per-session ring pairs while `max(1, threads/2)` drainer threads sweep
+/// the rings with `sys_smod_call_batch` (session/credential/gateway
+/// resolved once per batch) until every producer is done and every
+/// submission ring is dry.
+fn run_ring_scenario(cfg: &ScenarioConfig) -> ScenarioReport {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    let dispatch = build_dispatch_kernel(cfg);
+    let pairs: Vec<(SubmissionRing, CompletionRing)> = (0..cfg.threads)
+        .map(|_| RingPairConfig::default().build())
+        .collect();
+    let drainers = (cfg.threads / 2).max(1);
+    let producers_done = AtomicUsize::new(0);
+    let (tx, rx) = channel::bounded::<WorkerStats>(cfg.threads);
+
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for thread_idx in 0..cfg.threads {
+            let tx = tx.clone();
+            let dispatch = &dispatch;
+            let pairs = &pairs;
+            let producers_done = &producers_done;
+            scope.spawn(move || {
+                let stats = run_ring_producer(dispatch, &pairs[thread_idx], cfg, thread_idx as u64);
+                producers_done.fetch_add(1, Ordering::Release);
+                tx.send(stats).expect("report ring producer stats");
+            });
+        }
+        for drainer_idx in 0..drainers {
+            let dispatch = &dispatch;
+            let pairs = &pairs;
+            let producers_done = &producers_done;
+            scope.spawn(move || loop {
+                let mut drained_any = false;
+                // Stagger the sweep start so two drainers do not convoy
+                // on the same ring.
+                for i in 0..pairs.len() {
+                    let ring = (i + drainer_idx) % pairs.len();
+                    let (sq, cq) = &pairs[ring];
+                    let report = dispatch
+                        .kernel
+                        .sys_smod_call_batch(
+                            dispatch.clients[ring],
+                            sq,
+                            cq,
+                            SMOD_BATCH_DEFAULT_BUDGET,
+                        )
+                        .expect("batch dispatch");
+                    drained_any |= report.drained > 0;
+                }
+                if !drained_any {
+                    if producers_done.load(Ordering::Acquire) == cfg.threads
+                        && pairs.iter().all(|(sq, _)| sq.is_empty())
+                    {
+                        break;
+                    }
+                    std::thread::yield_now();
+                }
+            });
+        }
+    });
+    let elapsed = start.elapsed();
+
+    let mut allows = 0;
+    let mut denies = 0;
+    for _ in 0..cfg.threads {
+        let stats = rx.recv().expect("collect ring producer stats");
+        allows += stats.allows;
+        denies += stats.denies;
+    }
+
+    let cache = dispatch
+        .kernel
+        .registry
+        .get(dispatch.module)
+        .expect("module registered")
+        .gateway
+        .cache_stats();
+    let total_ops = cfg.total_ops();
+    ScenarioReport {
+        kind: cfg.kind,
+        threads: cfg.threads,
+        total_ops,
+        elapsed,
+        ops_per_sec: total_ops as f64 / elapsed.as_secs_f64().max(1e-9),
+        allows,
+        denies,
+        epoch_bumps: dispatch.kernel.smod_epoch(),
+        cache,
+    }
 }
 
 /// The outcome of one scenario run.
@@ -622,8 +830,12 @@ impl std::fmt::Display for ScenarioReport {
 /// real kernel dispatch path and reports the *embedded* module gateway's
 /// cache counters.
 pub fn run_scenario(cfg: &ScenarioConfig) -> ScenarioReport {
-    if cfg.kind == ScenarioKind::KernelDispatch {
-        return run_kernel_scenario(cfg);
+    match cfg.kind {
+        ScenarioKind::KernelDispatch | ScenarioKind::SessionPool => {
+            return run_kernel_scenario(cfg)
+        }
+        ScenarioKind::RingDispatch => return run_ring_scenario(cfg),
+        _ => {}
     }
     let (gateway, universe) = build_universe(cfg);
     let actors = cfg.threads + usize::from(cfg.kind == ScenarioKind::Churn);
@@ -676,11 +888,17 @@ pub fn run_scenario(cfg: &ScenarioConfig) -> ScenarioReport {
     }
 }
 
-/// The [`ScenarioKind::KernelDispatch`] runner: N threads hammer
-/// `sys_smod_call` on one shared kernel, one session each, all checks
-/// served by the module's embedded gateway.
+/// The [`ScenarioKind::KernelDispatch`] / [`ScenarioKind::SessionPool`]
+/// runner: N threads hammer `sys_smod_call` on one shared kernel — one
+/// pinned session each, or a `cfg.tenants`-sized session pool round-robined
+/// across the workers — with all checks served by the module's embedded
+/// gateway.
 fn run_kernel_scenario(cfg: &ScenarioConfig) -> ScenarioReport {
-    let dispatch = build_dispatch_kernel(cfg);
+    let n_clients = match cfg.kind {
+        ScenarioKind::SessionPool => cfg.tenants.max(cfg.threads),
+        _ => cfg.threads,
+    };
+    let dispatch = build_dispatch_kernel_with_clients(cfg, n_clients);
     let (tx, rx) = channel::bounded::<WorkerStats>(cfg.threads);
 
     let start = Instant::now();
@@ -802,6 +1020,44 @@ mod tests {
         assert_eq!(
             (report.allows, report.denies),
             (cached.allows, cached.denies)
+        );
+    }
+
+    #[test]
+    fn session_pool_spreads_load_over_many_sessions() {
+        let cfg = ScenarioConfig::quick(ScenarioKind::SessionPool, 11);
+        let dispatch = build_dispatch_kernel_with_clients(&cfg, cfg.tenants.max(cfg.threads));
+        assert_eq!(
+            dispatch.clients.len(),
+            cfg.tenants,
+            "pool must establish one session per tenant"
+        );
+        let report = run_scenario(&cfg);
+        assert_eq!(report.allows + report.denies, report.total_ops);
+        // Same seed, same operation streams: the pool answers exactly what
+        // the pinned-session scenario answers — shard pressure must not
+        // change a single decision.
+        let pinned = run_scenario(&ScenarioConfig::quick(ScenarioKind::KernelDispatch, 11));
+        assert_eq!(
+            (report.allows, report.denies),
+            (pinned.allows, pinned.denies)
+        );
+    }
+
+    #[test]
+    fn ring_dispatch_matches_single_call_decisions() {
+        let ring = run_scenario(&ScenarioConfig::quick(ScenarioKind::RingDispatch, 11));
+        assert_eq!(ring.allows + ring.denies, ring.total_ops);
+        assert!(ring.denies > 0, "restricted slice must be denied");
+        // The batch path consults the same embedded gateway: the
+        // allow/deny split is identical to the single-call scenario and
+        // the cache serves the steady state.
+        let single = run_scenario(&ScenarioConfig::quick(ScenarioKind::KernelDispatch, 11));
+        assert_eq!((ring.allows, ring.denies), (single.allows, single.denies));
+        assert!(
+            ring.hit_rate() > 0.9,
+            "ring-path hit rate {:.3} suspiciously low",
+            ring.hit_rate()
         );
     }
 

@@ -123,6 +123,28 @@ impl CostModel {
             + self.stub_receive_ns
             + self.copy_per_byte_ns * arg_bytes as u64
     }
+
+    /// Modelled *fixed* cost of one `sys_smod_call_batch` invocation
+    /// draining `batch_len` entries, excluding per-entry policy/copy/body
+    /// work (charged separately, exactly as in the single-call path).
+    ///
+    /// The single-call fixed work — client stub, trap, credential/session
+    /// resolution, handle stub, two context switches — is paid **once per
+    /// batch**; only the ring hand-off (the msgsnd/msgrcv analogue: one
+    /// submission-slot pop and one completion-slot push) stays per entry.
+    /// The per-entry share `batched_dispatch_ns(n) / n` is therefore
+    /// strictly decreasing in `n`, approaching the pure hand-off cost —
+    /// the io_uring/LSM-style amortisation argument, in cost-model form.
+    /// `batched_dispatch_ns(1)` equals `smod_call_overhead(0)`: a batch of
+    /// one buys nothing.
+    pub fn batched_dispatch_ns(&self, batch_len: usize) -> u64 {
+        let once_per_batch = self.stub_call_ns
+            + self.syscall_trap_ns
+            + self.credential_check_ns
+            + self.stub_receive_ns
+            + 2 * self.context_switch_ns;
+        once_per_batch + 2 * self.msg_op_ns * batch_len as u64
+    }
 }
 
 #[cfg(test)]
@@ -153,5 +175,26 @@ mod tests {
     fn argument_size_increases_cost() {
         let m = CostModel::default();
         assert!(m.smod_call_overhead(4096) > m.smod_call_overhead(4));
+    }
+
+    #[test]
+    fn batched_per_entry_cost_is_monotonically_decreasing() {
+        let m = CostModel::default();
+        // A batch of one is exactly a single call's fixed overhead.
+        assert_eq!(m.batched_dispatch_ns(1), m.smod_call_overhead(0));
+        let per_entry = |n: usize| m.batched_dispatch_ns(n) as f64 / n as f64;
+        let sweep = [1usize, 8, 32, 128];
+        for pair in sweep.windows(2) {
+            assert!(
+                per_entry(pair[1]) < per_entry(pair[0]),
+                "per-entry cost not decreasing: {} ns at {} vs {} ns at {}",
+                per_entry(pair[1]),
+                pair[1],
+                per_entry(pair[0]),
+                pair[0],
+            );
+        }
+        // The amortised floor is the pure per-entry ring hand-off.
+        assert!(per_entry(4096) < 2.0 * m.msg_op_ns as f64 + 2.0);
     }
 }

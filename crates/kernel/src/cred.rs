@@ -73,6 +73,15 @@ impl Credential {
         self.smod_principals.get(module).cloned()
     }
 
+    /// The 64-bit fingerprint of the principal this credential presents
+    /// for `module`, without cloning the principal. The dispatch hot path
+    /// compares this against the session's memoised prototype to verify —
+    /// on every call, allocation-free — that the live credential still
+    /// identifies the principal the session was established with.
+    pub fn principal_fp64(&self, module: &str) -> Option<u64> {
+        self.smod_principals.get(module).map(|p| p.fingerprint())
+    }
+
     /// Does the credential carry any SecModule material at all?
     pub fn has_smod_credentials(&self) -> bool {
         !self.smod_credentials.is_empty()

@@ -55,6 +55,33 @@ impl Errno {
         }
     }
 
+    /// Every errno, in declaration order. Must list every variant — the
+    /// `from_code_roundtrips_every_variant` test walks this array against
+    /// a variant count derived from an exhaustive `match`, so adding a
+    /// variant without extending this list fails the build's tests.
+    pub const ALL: [Errno; 13] = [
+        Errno::EPERM,
+        Errno::ENOENT,
+        Errno::ESRCH,
+        Errno::EACCES,
+        Errno::EFAULT,
+        Errno::EEXIST,
+        Errno::EBUSY,
+        Errno::EINVAL,
+        Errno::ENOMEM,
+        Errno::EAGAIN,
+        Errno::ENOSYS,
+        Errno::ECHILD,
+        Errno::EIDRM,
+    ];
+
+    /// Inverse of [`Errno::code`]: recover the errno from its numeric
+    /// value (e.g. the `errno` field of a batched completion). Unknown
+    /// codes come back as `None`.
+    pub fn from_code(code: i32) -> Option<Errno> {
+        Errno::ALL.into_iter().find(|e| e.code() == code)
+    }
+
     /// Short name as it appears in `errno.h`.
     pub fn name(self) -> &'static str {
         match self {
@@ -99,6 +126,38 @@ impl From<secmod_vm::VmError> for Errno {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn from_code_roundtrips_every_variant() {
+        // Exhaustive match: adding an Errno variant fails to compile here
+        // until this count — checked against Errno::ALL below — is
+        // updated alongside the ALL array.
+        fn counted(e: Errno) -> usize {
+            match e {
+                Errno::EPERM
+                | Errno::ENOENT
+                | Errno::ESRCH
+                | Errno::EACCES
+                | Errno::EFAULT
+                | Errno::EEXIST
+                | Errno::EBUSY
+                | Errno::EINVAL
+                | Errno::ENOMEM
+                | Errno::EAGAIN
+                | Errno::ENOSYS
+                | Errno::ECHILD
+                | Errno::EIDRM => 1,
+            }
+        }
+        assert_eq!(Errno::ALL.iter().map(|&e| counted(e)).sum::<usize>(), 13);
+        assert_eq!(Errno::ALL.len(), 13);
+        for e in Errno::ALL {
+            assert_eq!(Errno::from_code(e.code()), Some(e), "{e} must round-trip");
+        }
+        assert_eq!(Errno::from_code(0), None);
+        assert_eq!(Errno::from_code(-1), None);
+        assert_eq!(Errno::from_code(9999), None);
+    }
 
     #[test]
     fn codes_and_names() {

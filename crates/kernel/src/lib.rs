@@ -37,6 +37,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod clock;
 pub mod cost;
 pub mod cred;
@@ -49,6 +50,7 @@ pub mod smodreg;
 pub mod table;
 pub mod trace;
 
+pub use batch::{BatchReport, BATCH_CHUNK};
 pub use clock::SimClock;
 pub use cost::CostModel;
 pub use cred::Credential;

@@ -19,7 +19,7 @@ use crate::trace::Event;
 use crate::SysResult;
 use parking_lot::RwLock;
 use secmod_module::{ModuleId, SmodPackage};
-use secmod_policy::{AccessRequest, PolicyEngine};
+use secmod_policy::{PolicyEngine, Principal};
 use secmod_vm::VmSpace;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, AtomicU8, Ordering::Relaxed, Ordering::SeqCst};
@@ -66,6 +66,44 @@ impl SessionState {
     }
 }
 
+/// The memoised per-session [`secmod_policy::AccessRequest`] prototype:
+/// the owned pieces
+/// of the per-call credential question, pinned at session establishment so
+/// `sys_smod_call` (and the batched path) builds its request by borrowing
+/// instead of cloning the client name and principal on every dispatch.
+///
+/// Memoisation does **not** weaken the paper's "credentials are
+/// re-verified on every call": each dispatch still consults the live
+/// credential, but only to compare `(uid, principal fingerprint)` against
+/// this prototype — an allocation-free u64 comparison. Only when the live
+/// credential no longer matches (revocation, key swap) does the dispatch
+/// fall back to re-deriving the request from the process, which then
+/// denies or re-evaluates exactly as the un-memoised path did. The name
+/// component can only change through `sys_execve`, which detaches the
+/// session first.
+#[derive(Debug)]
+pub(crate) struct CallProto {
+    /// The client process name (the request's `app_domain`).
+    pub(crate) client_name: String,
+    /// The principal the client's credential identifies for this module
+    /// (`None` when the credential carries no material for it — every
+    /// check then denies, as the uncached path always has).
+    pub(crate) principal: Option<Principal>,
+    /// `principal`'s 64-bit fingerprint, compared against the live
+    /// credential on every dispatch.
+    pub(crate) principal_fp: Option<u64>,
+    /// The client uid.
+    pub(crate) uid: u32,
+}
+
+impl CallProto {
+    /// Does the live credential still present the identity this prototype
+    /// was memoised from?
+    pub(crate) fn matches(&self, cred: &crate::cred::Credential, module: &str) -> bool {
+        cred.uid == self.uid && cred.principal_fp64(module) == self.principal_fp
+    }
+}
+
 /// An active client/handle session. Shared (`Arc`) between the session
 /// table and in-flight dispatches; the handshake state and call counter
 /// are atomics so the dispatch path never takes a session lock. The
@@ -92,6 +130,8 @@ pub struct Session {
     /// The registered module (shared with the registry): dispatch goes
     /// straight to its gateway and function table.
     module_ref: Arc<RegisteredModule>,
+    /// Memoised per-call access-request prototype (no per-dispatch clones).
+    pub(crate) proto: CallProto,
     /// The client process's lock handle.
     client_ref: ProcRef,
     /// The handle process's lock handle.
@@ -122,13 +162,22 @@ impl Session {
             .is_ok()
     }
 
-    fn note_call(&self) {
+    pub(crate) fn note_call(&self) {
         self.calls.fetch_add(1, Relaxed);
+    }
+
+    /// Record `n` dispatched calls at once (the batched path counts per
+    /// chunk instead of per entry).
+    pub(crate) fn note_calls(&self, n: u64) {
+        self.calls.fetch_add(n, Relaxed);
     }
 
     /// Lock the client/handle pair (pid-ordered) and run `f(handle,
     /// client)`.
-    fn with_pair<R>(&self, f: impl FnOnce(&mut Process, &mut Process) -> R) -> SysResult<R> {
+    pub(crate) fn with_pair<R>(
+        &self,
+        f: impl FnOnce(&mut Process, &mut Process) -> R,
+    ) -> SysResult<R> {
         crate::table::lock_pair_ordered(
             self.handle,
             &self.handle_ref,
@@ -386,7 +435,6 @@ impl Kernel {
 
         let module = self.registry.get(m_id)?;
         let module_name = module.package.image.name.clone();
-        let module_version = module.package.image.version.0;
 
         // Credential / policy check for session establishment. A session
         // may be established if the credential authorises the session
@@ -399,34 +447,29 @@ impl Kernel {
             .with(client, |p| (p.name.clone(), p.cred.clone()))?;
         module.gateway.observe_kernel_epoch(self.smod_epoch());
         let mut all_cached = true;
-        let allowed = match client_cred.principal_for(&module_name) {
-            None => false,
-            Some(principal) => {
-                let requesters = [principal];
-                std::iter::once("__start_session__")
-                    .chain(
-                        module
-                            .package
-                            .stub_table
-                            .stubs
-                            .iter()
-                            .map(|s| s.symbol.as_str()),
-                    )
-                    .any(|function| {
-                        let request = AccessRequest {
-                            requesters: &requesters,
-                            app_domain: &client_name,
-                            module: &module_name,
-                            version: module_version,
-                            operation: function,
-                            uid: client_cred.uid as i64,
-                        };
-                        let (allowed, cached) = module.gateway.is_allowed_with_origin(&request);
-                        all_cached &= cached;
-                        allowed
-                    })
-            }
-        };
+        let principal = client_cred.principal_for(&module_name);
+        // No credential for this module denies outright, without touching
+        // the gateway (and therefore at the cached-decision price).
+        let allowed = principal.is_some()
+            && std::iter::once("__start_session__")
+                .chain(
+                    module
+                        .package
+                        .stub_table
+                        .stubs
+                        .iter()
+                        .map(|s| s.symbol.as_str()),
+                )
+                .any(|function| {
+                    let (allowed, cached) = module.check_operation(
+                        &client_name,
+                        principal.as_ref(),
+                        client_cred.uid,
+                        function,
+                    );
+                    all_cached &= cached;
+                    allowed
+                });
         let policy_cost = if all_cached {
             self.cost.cached_decision_ns + self.cost.credential_check_ns
         } else {
@@ -471,6 +514,12 @@ impl Kernel {
             state: AtomicU8::new(SessionState::Created.as_u8()),
             calls: AtomicU64::new(0),
             module_ref: Arc::clone(&module),
+            proto: CallProto {
+                principal_fp: principal.as_ref().map(Principal::fingerprint),
+                principal,
+                client_name,
+                uid: client_cred.uid,
+            },
             client_ref: self.procs.get(client)?,
             handle_ref: self.procs.get(handle)?,
         });
@@ -635,28 +684,35 @@ impl Kernel {
             .stub_table
             .by_id(call.func_id)
             .ok_or(Errno::ENOENT)?;
-        let (client_name, principal, uid) = self.procs.with(session.client, |p| {
-            (
-                p.name.clone(),
-                p.cred.principal_for(&module.package.image.name),
-                p.cred.uid,
-            )
-        })?;
+        // The live credential is consulted on every call, but only to
+        // compare `(uid, principal fingerprint)` against the session's
+        // memoised prototype — the request itself is assembled by
+        // *borrowing* from the prototype, so the hot path does no
+        // client-name/principal clones. A mismatch (credential revoked or
+        // swapped mid-session) takes the slow path: re-derive the request
+        // from the live credential, exactly as the un-memoised path did.
         module.gateway.observe_kernel_epoch(self.smod_epoch());
-        let (allowed, cached) = match principal {
-            None => (false, false),
-            Some(principal) => {
-                let requesters = [principal];
-                let request = AccessRequest {
-                    requesters: &requesters,
-                    app_domain: &client_name,
-                    module: &module.package.image.name,
-                    version: module.package.image.version.0,
-                    operation: &stub.symbol,
-                    uid: uid as i64,
-                };
-                module.gateway.is_allowed_with_origin(&request)
-            }
+        let proto = &session.proto;
+        let module_name = &module.package.image.name;
+        let cred_matches = self
+            .procs
+            .with(session.client, |p| proto.matches(&p.cred, module_name))?;
+        let (allowed, cached) = if cred_matches {
+            module.check_operation(
+                &proto.client_name,
+                proto.principal.as_ref(),
+                proto.uid,
+                &stub.symbol,
+            )
+        } else {
+            let (client_name, principal, uid) = self.procs.with(session.client, |p| {
+                (
+                    p.name.clone(),
+                    p.cred.principal_for(module_name),
+                    p.cred.uid,
+                )
+            })?;
+            module.check_operation(&client_name, principal.as_ref(), uid, &stub.symbol)
         };
 
         let policy_cost = if cached {

@@ -202,6 +202,42 @@ impl RegisteredModule {
     pub(crate) fn note_call_dispatched(&self, hint: u64) {
         self.calls_dispatched.add(hint, 1);
     }
+
+    /// Record `n` dispatched calls at once (the batched path counts per
+    /// chunk instead of per entry).
+    pub(crate) fn note_calls_dispatched(&self, hint: u64, n: u64) {
+        self.calls_dispatched.add(hint, n);
+    }
+
+    /// The per-call credential/policy question, asked of this module's
+    /// gateway: may `principal` (acting for `uid` in `app_domain`)
+    /// invoke `operation`? Returns `(allowed, served_from_cache)`; a
+    /// missing principal denies without consulting the gateway, exactly
+    /// as an engine query with no requesters would. Every dispatch path
+    /// (single-call fast and slow, batched) funnels through here so the
+    /// request shape cannot diverge between them.
+    pub(crate) fn check_operation(
+        &self,
+        app_domain: &str,
+        principal: Option<&secmod_policy::Principal>,
+        uid: u32,
+        operation: &str,
+    ) -> (bool, bool) {
+        match principal {
+            None => (false, false),
+            Some(principal) => {
+                let request = secmod_policy::AccessRequest {
+                    requesters: std::slice::from_ref(principal),
+                    app_domain,
+                    module: &self.package.image.name,
+                    version: self.package.image.version.0,
+                    operation,
+                    uid: uid as i64,
+                };
+                self.gateway.is_allowed_with_origin(&request)
+            }
+        }
+    }
 }
 
 impl std::fmt::Debug for RegisteredModule {

@@ -1,0 +1,189 @@
+//! A single-producer / single-consumer byte ring: the shared-memory pipe
+//! underneath `secmod_rpc`'s in-process `shm:` transport.
+//!
+//! Two of these form one full-duplex stream (client→server and
+//! server→client). Bytes live in `AtomicU8` slots so bulk copies are
+//! plain relaxed stores/loads; only the head/tail counters carry
+//! acquire/release ordering, exactly like a kernel/user shared-memory
+//! ring. A `closed` flag models peer hangup: a reader that finds the
+//! ring empty *and* closed has reached end-of-stream.
+
+use crate::ring::CachePadded;
+use std::sync::atomic::{AtomicBool, AtomicU8, AtomicUsize, Ordering};
+
+/// A bounded SPSC byte pipe.
+#[derive(Debug)]
+pub struct ByteRing {
+    slots: Box<[AtomicU8]>,
+    mask: usize,
+    /// Next byte index the consumer will read.
+    head: CachePadded<AtomicUsize>,
+    /// Next byte index the producer will write.
+    tail: CachePadded<AtomicUsize>,
+    closed: AtomicBool,
+}
+
+impl ByteRing {
+    /// Create a ring holding at least `capacity` bytes (rounded up to a
+    /// power of two, minimum 64).
+    pub fn with_capacity(capacity: usize) -> ByteRing {
+        let cap = capacity.max(64).next_power_of_two();
+        ByteRing {
+            slots: (0..cap).map(|_| AtomicU8::new(0)).collect(),
+            mask: cap - 1,
+            head: CachePadded(AtomicUsize::new(0)),
+            tail: CachePadded(AtomicUsize::new(0)),
+            closed: AtomicBool::new(false),
+        }
+    }
+
+    /// The fixed byte capacity.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Bytes currently buffered.
+    pub fn len(&self) -> usize {
+        self.tail
+            .0
+            .load(Ordering::Acquire)
+            .wrapping_sub(self.head.0.load(Ordering::Acquire))
+    }
+
+    /// Is the ring empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Mark the stream closed (peer hangup). Idempotent; wakes no one —
+    /// pollers observe it on their next spin.
+    pub fn close(&self) {
+        self.closed.store(true, Ordering::Release);
+    }
+
+    /// Has either end closed the stream?
+    pub fn is_closed(&self) -> bool {
+        self.closed.load(Ordering::Acquire)
+    }
+
+    /// Non-blocking write: copy as many bytes of `buf` as fit, returning
+    /// how many were taken (0 when full or closed).
+    pub fn write(&self, buf: &[u8]) -> usize {
+        if self.is_closed() {
+            return 0;
+        }
+        let tail = self.tail.0.load(Ordering::Relaxed);
+        let head = self.head.0.load(Ordering::Acquire);
+        let free = self.capacity() - tail.wrapping_sub(head);
+        let n = free.min(buf.len());
+        for (i, &b) in buf[..n].iter().enumerate() {
+            self.slots[(tail.wrapping_add(i)) & self.mask].store(b, Ordering::Relaxed);
+        }
+        // Publish the bytes after the payload stores.
+        self.tail.0.store(tail.wrapping_add(n), Ordering::Release);
+        n
+    }
+
+    /// Non-blocking read: copy up to `buf.len()` buffered bytes out,
+    /// returning how many were produced (0 when nothing is buffered).
+    pub fn read(&self, buf: &mut [u8]) -> usize {
+        let head = self.head.0.load(Ordering::Relaxed);
+        let tail = self.tail.0.load(Ordering::Acquire);
+        let available = tail.wrapping_sub(head);
+        let n = available.min(buf.len());
+        for (i, b) in buf[..n].iter_mut().enumerate() {
+            *b = self.slots[(head.wrapping_add(i)) & self.mask].load(Ordering::Relaxed);
+        }
+        self.head.0.store(head.wrapping_add(n), Ordering::Release);
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn roundtrip_small_and_wrapping() {
+        let ring = ByteRing::with_capacity(64);
+        assert_eq!(ring.capacity(), 64);
+        let mut out = [0u8; 16];
+        assert_eq!(ring.read(&mut out), 0);
+        // Push/pull more than one capacity's worth to force wraparound.
+        for round in 0..10u8 {
+            let chunk: Vec<u8> = (0..40)
+                .map(|i| round.wrapping_mul(40).wrapping_add(i))
+                .collect();
+            assert_eq!(ring.write(&chunk), 40);
+            let mut got = vec![0u8; 40];
+            assert_eq!(ring.read(&mut got), 40);
+            assert_eq!(got, chunk);
+        }
+    }
+
+    #[test]
+    fn partial_write_when_full() {
+        let ring = ByteRing::with_capacity(64);
+        let big = vec![7u8; 100];
+        assert_eq!(ring.write(&big), 64);
+        assert_eq!(ring.write(&big), 0);
+        let mut out = vec![0u8; 10];
+        assert_eq!(ring.read(&mut out), 10);
+        assert_eq!(ring.write(&big), 10);
+        assert_eq!(ring.len(), 64);
+    }
+
+    #[test]
+    fn close_stops_writes_but_drains_reads() {
+        let ring = ByteRing::with_capacity(64);
+        assert_eq!(ring.write(b"tail"), 4);
+        ring.close();
+        assert!(ring.is_closed());
+        assert_eq!(ring.write(b"more"), 0);
+        let mut out = [0u8; 8];
+        assert_eq!(ring.read(&mut out), 4);
+        assert_eq!(&out[..4], b"tail");
+    }
+
+    #[test]
+    fn concurrent_producer_consumer_preserves_stream() {
+        const TOTAL: usize = 100_000;
+        let ring = Arc::new(ByteRing::with_capacity(256));
+        let producer = {
+            let ring = Arc::clone(&ring);
+            std::thread::spawn(move || {
+                let mut sent = 0usize;
+                while sent < TOTAL {
+                    let chunk: Vec<u8> = (sent..(sent + 128).min(TOTAL))
+                        .map(|i| (i % 251) as u8)
+                        .collect();
+                    let mut off = 0;
+                    while off < chunk.len() {
+                        let n = ring.write(&chunk[off..]);
+                        if n == 0 {
+                            std::thread::yield_now();
+                        }
+                        off += n;
+                    }
+                    sent += chunk.len();
+                }
+            })
+        };
+        let mut received = 0usize;
+        let mut buf = [0u8; 97];
+        while received < TOTAL {
+            let n = ring.read(&mut buf);
+            if n == 0 {
+                std::thread::yield_now();
+                continue;
+            }
+            for &b in &buf[..n] {
+                assert_eq!(b, (received % 251) as u8, "byte {received} corrupted");
+                received += 1;
+            }
+        }
+        producer.join().unwrap();
+        assert!(ring.is_empty());
+    }
+}

@@ -1,0 +1,47 @@
+//! # secmod-ring
+//!
+//! Batched submission/completion dispatch rings — the io_uring-shaped
+//! counterpart to `sys_smod_call`.
+//!
+//! The paper's headline result is that a SecModule call is ~10x cheaper
+//! than the identical RPC round trip; what remains after the decision
+//! cache (PR 3) is the *fixed* per-call cost: syscall entry, session and
+//! credential resolution, and cost-model accounting. This crate provides
+//! the data structures that amortise those fixed costs across N calls,
+//! the same way io_uring amortises syscall entry across a queue of I/O
+//! requests and LSM deployments amortise per-hook work on hot paths:
+//!
+//! * [`ring`] — a bounded power-of-two [`Ring`]: Vyukov-style sequence
+//!   slots with cache-line-padded head/tail counters. Multi-producer /
+//!   multi-consumer by CAS, plus documented single-producer
+//!   ([`Ring::push_spsc`]) and single-consumer ([`Ring::pop_spsc`]) fast
+//!   paths that replace the CAS with a plain store.
+//! * [`call`] — the wire types carried by the rings:
+//!   [`SmodCallReq`] `{ session, proc_id, user_data, args }` flowing
+//!   client → kernel through a [`SubmissionRing`], and [`SmodCallResp`]
+//!   `{ user_data, ret, errno, cost_ns }` flowing back through a
+//!   [`CompletionRing`]. The kernel's `sys_smod_call_batch` resolves the
+//!   session once, then drains the submission ring up to a batch budget.
+//! * [`byte`] — a [`ByteRing`]: an SPSC byte pipe over atomic slots, two
+//!   of which form the full-duplex in-process shared-memory stream behind
+//!   `secmod_rpc`'s `shm:` transport (the socket-free RPC comparison row).
+//!
+//! This is the one crate in the workspace that uses `unsafe`: slot
+//! payloads live in `UnsafeCell<MaybeUninit<T>>` (as in crossbeam's
+//! `ArrayQueue`), with the Vyukov sequence protocol guaranteeing each
+//! slot is owned by exactly one thread between its sequence transitions.
+//! The unsafe surface is confined to [`ring`]'s two four-line accessors;
+//! a per-slot mutex alternative measured ~2x slower per hand-off, which
+//! is exactly the margin the batched-dispatch acceptance bar lives on.
+
+#![deny(unsafe_op_in_unsafe_fn)]
+#![warn(missing_docs)]
+
+pub mod byte;
+pub mod call;
+pub mod ring;
+
+pub use byte::ByteRing;
+pub use call::{CompletionRing, SmodCallReq, SmodCallResp, SMOD_BATCH_DEFAULT_BUDGET};
+pub use call::{RingPairConfig, SubmissionRing};
+pub use ring::Ring;

@@ -1,0 +1,121 @@
+//! Ring property: for ANY interleaving of pushes from 2–4 producer
+//! threads and concurrent pops, the ring preserves per-producer FIFO
+//! order and neither loses nor duplicates an entry.
+//!
+//! Entries are tagged `(producer, seq)`; the consumer checks that each
+//! producer's sequence numbers arrive strictly increasing, and the final
+//! tally checks exact counts (no loss, no duplication). Ring capacities
+//! are drawn small (2..64 after power-of-two rounding) so full-ring
+//! backpressure and slot reuse are always in play.
+
+use proptest::prelude::*;
+use proptest::{prop_assert, prop_assert_eq, proptest};
+use secmod_ring::Ring;
+use std::sync::Arc;
+
+fn run_interleaving(producers: usize, per_producer: u64, capacity: usize) -> Result<(), String> {
+    let ring: Arc<Ring<(usize, u64)>> = Arc::new(Ring::with_capacity(capacity));
+    let mut handles = Vec::new();
+    for p in 0..producers {
+        let ring = Arc::clone(&ring);
+        handles.push(std::thread::spawn(move || {
+            for i in 0..per_producer {
+                let mut v = (p, i);
+                while let Err(back) = ring.push(v) {
+                    v = back;
+                    std::thread::yield_now();
+                }
+            }
+        }));
+    }
+
+    let total = producers as u64 * per_producer;
+    let consumer = {
+        let ring = Arc::clone(&ring);
+        std::thread::spawn(move || -> Result<Vec<u64>, String> {
+            let mut counts = vec![0u64; producers];
+            let mut last = vec![None::<u64>; producers];
+            let mut received = 0u64;
+            while received < total {
+                match ring.pop() {
+                    Some((p, i)) => {
+                        if let Some(prev) = last[p] {
+                            if i <= prev {
+                                return Err(format!("producer {p} reordered: {i} after {prev}"));
+                            }
+                        }
+                        last[p] = Some(i);
+                        counts[p] += 1;
+                        received += 1;
+                    }
+                    None => std::thread::yield_now(),
+                }
+            }
+            Ok(counts)
+        })
+    };
+
+    for h in handles {
+        h.join().expect("producer thread panicked");
+    }
+    let counts = consumer.join().expect("consumer thread panicked")?;
+    for (p, &count) in counts.iter().enumerate() {
+        if count != per_producer {
+            return Err(format!(
+                "producer {p}: {count} entries received, {per_producer} sent"
+            ));
+        }
+    }
+    if !ring.is_empty() {
+        return Err("ring not drained after all entries were received".into());
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+    #[test]
+    fn multi_producer_fifo_no_loss_no_duplication(
+        producers in 2usize..=4,
+        per_producer in 1u64..800,
+        capacity in 2usize..64,
+    ) {
+        let outcome = run_interleaving(producers, per_producer, capacity);
+        prop_assert!(outcome.is_ok(), "{}", outcome.unwrap_err());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+    /// The SPSC fast paths against each other: one producer thread using
+    /// `push_spsc`, one consumer using `pop_spsc`, total order preserved.
+    #[test]
+    fn spsc_fast_paths_preserve_total_order(
+        count in 1u64..2_000,
+        capacity in 2usize..64,
+    ) {
+        let ring: Arc<Ring<u64>> = Arc::new(Ring::with_capacity(capacity));
+        let producer = {
+            let ring = Arc::clone(&ring);
+            std::thread::spawn(move || {
+                for i in 0..count {
+                    while ring.push_spsc(i).is_err() {
+                        std::thread::yield_now();
+                    }
+                }
+            })
+        };
+        let mut expected = 0u64;
+        while expected < count {
+            match ring.pop_spsc() {
+                Some(v) => {
+                    prop_assert_eq!(v, expected, "SPSC stream reordered");
+                    expected += 1;
+                }
+                None => std::thread::yield_now(),
+            }
+        }
+        producer.join().expect("producer panicked");
+        prop_assert!(ring.is_empty());
+    }
+}

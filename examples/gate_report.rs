@@ -1,11 +1,12 @@
 //! Walkthrough: the `secmod_gate` scenario report.
 //!
-//! Runs the five workload scenarios — uniform, zipfian hot-key,
-//! adversarial cache-thrash, session churn, and multi-threaded kernel
-//! dispatch — against the sharded decision-cache gateway (for the kernel
-//! scenario: the gateway *embedded in* the kernel's dispatch path) and
-//! prints ops/sec, cache hit rate, and the (seed-deterministic)
-//! allow/deny split for each.
+//! Runs the seven workload scenarios — uniform, zipfian hot-key,
+//! adversarial cache-thrash, session churn, multi-threaded kernel
+//! dispatch (pinned sessions and the sessions-≫-threads pool), and
+//! batched ring dispatch — against the sharded decision-cache gateway
+//! (for the kernel-backed scenarios: the gateway *embedded in* the
+//! kernel's dispatch path) and prints ops/sec, cache hit rate, and the
+//! (seed-deterministic) allow/deny split for each.
 //!
 //! ```sh
 //! cargo run --release --example gate_report
@@ -61,4 +62,8 @@ fn main() {
     println!("  churn    uniform traffic while kernel sessions detach mid-stream (epoch bumps)");
     println!("  kernel   N threads drive sys_smod_call on one shared kernel; every per-call");
     println!("           check is served by the module's embedded decision-cache gateway");
+    println!("  pool     kernel dispatch with sessions >> threads (64 sessions round-robined),");
+    println!("           honest session-table shard pressure instead of one pinned session");
+    println!("  ring     producers fill per-session submission rings; drainer threads batch");
+    println!("           through sys_smod_call_batch (fixed costs amortised per batch)");
 }

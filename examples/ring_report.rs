@@ -1,0 +1,139 @@
+//! Walkthrough: the `secmod_ring` batched dispatch path.
+//!
+//! Demonstrates the submit → drain → complete cycle end to end:
+//!
+//! ```text
+//!   client thread                       kernel (sys_smod_call_batch)
+//!   ─────────────                       ────────────────────────────
+//!   SmodCallReq ─push→ SubmissionRing ─pop→ resolve session ONCE
+//!                                            ├─ policy check per entry
+//!                                            │  (gateway cache / memo)
+//!                                            ├─ function body per entry
+//!   SmodCallResp ←pop─ CompletionRing ←push──┘
+//! ```
+//!
+//! then sweeps batch sizes through the cost model (amortised fixed cost
+//! per entry), runs the same batch against the simulated clock, and
+//! finishes with the multi-threaded `ring` workload scenario.
+//!
+//! ```sh
+//! cargo run --release --example ring_report
+//! cargo run --release --example ring_report -- --threads 2 --ops 2000 --seed 7
+//! ```
+
+use secmod::gate::{run_scenario, ScenarioConfig, ScenarioKind};
+use secmod::kernel::CostModel;
+use secmod::prelude::*;
+use secmod::ring::{Ring, SmodCallReq};
+
+fn parse_flag(args: &[String], flag: &str) -> Option<u64> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let seed = parse_flag(&args, "--seed").unwrap_or(42);
+    let threads = parse_flag(&args, "--threads").unwrap_or(4) as usize;
+    let default_ops = if cfg!(debug_assertions) {
+        2_000
+    } else {
+        50_000
+    };
+    let ops = parse_flag(&args, "--ops").unwrap_or(default_ops);
+
+    println!("secmod_ring batched dispatch report");
+    println!("submit -> drain -> complete: SmodCallReq rings in, SmodCallResp rings out;");
+    println!("the kernel resolves session/credential/gateway once per batch.\n");
+
+    // --- 1. the cost model's amortisation argument ---------------------
+    let cost = CostModel::default();
+    println!("amortised fixed cost per entry (CostModel::batched_dispatch_ns):");
+    println!(
+        "  single sys_smod_call fixed overhead: {} ns",
+        cost.smod_call_overhead(0)
+    );
+    for batch in [1usize, 8, 32, 128] {
+        let total = cost.batched_dispatch_ns(batch);
+        println!(
+            "  batch {batch:>4}: {total:>6} ns fixed  ->  {:>5} ns/entry",
+            total / batch as u64
+        );
+    }
+
+    // --- 2. one real batch on the simulated clock ----------------------
+    let module = SecureModuleBuilder::new("libring", 1)
+        .function("incr", |_ctx, args| {
+            let v = u64::from_le_bytes(args[..8].try_into().unwrap());
+            Ok((v + 1).to_le_bytes().to_vec())
+        })
+        .allow_credential(b"ring-demo-key")
+        .build()
+        .expect("build demo module");
+    let mut world = SimWorld::new();
+    world.install(&module).expect("install");
+    let client = world
+        .spawn_client(
+            "ring-app",
+            Credential::user(1000, 100).with_smod_credential("libring", b"ring-demo-key"),
+        )
+        .expect("spawn client");
+    world.connect(client, "libring", 0).expect("connect");
+
+    const BATCH: usize = 32;
+    let args_list: Vec<Vec<u8>> = (0..BATCH as u64)
+        .map(|i| i.to_le_bytes().to_vec())
+        .collect();
+    let arg_refs: Vec<&[u8]> = args_list.iter().map(|a| a.as_slice()).collect();
+    let (_, sequential_ns) = world.measure(|w| {
+        for a in &arg_refs {
+            w.call(client, "incr", a).expect("sequential call");
+        }
+    });
+    let (results, batched_ns) = world.measure(|w| {
+        w.call_batch(client, "incr", &arg_refs)
+            .expect("batched call")
+    });
+    let ok = results.iter().filter(|r| r.is_ok()).count();
+    println!("\none batch of {BATCH} incr calls through SimWorld (simulated clock):");
+    println!("  sequential sys_smod_call x{BATCH}: {sequential_ns:>8} ns");
+    println!("  sys_smod_call_batch (1 drain)  : {batched_ns:>8} ns  ({ok}/{BATCH} completed)");
+    println!(
+        "  amortisation: {:.1}x cheaper on the simulated clock",
+        sequential_ns as f64 / batched_ns.max(1) as f64
+    );
+
+    // --- 3. the raw ring, for the curious ------------------------------
+    let ring: Ring<SmodCallReq> = Ring::with_capacity(8);
+    ring.push(SmodCallReq {
+        session: 1,
+        proc_id: 0,
+        user_data: 7,
+        args: vec![1, 2, 3],
+    })
+    .expect("push");
+    let entry = ring.pop().expect("pop");
+    println!(
+        "\nring taste: capacity {} (power of two), FIFO cookie echo: user_data {}",
+        ring.capacity(),
+        entry.user_data
+    );
+
+    // --- 4. the multi-threaded ring scenario ---------------------------
+    println!(
+        "\nScenarioKind::RingDispatch ({threads} producers, {} drainer(s), {ops} ops/producer):",
+        (threads / 2).max(1)
+    );
+    let report = run_scenario(&ScenarioConfig {
+        threads,
+        ops_per_thread: ops,
+        ..ScenarioConfig::full(ScenarioKind::RingDispatch, seed)
+    });
+    println!("{report}");
+    println!("\npaper mapping: the SecModule call is ~10x cheaper than local RPC because it");
+    println!("avoids marshalling and the socket round trip; batching goes after what remains —");
+    println!("the fixed syscall-entry and resolution cost per call — by amortising it across");
+    println!("a ring of submissions, the way io_uring amortises syscall entry for I/O.");
+}

@@ -11,7 +11,9 @@
 #   --compare   after capturing, compare the hot-path benches against the
 #               given committed baseline point and FAIL (exit 1) when any of
 #               them regressed more than the threshold. The hot set:
-#               fig8_dispatch/*, arg_marshalling/*, gate/cached_hot.
+#               fig8_dispatch/* (incl. the shm rpc row; the socket rpc row
+#               is excluded), arg_marshalling/*, gate/cached_hot,
+#               ring_throughput/*.
 #   --threshold regression threshold in percent (default: $BENCH_REGRESSION_PCT
 #               or 25 — generous because the CI smoke budget is tiny and noisy)
 #
@@ -93,7 +95,7 @@ if [ -n "$BASELINE" ]; then
             # host's socket stack, not this tree, and is far too
             # load-sensitive to gate on.
             fig8_dispatch/rpc_testincr) continue ;;
-            fig8_dispatch/*|arg_marshalling/*|gate/cached_hot) ;;
+            fig8_dispatch/*|arg_marshalling/*|gate/cached_hot|ring_throughput/*) ;;
             *) continue ;;
         esac
         new_ns="$(awk -v n="$name" '$1 == n { print $2 }' "$RAW.new")"

@@ -80,7 +80,7 @@ fn every_example_builds_and_runs() {
     }
 }
 
-/// `gate_report` must run all five workload scenarios and report ops/sec
+/// `gate_report` must run all seven workload scenarios and report ops/sec
 /// and a cache hit rate for each — and, because decisions are
 /// seed-deterministic, two runs with the same seed must agree on every
 /// allow/deny count even though timing differs.
@@ -99,7 +99,9 @@ fn gate_report_covers_all_scenarios_deterministically() {
         String::from_utf8_lossy(&output.stdout).into_owned()
     };
     let first = run();
-    for scenario in ["uniform", "zipfian", "thrash", "churn", "kernel"] {
+    for scenario in [
+        "uniform", "zipfian", "thrash", "churn", "kernel", "pool", "ring",
+    ] {
         assert!(
             first.contains(scenario),
             "gate_report output is missing the {scenario} scenario:\n{first}"
@@ -125,5 +127,5 @@ fn gate_report_covers_all_scenarios_deterministically() {
         decisions(&second),
         "allow/deny splits changed between identically seeded runs"
     );
-    assert_eq!(decisions(&first).len(), 5, "expected one row per scenario");
+    assert_eq!(decisions(&first).len(), 7, "expected one row per scenario");
 }
