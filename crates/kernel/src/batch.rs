@@ -1,5 +1,6 @@
 //! `sys_smod_call_batch`: the io_uring-shaped batched entry point over
-//! the `sys_smod_call` dispatch path.
+//! the `sys_smod_call` dispatch path — plus the shared chunk-drain
+//! machinery the multi-session sweep ([`crate::sweep`]) reuses.
 //!
 //! A single `sys_smod_call` pays fixed costs on every invocation —
 //! syscall entry, process/session resolution, cost-model accounting —
@@ -21,13 +22,20 @@
 //! ("identifier removed") instead of dispatching into a dead module —
 //! the batched analogue of the single-call path's epoch fold.
 //!
-//! Within a chunk, decisions are served from a **batch-local memo**
+//! Within a chunk, decisions are served from a **drain-local memo**
 //! keyed by function id: the first entry for a function resolves through
 //! the module gateway (and charges the true cached/uncached cost),
 //! repeats are priced as cached decisions. The memo is cleared whenever
 //! the gateway's epoch moves (policy grant, key registration, or any
 //! kernel detach/remove), so its staleness window is one chunk — the
 //! same window at which teardown is honoured.
+//!
+//! The chunked loop itself — epoch re-read, per-chunk credential
+//! re-verification, EIDRM on teardown, completion-space reservation — is
+//! factored into [`SessionDrain`] / [`Kernel::drain_session_rings`] so
+//! that the per-session path here and the multi-session
+//! `sys_smod_sweep` share one implementation instead of two copies of
+//! the re-check logic.
 
 use crate::errno::Errno;
 use crate::kernel::Kernel;
@@ -64,7 +72,7 @@ pub struct BatchReport {
     pub fixed_cost_ns: u64,
 }
 
-/// One memoised per-batch dispatch decision for a function id.
+/// One memoised per-drain dispatch decision for a function id.
 enum MemoEntry {
     /// No such stub: `ENOENT`.
     Missing,
@@ -72,8 +80,98 @@ enum MemoEntry {
     Denied,
     /// Stub exists but no body is registered: `ENOSYS`.
     NoBody,
-    /// Allowed; the body to run (Arc-cloned once per batch, not per call).
+    /// Allowed; the body to run (Arc-cloned once per drain, not per call).
     Allowed(FunctionBody),
+}
+
+/// Reusable drain buffers: the decision memo and the chunk staging
+/// areas. A sweep allocates one of these and reuses it across every
+/// session it visits (the memo is cleared per session — decisions are
+/// valid only for the credential they were resolved under).
+pub(crate) struct DrainScratch {
+    memo: Vec<(u32, MemoEntry)>,
+    chunk: Vec<SmodCallReq>,
+    responses: Vec<SmodCallResp>,
+}
+
+impl DrainScratch {
+    pub(crate) fn new() -> DrainScratch {
+        DrainScratch {
+            memo: Vec::new(),
+            chunk: Vec::with_capacity(BATCH_CHUNK),
+            responses: Vec::with_capacity(BATCH_CHUNK),
+        }
+    }
+}
+
+/// The once-per-drain resolution of a session: the pinned session and
+/// module, the epochs the decision memo is valid under, and the
+/// credential identity the per-chunk re-verification compares against.
+/// Built by [`Kernel::resolve_session_drain`]; consumed by
+/// [`Kernel::drain_session_rings`]. This is the "resolve once" that the
+/// batched path performs per syscall and the sweep performs once per
+/// session per sweep.
+pub(crate) struct SessionDrain {
+    pub(crate) session: Arc<Session>,
+    module: Arc<RegisteredModule>,
+    kernel_epoch: u64,
+    gate_epoch: u64,
+    /// Credential identity decisions were last memoised under; movement
+    /// clears the memo (per-chunk re-verification).
+    last_cred: (u32, Option<u64>),
+    dead: bool,
+}
+
+/// What one [`Kernel::drain_session_rings`] call did (the per-session
+/// slice of a [`BatchReport`] / [`crate::sweep::SweepReport`]).
+#[derive(Clone, Copy, Debug, Default)]
+pub(crate) struct DrainOutcome {
+    pub drained: usize,
+    pub completed: usize,
+    pub failed: usize,
+    /// Entries that underwent a policy check or body run — the count the
+    /// amortised fixed cost is charged for (validation rejects are free).
+    pub checked: usize,
+    /// Per-entry simulated nanoseconds accumulated (policy, copy, body).
+    pub entry_ns: u64,
+    /// The session or module vanished mid-drain; the remainder was
+    /// completed with `EIDRM`.
+    pub aborted: bool,
+}
+
+/// Fail every queued submission with `EIDRM` — the path for a ring whose
+/// session was already gone when the drain reached it. Respects
+/// completion-ring space exactly like a live drain: entries that cannot
+/// be answered yet stay queued (the caller re-flags the slot). Returns
+/// how many entries were answered.
+pub(crate) fn fail_all_eidrm(sq: &SubmissionRing, cq: &CompletionRing) -> usize {
+    let mut failed = 0;
+    loop {
+        let cq_free = cq.capacity() - cq.len().min(cq.capacity());
+        if cq_free == 0 {
+            return failed;
+        }
+        let mut took = 0;
+        while took < cq_free {
+            match sq.pop() {
+                Some(req) => {
+                    took += 1;
+                    let mut pending = SmodCallResp {
+                        user_data: req.user_data,
+                        ret: Vec::new(),
+                        errno: Errno::EIDRM.code(),
+                        cost_ns: 0,
+                    };
+                    while let Err(back) = cq.push(pending) {
+                        pending = back;
+                        std::thread::yield_now();
+                    }
+                }
+                None => return failed + took,
+            }
+        }
+        failed += took;
+    }
 }
 
 impl Kernel {
@@ -113,24 +211,96 @@ impl Kernel {
         if session.state() != SessionState::Established {
             return Err(Errno::EINVAL);
         }
+        let mut drain = self.resolve_session_drain(session);
+        let mut scratch = DrainScratch::new();
+        let outcome = self.drain_session_rings(&mut drain, sq, cq, batch_budget, &mut scratch);
+
+        let mut report = BatchReport {
+            drained: outcome.drained,
+            completed: outcome.completed,
+            failed: outcome.failed,
+            aborted: outcome.aborted,
+            fixed_cost_ns: 0,
+        };
+        // --- amortised accounting ---------------------------------------
+        // The amortised fixed cost covers the entries that actually went
+        // through a policy check or body — entries rejected during
+        // validation (unknown function, wrong session, dead session) are
+        // free, exactly as `sys_smod_call`'s validation-error paths
+        // charge nothing. A drain that checked nothing (empty, or all
+        // entries invalid) still pays the bare trap.
+        if outcome.checked > 0 {
+            report.fixed_cost_ns = self.cost.batched_dispatch_ns(outcome.checked);
+            let _ = self
+                .procs
+                .with_mut(caller, |p| p.cpu_time_ns += report.fixed_cost_ns);
+            self.clock
+                .advance_striped(caller.0 as u64, report.fixed_cost_ns + outcome.entry_ns);
+            // One context-switch pair per *batch* — the single-call path
+            // records one pair per call; this is the amortisation.
+            self.context_switch_n(caller, 2);
+        } else {
+            self.charge(caller, self.cost.syscall_trap_ns);
+        }
+        Ok(report)
+    }
+
+    /// Resolve a session for a drain: pin the module `Arc`, fold the
+    /// kernel epoch into the gateway, and snapshot the epochs and the
+    /// memoised credential identity. This is the fixed work the batched
+    /// path pays once per syscall and the sweep pays once per session per
+    /// sweep.
+    pub(crate) fn resolve_session_drain(&self, session: Arc<Session>) -> SessionDrain {
         let module = Arc::clone(session.module_ref());
-        let mut kernel_epoch = self.smod_epoch();
+        let kernel_epoch = self.smod_epoch();
         module.gateway.observe_kernel_epoch(kernel_epoch);
-        let mut gate_epoch = module.gateway.epoch();
+        let gate_epoch = module.gateway.epoch();
+        let last_cred = (session.proto.uid, session.proto.principal_fp);
+        SessionDrain {
+            session,
+            module,
+            kernel_epoch,
+            gate_epoch,
+            last_cred,
+            dead: false,
+        }
+    }
 
-        let mut report = BatchReport::default();
-        let mut entry_ns_total = 0u64;
-        let mut checked = 0usize;
-        let mut dead = false;
+    /// The shared chunked drain: pop up to `budget` entries from `sq` in
+    /// [`BATCH_CHUNK`]-sized chunks, re-reading the invalidation epochs
+    /// and re-verifying the live credential between chunks, running each
+    /// entry under one pair-lock acquisition per chunk, and publishing
+    /// one completion per entry into `cq` (completion space is reserved
+    /// *before* submissions are consumed). Teardown detected mid-drain
+    /// fails the remainder with `EIDRM`.
+    ///
+    /// Both `sys_smod_call_batch` (one session per syscall) and
+    /// `sys_smod_sweep` (every ready session per syscall) funnel through
+    /// here, so the epoch/credential re-check semantics cannot drift
+    /// between the two paths.
+    pub(crate) fn drain_session_rings(
+        &self,
+        d: &mut SessionDrain,
+        sq: &SubmissionRing,
+        cq: &CompletionRing,
+        budget: usize,
+        scratch: &mut DrainScratch,
+    ) -> DrainOutcome {
+        scratch.memo.clear();
+        let mut outcome = DrainOutcome::default();
         let trace = self.tracer.enabled();
-        let mut memo: Vec<(u32, MemoEntry)> = Vec::new();
-        let mut chunk: Vec<SmodCallReq> = Vec::with_capacity(BATCH_CHUNK);
-        let mut responses: Vec<SmodCallResp> = Vec::with_capacity(BATCH_CHUNK);
-        // The credential identity decisions were last memoised under; any
-        // movement clears the memo (per-chunk re-verification below).
-        let mut last_cred = (session.proto.uid, session.proto.principal_fp);
+        // Two refcount bumps per drain keep the borrows of `d` (mutated
+        // inside the pair-locked closure) disjoint from the session/module
+        // handles used around it.
+        let session = Arc::clone(&d.session);
+        let module = Arc::clone(&d.module);
+        let DrainScratch {
+            memo,
+            chunk,
+            responses,
+        } = scratch;
 
-        while report.drained < batch_budget {
+        while outcome.drained < budget {
             // Reserve completion space *before* consuming submissions: a
             // chunk is only popped if its completions can be published
             // without waiting on the consumer. A caller that batches
@@ -139,7 +309,7 @@ impl Kernel {
             // against its own unreaped completion ring; concurrent
             // reaping only ever increases the space observed here.
             let cq_free = cq.capacity() - cq.len().min(cq.capacity());
-            let take = BATCH_CHUNK.min(batch_budget - report.drained).min(cq_free);
+            let take = BATCH_CHUNK.min(budget - outcome.drained).min(cq_free);
             while chunk.len() < take {
                 match sq.pop() {
                     Some(req) => chunk.push(req),
@@ -153,24 +323,24 @@ impl Kernel {
             // Epoch fold between chunks: a detach/remove that completed
             // since the last chunk invalidates the pinned session; any
             // epoch movement (including live policy mutations through the
-            // gateway) invalidates the batch-local decision memo.
-            if !dead {
+            // gateway) invalidates the drain-local decision memo.
+            if !d.dead {
                 let now = self.smod_epoch();
-                if now != kernel_epoch {
-                    kernel_epoch = now;
+                if now != d.kernel_epoch {
+                    d.kernel_epoch = now;
                     module.gateway.observe_kernel_epoch(now);
-                    dead = self.sessions.get(session.id).is_none()
+                    d.dead = self.sessions.get(session.id).is_none()
                         || self.registry.get(session.module).is_err();
                 }
                 let gate_now = module.gateway.epoch();
-                if gate_now != gate_epoch {
-                    gate_epoch = gate_now;
+                if gate_now != d.gate_epoch {
+                    d.gate_epoch = gate_now;
                     memo.clear();
                 }
             }
 
-            if dead {
-                report.aborted = true;
+            if d.dead {
+                outcome.aborted = true;
                 responses.extend(chunk.iter().map(|req| SmodCallResp {
                     user_data: req.user_data,
                     ret: Vec::new(),
@@ -184,14 +354,14 @@ impl Kernel {
                     // credential costs a fingerprint comparison, no extra
                     // locking. A mismatch (revocation mid-batch) switches
                     // the chunk to a live-derived view and invalidates
-                    // the batch memo.
+                    // the drain memo.
                     let module_name = &module.package.image.name;
                     let cred_now = (
                         client_proc.cred.uid,
                         client_proc.cred.principal_fp64(module_name),
                     );
-                    if cred_now != last_cred {
-                        last_cred = cred_now;
+                    if cred_now != d.last_cred {
+                        d.last_cred = cred_now;
                         memo.clear();
                     }
                     let live: Option<(String, Option<secmod_policy::Principal>, u32)> =
@@ -207,13 +377,13 @@ impl Kernel {
                     let mut client_ns = 0u64;
                     let mut handle_ns = 0u64;
                     let mut bodies_run = 0u64;
-                    for req in &chunk {
+                    for req in chunk.iter() {
                         let (resp, extra_ns, ran) = self.batch_entry(
                             &session,
                             &module,
                             req,
                             live.as_ref(),
-                            &mut memo,
+                            memo,
                             |body, args| {
                                 let mut ctx = crate::smodreg::HandleCtx {
                                     handle_vm: &mut handle_proc.vm,
@@ -242,12 +412,12 @@ impl Kernel {
                     // The pair became unlockable (a process was reaped):
                     // the session is dead no matter which errno the lock
                     // reported, so fail this chunk — and the rest of the
-                    // batch — with the same `EIDRM` the epoch-detected
-                    // teardown path uses, keeping `BatchReport::aborted`'s
-                    // "everything after the vanishing is EIDRM" contract.
+                    // drain — with the same `EIDRM` the epoch-detected
+                    // teardown path uses, keeping the "everything after
+                    // the vanishing is EIDRM" contract.
                     Err(_) => {
-                        dead = true;
-                        report.aborted = true;
+                        d.dead = true;
+                        outcome.aborted = true;
                         responses.extend(chunk.iter().map(|req| SmodCallResp {
                             user_data: req.user_data,
                             ret: Vec::new(),
@@ -272,14 +442,14 @@ impl Kernel {
                         allowed: resp.is_ok(),
                     });
                 }
-                report.drained += 1;
+                outcome.drained += 1;
                 if resp.is_ok() {
-                    report.completed += 1;
+                    outcome.completed += 1;
                 } else {
-                    report.failed += 1;
+                    outcome.failed += 1;
                 }
-                checked += usize::from(resp.cost_ns > 0);
-                entry_ns_total += resp.cost_ns;
+                outcome.checked += usize::from(resp.cost_ns > 0);
+                outcome.entry_ns += resp.cost_ns;
                 let mut pending = resp;
                 while let Err(back) = cq.push(pending) {
                     pending = back;
@@ -287,32 +457,11 @@ impl Kernel {
                 }
             }
         }
-
-        // --- amortised accounting ---------------------------------------
-        // The amortised fixed cost covers the entries that actually went
-        // through a policy check or body — entries rejected during
-        // validation (unknown function, wrong session, dead session) are
-        // free, exactly as `sys_smod_call`'s validation-error paths
-        // charge nothing. A drain that checked nothing (empty, or all
-        // entries invalid) still pays the bare trap.
-        if checked > 0 {
-            report.fixed_cost_ns = self.cost.batched_dispatch_ns(checked);
-            let _ = self
-                .procs
-                .with_mut(caller, |p| p.cpu_time_ns += report.fixed_cost_ns);
-            self.clock
-                .advance_striped(caller.0 as u64, report.fixed_cost_ns + entry_ns_total);
-            // One context-switch pair per *batch* — the single-call path
-            // records one pair per call; this is the amortisation.
-            self.context_switch_n(caller, 2);
-        } else {
-            self.charge(caller, self.cost.syscall_trap_ns);
-        }
-        Ok(report)
+        outcome
     }
 
     /// Process one submission entry: validate, resolve the decision (from
-    /// the batch memo, or through the module gateway on the first sight
+    /// the drain memo, or through the module gateway on the first sight
     /// of this function id — cached vs uncached charged honestly), run
     /// the body via `run` (which supplies the pair-locked
     /// [`crate::smodreg::HandleCtx`]), and assemble the completion.
@@ -366,7 +515,7 @@ impl Kernel {
                         };
                         let (allowed, cached) =
                             module.check_operation(app_domain, principal, uid, &stub.symbol);
-                        // The first sight of a function in a batch pays
+                        // The first sight of a function in a drain pays
                         // the true decision cost; repeats are memo hits.
                         policy_cost = if cached {
                             self.cost.cached_decision_ns
@@ -423,7 +572,7 @@ impl Kernel {
 }
 
 #[cfg(test)]
-mod tests {
+pub(crate) mod tests {
     use super::*;
     use crate::cost::CostModel;
     use crate::cred::Credential;
@@ -436,15 +585,20 @@ mod tests {
     use secmod_ring::{Ring, SMOD_BATCH_DEFAULT_BUDGET};
     use std::sync::atomic::{AtomicBool, Ordering};
 
-    const ALICE_KEY: &[u8] = b"batch-alice-key";
+    pub(crate) const ALICE_KEY: &[u8] = b"batch-alice-key";
     const MAC_KEY: &[u8] = b"batch-mac-key";
 
     /// Register the libc-like module with a policy granting alice every
     /// function except `strlen`; every body returns its u64 argument + 1.
     /// `slow_gate`, when set, makes every body sleep 1 ms until the flag
-    /// flips — the hook the mid-batch teardown test uses to widen the
-    /// race window.
-    fn kernel_with_module(slow_gate: Option<Arc<AtomicBool>>) -> (Kernel, ModuleId, Pid, u32) {
+    /// flips — the hook the mid-batch/mid-sweep teardown tests use to
+    /// widen the race window. `n_clients` clients are spawned, each
+    /// presenting the alice credential through its own session (the sweep
+    /// tests drain many sessions; the batch tests use client 0).
+    pub(crate) fn kernel_with_clients(
+        slow_gate: Option<Arc<AtomicBool>>,
+        n_clients: usize,
+    ) -> (Kernel, ModuleId, Vec<Pid>, u32) {
         let k = Kernel::new(CostModel::default());
         let registrar = k
             .spawn_process("registrar", Credential::root(), vec![0x90; 4096], 2, 2)
@@ -489,22 +643,38 @@ mod tests {
                 functions,
             )
             .unwrap();
-        let client = k
-            .spawn_process(
-                "batch-client",
-                Credential::user(1000, 100).with_smod_credential("libc", ALICE_KEY),
-                vec![0x90; 4096],
-                4,
-                4,
-            )
-            .unwrap();
-        let (_session, handle) = k.sys_smod_start_session(client, m_id).unwrap();
-        k.sys_smod_session_info(handle).unwrap();
-        k.sys_smod_handle_info(client).unwrap();
-        (k, m_id, client, incr_id)
+        let clients: Vec<Pid> = (0..n_clients)
+            .map(|i| {
+                let client = k
+                    .spawn_process(
+                        &format!("batch-client{i}"),
+                        Credential::user(1000, 100).with_smod_credential("libc", ALICE_KEY),
+                        vec![0x90; 4096],
+                        4,
+                        4,
+                    )
+                    .unwrap();
+                let (_session, handle) = k.sys_smod_start_session(client, m_id).unwrap();
+                k.sys_smod_session_info(handle).unwrap();
+                k.sys_smod_handle_info(client).unwrap();
+                client
+            })
+            .collect();
+        (k, m_id, clients, incr_id)
     }
 
-    fn req(k: &Kernel, client: Pid, proc_id: u32, user_data: u64, arg: u64) -> SmodCallReq {
+    fn kernel_with_module(slow_gate: Option<Arc<AtomicBool>>) -> (Kernel, ModuleId, Pid, u32) {
+        let (k, m_id, clients, incr) = kernel_with_clients(slow_gate, 1);
+        (k, m_id, clients[0], incr)
+    }
+
+    pub(crate) fn req(
+        k: &Kernel,
+        client: Pid,
+        proc_id: u32,
+        user_data: u64,
+        arg: u64,
+    ) -> SmodCallReq {
         SmodCallReq {
             session: k.session_of(client).unwrap().id.0,
             proc_id,
@@ -605,7 +775,7 @@ mod tests {
 
     #[test]
     fn live_policy_mutation_is_visible_at_the_next_chunk() {
-        // The batch memo may serve a decision for at most one chunk: a
+        // The drain memo may serve a decision for at most one chunk: a
         // grant added mid-batch (here: between two batched drains, and
         // within one batch across a chunk boundary) must flip the denied
         // function to allowed.
@@ -631,7 +801,7 @@ mod tests {
             assert_eq!(cq.pop_spsc().unwrap().errno, Errno::EACCES.code());
         }
         // Grant strlen through the live gateway (bumps the gateway epoch,
-        // which clears any batch memo at the next chunk boundary).
+        // which clears any drain memo at the next chunk boundary).
         let alice = Principal::from_key("uid1000", ALICE_KEY);
         k.registry
             .get(m_id)

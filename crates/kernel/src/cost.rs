@@ -30,6 +30,15 @@ pub struct CostModel {
     pub context_switch_ns: u64,
     /// One SYSV `msgsnd`/`msgrcv` operation (already-awake receiver).
     pub msg_op_ns: u64,
+    /// One shared-memory dispatch-ring slot hand-off (claim + copy +
+    /// publish of a single submission or completion slot) as performed by
+    /// a *resident* drainer that is already in kernel context. The
+    /// caller-driven batched path still prices its per-entry hand-off as
+    /// a msgsnd/msgrcv pair ([`CostModel::batched_dispatch_ns`]); the
+    /// sweep path gets to use this much cheaper slot cost because the
+    /// drainer never re-enters the kernel per entry — the
+    /// interception-hoisting argument, in cost-model form.
+    pub ring_slot_ns: u64,
     /// Handling one page fault (zero-fill or share).
     pub page_fault_ns: u64,
     /// Copying one byte of arguments/results across the user/kernel
@@ -72,6 +81,7 @@ impl CostModel {
             trivial_syscall_ns: 108,
             context_switch_ns: 1_450,
             msg_op_ns: 700,
+            ring_slot_ns: 120,
             page_fault_ns: 2_500,
             copy_per_byte_ns: 6,
             policy_per_node_ns: 120,
@@ -91,6 +101,7 @@ impl CostModel {
             trivial_syscall_ns: 0,
             context_switch_ns: 0,
             msg_op_ns: 0,
+            ring_slot_ns: 0,
             page_fault_ns: 0,
             copy_per_byte_ns: 0,
             policy_per_node_ns: 0,
@@ -145,6 +156,41 @@ impl CostModel {
             + 2 * self.context_switch_ns;
         once_per_batch + 2 * self.msg_op_ns * batch_len as u64
     }
+
+    /// Modelled *fixed* cost of one `sys_smod_sweep` invocation that
+    /// resolved `sessions` ready sessions and dispatched `entries`
+    /// checked entries across them, excluding per-entry policy/copy/body
+    /// work (charged separately, exactly as on the batched path).
+    ///
+    /// Three tiers of amortisation, one per paper-motivated fixed cost:
+    ///
+    /// * **once per sweep** — the trap, the stubs and the context-switch
+    ///   pair are paid a single time no matter how many sessions the
+    ///   sweep visits; this is the multi-session analogue of
+    ///   [`CostModel::batched_dispatch_ns`]'s once-per-batch term.
+    /// * **once per session** — the credential/session resolution
+    ///   ([`CostModel::credential_check_ns`]) is paid once per *session*
+    ///   per sweep, not once per entry or once per batch invocation.
+    /// * **per entry** — only the shared-memory ring slot hand-off
+    ///   ([`CostModel::ring_slot_ns`], one submission pop + one
+    ///   completion push) remains: the resident drainer consumes the
+    ///   rings directly, with no msgsnd/msgrcv analogue per entry.
+    ///
+    /// `sweep_dispatch_ns(1, n)` is strictly below
+    /// `batched_dispatch_ns(n)` for every `n >= 1` (same once-per-batch
+    /// fixed term, cheaper hand-off), and the (64 sessions, batch 32)
+    /// acceptance point of the `sweep_throughput` bench comes out ≥ 1.5x
+    /// cheaper than 64 round-robined batched drains — both properties are
+    /// unit-tested below.
+    pub fn sweep_dispatch_ns(&self, sessions: usize, entries: usize) -> u64 {
+        let once_per_sweep = self.stub_call_ns
+            + self.syscall_trap_ns
+            + self.stub_receive_ns
+            + 2 * self.context_switch_ns;
+        once_per_sweep
+            + self.credential_check_ns * sessions as u64
+            + 2 * self.ring_slot_ns * entries as u64
+    }
 }
 
 #[cfg(test)]
@@ -196,5 +242,40 @@ mod tests {
         }
         // The amortised floor is the pure per-entry ring hand-off.
         assert!(per_entry(4096) < 2.0 * m.msg_op_ns as f64 + 2.0);
+    }
+
+    #[test]
+    fn sweep_is_strictly_cheaper_than_the_batched_path_it_subsumes() {
+        let m = CostModel::default();
+        // A one-session sweep beats a one-session batch at every size:
+        // identical once-per-trap term, cheaper per-entry hand-off.
+        for n in [1usize, 8, 32, 128, 4096] {
+            assert!(
+                m.sweep_dispatch_ns(1, n) < m.batched_dispatch_ns(n),
+                "sweep(1, {n}) not below batch({n})"
+            );
+        }
+        // The per-entry share keeps falling as more sessions join a sweep
+        // (the per-session credential term amortises the trap; entries
+        // amortise everything else).
+        let per_entry = |s: usize, n: usize| m.sweep_dispatch_ns(s, s * n) as f64 / (s * n) as f64;
+        assert!(per_entry(64, 32) < per_entry(8, 32));
+        assert!(per_entry(8, 32) < per_entry(1, 32));
+    }
+
+    #[test]
+    fn sweep_acceptance_point_meets_the_bar() {
+        // The sweep_throughput bench's acceptance point: 64 sessions with
+        // 32 entries each, one sweep vs 64 round-robined batched drains at
+        // equal total entries. The model must put the sweep >= 1.5x ahead.
+        let m = CostModel::default();
+        let round_robin = 64 * m.batched_dispatch_ns(32);
+        let sweep = m.sweep_dispatch_ns(64, 64 * 32);
+        let ratio = round_robin as f64 / sweep as f64;
+        assert!(
+            ratio >= 1.5,
+            "sweep amortisation ratio {ratio:.2} below the 1.5x bar \
+             ({round_robin} ns round-robin vs {sweep} ns sweep)"
+        );
     }
 }

@@ -44,9 +44,11 @@ pub mod cred;
 pub mod errno;
 pub mod kernel;
 pub mod msgqueue;
+pub mod plane;
 pub mod proc;
 pub mod smod;
 pub mod smodreg;
+pub mod sweep;
 pub mod table;
 pub mod trace;
 
@@ -56,9 +58,11 @@ pub use cost::CostModel;
 pub use cred::Credential;
 pub use errno::Errno;
 pub use kernel::Kernel;
+pub use plane::{DispatchPlane, PlaneConfig, PlaneHandle, PlaneStats};
 pub use proc::{Pid, ProcFlags, ProcState, Process};
 pub use smod::{Session, SessionId, SessionState, SessionTable, SmodCallArgs};
 pub use smodreg::RegisteredModule;
+pub use sweep::SweepReport;
 pub use trace::{Event, Tracer};
 
 /// Result alias for syscalls: either a value or an errno.

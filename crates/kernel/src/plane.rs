@@ -1,0 +1,490 @@
+//! [`DispatchPlane`]: dedicated drainer threads over a shared
+//! [`RingSet`] — producers never trap at all.
+//!
+//! The sweep (`sys_smod_sweep`) lets one drainer serve many sessions per
+//! syscall-equivalent; the plane supplies the drainers. It owns a
+//! [`RingSet`], spawns a configurable number of OS threads (each backed
+//! by a kernel process so sweep costs are attributed somewhere real),
+//! and parks them when the set is idle. A producer attaches its
+//! established session ([`DispatchPlane::attach`]), receives a
+//! [`PlaneHandle`], and from then on interacts with the kernel **only
+//! through memory**: `submit` pushes into the session's submission ring,
+//! flags the readiness bit and unparks a drainer; `reap` pops
+//! completions. The drainer threads do all the trapping, amortised
+//! across every attached session.
+//!
+//! ```text
+//!   producer threads                 dispatch plane
+//!   ────────────────                 ──────────────
+//!   handle.submit(...) ─┐
+//!   handle.submit(...) ─┼─► RingSet ──ready bits──► drainer 0 ─┐ sys_smod_sweep
+//!   handle.submit(...) ─┘   (SQ/CQ       ▲          drainer 1 ─┘ (resolve each
+//!          ▲               per session)  │park/unpark             session once)
+//!          └────────── handle.reap() ◄───┴──────────── completions
+//! ```
+//!
+//! Parking uses the classic permit protocol (`std::thread::park` +
+//! `unpark`): a producer unparks the drainers *after* flagging
+//! readiness, a drainer re-checks the set *after* waking, and the park
+//! itself has a timeout so a lost race costs one timeout tick, never a
+//! hang. Shutdown flags every slot once more and lets each drainer sweep
+//! the set dry before joining.
+
+use crate::cred::Credential;
+use crate::errno::Errno;
+use crate::kernel::Kernel;
+use crate::proc::Pid;
+use crate::smod::SessionState;
+use crate::sweep::SweepReport;
+use crate::SysResult;
+use parking_lot::RwLock;
+use secmod_ring::{
+    RingPairConfig, RingSet, RingSlotId, SessionRings, SmodCallReq, SmodCallResp,
+    SMOD_BATCH_DEFAULT_BUDGET,
+};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Sizing and behaviour of a [`DispatchPlane`].
+#[derive(Clone, Copy, Debug)]
+pub struct PlaneConfig {
+    /// Dedicated drainer OS threads (min 1).
+    pub drainers: usize,
+    /// Maximum attached sessions (ring-set capacity).
+    pub slots: usize,
+    /// Ring pair sizing for each attached session.
+    pub ring: RingPairConfig,
+    /// Entries drained per session per sweep (the anti-starvation
+    /// budget).
+    pub session_budget: usize,
+    /// How long an idle drainer parks before re-checking the set (the
+    /// backstop for a lost unpark race; producers normally wake drainers
+    /// long before this expires).
+    pub park_timeout: Duration,
+}
+
+impl Default for PlaneConfig {
+    fn default() -> Self {
+        PlaneConfig {
+            drainers: 2,
+            slots: 64,
+            ring: RingPairConfig::default(),
+            session_budget: SMOD_BATCH_DEFAULT_BUDGET,
+            park_timeout: Duration::from_millis(1),
+        }
+    }
+}
+
+/// Aggregate work done by the plane's drainers (summed at shutdown).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PlaneStats {
+    /// Total `sys_smod_sweep` invocations across all drainers.
+    pub sweeps: u64,
+    /// Sweeps that found at least one ready session.
+    pub productive_sweeps: u64,
+    /// Entries drained.
+    pub drained: u64,
+    /// Entries completed successfully.
+    pub completed: u64,
+    /// Entries completed with an error.
+    pub failed: u64,
+}
+
+impl PlaneStats {
+    fn absorb(&mut self, report: &SweepReport) {
+        self.sweeps += 1;
+        self.productive_sweeps += u64::from(report.sessions_ready > 0);
+        self.drained += report.drained as u64;
+        self.completed += report.completed as u64;
+        self.failed += report.failed as u64;
+    }
+}
+
+struct PlaneShared {
+    kernel: Arc<Kernel>,
+    set: RingSet,
+    stop: AtomicBool,
+    /// Drainer thread handles for unparking (filled once at start).
+    sleepers: RwLock<Vec<std::thread::Thread>>,
+    /// How many drainers are (about to be) parked. Producers skip the
+    /// unpark entirely while every drainer is busy sweeping — the hot
+    /// path's wake is then a single relaxed load, not a futex op per
+    /// submission. A drainer increments *before* its final readiness
+    /// check and decrements after waking, so a producer that observes 0
+    /// either raced a drainer that will still see its readiness bit, or
+    /// one that is already sweeping.
+    idle: AtomicUsize,
+}
+
+impl PlaneShared {
+    /// Wake the drainers if any might be parked (unpark on a running
+    /// thread is a stored permit, so overshooting is safe, just not
+    /// free).
+    fn wake(&self) {
+        if self.idle.load(Ordering::Acquire) == 0 {
+            return;
+        }
+        for t in self.sleepers.read().iter() {
+            t.unpark();
+        }
+    }
+}
+
+/// A running dispatch plane. Dropping it without calling
+/// [`DispatchPlane::shutdown`] also stops and joins the drainers.
+pub struct DispatchPlane {
+    shared: Arc<PlaneShared>,
+    session_budget: usize,
+    ring: RingPairConfig,
+    drainers: Vec<JoinHandle<PlaneStats>>,
+}
+
+impl std::fmt::Debug for DispatchPlane {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DispatchPlane")
+            .field("drainers", &self.drainers.len())
+            .field("attached", &self.shared.set.len())
+            .finish()
+    }
+}
+
+impl DispatchPlane {
+    /// Start a plane over `kernel`: spawn `cfg.drainers` drainer threads,
+    /// each backed by a root-credentialled kernel process named
+    /// `plane-drainer<i>` that the sweep's amortised fixed cost is
+    /// charged to.
+    pub fn start(kernel: Arc<Kernel>, cfg: PlaneConfig) -> SysResult<DispatchPlane> {
+        let shared = Arc::new(PlaneShared {
+            kernel: Arc::clone(&kernel),
+            set: RingSet::with_capacity(cfg.slots),
+            stop: AtomicBool::new(false),
+            sleepers: RwLock::new(Vec::new()),
+            idle: AtomicUsize::new(0),
+        });
+        let mut drainers = Vec::new();
+        for i in 0..cfg.drainers.max(1) {
+            let pid = kernel.spawn_process(
+                &format!("plane-drainer{i}"),
+                Credential::root(),
+                vec![0x90; 4096],
+                2,
+                2,
+            )?;
+            let shared = Arc::clone(&shared);
+            let handle = std::thread::Builder::new()
+                .name(format!("smod-drainer{i}"))
+                .spawn(move || drainer_loop(&shared, pid, cfg.session_budget, cfg.park_timeout))
+                .expect("spawn plane drainer thread");
+            drainers.push(handle);
+        }
+        *shared.sleepers.write() = drainers.iter().map(|h| h.thread().clone()).collect();
+        Ok(DispatchPlane {
+            shared,
+            session_budget: cfg.session_budget,
+            ring: cfg.ring,
+            drainers,
+        })
+    }
+
+    /// Attach a client's established session: register its ring pair in
+    /// the plane's set and hand back the producer-side [`PlaneHandle`].
+    /// `EPERM` without a session, `EINVAL` before the handshake
+    /// completes, `ENOMEM` when every slot is taken.
+    pub fn attach(&self, client: Pid) -> SysResult<PlaneHandle> {
+        let session = self.shared.kernel.session_of(client).ok_or(Errno::EPERM)?;
+        if session.state() != SessionState::Established {
+            return Err(Errno::EINVAL);
+        }
+        let slot = self
+            .shared
+            .set
+            .register(session.id.0, client.0, self.ring)
+            .ok_or(Errno::ENOMEM)?;
+        let rings = self.shared.set.get(slot).expect("freshly registered slot");
+        Ok(PlaneHandle {
+            shared: Arc::clone(&self.shared),
+            slot,
+            rings,
+        })
+    }
+
+    /// Entries drained per session per sweep.
+    pub fn session_budget(&self) -> usize {
+        self.session_budget
+    }
+
+    /// Currently attached sessions.
+    pub fn attached(&self) -> usize {
+        self.shared.set.len()
+    }
+
+    /// Stop the drainers (after one final forced sweep of every attached
+    /// slot), join them, and return their aggregate stats.
+    pub fn shutdown(mut self) -> PlaneStats {
+        self.stop_and_join()
+    }
+
+    fn stop_and_join(&mut self) -> PlaneStats {
+        self.shared.stop.store(true, Ordering::Release);
+        self.shared.set.mark_all_ready();
+        self.shared.wake();
+        let mut stats = PlaneStats::default();
+        for handle in self.drainers.drain(..) {
+            let s = handle.join().expect("plane drainer panicked");
+            stats.sweeps += s.sweeps;
+            stats.productive_sweeps += s.productive_sweeps;
+            stats.drained += s.drained;
+            stats.completed += s.completed;
+            stats.failed += s.failed;
+        }
+        stats
+    }
+}
+
+impl Drop for DispatchPlane {
+    fn drop(&mut self) {
+        if !self.drainers.is_empty() {
+            self.stop_and_join();
+        }
+    }
+}
+
+fn drainer_loop(
+    shared: &PlaneShared,
+    pid: Pid,
+    session_budget: usize,
+    park_timeout: Duration,
+) -> PlaneStats {
+    let mut stats = PlaneStats::default();
+    // Sweep until stopped; `Err` means the drainer's own process vanished
+    // (kernel torn down around the plane) — nothing left to do either way.
+    while let Ok(report) = shared
+        .kernel
+        .sys_smod_sweep(pid, &shared.set, session_budget)
+    {
+        stats.absorb(&report);
+        // Progress = entries answered. A sweep that visited slots but
+        // drained nothing (e.g. a producer stopped reaping and its full
+        // completion ring keeps its slot perpetually "ready") must fall
+        // through to the park below — spinning on a no-progress sweep
+        // would peg a core without serving anyone.
+        if report.drained > 0 {
+            continue;
+        }
+        // Post-stop, a no-progress sweep means the set is as dry as it
+        // can get (the shutdown path force-flagged every slot first):
+        // exit even if unserviceable ready bits remain.
+        if shared.stop.load(Ordering::Acquire) {
+            break;
+        }
+        // Announce the park *before* parking: a producer that submits
+        // after reading idle == 0 raced a drainer still mid-sweep; one
+        // that reads idle > 0 unparks us (stored permit — a park after
+        // the unpark returns immediately). The timeout backstops the
+        // remaining window and paces retries on unserviceable slots.
+        shared.idle.fetch_add(1, Ordering::AcqRel);
+        std::thread::park_timeout(park_timeout);
+        shared.idle.fetch_sub(1, Ordering::AcqRel);
+    }
+    stats
+}
+
+/// A producer's attachment to the plane: submit and reap without ever
+/// trapping. Dropping the handle detaches the slot from the set (any
+/// unreaped completions are dropped with the rings once the last `Arc`
+/// goes away).
+pub struct PlaneHandle {
+    shared: Arc<PlaneShared>,
+    slot: RingSlotId,
+    rings: Arc<SessionRings>,
+}
+
+impl std::fmt::Debug for PlaneHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PlaneHandle")
+            .field("slot", &self.slot)
+            .field("session", &self.rings.session)
+            .finish()
+    }
+}
+
+impl PlaneHandle {
+    /// Submit one call: push into the submission ring (the session id is
+    /// filled in from the attachment), flag readiness, and wake a
+    /// drainer. Returns the request back when the ring is full — the
+    /// drainers are already flagged, so the producer can reap, yield and
+    /// retry.
+    pub fn submit(&self, proc_id: u32, user_data: u64, args: Vec<u8>) -> Result<(), SmodCallReq> {
+        let outcome = self.rings.sq.push(SmodCallReq {
+            session: self.rings.session,
+            proc_id,
+            user_data,
+            args,
+        });
+        self.shared.set.mark_ready(self.slot);
+        self.shared.wake();
+        outcome
+    }
+
+    /// Pop one completion, if any.
+    pub fn reap(&self) -> Option<SmodCallResp> {
+        self.rings.cq.pop()
+    }
+
+    /// Entries currently queued for dispatch (approximate).
+    pub fn pending(&self) -> usize {
+        self.rings.sq.len()
+    }
+}
+
+impl Drop for PlaneHandle {
+    fn drop(&mut self) {
+        self.shared.set.deregister(self.slot);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batch::tests::kernel_with_clients;
+
+    fn plane_fixture(
+        n_clients: usize,
+        drainers: usize,
+    ) -> (Arc<Kernel>, DispatchPlane, Vec<Pid>, u32) {
+        let (k, _m, clients, incr) = kernel_with_clients(None, n_clients);
+        let kernel = Arc::new(k);
+        let plane = DispatchPlane::start(
+            Arc::clone(&kernel),
+            PlaneConfig {
+                drainers,
+                ..PlaneConfig::default()
+            },
+        )
+        .unwrap();
+        (kernel, plane, clients, incr)
+    }
+
+    #[test]
+    fn producers_dispatch_without_ever_trapping() {
+        const PER_PRODUCER: u64 = 500;
+        let (kernel, plane, clients, incr) = plane_fixture(4, 2);
+        let handles: Vec<PlaneHandle> = clients.iter().map(|&c| plane.attach(c).unwrap()).collect();
+        std::thread::scope(|s| {
+            for handle in &handles {
+                s.spawn(move || {
+                    let mut received = 0u64;
+                    let mut sent = 0u64;
+                    let mut sum = 0u64;
+                    while received < PER_PRODUCER {
+                        if sent < PER_PRODUCER
+                            && handle
+                                .submit(incr, sent, sent.to_le_bytes().to_vec())
+                                .is_ok()
+                        {
+                            sent += 1;
+                        }
+                        while let Some(resp) = handle.reap() {
+                            assert!(resp.is_ok());
+                            sum += u64::from_le_bytes(resp.ret.try_into().unwrap());
+                            received += 1;
+                        }
+                    }
+                    // Σ (i + 1) for i in 0..N
+                    assert_eq!(sum, PER_PRODUCER * (PER_PRODUCER + 1) / 2);
+                });
+            }
+        });
+        drop(handles);
+        let stats = plane.shutdown();
+        assert_eq!(stats.drained, 4 * PER_PRODUCER);
+        assert_eq!(stats.completed, 4 * PER_PRODUCER);
+        assert_eq!(stats.failed, 0);
+        // The producers' processes never paid a trap: every simulated cost
+        // on their pids came from the drained entries (policy/copy/body),
+        // all charged under the drainers' sweeps. The drainer processes
+        // carry the fixed costs.
+        for i in 0..2 {
+            let drainer_ns = kernel
+                .procs
+                .with(
+                    kernel
+                        .procs
+                        .pids()
+                        .into_iter()
+                        .find(|p| {
+                            kernel
+                                .procs
+                                .with(*p, |proc_| proc_.name == format!("plane-drainer{i}"))
+                                .unwrap_or(false)
+                        })
+                        .expect("drainer process exists"),
+                    |p| p.cpu_time_ns,
+                )
+                .unwrap();
+            assert!(drainer_ns > 0, "drainer {i} never charged a sweep");
+        }
+    }
+
+    #[test]
+    fn attach_validates_sessions_and_capacity() {
+        let (kernel, plane, clients, _incr) = plane_fixture(1, 1);
+        // No session at all.
+        let loner = kernel
+            .spawn_process("loner", Credential::user(5, 5), vec![0x90; 4096], 2, 2)
+            .unwrap();
+        assert_eq!(plane.attach(loner).unwrap_err(), Errno::EPERM);
+        // Attach, fill the (64-slot) set, and overflow it.
+        let handle = plane.attach(clients[0]).unwrap();
+        let mut extras = Vec::new();
+        loop {
+            match plane.attach(clients[0]) {
+                Ok(h) => extras.push(h),
+                Err(e) => {
+                    assert_eq!(e, Errno::ENOMEM);
+                    break;
+                }
+            }
+        }
+        assert_eq!(plane.attached(), 64);
+        drop(extras);
+        assert_eq!(plane.attached(), 1, "dropping handles frees slots");
+        drop(handle);
+        assert_eq!(plane.attached(), 0);
+    }
+
+    #[test]
+    fn shutdown_drains_work_submitted_but_not_yet_swept() {
+        let (_kernel, plane, clients, incr) = plane_fixture(1, 1);
+        let handle = plane.attach(clients[0]).unwrap();
+        for i in 0..32u64 {
+            handle.submit(incr, i, i.to_le_bytes().to_vec()).unwrap();
+        }
+        let stats = plane.shutdown();
+        assert_eq!(stats.completed, 32, "shutdown must sweep the set dry");
+        for i in 0..32u64 {
+            let resp = handle.reap().expect("completion after shutdown");
+            assert_eq!(resp.user_data, i);
+            assert!(resp.is_ok());
+        }
+    }
+
+    #[test]
+    fn detached_session_surfaces_eidrm_through_the_plane() {
+        let (kernel, plane, clients, incr) = plane_fixture(1, 1);
+        let handle = plane.attach(clients[0]).unwrap();
+        kernel.smod_detach(clients[0], "plane test").unwrap();
+        handle.submit(incr, 7, 7u64.to_le_bytes().to_vec()).unwrap();
+        let resp = loop {
+            match handle.reap() {
+                Some(resp) => break resp,
+                None => std::thread::yield_now(),
+            }
+        };
+        assert_eq!(resp.errno, Errno::EIDRM.code());
+        assert_eq!(resp.user_data, 7);
+        plane.shutdown();
+    }
+}

@@ -1,0 +1,467 @@
+//! `sys_smod_sweep`: the multi-session drain — one syscall-equivalent
+//! that visits *every* ready session in a [`RingSet`].
+//!
+//! `sys_smod_call_batch` amortises fixed dispatch cost across one
+//! session's batch; what remains is one trap and one session resolution
+//! *per session* per drain round. The sweep hoists those too: a single
+//! invocation claims the ring set's readiness bitmap, resolves each
+//! ready session — session table lookup, ownership check, credential
+//! prototype, module gateway, epoch fold — **once per sweep**, and runs
+//! the same chunked pair-lock drain ([`Kernel::drain_session_rings`])
+//! the batched path uses, so the epoch-re-read / credential-re-check /
+//! `EIDRM` semantics are shared code, not a second copy.
+//!
+//! Cost model: the trap, stubs and context-switch pair are charged once
+//! per sweep, credential/session resolution once per session, and per
+//! entry only the shared-memory ring-slot hand-off —
+//! [`crate::cost::CostModel::sweep_dispatch_ns`]. This is the LSM-style
+//! amortisation argument taken one level further: per-hook fixed work is
+//! hoisted first out of the call (PR 4's batch), then out of the session
+//! (this sweep).
+//!
+//! Safety semantics per slot:
+//!
+//! * a slot whose session is gone, half-established, or registered under
+//!   a different owner pid than the live session's client fails every
+//!   queued entry with `EIDRM` — a stale or replayed slot can never
+//!   dispatch into somebody else's session;
+//! * a detach/remove racing an in-flight sweep is honoured at the next
+//!   chunk boundary of that session's drain, failing the remainder with
+//!   `EIDRM` exactly like the batched path;
+//! * every ready slot is visited at most once per sweep and every ready
+//!   slot *is* visited (the readiness words are claimed wholesale), so
+//!   one hot ring can neither starve the others nor be drained past
+//!   `session_budget` in a single sweep — leftovers re-flag the slot.
+
+use crate::batch::{fail_all_eidrm, DrainScratch};
+use crate::kernel::Kernel;
+use crate::proc::Pid;
+use crate::smod::{SessionId, SessionState};
+use crate::SysResult;
+use secmod_ring::RingSet;
+
+/// What one `sys_smod_sweep` invocation did.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SweepReport {
+    /// Slots claimed from the readiness bitmap (visited this sweep).
+    pub sessions_ready: usize,
+    /// Ready sessions that resolved to a live session and were drained
+    /// to completion (no mid-drain teardown).
+    pub sessions_swept: usize,
+    /// Ready slots whose session was gone, not established, owned by a
+    /// different pid, or torn down mid-drain; their queued entries
+    /// completed with `EIDRM`.
+    pub sessions_dead: usize,
+    /// Submission entries consumed across all visited sessions.
+    pub drained: usize,
+    /// Entries that completed successfully (`errno == 0`).
+    pub completed: usize,
+    /// Entries that completed with an error.
+    pub failed: usize,
+    /// The amortised fixed cost charged to the sweeping caller:
+    /// [`crate::cost::CostModel::sweep_dispatch_ns`] over the sessions
+    /// that did checked work and the entries they checked (validation
+    /// rejects and `EIDRM` fills are free, as everywhere else).
+    pub fixed_cost_ns: u64,
+}
+
+impl Kernel {
+    /// Drain every ready session in `set`, up to `session_budget` entries
+    /// per session, in one syscall-equivalent.
+    ///
+    /// `caller` is the sweeping drainer (any live process — typically a
+    /// dedicated [`crate::plane::DispatchPlane`] drainer); it is charged
+    /// the amortised fixed cost. Per-entry costs are charged to each
+    /// session's own client, exactly as on the batched path. Takes
+    /// `&self`: concurrent sweeps partition the ready set between
+    /// themselves (the readiness words are claimed atomically), and
+    /// producers may keep submitting while a sweep is in flight.
+    pub fn sys_smod_sweep(
+        &self,
+        caller: Pid,
+        set: &RingSet,
+        session_budget: usize,
+    ) -> SysResult<SweepReport> {
+        self.procs.with(caller, |_| ())?; // the drainer must be a live process
+        let mut report = SweepReport::default();
+        let mut scratch = DrainScratch::new();
+        let mut entry_ns_total = 0u64;
+        let mut checked_total = 0usize;
+        let mut sessions_checked = 0usize;
+
+        set.sweep_ready(|_slot, rings| {
+            report.sessions_ready += 1;
+            // --- once-per-sweep resolution of this session --------------
+            let live = self
+                .sessions
+                .get(SessionId(rings.session))
+                .filter(|s| s.client.0 == rings.owner)
+                .filter(|s| s.state() == SessionState::Established);
+            let session = match live {
+                Some(session) => session,
+                None => {
+                    // Dead / foreign slot: answer everything queued with
+                    // EIDRM. A full completion ring leaves the rest
+                    // queued and re-flags the slot for a later sweep
+                    // (after the producer reaps).
+                    report.sessions_dead += 1;
+                    let failed = fail_all_eidrm(&rings.sq, &rings.cq);
+                    report.drained += failed;
+                    report.failed += failed;
+                    return !rings.sq.is_empty();
+                }
+            };
+            let mut drain = self.resolve_session_drain(session);
+            let outcome = self.drain_session_rings(
+                &mut drain,
+                &rings.sq,
+                &rings.cq,
+                session_budget,
+                &mut scratch,
+            );
+            report.drained += outcome.drained;
+            report.completed += outcome.completed;
+            report.failed += outcome.failed;
+            if outcome.aborted {
+                report.sessions_dead += 1;
+            } else {
+                report.sessions_swept += 1;
+            }
+            checked_total += outcome.checked;
+            entry_ns_total += outcome.entry_ns;
+            sessions_checked += usize::from(outcome.checked > 0);
+            // Budget leftovers (or a cq-full stall) re-flag the slot so
+            // the next sweep picks it straight back up.
+            !rings.sq.is_empty()
+        });
+
+        // --- amortised accounting: one trap for the whole sweep ---------
+        if checked_total > 0 {
+            report.fixed_cost_ns = self.cost.sweep_dispatch_ns(sessions_checked, checked_total);
+            let _ = self
+                .procs
+                .with_mut(caller, |p| p.cpu_time_ns += report.fixed_cost_ns);
+            self.clock
+                .advance_striped(caller.0 as u64, report.fixed_cost_ns + entry_ns_total);
+            // One context-switch pair per *sweep*, no matter how many
+            // sessions it visited — the multi-session amortisation.
+            self.context_switch_n(caller, 2);
+        } else {
+            self.charge(caller, self.cost.syscall_trap_ns);
+        }
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batch::tests::{kernel_with_clients, req};
+    use crate::batch::BATCH_CHUNK;
+    use crate::errno::Errno;
+    use secmod_ring::{RingPairConfig, RingSlotId, SMOD_BATCH_DEFAULT_BUDGET};
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    /// Register `clients`' sessions in a fresh ring set (slot i ↔ client i).
+    fn ring_set_for(
+        k: &Kernel,
+        clients: &[Pid],
+        ring_capacity: usize,
+    ) -> (RingSet, Vec<RingSlotId>) {
+        let set = RingSet::with_capacity(clients.len());
+        let slots = clients
+            .iter()
+            .map(|&c| {
+                let session = k.session_of(c).unwrap();
+                set.register(
+                    session.id.0,
+                    c.0,
+                    RingPairConfig {
+                        submission: ring_capacity,
+                        completion: ring_capacity,
+                    },
+                )
+                .unwrap()
+            })
+            .collect();
+        (set, slots)
+    }
+
+    fn sweeper(k: &Kernel) -> Pid {
+        k.spawn_process(
+            "sweeper",
+            crate::cred::Credential::root(),
+            vec![0x90; 4096],
+            2,
+            2,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn sweep_drains_every_ready_session_once() {
+        const SESSIONS: usize = 8;
+        const PER_SESSION: u64 = 16;
+        let (k, _m, clients, incr) = kernel_with_clients(None, SESSIONS);
+        let (set, slots) = ring_set_for(&k, &clients, 64);
+        let drainer = sweeper(&k);
+        for (s, &client) in clients.iter().enumerate() {
+            for i in 0..PER_SESSION {
+                set.submit(slots[s], req(&k, client, incr, i, 100 * s as u64 + i))
+                    .unwrap();
+            }
+        }
+        let report = k
+            .sys_smod_sweep(drainer, &set, SMOD_BATCH_DEFAULT_BUDGET)
+            .unwrap();
+        assert_eq!(report.sessions_ready, SESSIONS);
+        assert_eq!(report.sessions_swept, SESSIONS);
+        assert_eq!(report.sessions_dead, 0);
+        assert_eq!(report.drained, SESSIONS * PER_SESSION as usize);
+        assert_eq!(report.completed, SESSIONS * PER_SESSION as usize);
+        assert_eq!(report.failed, 0);
+        assert_eq!(
+            report.fixed_cost_ns,
+            k.cost
+                .sweep_dispatch_ns(SESSIONS, SESSIONS * PER_SESSION as usize)
+        );
+        // Per-session completions: FIFO, correct values, no cross-session
+        // leakage (user_data encodes the producing session).
+        for (s, _) in clients.iter().enumerate() {
+            let rings = set.get(slots[s]).unwrap();
+            for i in 0..PER_SESSION {
+                let resp = rings.cq.pop_spsc().unwrap();
+                assert!(resp.is_ok());
+                assert_eq!(resp.user_data, i, "session {s} reordered");
+                assert_eq!(
+                    u64::from_le_bytes(resp.ret.try_into().unwrap()),
+                    100 * s as u64 + i + 1,
+                    "session {s} got another session's result"
+                );
+            }
+            assert!(rings.cq.pop_spsc().is_none());
+        }
+        assert!(!set.any_ready(), "fully drained slots stay unflagged");
+    }
+
+    #[test]
+    fn every_ready_ring_is_visited_within_one_sweep() {
+        // The starvation guarantee: even when every ring holds more work
+        // than the per-session budget, a single sweep still visits all of
+        // them — the hot first ring cannot monopolise the drainer.
+        const SESSIONS: usize = 8;
+        const QUEUED: u64 = 64;
+        const BUDGET: usize = 16;
+        let (k, _m, clients, incr) = kernel_with_clients(None, SESSIONS);
+        let (set, slots) = ring_set_for(&k, &clients, QUEUED as usize);
+        let drainer = sweeper(&k);
+        for (s, &client) in clients.iter().enumerate() {
+            for i in 0..QUEUED {
+                set.submit(slots[s], req(&k, client, incr, i, i)).unwrap();
+            }
+        }
+        let report = k.sys_smod_sweep(drainer, &set, BUDGET).unwrap();
+        assert_eq!(report.sessions_ready, SESSIONS, "a ready ring was skipped");
+        assert_eq!(report.drained, SESSIONS * BUDGET);
+        for slot in &slots {
+            let rings = set.get(*slot).unwrap();
+            assert_eq!(
+                rings.cq.len(),
+                BUDGET,
+                "every session advances by exactly its budget"
+            );
+            assert_eq!(rings.sq.len(), (QUEUED as usize) - BUDGET);
+        }
+        assert_eq!(
+            set.ready_count(),
+            SESSIONS,
+            "slots with leftovers must be re-flagged"
+        );
+        // Sweeping to dryness visits everyone again until nothing is left.
+        let mut guard = 0;
+        while set.any_ready() {
+            k.sys_smod_sweep(drainer, &set, BUDGET).unwrap();
+            guard += 1;
+            assert!(guard < 16, "sweep failed to converge");
+        }
+        for slot in &slots {
+            assert!(set.get(*slot).unwrap().sq.is_empty());
+        }
+    }
+
+    #[test]
+    fn dead_and_foreign_slots_fail_with_eidrm() {
+        let (k, _m, clients, incr) = kernel_with_clients(None, 3);
+        let (set, slots) = ring_set_for(&k, &clients, 8);
+        let drainer = sweeper(&k);
+        // Slot 0: session detached before the sweep.
+        for i in 0..4u64 {
+            set.submit(slots[0], req(&k, clients[0], incr, i, i))
+                .unwrap();
+        }
+        // Slot 1 stays live.
+        for i in 0..4u64 {
+            set.submit(slots[1], req(&k, clients[1], incr, i, i))
+                .unwrap();
+        }
+        // Slot 2: registered under the wrong owner — a replayed slot.
+        let foreign = {
+            let session = k.session_of(clients[2]).unwrap();
+            set.deregister(slots[2]).unwrap();
+            set.register(session.id.0, clients[0].0, RingPairConfig::default())
+                .unwrap()
+        };
+        for i in 0..4u64 {
+            set.submit(foreign, req(&k, clients[2], incr, i, i))
+                .unwrap();
+        }
+        k.smod_detach(clients[0], "pre-sweep detach").unwrap();
+
+        let report = k
+            .sys_smod_sweep(drainer, &set, SMOD_BATCH_DEFAULT_BUDGET)
+            .unwrap();
+        assert_eq!(report.sessions_ready, 3);
+        assert_eq!(report.sessions_swept, 1);
+        assert_eq!(report.sessions_dead, 2);
+        assert_eq!(report.completed, 4);
+        assert_eq!(report.failed, 8);
+        for slot in [slots[0], foreign] {
+            let rings = set.get(slot).unwrap();
+            for _ in 0..4 {
+                assert_eq!(rings.cq.pop_spsc().unwrap().errno, Errno::EIDRM.code());
+            }
+        }
+        let live = set.get(slots[1]).unwrap();
+        for _ in 0..4 {
+            assert!(live.cq.pop_spsc().unwrap().is_ok());
+        }
+    }
+
+    #[test]
+    fn detach_racing_a_sweep_fails_the_remainder_with_eidrm() {
+        // The sweep analogue of module_removed_mid_batch: while a sweep is
+        // mid-drain (bodies sleeping behind the gate), one session
+        // detaches. Its remaining entries must fail with EIDRM — and the
+        // *other* session must be entirely unaffected.
+        const ENTRIES: usize = 6 * BATCH_CHUNK;
+        let gate = Arc::new(AtomicBool::new(false));
+        let (k, _m, clients, incr) = kernel_with_clients(Some(Arc::clone(&gate)), 2);
+        let (set, slots) = ring_set_for(&k, &clients, ENTRIES);
+        let drainer = sweeper(&k);
+        for (s, &client) in clients.iter().enumerate() {
+            for i in 0..ENTRIES as u64 {
+                set.submit(slots[s], req(&k, client, incr, i, i)).unwrap();
+            }
+        }
+
+        let k = &k;
+        let (victim, survivor) = (clients[0], clients[1]);
+        let report = std::thread::scope(|s| {
+            s.spawn(|| {
+                std::thread::sleep(std::time::Duration::from_millis(5));
+                k.smod_detach(victim, "mid-sweep teardown").unwrap();
+                gate.store(true, Ordering::Release);
+            });
+            k.sys_smod_sweep(drainer, &set, ENTRIES).unwrap()
+        });
+
+        assert_eq!(report.drained, 2 * ENTRIES, "every entry must be answered");
+        assert!(report.failed > 0, "the detached session must lose entries");
+
+        // Victim: a prefix of successes, then EIDRM — never an Allow after
+        // the detach.
+        let victim_rings = set.get(slots[0]).unwrap();
+        let mut seen_dead = false;
+        let mut victim_ok = 0;
+        for i in 0..ENTRIES {
+            let resp = victim_rings.cq.pop_spsc().expect("victim completion");
+            if resp.is_ok() {
+                assert!(!seen_dead, "entry {i} succeeded after the detach");
+                victim_ok += 1;
+            } else {
+                assert_eq!(resp.errno, Errno::EIDRM.code());
+                seen_dead = true;
+            }
+        }
+        assert!(seen_dead, "the detach landed after the sweep finished");
+        // Survivor: every single entry completed normally.
+        let survivor_rings = set.get(slots[1]).unwrap();
+        for _ in 0..ENTRIES {
+            let resp = survivor_rings.cq.pop_spsc().expect("survivor completion");
+            assert!(resp.is_ok(), "the surviving session must be unaffected");
+        }
+        assert_eq!(report.completed, victim_ok + ENTRIES);
+        assert_eq!(k.session_of(survivor).unwrap().calls(), ENTRIES as u64);
+    }
+
+    #[test]
+    fn empty_sweep_charges_just_the_trap() {
+        let (k, _m, clients, _incr) = kernel_with_clients(None, 2);
+        let (set, _slots) = ring_set_for(&k, &clients, 8);
+        let drainer = sweeper(&k);
+        let before = k.clock.now_ns();
+        let report = k.sys_smod_sweep(drainer, &set, 8).unwrap();
+        assert_eq!(report, SweepReport::default());
+        assert_eq!(k.clock.now_ns() - before, k.cost.syscall_trap_ns);
+        // A vanished drainer cannot sweep.
+        assert_eq!(
+            k.sys_smod_sweep(Pid(999), &set, 8).unwrap_err(),
+            Errno::ESRCH
+        );
+    }
+
+    #[test]
+    fn sweep_clock_cost_beats_per_session_batch_round_robin() {
+        // The acceptance shape on the simulated clock: 64 sessions x batch
+        // 32, one sweep vs 64 round-robined batched drains at equal total
+        // entries — the sweep must come out >= 1.5x cheaper.
+        const SESSIONS: usize = 64;
+        const BATCH: usize = 32;
+
+        let (rr, _m, rr_clients, incr) = kernel_with_clients(None, SESSIONS);
+        let pairs: Vec<_> = (0..SESSIONS)
+            .map(|_| {
+                RingPairConfig {
+                    submission: BATCH,
+                    completion: BATCH,
+                }
+                .build()
+            })
+            .collect();
+        for (s, &client) in rr_clients.iter().enumerate() {
+            for i in 0..BATCH as u64 {
+                pairs[s].0.push_spsc(req(&rr, client, incr, i, i)).unwrap();
+            }
+        }
+        let t0 = rr.clock.now_ns();
+        for (s, &client) in rr_clients.iter().enumerate() {
+            let report = rr
+                .sys_smod_call_batch(client, &pairs[s].0, &pairs[s].1, BATCH)
+                .unwrap();
+            assert_eq!(report.completed, BATCH);
+        }
+        let round_robin_ns = rr.clock.now_ns() - t0;
+
+        let (sw, _m2, sw_clients, incr2) = kernel_with_clients(None, SESSIONS);
+        assert_eq!(incr, incr2);
+        let (set, slots) = ring_set_for(&sw, &sw_clients, BATCH);
+        let drainer = sweeper(&sw);
+        for (s, &client) in sw_clients.iter().enumerate() {
+            for i in 0..BATCH as u64 {
+                set.submit(slots[s], req(&sw, client, incr, i, i)).unwrap();
+            }
+        }
+        let t0 = sw.clock.now_ns();
+        let report = sw.sys_smod_sweep(drainer, &set, BATCH).unwrap();
+        let sweep_ns = sw.clock.now_ns() - t0;
+        assert_eq!(report.completed, SESSIONS * BATCH);
+
+        let ratio = round_robin_ns as f64 / sweep_ns as f64;
+        assert!(
+            ratio >= 1.5,
+            "sweep {sweep_ns} ns not >= 1.5x cheaper than round-robin {round_robin_ns} ns \
+             (ratio {ratio:.2})"
+        );
+    }
+}

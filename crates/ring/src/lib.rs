@@ -25,6 +25,11 @@
 //! * [`byte`] — a [`ByteRing`]: an SPSC byte pipe over atomic slots, two
 //!   of which form the full-duplex in-process shared-memory stream behind
 //!   `secmod_rpc`'s `shm:` transport (the socket-free RPC comparison row).
+//! * [`set`] — a [`RingSet`]: the multi-session registry behind the
+//!   dispatch plane. Per-session [`set::SessionRings`] pairs addressed by
+//!   [`set::RingSlotId`], plus a cache-line-padded readiness bitmap so a
+//!   sweep (`sys_smod_sweep`) finds the rings with work in a handful of
+//!   word loads and resolves each ready session once per visit.
 //!
 //! This is the one crate in the workspace that uses `unsafe`: slot
 //! payloads live in `UnsafeCell<MaybeUninit<T>>` (as in crossbeam's
@@ -40,8 +45,10 @@
 pub mod byte;
 pub mod call;
 pub mod ring;
+pub mod set;
 
 pub use byte::ByteRing;
 pub use call::{CompletionRing, SmodCallReq, SmodCallResp, SMOD_BATCH_DEFAULT_BUDGET};
 pub use call::{RingPairConfig, SubmissionRing};
 pub use ring::Ring;
+pub use set::{RingSet, RingSlotId, SessionRings};

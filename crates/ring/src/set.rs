@@ -1,0 +1,478 @@
+//! [`RingSet`]: the multi-session ring registry behind the dispatch
+//! plane.
+//!
+//! One session's ring pair amortises fixed dispatch cost across a batch;
+//! a *sweep* amortises it across sessions — one drainer visiting many
+//! clients' rings in a single syscall-equivalent. For that the drainer
+//! needs two things this type provides:
+//!
+//! * a **registry** of per-session [`SessionRings`] (submission ring,
+//!   completion ring, and the raw session/owner ids the kernel will
+//!   validate against), addressed by a stable [`RingSlotId`], and
+//! * a cheap **"has work" readiness bitmap** — one bit per slot in
+//!   cache-line-padded `AtomicU64` words — so an idle sweep costs a few
+//!   word loads instead of touching every ring's head/tail cache lines.
+//!
+//! The readiness protocol is clear-then-drain, the classic lost-wakeup
+//! shape: a producer pushes into its submission ring and *then* sets the
+//! slot's ready bit (release); a sweeper claims a whole word of ready
+//! bits with `swap(0)` and then drains each claimed ring. A push that
+//! races the swap either lands before the drain (and is consumed) or
+//! re-sets the bit afterwards (and is seen by the next sweep); a drain
+//! cut short by its budget re-marks the slot itself. The bitmap is a
+//! hint, never an invariant — a set bit with an empty ring costs one
+//! wasted visit, a queued entry always has its bit set (or is already
+//! being drained).
+//!
+//! Like everything in this crate the type is kernel-agnostic: slots carry
+//! raw `u32` session ids and owner pids, so the kernel (which sits above
+//! this crate) can validate ownership at sweep time without a dependency
+//! cycle.
+
+use crate::call::{RingPairConfig, SmodCallReq, SubmissionRing};
+use crate::ring::CachePadded;
+use crate::CompletionRing;
+use parking_lot::{Mutex, RwLock};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// A stable index into a [`RingSet`] (valid until deregistered).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct RingSlotId(pub usize);
+
+/// One registered session's ring pair, shared between its producer and
+/// every sweeper.
+#[derive(Debug)]
+pub struct SessionRings {
+    /// The raw session id (`SessionId.0`) entries must name.
+    pub session: u32,
+    /// The raw pid of the client that owns the session — the kernel
+    /// validates it against the live session at sweep time, so a slot
+    /// cannot be replayed against somebody else's session.
+    pub owner: u32,
+    /// Producer → kernel submissions.
+    pub sq: SubmissionRing,
+    /// Kernel → producer completions.
+    pub cq: CompletionRing,
+    /// Per-slot drain exclusivity: at most one sweeper drains this slot
+    /// at a time, so a producer re-flagging the bit mid-drain cannot
+    /// hand the *same* rings to a second sweeper — which would interleave
+    /// completions (breaking per-session FIFO) and double-reserve the
+    /// completion ring's free space. Claimed by [`RingSet::sweep_ready`];
+    /// a sweeper finding the slot busy hands the ready bit back instead.
+    draining: AtomicBool,
+}
+
+/// Registry of per-session ring pairs with a readiness bitmap.
+///
+/// All methods take `&self`; share the set behind an `Arc` (or borrow it
+/// across scoped threads). Registration is rare and lock-guarded; the
+/// sweep path takes only per-slot read locks and bitmap atomics.
+pub struct RingSet {
+    slots: Box<[RwLock<Option<Arc<SessionRings>>>]>,
+    /// One ready bit per slot, 64 slots per padded word.
+    ready: Box<[CachePadded<AtomicU64>]>,
+    /// Free slot indices (registration pops, deregistration pushes).
+    free: Mutex<Vec<usize>>,
+    len: AtomicUsize,
+}
+
+impl std::fmt::Debug for RingSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RingSet")
+            .field("capacity", &self.capacity())
+            .field("len", &self.len())
+            .field("ready", &self.ready_count())
+            .finish()
+    }
+}
+
+impl RingSet {
+    /// Create a set with room for at least `capacity` sessions (rounded
+    /// up to a multiple of 64 so the bitmap has no partial word).
+    pub fn with_capacity(capacity: usize) -> RingSet {
+        let cap = capacity.max(1).div_ceil(64) * 64;
+        RingSet {
+            slots: (0..cap).map(|_| RwLock::new(None)).collect(),
+            ready: (0..cap / 64)
+                .map(|_| CachePadded(AtomicU64::new(0)))
+                .collect(),
+            free: Mutex::new((0..cap).rev().collect()),
+            len: AtomicUsize::new(0),
+        }
+    }
+
+    /// Maximum number of registered sessions.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Currently registered sessions.
+    pub fn len(&self) -> usize {
+        self.len.load(Ordering::Relaxed)
+    }
+
+    /// Is the set empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Register a session's ring pair. Returns `None` when the set is
+    /// full. `session`/`owner` are the raw session id and client pid the
+    /// kernel will validate at sweep time.
+    pub fn register(&self, session: u32, owner: u32, cfg: RingPairConfig) -> Option<RingSlotId> {
+        let idx = self.free.lock().pop()?;
+        let (sq, cq) = cfg.build();
+        *self.slots[idx].write() = Some(Arc::new(SessionRings {
+            session,
+            owner,
+            sq,
+            cq,
+            draining: AtomicBool::new(false),
+        }));
+        self.len.fetch_add(1, Ordering::Relaxed);
+        Some(RingSlotId(idx))
+    }
+
+    /// Remove a slot, returning its rings (callers reap any completions
+    /// still queued). The ready bit is cleared; a sweep that raced the
+    /// removal simply finds the slot empty.
+    pub fn deregister(&self, slot: RingSlotId) -> Option<Arc<SessionRings>> {
+        let rings = self.slots.get(slot.0)?.write().take()?;
+        self.ready[slot.0 / 64]
+            .0
+            .fetch_and(!(1u64 << (slot.0 % 64)), Ordering::AcqRel);
+        self.len.fetch_sub(1, Ordering::Relaxed);
+        self.free.lock().push(slot.0);
+        Some(rings)
+    }
+
+    /// The rings registered at `slot`, if any.
+    pub fn get(&self, slot: RingSlotId) -> Option<Arc<SessionRings>> {
+        self.slots.get(slot.0)?.read().clone()
+    }
+
+    /// Mark a slot as having work. Producers call this after pushing; the
+    /// release store pairs with the sweeper's acquire swap.
+    pub fn mark_ready(&self, slot: RingSlotId) {
+        self.ready[slot.0 / 64]
+            .0
+            .fetch_or(1u64 << (slot.0 % 64), Ordering::Release);
+    }
+
+    /// Push one request into `slot`'s submission ring and flag the slot
+    /// ready. Returns the request back when the ring is full (the slot is
+    /// still flagged, so a sweeper will make room).
+    pub fn submit(&self, slot: RingSlotId, req: SmodCallReq) -> Result<(), SmodCallReq> {
+        let rings = match self.get(slot) {
+            Some(r) => r,
+            None => return Err(req),
+        };
+        let outcome = rings.sq.push(req);
+        // Flag even on a full ring: the producer wants a drain either way.
+        self.mark_ready(slot);
+        outcome
+    }
+
+    /// Number of slots currently flagged ready (approximate).
+    pub fn ready_count(&self) -> usize {
+        self.ready
+            .iter()
+            .map(|w| w.0.load(Ordering::Relaxed).count_ones() as usize)
+            .sum()
+    }
+
+    /// Is any slot flagged ready?
+    pub fn any_ready(&self) -> bool {
+        // Acquire pairs with the producer's release `mark_ready`: a
+        // sweeper deciding whether to park sees every bit set before the
+        // call (its park timeout backstops the remaining race window).
+        self.ready.iter().any(|w| w.0.load(Ordering::Acquire) != 0)
+    }
+
+    /// Flag every registered slot ready (shutdown sweeps use this to
+    /// force one final full visit).
+    pub fn mark_all_ready(&self) {
+        for idx in 0..self.slots.len() {
+            if self.slots[idx].read().is_some() {
+                self.mark_ready(RingSlotId(idx));
+            }
+        }
+    }
+
+    /// Claim the current ready set and visit each claimed slot exactly
+    /// once: for every ready slot that is still registered, `visit(slot,
+    /// rings)` runs; returning `true` re-marks the slot (work left
+    /// behind, e.g. a budget cut the drain short). Returns how many slots
+    /// were visited.
+    ///
+    /// Claiming is a word-at-a-time `swap(0)`, so two concurrent sweeps
+    /// partition the ready set between them instead of convoying on the
+    /// same rings. On top of the bitmap, each slot carries a drain flag
+    /// giving **per-slot exclusivity**: a producer that re-flags a slot
+    /// while sweeper A is mid-drain cannot hand the same rings to
+    /// sweeper B — B finds the slot busy, returns the ready bit, and
+    /// moves on. One sweeper per slot at a time is what keeps
+    /// completions in per-session submission order and the
+    /// completion-ring space reservation single-counted.
+    pub fn sweep_ready(
+        &self,
+        mut visit: impl FnMut(RingSlotId, &Arc<SessionRings>) -> bool,
+    ) -> usize {
+        let mut visited = 0;
+        for (word_idx, word) in self.ready.iter().enumerate() {
+            let mut claimed = word.0.swap(0, Ordering::AcqRel);
+            while claimed != 0 {
+                let bit = claimed.trailing_zeros() as usize;
+                claimed &= claimed - 1;
+                let slot = RingSlotId(word_idx * 64 + bit);
+                let rings = match self.get(slot) {
+                    Some(r) => r,
+                    None => continue, // deregistered after flagging
+                };
+                if rings
+                    .draining
+                    .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
+                    .is_err()
+                {
+                    // Another sweeper is mid-drain on these rings: hand
+                    // the bit back so whoever finishes (or the next
+                    // sweep) picks the work up.
+                    self.mark_ready(slot);
+                    continue;
+                }
+                visited += 1;
+                let remark = visit(slot, &rings);
+                rings.draining.store(false, Ordering::Release);
+                if remark {
+                    self.mark_ready(slot);
+                }
+            }
+        }
+        visited
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(session: u32, user_data: u64) -> SmodCallReq {
+        SmodCallReq {
+            session,
+            proc_id: 1,
+            user_data,
+            args: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn capacity_rounds_to_whole_bitmap_words() {
+        assert_eq!(RingSet::with_capacity(1).capacity(), 64);
+        assert_eq!(RingSet::with_capacity(64).capacity(), 64);
+        assert_eq!(RingSet::with_capacity(65).capacity(), 128);
+    }
+
+    #[test]
+    fn register_submit_sweep_deregister() {
+        let set = RingSet::with_capacity(4);
+        let a = set.register(10, 100, RingPairConfig::default()).unwrap();
+        let b = set.register(11, 101, RingPairConfig::default()).unwrap();
+        assert_eq!(set.len(), 2);
+        assert!(!set.any_ready());
+
+        set.submit(a, req(10, 1)).unwrap();
+        set.submit(a, req(10, 2)).unwrap();
+        set.submit(b, req(11, 3)).unwrap();
+        assert_eq!(set.ready_count(), 2);
+
+        let mut seen = Vec::new();
+        let visited = set.sweep_ready(|slot, rings| {
+            while let Some(r) = rings.sq.pop() {
+                seen.push((slot, r.user_data));
+            }
+            false
+        });
+        assert_eq!(visited, 2);
+        assert_eq!(seen, vec![(a, 1), (a, 2), (b, 3)]);
+        assert!(!set.any_ready(), "claimed bits stay cleared");
+
+        let rings = set.deregister(a).unwrap();
+        assert_eq!(rings.session, 10);
+        assert_eq!(rings.owner, 100);
+        assert_eq!(set.len(), 1);
+        assert!(set.get(a).is_none());
+        // The freed slot is reusable.
+        let c = set.register(12, 102, RingPairConfig::default()).unwrap();
+        assert_eq!(set.len(), 2);
+        assert!(set.get(c).is_some());
+    }
+
+    #[test]
+    fn full_set_refuses_registration() {
+        let set = RingSet::with_capacity(64);
+        let slots: Vec<_> = (0..64)
+            .map(|i| {
+                set.register(
+                    i,
+                    i,
+                    RingPairConfig {
+                        submission: 2,
+                        completion: 2,
+                    },
+                )
+                .unwrap()
+            })
+            .collect();
+        assert!(set.register(99, 99, RingPairConfig::default()).is_none());
+        set.deregister(slots[7]).unwrap();
+        assert!(set.register(99, 99, RingPairConfig::default()).is_some());
+    }
+
+    #[test]
+    fn budget_cut_drains_remark_the_slot() {
+        let set = RingSet::with_capacity(1);
+        let a = set.register(1, 1, RingPairConfig::default()).unwrap();
+        for i in 0..4 {
+            set.submit(a, req(1, i)).unwrap();
+        }
+        // Visit with a budget of 2: the visitor reports leftover work.
+        let visited = set.sweep_ready(|_, rings| {
+            rings.sq.pop().unwrap();
+            rings.sq.pop().unwrap();
+            !rings.sq.is_empty()
+        });
+        assert_eq!(visited, 1);
+        assert!(set.any_ready(), "short drain must re-flag the slot");
+        let visited = set.sweep_ready(|_, rings| {
+            while rings.sq.pop().is_some() {}
+            false
+        });
+        assert_eq!(visited, 1);
+        assert!(!set.any_ready());
+    }
+
+    #[test]
+    fn deregistered_slot_is_skipped_by_the_sweep() {
+        let set = RingSet::with_capacity(2);
+        let a = set.register(1, 1, RingPairConfig::default()).unwrap();
+        set.submit(a, req(1, 0)).unwrap();
+        set.deregister(a).unwrap();
+        // A re-mark racing the deregistration leaves a stale bit; the
+        // sweep must tolerate it.
+        set.ready[0].0.fetch_or(1, Ordering::Release);
+        let visited = set.sweep_ready(|_, _| panic!("empty slot visited"));
+        assert_eq!(visited, 0);
+    }
+
+    #[test]
+    fn mark_all_ready_flags_only_registered_slots() {
+        let set = RingSet::with_capacity(4);
+        let _a = set.register(1, 1, RingPairConfig::default()).unwrap();
+        let b = set.register(2, 2, RingPairConfig::default()).unwrap();
+        set.deregister(b).unwrap();
+        set.mark_all_ready();
+        assert_eq!(set.ready_count(), 1);
+    }
+
+    #[test]
+    fn a_slot_mid_drain_is_never_handed_to_a_second_sweeper() {
+        // Sweeper A parks inside its visit; the producer re-flags the
+        // slot; sweeper B must *not* get the same rings — it returns the
+        // bit instead, and A (or a later sweep) picks the new work up.
+        let set = Arc::new(RingSet::with_capacity(1));
+        let a = set.register(1, 1, RingPairConfig::default()).unwrap();
+        set.submit(a, req(1, 0)).unwrap();
+        let in_visit = Arc::new(AtomicBool::new(false));
+        let release = Arc::new(AtomicBool::new(false));
+        std::thread::scope(|s| {
+            let sweeper_a = {
+                let (set, in_visit, release) = (&set, &in_visit, &release);
+                s.spawn(move || {
+                    set.sweep_ready(|_, rings| {
+                        rings.sq.pop().unwrap();
+                        in_visit.store(true, Ordering::Release);
+                        while !release.load(Ordering::Acquire) {
+                            std::thread::yield_now();
+                        }
+                        false
+                    })
+                })
+            };
+            while !in_visit.load(Ordering::Acquire) {
+                std::thread::yield_now();
+            }
+            // Producer races in new work mid-drain; sweeper B sees the
+            // bit but must skip the busy slot and leave the bit set.
+            set.submit(a, req(1, 1)).unwrap();
+            let visited_by_b = set.sweep_ready(|_, _| panic!("slot handed out twice"));
+            assert_eq!(visited_by_b, 0);
+            assert!(set.any_ready(), "B must hand the ready bit back");
+            release.store(true, Ordering::Release);
+            assert_eq!(sweeper_a.join().unwrap(), 1);
+        });
+        // The slot is free again: the handed-back work is sweepable.
+        let drained = std::cell::Cell::new(0);
+        set.sweep_ready(|_, rings| {
+            while rings.sq.pop().is_some() {
+                drained.set(drained.get() + 1);
+            }
+            false
+        });
+        assert_eq!(drained.get(), 1);
+    }
+
+    #[test]
+    fn concurrent_producers_and_sweepers_lose_nothing() {
+        const PRODUCERS: usize = 4;
+        const PER_PRODUCER: u64 = 2_000;
+        let set = Arc::new(RingSet::with_capacity(PRODUCERS));
+        let slots: Vec<RingSlotId> = (0..PRODUCERS)
+            .map(|i| {
+                set.register(i as u32, i as u32, RingPairConfig::default())
+                    .unwrap()
+            })
+            .collect();
+        let received = Arc::new(AtomicUsize::new(0));
+        std::thread::scope(|s| {
+            for (i, slot) in slots.iter().enumerate() {
+                let set = Arc::clone(&set);
+                let slot = *slot;
+                s.spawn(move || {
+                    for n in 0..PER_PRODUCER {
+                        let mut r = req(i as u32, n);
+                        while let Err(back) = set.submit(slot, r) {
+                            r = back;
+                            std::thread::yield_now();
+                        }
+                    }
+                });
+            }
+            for _ in 0..2 {
+                let set = Arc::clone(&set);
+                let received = Arc::clone(&received);
+                s.spawn(move || {
+                    while received.load(Ordering::Acquire) < PRODUCERS * PER_PRODUCER as usize {
+                        let mut got = 0;
+                        set.sweep_ready(|_, rings| {
+                            while rings.sq.pop().is_some() {
+                                got += 1;
+                            }
+                            false
+                        });
+                        if got == 0 {
+                            std::thread::yield_now();
+                        } else {
+                            received.fetch_add(got, Ordering::AcqRel);
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(
+            received.load(Ordering::Acquire),
+            PRODUCERS * PER_PRODUCER as usize
+        );
+        assert!(slots.iter().all(|s| set.get(*s).unwrap().sq.is_empty()));
+    }
+}

@@ -1,16 +1,18 @@
 //! Walkthrough: the `secmod_gate` scenario report.
 //!
-//! Runs the seven workload scenarios — uniform, zipfian hot-key,
+//! Runs the eight workload scenarios — uniform, zipfian hot-key,
 //! adversarial cache-thrash, session churn, multi-threaded kernel
-//! dispatch (pinned sessions and the sessions-≫-threads pool), and
-//! batched ring dispatch — against the sharded decision-cache gateway
-//! (for the kernel-backed scenarios: the gateway *embedded in* the
-//! kernel's dispatch path) and prints ops/sec, cache hit rate, and the
+//! dispatch (pinned sessions and the sessions-≫-threads pool), batched
+//! ring dispatch, and the dispatch plane (producers ≫ dedicated
+//! drainers) — against the sharded decision-cache gateway (for the
+//! kernel-backed scenarios: the gateway *embedded in* the kernel's
+//! dispatch path) and prints ops/sec, cache hit rate, and the
 //! (seed-deterministic) allow/deny split for each.
 //!
 //! ```sh
 //! cargo run --release --example gate_report
 //! cargo run --release --example gate_report -- --threads 2 --ops 2000 --seed 7
+//! cargo run --release --example gate_report -- --threads 4 --drainers 2 --only plane
 //! ```
 
 use secmod::gate::{run_scenario, ScenarioConfig, ScenarioKind};
@@ -22,10 +24,34 @@ fn parse_flag(args: &[String], flag: &str) -> Option<u64> {
         .and_then(|v| v.parse().ok())
 }
 
+fn parse_str_flag<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let seed = parse_flag(&args, "--seed").unwrap_or(42);
     let threads = parse_flag(&args, "--threads").unwrap_or(4) as usize;
+    // --drainers: dedicated drainer threads for the plane scenario
+    // (0 = auto: max(1, threads/4), keeping producers >> drainers).
+    let drainers = parse_flag(&args, "--drainers").unwrap_or(0) as usize;
+    // --only <name>: run a single scenario (CI smoke legs use this). An
+    // unknown name is a hard error — a typo'd CI leg that silently ran
+    // zero scenarios would still exit green.
+    let only = parse_str_flag(&args, "--only");
+    if let Some(name) = only {
+        if !ScenarioKind::ALL.iter().any(|k| k.name() == name) {
+            let known: Vec<&str> = ScenarioKind::ALL.iter().map(|k| k.name()).collect();
+            eprintln!(
+                "gate_report: unknown scenario `{name}` (expected one of: {})",
+                known.join(", ")
+            );
+            std::process::exit(2);
+        }
+    }
     // The examples smoke test runs every example with no args in the debug
     // profile; keep that default shape small so `cargo test` stays fast,
     // and let release builds default to a measurement-worthy size.
@@ -46,9 +72,13 @@ fn main() {
     println!("change an answer, only the cost of computing it.\n");
 
     for kind in ScenarioKind::ALL {
+        if only.is_some_and(|name| name != kind.name()) {
+            continue;
+        }
         let cfg = ScenarioConfig {
             threads,
             ops_per_thread: ops,
+            drainers,
             ..ScenarioConfig::full(kind, seed)
         };
         let report = run_scenario(&cfg);
@@ -66,4 +96,6 @@ fn main() {
     println!("           honest session-table shard pressure instead of one pinned session");
     println!("  ring     producers fill per-session submission rings; drainer threads batch");
     println!("           through sys_smod_call_batch (fixed costs amortised per batch)");
+    println!("  plane    producers >> drainers: producers attach to a DispatchPlane and never");
+    println!("           trap; dedicated drainers sweep all ready sessions per sys_smod_sweep");
 }

@@ -80,7 +80,7 @@ fn every_example_builds_and_runs() {
     }
 }
 
-/// `gate_report` must run all seven workload scenarios and report ops/sec
+/// `gate_report` must run all eight workload scenarios and report ops/sec
 /// and a cache hit rate for each — and, because decisions are
 /// seed-deterministic, two runs with the same seed must agree on every
 /// allow/deny count even though timing differs.
@@ -100,7 +100,7 @@ fn gate_report_covers_all_scenarios_deterministically() {
     };
     let first = run();
     for scenario in [
-        "uniform", "zipfian", "thrash", "churn", "kernel", "pool", "ring",
+        "uniform", "zipfian", "thrash", "churn", "kernel", "pool", "ring", "plane",
     ] {
         assert!(
             first.contains(scenario),
@@ -127,5 +127,42 @@ fn gate_report_covers_all_scenarios_deterministically() {
         decisions(&second),
         "allow/deny splits changed between identically seeded runs"
     );
-    assert_eq!(decisions(&first).len(), 7, "expected one row per scenario");
+    assert_eq!(decisions(&first).len(), 8, "expected one row per scenario");
+
+    // The CI smoke shape: an explicit drainer count plus --only filters
+    // the report down to the single requested scenario.
+    let output = Command::new(dir.join("gate_report"))
+        .args([
+            "--threads",
+            "4",
+            "--ops",
+            "1000",
+            "--seed",
+            "7",
+            "--drainers",
+            "2",
+            "--only",
+            "plane",
+        ])
+        .output()
+        .expect("run gate_report --only plane");
+    assert!(output.status.success(), "plane-only run failed: {output:?}");
+    let plane_only = String::from_utf8_lossy(&output.stdout);
+    assert!(plane_only.contains("plane"), "missing plane row");
+    assert_eq!(
+        decisions(&plane_only).len(),
+        1,
+        "--only must run exactly one scenario"
+    );
+
+    // A typo'd scenario name must fail loudly, not exit green having run
+    // nothing (the CI smoke leg depends on this).
+    let output = Command::new(dir.join("gate_report"))
+        .args(["--only", "plan"])
+        .output()
+        .expect("run gate_report --only plan");
+    assert!(
+        !output.status.success(),
+        "unknown --only name must exit non-zero"
+    );
 }
