@@ -1,0 +1,383 @@
+//! [`AsyncPlane`]: the futures frontend over a
+//! [`DispatchPlane`][secmod_kernel::plane::DispatchPlane].
+//!
+//! The plane's drainer threads already sweep the ring set and post
+//! completions; what the async frontend adds is a **reactor** — one
+//! thread that parks on the plane's completion notification, claims the
+//! ring set's *completion* bitmap (the mirror image of the readiness
+//! bitmap the drainers claim), and routes every posted response to the
+//! waker parked under its `user_data` cookie. The division of labor:
+//!
+//! ```text
+//!   task: session.call(..).await
+//!     │ push sq, mark_ready, park waker in SlotTable
+//!     ▼
+//!   drainer threads ──sweep──▶ kernel ──post cq──▶ mark_completed
+//!     │                                               │ notify
+//!     ▼                                               ▼
+//!   (next session)                    reactor: sweep_completed
+//!                                       → route resp to waker
+//!                                       → executor re-polls task
+//! ```
+//!
+//! Nobody busy-spins: tasks suspend (a parked waker costs a table entry,
+//! not a thread), drainers park on the readiness protocol from PR 5, and
+//! the reactor parks on the completion hook with a millisecond backstop.
+//! That is how 100k+ logical clients ride on a handful of OS threads —
+//! the paper's fixed-cost-per-dispatch story measured at a concurrency
+//! the original syscall frontend cannot even express.
+
+use crate::exec::{block_on, join_all};
+use crate::route::{route_completions, SlotTable, TableMap};
+use crate::session::{AsyncSession, CallFuture, SessionCore, Target};
+use parking_lot::Mutex;
+use secmod_kernel::dispatch::{
+    DispatchCall, DispatchCaps, DispatchError, DispatchOutcome, Dispatcher,
+};
+use secmod_kernel::plane::{DispatchPlane, PlaneConfig, PlaneStats};
+use secmod_kernel::proc::Pid;
+use secmod_kernel::{Kernel, SysResult};
+use secmod_ring::RingSet;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex as StdMutex};
+use std::time::Duration;
+
+/// How long the reactor sleeps when no completion notification arrives —
+/// a liveness backstop only; the hook is the real wake path.
+const REACTOR_BACKSTOP: Duration = Duration::from_millis(1);
+
+/// The reactor's parking spot: completion hooks flip `notified`, the
+/// reactor consumes it. `std::sync` because the vendored parking_lot shim
+/// has no `Condvar`.
+struct ReactorSignal {
+    notified: StdMutex<bool>,
+    available: Condvar,
+    stop: AtomicBool,
+}
+
+impl ReactorSignal {
+    fn notify(&self) {
+        *self.notified.lock().unwrap_or_else(|e| e.into_inner()) = true;
+        self.available.notify_one();
+    }
+}
+
+/// The async dispatch frontend: a [`DispatchPlane`] plus the reactor
+/// thread that turns its completions into task wake-ups.
+pub struct AsyncPlane {
+    /// `None` only after [`AsyncPlane::shutdown`] has taken it.
+    plane: Option<DispatchPlane>,
+    set: Arc<RingSet>,
+    tables: Arc<TableMap>,
+    signal: Arc<ReactorSignal>,
+    reactor: Option<std::thread::JoinHandle<()>>,
+    routed: Arc<AtomicU64>,
+    /// Per-client session cache backing [`AsyncPlane::call`] and the
+    /// [`Dispatcher`] impl; cleared at shutdown.
+    sessions: Mutex<HashMap<u32, AsyncSession>>,
+}
+
+impl std::fmt::Debug for AsyncPlane {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AsyncPlane")
+            .field("routed", &self.routed.load(Ordering::Relaxed))
+            .field("attached_tables", &self.tables.lock().len())
+            .finish()
+    }
+}
+
+impl AsyncPlane {
+    /// Start the underlying plane and the reactor thread.
+    pub fn start(kernel: Arc<Kernel>, cfg: PlaneConfig) -> SysResult<AsyncPlane> {
+        let plane = DispatchPlane::start(kernel, cfg)?;
+        let set = plane.ring_set();
+        let tables: Arc<TableMap> = Arc::new(Mutex::new(HashMap::new()));
+        let signal = Arc::new(ReactorSignal {
+            notified: StdMutex::new(false),
+            available: Condvar::new(),
+            stop: AtomicBool::new(false),
+        });
+        let routed = Arc::new(AtomicU64::new(0));
+        let reactor = {
+            let set = Arc::clone(&set);
+            let tables = Arc::clone(&tables);
+            let signal = Arc::clone(&signal);
+            let routed = Arc::clone(&routed);
+            std::thread::Builder::new()
+                .name("smod-reactor".into())
+                .spawn(move || reactor_loop(&set, &tables, &signal, &routed))
+                .expect("spawn reactor thread")
+        };
+        // The hook fires from whichever drainer just posted completions
+        // (and once more at plane shutdown).
+        {
+            let signal = Arc::clone(&signal);
+            plane.on_completions(Arc::new(move || signal.notify()));
+        }
+        Ok(AsyncPlane {
+            plane: Some(plane),
+            set,
+            tables,
+            signal,
+            reactor: Some(reactor),
+            routed,
+            sessions: Mutex::new(HashMap::new()),
+        })
+    }
+
+    /// Attach `client`'s established session, returning a cloneable
+    /// async handle. Each call allocates its own ring slot; prefer
+    /// [`AsyncPlane::call`] (which caches one attachment per client)
+    /// unless you want several independent ring pairs for one client.
+    pub fn attach(&self, client: Pid) -> SysResult<AsyncSession> {
+        let plane = self.plane.as_ref().expect("plane not shut down");
+        let handle = plane.attach(client)?;
+        let table = Arc::new(SlotTable::default());
+        self.tables
+            .lock()
+            .insert(handle.slot().0, Arc::clone(&table));
+        Ok(AsyncSession {
+            core: Arc::new(SessionCore {
+                target: Target::Plane(handle),
+                table,
+                tables: Arc::clone(&self.tables),
+            }),
+        })
+    }
+
+    /// The cached session for `client`, attaching on first use.
+    pub fn session(&self, client: Pid) -> SysResult<AsyncSession> {
+        if let Some(session) = self.sessions.lock().get(&client.0) {
+            return Ok(session.clone());
+        }
+        let session = self.attach(client)?;
+        Ok(self
+            .sessions
+            .lock()
+            .entry(client.0)
+            .or_insert(session)
+            .clone())
+    }
+
+    /// The headline call: `plane.call(client, proc_id, args)?.await`.
+    pub fn call(
+        &self,
+        client: Pid,
+        proc_id: u32,
+        args: impl Into<Vec<u8>>,
+    ) -> SysResult<CallFuture> {
+        Ok(self.session(client)?.call(proc_id, args))
+    }
+
+    /// Completions routed to wakers so far.
+    pub fn routed(&self) -> u64 {
+        self.routed.load(Ordering::Relaxed)
+    }
+
+    /// The shared ring set (the same one the drainers sweep).
+    pub fn ring_set(&self) -> Arc<RingSet> {
+        Arc::clone(&self.set)
+    }
+
+    /// The kernel the plane dispatches into.
+    pub fn kernel(&self) -> Arc<Kernel> {
+        self.plane.as_ref().expect("plane not shut down").kernel()
+    }
+
+    /// Stop everything, in dependency order: drainers first (every
+    /// accepted submission is swept through and posted), then the
+    /// reactor (a final routing pass delivers those responses), then the
+    /// tables detach (anything still parked resolves `Detached`).
+    pub fn shutdown(mut self) -> PlaneStats {
+        self.stop_parts().expect("shutdown consumes a live plane")
+    }
+
+    fn stop_parts(&mut self) -> Option<PlaneStats> {
+        let plane = self.plane.take()?;
+        let stats = plane.shutdown();
+        self.signal.stop.store(true, Ordering::Release);
+        self.signal.notify();
+        if let Some(reactor) = self.reactor.take() {
+            reactor.join().expect("reactor thread panicked");
+        }
+        for table in self.tables.lock().values() {
+            table.detach();
+        }
+        self.sessions.lock().clear();
+        Some(stats)
+    }
+}
+
+impl Drop for AsyncPlane {
+    fn drop(&mut self) {
+        self.stop_parts();
+    }
+}
+
+fn reactor_loop(set: &RingSet, tables: &TableMap, signal: &ReactorSignal, routed: &AtomicU64) {
+    loop {
+        // Order matters: observe `stop` *before* routing, so the pass
+        // after the final observation covers every completion posted
+        // before the flag flipped (the plane joins its drainers first).
+        let stop = signal.stop.load(Ordering::Acquire);
+        let n = route_completions(set, tables);
+        if n > 0 {
+            routed.fetch_add(n as u64, Ordering::Relaxed);
+        }
+        if stop {
+            return;
+        }
+        let mut notified = signal.notified.lock().unwrap_or_else(|e| e.into_inner());
+        if !*notified {
+            notified = signal
+                .available
+                .wait_timeout(notified, REACTOR_BACKSTOP)
+                .unwrap_or_else(|e| e.into_inner())
+                .0;
+        }
+        *notified = false;
+    }
+}
+
+impl Dispatcher for AsyncPlane {
+    /// One call, driven to completion on the calling thread.
+    fn dispatch_one(&self, client: Pid, proc_id: u32, args: &[u8]) -> DispatchOutcome {
+        let future = self
+            .call(client, proc_id, args.to_vec())
+            .map_err(DispatchError::from)?;
+        block_on(future)
+    }
+
+    /// All calls submitted up front, awaited together — in flight
+    /// concurrently through one session's rings.
+    fn dispatch_batch(
+        &self,
+        client: Pid,
+        calls: &[DispatchCall],
+    ) -> Result<Vec<DispatchOutcome>, DispatchError> {
+        let session = self.session(client).map_err(DispatchError::from)?;
+        let futures: Vec<CallFuture> = calls
+            .iter()
+            .map(|call| session.call(call.proc_id, call.args.clone()))
+            .collect();
+        Ok(block_on(join_all(futures)))
+    }
+
+    fn capabilities(&self) -> DispatchCaps {
+        DispatchCaps {
+            flavor: "async",
+            batched: true,
+            trap_free: true,
+            asynchronous: true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::Executor;
+    use crate::testutil::kernel_with_clients;
+    use std::future::Future;
+    use std::pin::Pin;
+    use std::task::{Context, Wake, Waker};
+
+    #[test]
+    fn a_hundred_logical_clients_share_two_executor_threads() {
+        let (k, _m, clients, incr) = kernel_with_clients(1);
+        let kernel = Arc::new(k);
+        let plane = AsyncPlane::start(
+            Arc::clone(&kernel),
+            PlaneConfig::builder().drainers(2).build(),
+        )
+        .unwrap();
+        let session = plane.session(clients[0]).unwrap();
+        let exec = Executor::new(2);
+        let handles: Vec<_> = (0..100u64)
+            .map(|i| {
+                let session = session.clone();
+                exec.spawn(async move {
+                    let ret = session.call(incr, i.to_le_bytes()).await.unwrap();
+                    u64::from_le_bytes(ret.try_into().unwrap())
+                })
+            })
+            .collect();
+        let sum: u64 = handles.into_iter().map(|h| h.join()).sum();
+        assert_eq!(sum, (1..=100u64).sum::<u64>());
+        assert!(
+            plane.routed() >= 100,
+            "every completion routes through the reactor"
+        );
+        assert_eq!(session.in_flight(), 0);
+        plane.shutdown();
+    }
+
+    #[test]
+    fn async_dispatcher_matches_the_kernel_flavor() {
+        let (k, _m, clients, incr) = kernel_with_clients(1);
+        let client = clients[0];
+        let calls: Vec<DispatchCall> = (0..32u64)
+            .map(|i| {
+                if i % 5 == 0 {
+                    DispatchCall::new(u32::MAX, Vec::new()) // unknown function
+                } else {
+                    DispatchCall::new(incr, i.to_le_bytes().to_vec())
+                }
+            })
+            .collect();
+        let expected = k.dispatch_batch(client, &calls).unwrap();
+        let kernel = Arc::new(k);
+        let plane = AsyncPlane::start(kernel, PlaneConfig::default()).unwrap();
+        assert!(plane.capabilities().asynchronous);
+        assert_eq!(plane.dispatch_batch(client, &calls).unwrap(), expected);
+        assert_eq!(
+            plane
+                .dispatch_one(client, incr, &41u64.to_le_bytes())
+                .unwrap(),
+            42u64.to_le_bytes().to_vec()
+        );
+        plane.shutdown();
+    }
+
+    #[test]
+    fn dropping_a_future_mid_await_leaks_nothing() {
+        struct NoopWake;
+        impl Wake for NoopWake {
+            fn wake(self: Arc<Self>) {}
+        }
+        let (k, _m, clients, incr) = kernel_with_clients(1);
+        let kernel = Arc::new(k);
+        let plane = AsyncPlane::start(kernel, PlaneConfig::default()).unwrap();
+        let session = plane.session(clients[0]).unwrap();
+        let waker = Waker::from(Arc::new(NoopWake));
+        let mut cx = Context::from_waker(&waker);
+        // First poll submits; drop before completion is cancellation.
+        // (If the drainer wins the race and the poll is already Ready,
+        // the drop is an ordinary one — both paths must leave the table
+        // empty.)
+        let mut future = session.call(incr, 1u64.to_le_bytes());
+        let _ = Pin::new(&mut future).poll(&mut cx);
+        drop(future);
+        // The orphaned completion (if any) is discarded by the reactor;
+        // nothing stays registered and the session keeps working.
+        let ret = block_on(session.call(incr, 9u64.to_le_bytes())).unwrap();
+        assert_eq!(ret, 10u64.to_le_bytes().to_vec());
+        assert_eq!(session.in_flight(), 0);
+        plane.shutdown();
+    }
+
+    #[test]
+    fn calls_after_shutdown_resolve_detached() {
+        let (k, _m, clients, incr) = kernel_with_clients(1);
+        let kernel = Arc::new(k);
+        let plane = AsyncPlane::start(kernel, PlaneConfig::default()).unwrap();
+        let session = plane.session(clients[0]).unwrap();
+        assert!(block_on(session.call(incr, 1u64.to_le_bytes())).is_ok());
+        plane.shutdown();
+        assert_eq!(
+            block_on(session.call(incr, 2u64.to_le_bytes())),
+            Err(DispatchError::Detached)
+        );
+    }
+}

@@ -1,0 +1,199 @@
+//! Completion routing: `user_data` → waker tables, fed by the
+//! [`RingSet`] completion bitmap.
+//!
+//! Each attached session (= one ring-set slot) owns a [`SlotTable`]: a
+//! map from in-flight `user_data` cookies to the pending call's state
+//! (parked waker, then the routed response), plus a list of wakers
+//! parked on submission backpressure. A router pass
+//! ([`route_completions`]) claims the completion bitmap with one
+//! `swap(0)` per word, pops each flagged session's completion ring, and
+//! routes every response to its waker — the "waker storm": one sweep's
+//! worth of completions wakes every logical client it answered, however
+//! many OS threads those clients are multiplexed over.
+//!
+//! Cancellation falls out of the table shape: a [`crate::CallFuture`]
+//! that is dropped mid-await removes its own entry, so its completion
+//! arrives, finds no entry, and is discarded — no waker leak, no slot
+//! leak, nothing for anyone to clean up later.
+
+use parking_lot::Mutex;
+use secmod_ring::{RingSet, SmodCallResp};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::task::Waker;
+
+/// One in-flight call's routing state.
+#[derive(Debug, Default)]
+pub(crate) struct Pending {
+    /// Where to deliver the wake (refreshed on every poll).
+    pub waker: Option<Waker>,
+    /// The routed response, once the router has seen it.
+    pub resp: Option<SmodCallResp>,
+}
+
+/// Per-session routing table (keyed by `user_data`) plus
+/// backpressure-waiter parking.
+#[derive(Debug, Default)]
+pub struct SlotTable {
+    pub(crate) pending: Mutex<HashMap<u64, Pending>>,
+    /// Wakers of callers whose submit bounced with `Full`, woken after
+    /// the next routed completion (completions imply the drainer popped
+    /// submissions, i.e. submission-ring space reappeared).
+    pub(crate) submit_waiters: Mutex<Vec<Waker>>,
+    /// Flipped at shutdown: pending polls stop waiting and resolve to
+    /// `Detached`.
+    pub(crate) detached: AtomicBool,
+}
+
+impl SlotTable {
+    /// How many calls are currently in flight on this session.
+    pub fn in_flight(&self) -> usize {
+        self.pending.lock().len()
+    }
+
+    /// Mark the table detached and wake everything still parked on it.
+    pub(crate) fn detach(&self) {
+        self.detached.store(true, Ordering::Release);
+        let wakers: Vec<Waker> = {
+            let mut pending = self.pending.lock();
+            pending
+                .values_mut()
+                .filter_map(|p| p.waker.take())
+                .collect()
+        };
+        for waker in wakers {
+            waker.wake();
+        }
+        for waker in self.submit_waiters.lock().drain(..) {
+            waker.wake();
+        }
+    }
+}
+
+/// The router's shared view: slot index → table.
+pub(crate) type TableMap = Mutex<HashMap<usize, Arc<SlotTable>>>;
+
+/// One router pass: claim the completion bitmap, pop every flagged
+/// session's completions, deliver each to its waker (or discard it if
+/// the awaiting future was cancelled), then release that session's
+/// backpressure waiters. Returns how many completions were routed.
+pub(crate) fn route_completions(set: &RingSet, tables: &TableMap) -> usize {
+    let mut routed = 0;
+    set.sweep_completed(|slot, rings| {
+        let table = tables.lock().get(&slot.0).cloned();
+        let Some(table) = table else {
+            // A session that was attached outside the async frontend (or
+            // already fully torn down): leave its completions for
+            // whoever owns the rings, and don't re-mark on its behalf.
+            return false;
+        };
+        let mut wakers: Vec<Waker> = Vec::new();
+        {
+            let mut pending = table.pending.lock();
+            while let Some(resp) = rings.cq.pop() {
+                routed += 1;
+                if let Some(entry) = pending.get_mut(&resp.user_data) {
+                    entry.resp = Some(resp);
+                    if let Some(waker) = entry.waker.take() {
+                        wakers.push(waker);
+                    }
+                }
+                // else: cancelled mid-await — the response is discarded.
+            }
+        }
+        // Wake outside the pending lock: a woken future's poll re-locks
+        // the table immediately.
+        for waker in wakers {
+            waker.wake();
+        }
+        let waiters: Vec<Waker> = table.submit_waiters.lock().drain(..).collect();
+        for waker in waiters {
+            waker.wake();
+        }
+        false
+    });
+    routed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use secmod_ring::RingPairConfig;
+    use std::sync::atomic::AtomicUsize;
+    use std::task::Wake;
+
+    struct CountWake(AtomicUsize);
+    impl Wake for CountWake {
+        fn wake(self: Arc<Self>) {
+            self.0.fetch_add(1, Ordering::AcqRel);
+        }
+    }
+
+    fn resp(user_data: u64) -> SmodCallResp {
+        SmodCallResp {
+            user_data,
+            ret: Vec::new(),
+            errno: 0,
+            cost_ns: 0,
+        }
+    }
+
+    #[test]
+    fn routes_to_the_right_entry_and_discards_cancelled() {
+        let set = RingSet::with_capacity(1);
+        let slot = set.register(1, 1, RingPairConfig::default()).unwrap();
+        let rings = set.get(slot).unwrap();
+        let table = Arc::new(SlotTable::default());
+        let tables: TableMap = Mutex::new([(slot.0, Arc::clone(&table))].into_iter().collect());
+
+        let counter = Arc::new(CountWake(AtomicUsize::new(0)));
+        table.pending.lock().insert(
+            7,
+            Pending {
+                waker: Some(Waker::from(Arc::clone(&counter))),
+                resp: None,
+            },
+        );
+        // user_data 9 has no entry: a cancelled call.
+        rings.cq.push(resp(7)).unwrap();
+        rings.cq.push(resp(9)).unwrap();
+        set.mark_completed(slot);
+
+        let routed = route_completions(&set, &tables);
+        assert_eq!(routed, 2);
+        assert_eq!(counter.0.load(Ordering::Acquire), 1);
+        let pending = table.pending.lock();
+        assert!(pending.get(&7).unwrap().resp.is_some());
+        assert!(
+            !pending.contains_key(&9),
+            "cancelled cookie must not reappear"
+        );
+        drop(pending);
+        // The submission path consumed nothing here, but the rings must
+        // be fully reaped.
+        assert!(rings.cq.pop().is_none());
+    }
+
+    #[test]
+    fn detach_wakes_everything() {
+        let table = SlotTable::default();
+        let pending_wake = Arc::new(CountWake(AtomicUsize::new(0)));
+        let waiter_wake = Arc::new(CountWake(AtomicUsize::new(0)));
+        table.pending.lock().insert(
+            1,
+            Pending {
+                waker: Some(Waker::from(Arc::clone(&pending_wake))),
+                resp: None,
+            },
+        );
+        table
+            .submit_waiters
+            .lock()
+            .push(Waker::from(Arc::clone(&waiter_wake)));
+        table.detach();
+        assert_eq!(pending_wake.0.load(Ordering::Acquire), 1);
+        assert_eq!(waiter_wake.0.load(Ordering::Acquire), 1);
+        assert!(table.detached.load(Ordering::Acquire));
+    }
+}

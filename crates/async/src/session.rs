@@ -1,0 +1,263 @@
+//! [`AsyncSession`] and [`CallFuture`]: `session.call(proc_id,
+//! args).await` as a plain `std::future::Future`.
+//!
+//! A session object is cheap to clone and share — *that* is the
+//! multiplexing point: any number of logical clients (tasks) can issue
+//! calls on one attached session concurrently, each distinguished by a
+//! per-session `user_data` cookie allocated at submission. The future
+//! drives the whole life cycle from its `poll`:
+//!
+//! 1. **Unsubmitted** — allocate the cookie, park the waker in the
+//!    session's [`SlotTable`], push into the submission ring. A `Full`
+//!    bounce parks the task on the table's backpressure list instead of
+//!    spinning (the paper's fixed-cost argument in async clothing: a
+//!    stalled producer must cost a suspended task, not a burning core).
+//! 2. **Submitted** — wait for the router to deliver the response into
+//!    the table entry and wake us.
+//! 3. **Done** — the entry is removed; the outcome is the same
+//!    [`DispatchOutcome`] every other dispatch flavor produces.
+//!
+//! Dropping the future at any point removes its table entry: an
+//! already-submitted request still executes (the kernel has it), but its
+//! completion is discarded by the router — cancellation without leaks.
+
+use crate::route::{SlotTable, TableMap};
+use secmod_kernel::dispatch::{DispatchError, DispatchOutcome};
+use secmod_kernel::plane::PlaneHandle;
+use secmod_kernel::proc::Pid;
+use secmod_ring::{RingSet, RingSlotId, SessionRings, SmodCallReq, SubmitError};
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::task::{Context, Poll};
+
+/// Where a session's submissions go: through a live plane (drainer
+/// threads do the sweeping) or straight into a raw ring set (the sim
+/// driver pumps sweeps itself).
+pub(crate) enum Target {
+    /// Attached to a [`secmod_kernel::plane::DispatchPlane`].
+    Plane(PlaneHandle),
+    /// Registered directly in a ring set the driver owns.
+    Raw {
+        set: Arc<RingSet>,
+        slot: RingSlotId,
+        rings: Arc<SessionRings>,
+    },
+}
+
+impl Target {
+    fn submit(&self, proc_id: u32, user_data: u64, args: Vec<u8>) -> Result<(), SubmitError> {
+        match self {
+            Target::Plane(handle) => handle.submit(proc_id, user_data, args),
+            Target::Raw { set, slot, rings } => set.submit(
+                *slot,
+                SmodCallReq {
+                    session: rings.session,
+                    proc_id,
+                    user_data,
+                    args,
+                },
+            ),
+        }
+    }
+
+    fn alloc_user_data(&self) -> u64 {
+        match self {
+            Target::Plane(handle) => handle.alloc_user_data(),
+            Target::Raw { rings, .. } => rings.alloc_user_data(),
+        }
+    }
+
+    pub(crate) fn slot(&self) -> RingSlotId {
+        match self {
+            Target::Plane(handle) => handle.slot(),
+            Target::Raw { slot, .. } => *slot,
+        }
+    }
+
+    fn owner(&self) -> u32 {
+        match self {
+            Target::Plane(handle) => handle.owner(),
+            Target::Raw { rings, .. } => rings.owner,
+        }
+    }
+}
+
+/// Shared guts of an attached async session. Lives as long as the last
+/// session clone *or in-flight future* referencing it.
+pub(crate) struct SessionCore {
+    pub(crate) target: Target,
+    pub(crate) table: Arc<SlotTable>,
+    /// The owning frontend's slot→table registry, so teardown is
+    /// self-service: dropping the last reference unhooks the table.
+    pub(crate) tables: Arc<TableMap>,
+}
+
+impl Drop for SessionCore {
+    fn drop(&mut self) {
+        self.tables.lock().remove(&self.target.slot().0);
+        if let Target::Raw { set, slot, .. } = &self.target {
+            set.deregister(*slot);
+        }
+        // Plane targets deregister via PlaneHandle's own Drop.
+    }
+}
+
+/// A client's asynchronous attachment: clone it into as many logical
+/// clients as you like; every clone submits into the same session ring
+/// pair and completions route back by cookie.
+#[derive(Clone)]
+pub struct AsyncSession {
+    pub(crate) core: Arc<SessionCore>,
+}
+
+impl std::fmt::Debug for AsyncSession {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AsyncSession")
+            .field("slot", &self.core.target.slot())
+            .field("in_flight", &self.core.table.in_flight())
+            .finish()
+    }
+}
+
+impl AsyncSession {
+    /// Issue one call; `.await` the returned future for its outcome.
+    pub fn call(&self, proc_id: u32, args: impl Into<Vec<u8>>) -> CallFuture {
+        CallFuture {
+            core: Arc::clone(&self.core),
+            state: CallState::Unsubmitted {
+                proc_id,
+                args: args.into(),
+                user_data: None,
+            },
+        }
+    }
+
+    /// The client pid this session dispatches as.
+    pub fn client(&self) -> Pid {
+        Pid(self.core.target.owner())
+    }
+
+    /// Calls currently awaiting completion on this session.
+    pub fn in_flight(&self) -> usize {
+        self.core.table.in_flight()
+    }
+}
+
+enum CallState {
+    Unsubmitted {
+        proc_id: u32,
+        args: Vec<u8>,
+        /// Set once the cookie (and its table entry) exists — i.e. after
+        /// the first poll, even if the submit itself keeps bouncing.
+        user_data: Option<u64>,
+    },
+    Submitted {
+        user_data: u64,
+    },
+    Done,
+}
+
+/// One in-flight `call`; resolves to the unified [`DispatchOutcome`].
+///
+/// Cancellation-safe: dropping it mid-await unregisters the cookie, and
+/// the router discards the orphaned completion when it arrives.
+pub struct CallFuture {
+    core: Arc<SessionCore>,
+    state: CallState,
+}
+
+impl Future for CallFuture {
+    type Output = DispatchOutcome;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<DispatchOutcome> {
+        // No self-references: plain field access is fine.
+        let this = self.get_mut();
+        loop {
+            match &mut this.state {
+                CallState::Unsubmitted {
+                    proc_id,
+                    args,
+                    user_data,
+                } => {
+                    let table = &this.core.table;
+                    if table.detached.load(Ordering::Acquire) {
+                        if let Some(ud) = user_data {
+                            table.pending.lock().remove(ud);
+                        }
+                        this.state = CallState::Done;
+                        return Poll::Ready(Err(DispatchError::Detached));
+                    }
+                    let ud = *user_data.get_or_insert_with(|| this.core.target.alloc_user_data());
+                    // Park the waker *before* submitting: a completion
+                    // racing this poll finds somewhere to deliver.
+                    table.pending.lock().entry(ud).or_default().waker = Some(cx.waker().clone());
+                    match this.core.target.submit(*proc_id, ud, args.clone()) {
+                        Ok(()) => {
+                            this.state = CallState::Submitted { user_data: ud };
+                            // Fall through: the response may already be
+                            // routed by the time we re-check.
+                        }
+                        Err(SubmitError::Full(_)) => {
+                            // Backpressure: suspend until the router sees
+                            // a completion on this session (which implies
+                            // submission-ring space reappeared).
+                            table.submit_waiters.lock().push(cx.waker().clone());
+                            return Poll::Pending;
+                        }
+                        Err(SubmitError::Detached(_)) => {
+                            table.pending.lock().remove(&ud);
+                            this.state = CallState::Done;
+                            return Poll::Ready(Err(DispatchError::Detached));
+                        }
+                    }
+                }
+                CallState::Submitted { user_data } => {
+                    let ud = *user_data;
+                    let table = &this.core.table;
+                    let mut pending = table.pending.lock();
+                    let Some(entry) = pending.get_mut(&ud) else {
+                        // Entry vanished without us removing it — only
+                        // teardown does that.
+                        drop(pending);
+                        this.state = CallState::Done;
+                        return Poll::Ready(Err(DispatchError::Detached));
+                    };
+                    if let Some(resp) = entry.resp.take() {
+                        pending.remove(&ud);
+                        drop(pending);
+                        this.state = CallState::Done;
+                        return Poll::Ready(DispatchError::from_resp(resp));
+                    }
+                    if table.detached.load(Ordering::Acquire) {
+                        // Shut down with the response never routed: the
+                        // call is lost to teardown.
+                        pending.remove(&ud);
+                        drop(pending);
+                        this.state = CallState::Done;
+                        return Poll::Ready(Err(DispatchError::Detached));
+                    }
+                    entry.waker = Some(cx.waker().clone());
+                    return Poll::Pending;
+                }
+                CallState::Done => panic!("CallFuture polled after completion"),
+            }
+        }
+    }
+}
+
+impl Drop for CallFuture {
+    fn drop(&mut self) {
+        let user_data = match &self.state {
+            CallState::Unsubmitted { user_data, .. } => *user_data,
+            CallState::Submitted { user_data } => Some(*user_data),
+            CallState::Done => None,
+        };
+        if let Some(ud) = user_data {
+            // Cancelled mid-await: unregister the cookie so the router
+            // discards the completion instead of leaking the entry.
+            self.core.table.pending.lock().remove(&ud);
+        }
+    }
+}

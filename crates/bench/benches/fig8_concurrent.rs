@@ -20,11 +20,11 @@ use std::time::Instant;
 const BATCH: u64 = 256;
 
 fn config(threads: usize, cache: CacheConfig) -> ScenarioConfig {
-    ScenarioConfig {
-        threads,
-        cache,
-        ..ScenarioConfig::full(ScenarioKind::KernelDispatch, 42)
-    }
+    ScenarioConfig::builder(ScenarioKind::KernelDispatch)
+        .seed(42)
+        .threads(threads)
+        .cache(cache)
+        .build()
 }
 
 /// Drive one batch: every worker thread issues `BATCH` allowed calls on

@@ -10,11 +10,11 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 use secmod_gate::{build_universe, run_scenario, AccessRequest, ScenarioConfig, ScenarioKind};
 
 fn bench_config(kind: ScenarioKind) -> ScenarioConfig {
-    ScenarioConfig {
-        threads: 2,
-        ops_per_thread: 2_000,
-        ..ScenarioConfig::full(kind, 42)
-    }
+    ScenarioConfig::builder(kind)
+        .seed(42)
+        .threads(2)
+        .ops_per_thread(2_000)
+        .build()
 }
 
 fn gate_throughput(c: &mut Criterion) {

@@ -20,10 +20,12 @@ use std::time::Instant;
 const BATCH_SIZES: [usize; 4] = [1, 8, 32, 128];
 
 fn dispatch_kernel() -> DispatchKernel {
-    build_dispatch_kernel(&ScenarioConfig {
-        threads: 1,
-        ..ScenarioConfig::full(ScenarioKind::KernelDispatch, 42)
-    })
+    build_dispatch_kernel(
+        &ScenarioConfig::builder(ScenarioKind::KernelDispatch)
+            .seed(42)
+            .threads(1)
+            .build(),
+    )
 }
 
 fn single_call(dispatch: &DispatchKernel, func_id: u32, i: u64) {

@@ -30,10 +30,10 @@ const BATCH: usize = 32;
 const TOTAL: usize = SESSIONS * BATCH;
 
 fn dispatch_kernel() -> DispatchKernel {
-    let cfg = ScenarioConfig {
-        threads: 1,
-        ..ScenarioConfig::full(ScenarioKind::SessionPool, 42)
-    };
+    let cfg = ScenarioConfig::builder(ScenarioKind::SessionPool)
+        .seed(42)
+        .threads(1)
+        .build();
     build_dispatch_kernel_with_clients(&cfg, SESSIONS)
 }
 

@@ -20,6 +20,10 @@
 
 use crate::secure_module::SecureModule;
 use crate::{Result, SmodError};
+use secmod_async::SimDriver;
+use secmod_kernel::dispatch::{
+    DispatchCall, DispatchCaps, DispatchError, DispatchOutcome, Dispatcher,
+};
 use secmod_kernel::smod::{SessionId, SmodCallArgs};
 use secmod_kernel::{CostModel, Credential, Kernel, Pid};
 use secmod_module::ModuleId;
@@ -344,6 +348,63 @@ impl SimWorld {
         self.client_modules.remove(&client);
         Ok(())
     }
+
+    /// Resolve a connected client's `symbol` to the func id the
+    /// [`Dispatcher`] vocabulary and the async frontend speak.
+    pub fn func_id(&self, client: Pid, symbol: &str) -> Result<u32> {
+        let m_id = *self
+            .client_modules
+            .get(&client)
+            .ok_or(SmodError::NoSession)?;
+        self.stubs
+            .get(&m_id)
+            .and_then(|m| m.get(symbol))
+            .copied()
+            .ok_or_else(|| SmodError::UnknownFunction(symbol.to_string()))
+    }
+
+    /// An async driver over this world's kernel, on the simulated clock:
+    /// attach connected clients with [`SimDriver::attach`] and drive
+    /// `session.call(proc_id, args).await` futures deterministically with
+    /// [`SimDriver::run`]. `slots` bounds concurrently attached sessions;
+    /// `session_budget` is the per-session drain budget of each simulated
+    /// sweep.
+    pub fn async_driver(&self, slots: usize, session_budget: usize) -> Result<SimDriver<'_>> {
+        Ok(SimDriver::new(
+            &self.kernel,
+            slots,
+            RingPairConfig::default(),
+            session_budget,
+        )?)
+    }
+}
+
+impl Dispatcher for SimWorld {
+    /// One simulated trap per call, same as [`SimWorld::call`] but in the
+    /// unified vocabulary (func ids instead of symbols — resolve with
+    /// [`SimWorld::func_id`]).
+    fn dispatch_one(&self, client: Pid, proc_id: u32, args: &[u8]) -> DispatchOutcome {
+        self.kernel.dispatch_one(client, proc_id, args)
+    }
+
+    /// One simulated trap per batch, via the kernel's throwaway-ring
+    /// batch path.
+    fn dispatch_batch(
+        &self,
+        client: Pid,
+        calls: &[DispatchCall],
+    ) -> std::result::Result<Vec<DispatchOutcome>, DispatchError> {
+        self.kernel.dispatch_batch(client, calls)
+    }
+
+    fn capabilities(&self) -> DispatchCaps {
+        DispatchCaps {
+            flavor: "sim",
+            batched: true,
+            trap_free: false,
+            asynchronous: false,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -388,6 +449,55 @@ mod tests {
         assert!(world.module_id("libdemo").is_some());
         let reply = world.call(client, "incr", &41u64.to_le_bytes()).unwrap();
         assert_eq!(u64::from_le_bytes(reply.try_into().unwrap()), 42);
+    }
+
+    #[test]
+    fn async_driver_agrees_with_sequential_calls() {
+        let (world, client) = connected_world();
+        let incr = world.func_id(client, "incr").unwrap();
+        let driver = world.async_driver(4, 8).unwrap();
+        let session = driver.attach(client).unwrap();
+        let futures: Vec<_> = (0..10u64)
+            .map(|i| {
+                let session = session.clone();
+                async move { session.call(incr, i.to_le_bytes()).await }
+            })
+            .collect();
+        let outcomes = driver.run(futures);
+        for (i, outcome) in outcomes.into_iter().enumerate() {
+            let expected = world
+                .call(client, "incr", &(i as u64).to_le_bytes())
+                .unwrap();
+            assert_eq!(outcome.unwrap(), expected);
+        }
+    }
+
+    #[test]
+    fn sim_world_speaks_the_dispatcher_vocabulary() {
+        let (world, client) = connected_world();
+        let incr = world.func_id(client, "incr").unwrap();
+        assert_eq!(world.capabilities().flavor, "sim");
+        assert_eq!(
+            world
+                .dispatch_one(client, incr, &41u64.to_le_bytes())
+                .unwrap(),
+            42u64.to_le_bytes().to_vec()
+        );
+        let calls: Vec<DispatchCall> = (0..4u64)
+            .map(|i| DispatchCall::new(incr, i.to_le_bytes().to_vec()))
+            .collect();
+        for (i, outcome) in world
+            .dispatch_batch(client, &calls)
+            .unwrap()
+            .into_iter()
+            .enumerate()
+        {
+            assert_eq!(outcome.unwrap(), (i as u64 + 1).to_le_bytes().to_vec());
+        }
+        assert!(matches!(
+            world.func_id(client, "nonexistent"),
+            Err(SmodError::UnknownFunction(_))
+        ));
     }
 
     #[test]

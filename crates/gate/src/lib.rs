@@ -42,7 +42,7 @@
 //! ```
 //! use secmod_gate::{run_scenario, ScenarioConfig, ScenarioKind};
 //!
-//! let report = run_scenario(&ScenarioConfig::quick(ScenarioKind::ZipfianHotKey, 42));
+//! let report = run_scenario(&ScenarioConfig::builder(ScenarioKind::ZipfianHotKey).quick().seed(42).build());
 //! assert_eq!(report.allows + report.denies, report.total_ops);
 //! assert!(report.hit_rate() > 0.5);
 //! ```

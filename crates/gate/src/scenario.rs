@@ -2,7 +2,7 @@
 //! generators that drive a [`Gateway`] from many threads, in the spirit of
 //! actor-based access-control evaluation frameworks.
 //!
-//! Four traffic shapes are modelled:
+//! Nine traffic shapes are modelled:
 //!
 //! * **uniform** — every tenant equally likely, modules and operations
 //!   drawn uniformly: the keyspace is about the size of the cache, so the
@@ -38,6 +38,11 @@
 //!   and readiness bits); the plane's dedicated drainer threads sweep
 //!   all ready sessions per `sys_smod_sweep`, resolving each session
 //!   once per sweep.
+//! * **async** — the futures frontend: `logical_clients` tasks (far more
+//!   than `threads` executor workers) each `await` their calls on an
+//!   [`secmod_async::AsyncPlane`]; a reactor thread routes completions
+//!   back to parked wakers, so suspension replaces blocking and a
+//!   handful of OS threads multiplex the whole client population.
 //!
 //! All randomness comes from per-thread `SmallRng` streams seeded from
 //! `ScenarioConfig::seed`, so the request sequence — and therefore the
@@ -61,7 +66,7 @@ use secmod_ring::{
 };
 use std::time::{Duration, Instant};
 
-/// The eight traffic shapes the engine can generate.
+/// The nine traffic shapes the engine can generate.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum ScenarioKind {
     /// Uniform tenant/module/operation draws.
@@ -84,11 +89,15 @@ pub enum ScenarioKind {
     /// never trap; dedicated drainer threads sweep all ready sessions
     /// per `sys_smod_sweep` (producers ≫ drainers).
     PlaneDispatch,
+    /// Async frontend: `logical_clients` tasks (≫ threads) awaiting
+    /// `session.call(..).await` futures, multiplexed over `threads`
+    /// executor workers plus the plane's drainers and reactor.
+    AsyncDispatch,
 }
 
 impl ScenarioKind {
     /// Every scenario, in report order.
-    pub const ALL: [ScenarioKind; 8] = [
+    pub const ALL: [ScenarioKind; 9] = [
         ScenarioKind::Uniform,
         ScenarioKind::ZipfianHotKey,
         ScenarioKind::AdversarialThrash,
@@ -97,6 +106,7 @@ impl ScenarioKind {
         ScenarioKind::SessionPool,
         ScenarioKind::RingDispatch,
         ScenarioKind::PlaneDispatch,
+        ScenarioKind::AsyncDispatch,
     ];
 
     /// Short name used in reports and CLI arguments.
@@ -110,6 +120,7 @@ impl ScenarioKind {
             ScenarioKind::SessionPool => "pool",
             ScenarioKind::RingDispatch => "ring",
             ScenarioKind::PlaneDispatch => "plane",
+            ScenarioKind::AsyncDispatch => "async",
         }
     }
 }
@@ -138,33 +149,47 @@ pub struct ScenarioConfig {
     /// (a cycle *count*, not pacing — the actor is not synchronised with
     /// worker progress).
     pub churn_interval: u64,
-    /// Dedicated drainer threads for [`ScenarioKind::PlaneDispatch`]
-    /// (0 = auto: `max(1, threads / 4)`, keeping producers ≫ drainers).
+    /// Dedicated drainer threads for [`ScenarioKind::PlaneDispatch`] /
+    /// [`ScenarioKind::AsyncDispatch`] (0 = auto: `max(1, threads / 4)`,
+    /// keeping producers ≫ drainers).
     pub drainers: usize,
+    /// Logical clients (awaiting tasks) for
+    /// [`ScenarioKind::AsyncDispatch`] (0 = auto: `threads × 32`). The
+    /// point of the scenario is `logical_clients ≫ threads`.
+    pub logical_clients: usize,
     /// Decision cache sizing.
     pub cache: CacheConfig,
 }
 
 impl ScenarioConfig {
-    /// The default full-size shape for `kind` (64 tenants, 8×8 key space,
-    /// 4 threads, 50k ops/thread).
-    pub fn full(kind: ScenarioKind, seed: u64) -> ScenarioConfig {
-        ScenarioConfig {
-            kind,
-            tenants: 64,
-            modules: 8,
-            operations: 8,
-            threads: 4,
-            ops_per_thread: 50_000,
-            seed,
-            zipf_exponent: 1.1,
-            churn_interval: 1024,
-            drainers: 0,
-            cache: CacheConfig::default(),
+    /// Start building a config for `kind`, from the full-size defaults
+    /// (64 tenants, 8×8 key space, 4 threads, 50k ops/thread).
+    pub fn builder(kind: ScenarioKind) -> ScenarioConfigBuilder {
+        ScenarioConfigBuilder {
+            cfg: ScenarioConfig {
+                kind,
+                tenants: 64,
+                modules: 8,
+                operations: 8,
+                threads: 4,
+                ops_per_thread: 50_000,
+                seed: 0,
+                zipf_exponent: 1.1,
+                churn_interval: 1024,
+                drainers: 0,
+                logical_clients: 0,
+                cache: CacheConfig::default(),
+            },
         }
     }
 
-    /// The drainer-thread count the plane scenario will use.
+    /// The default full-size shape for `kind`.
+    #[deprecated(note = "use ScenarioConfig::builder(kind).seed(seed).build()")]
+    pub fn full(kind: ScenarioKind, seed: u64) -> ScenarioConfig {
+        ScenarioConfig::builder(kind).seed(seed).build()
+    }
+
+    /// The drainer-thread count the plane and async scenarios will use.
     pub fn effective_drainers(&self) -> usize {
         if self.drainers > 0 {
             self.drainers
@@ -173,25 +198,122 @@ impl ScenarioConfig {
         }
     }
 
-    /// A small shape for tests and CI smoke runs.
-    pub fn quick(kind: ScenarioKind, seed: u64) -> ScenarioConfig {
-        ScenarioConfig {
-            tenants: 16,
-            modules: 4,
-            operations: 4,
-            threads: 2,
-            ops_per_thread: 2_000,
-            churn_interval: 256,
-            cache: CacheConfig {
-                shards: 8,
-                capacity: 512,
-            },
-            ..ScenarioConfig::full(kind, seed)
+    /// The logical-client count the async scenario will use.
+    pub fn effective_logical_clients(&self) -> usize {
+        if self.logical_clients > 0 {
+            self.logical_clients
+        } else {
+            self.threads.max(1) * 32
         }
     }
 
-    fn total_ops(&self) -> u64 {
+    /// A small shape for tests and CI smoke runs.
+    #[deprecated(note = "use ScenarioConfig::builder(kind).quick().seed(seed).build()")]
+    pub fn quick(kind: ScenarioKind, seed: u64) -> ScenarioConfig {
+        ScenarioConfig::builder(kind).quick().seed(seed).build()
+    }
+
+    /// Total operations the run issues (`threads * ops_per_thread`);
+    /// the async kind splits this total across its logical clients.
+    pub fn total_ops(&self) -> u64 {
         self.threads as u64 * self.ops_per_thread
+    }
+}
+
+/// Builder for [`ScenarioConfig`] — `ScenarioConfig::builder(kind)`
+/// starts from the full-size shape; [`ScenarioConfigBuilder::quick`]
+/// switches to the CI smoke shape; individual setters override fields.
+#[derive(Clone, Debug)]
+pub struct ScenarioConfigBuilder {
+    cfg: ScenarioConfig,
+}
+
+impl ScenarioConfigBuilder {
+    /// Apply the small test/CI shape (16 tenants, 4×4 key space, 2
+    /// threads, 2k ops/thread, an 8×512 cache).
+    pub fn quick(mut self) -> Self {
+        self.cfg.tenants = 16;
+        self.cfg.modules = 4;
+        self.cfg.operations = 4;
+        self.cfg.threads = 2;
+        self.cfg.ops_per_thread = 2_000;
+        self.cfg.churn_interval = 256;
+        self.cfg.cache = CacheConfig {
+            shards: 8,
+            capacity: 512,
+        };
+        self
+    }
+
+    /// Master seed; every worker derives its own stream from it.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.cfg.seed = seed;
+        self
+    }
+
+    /// Number of simulated tenant principals.
+    pub fn tenants(mut self, tenants: usize) -> Self {
+        self.cfg.tenants = tenants;
+        self
+    }
+
+    /// Number of protected modules.
+    pub fn modules(mut self, modules: usize) -> Self {
+        self.cfg.modules = modules;
+        self
+    }
+
+    /// Operations (exported functions) per module.
+    pub fn operations(mut self, operations: usize) -> Self {
+        self.cfg.operations = operations;
+        self
+    }
+
+    /// Worker threads driving the gateway.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.cfg.threads = threads;
+        self
+    }
+
+    /// Requests issued per worker thread.
+    pub fn ops_per_thread(mut self, ops: u64) -> Self {
+        self.cfg.ops_per_thread = ops;
+        self
+    }
+
+    /// Zipf exponent for the hot-key scenario.
+    pub fn zipf_exponent(mut self, exponent: f64) -> Self {
+        self.cfg.zipf_exponent = exponent;
+        self
+    }
+
+    /// The churn actor's detach-cycle interval.
+    pub fn churn_interval(mut self, interval: u64) -> Self {
+        self.cfg.churn_interval = interval;
+        self
+    }
+
+    /// Dedicated drainer threads (0 = auto).
+    pub fn drainers(mut self, drainers: usize) -> Self {
+        self.cfg.drainers = drainers;
+        self
+    }
+
+    /// Logical clients for the async scenario (0 = auto: threads × 32).
+    pub fn logical_clients(mut self, clients: usize) -> Self {
+        self.cfg.logical_clients = clients;
+        self
+    }
+
+    /// Decision cache sizing.
+    pub fn cache(mut self, cache: CacheConfig) -> Self {
+        self.cfg.cache = cache;
+        self
+    }
+
+    /// Finish building.
+    pub fn build(self) -> ScenarioConfig {
+        self.cfg
     }
 }
 
@@ -323,7 +445,8 @@ fn run_worker(
             | ScenarioKind::KernelDispatch
             | ScenarioKind::SessionPool
             | ScenarioKind::RingDispatch
-            | ScenarioKind::PlaneDispatch => {
+            | ScenarioKind::PlaneDispatch
+            | ScenarioKind::AsyncDispatch => {
                 let tenant = rng.gen_range(0..universe.tenants.len() as u64) as usize;
                 (
                     tenant,
@@ -821,11 +944,10 @@ fn run_plane_scenario(cfg: &ScenarioConfig) -> ScenarioReport {
     let kernel = std::sync::Arc::new(kernel);
     let plane = DispatchPlane::start(
         std::sync::Arc::clone(&kernel),
-        PlaneConfig {
-            drainers: cfg.effective_drainers(),
-            slots: cfg.threads.max(1),
-            ..PlaneConfig::default()
-        },
+        PlaneConfig::builder()
+            .drainers(cfg.effective_drainers())
+            .slots(cfg.threads.max(1))
+            .build(),
     )
     .expect("start dispatch plane");
     let (tx, rx) = channel::bounded::<WorkerStats>(cfg.threads);
@@ -856,7 +978,13 @@ fn run_plane_scenario(cfg: &ScenarioConfig) -> ScenarioReport {
                                 sent += 1;
                                 progressed = true;
                             }
-                            Err(back) => pending = Some((back.proc_id, back.user_data)),
+                            Err(back) => {
+                                // Backpressure: hold the request and retry
+                                // after reaping. (Detached cannot happen
+                                // here — the plane outlives the scope.)
+                                let back = back.into_req();
+                                pending = Some((back.proc_id, back.user_data));
+                            }
                         }
                     }
                     while let Some(resp) = handle.reap() {
@@ -896,6 +1024,96 @@ fn run_plane_scenario(cfg: &ScenarioConfig) -> ScenarioReport {
         .gateway
         .cache_stats();
     let total_ops = cfg.total_ops();
+    ScenarioReport {
+        kind: cfg.kind,
+        threads: cfg.threads,
+        total_ops,
+        elapsed,
+        ops_per_sec: total_ops as f64 / elapsed.as_secs_f64().max(1e-9),
+        allows,
+        denies,
+        epoch_bumps: kernel.smod_epoch(),
+        cache,
+    }
+}
+
+/// The [`ScenarioKind::AsyncDispatch`] runner: `logical_clients` tasks
+/// (≫ `threads`) each drive a random stream of awaited calls through a
+/// shared [`secmod_async::AsyncPlane`]; `threads` executor workers poll
+/// them, the plane's drainers sweep, and the reactor routes completions
+/// back. Same universe, same embedded-gateway checks, same deterministic
+/// allow/deny totals as every other dispatch scenario — only the
+/// concurrency model changes.
+fn run_async_scenario(cfg: &ScenarioConfig) -> ScenarioReport {
+    use secmod_async::{AsyncPlane, Executor};
+    use secmod_kernel::dispatch::DispatchError;
+    use secmod_kernel::PlaneConfig;
+
+    let DispatchKernel {
+        kernel,
+        module,
+        clients,
+        func_ids,
+    } = build_dispatch_kernel(cfg);
+    let kernel = std::sync::Arc::new(kernel);
+    let plane = AsyncPlane::start(
+        std::sync::Arc::clone(&kernel),
+        PlaneConfig::builder()
+            .drainers(cfg.effective_drainers())
+            .slots(cfg.threads.max(1))
+            .build(),
+    )
+    .expect("start async plane");
+    let exec = Executor::new(cfg.threads.max(1));
+
+    let logical = cfg.effective_logical_clients().max(1);
+    let total_ops = cfg.total_ops();
+
+    let start = Instant::now();
+    let handles: Vec<_> = (0..logical)
+        .map(|lc| {
+            // Many logical clients share each OS client's session — the
+            // whole point of the frontend.
+            let session = plane
+                .session(clients[lc % clients.len()])
+                .expect("attach async session");
+            let func_ids = func_ids.clone();
+            let seed = cfg.seed ^ mix64(lc as u64 + 1);
+            let ops =
+                total_ops / logical as u64 + u64::from((lc as u64) < total_ops % logical as u64);
+            exec.spawn(async move {
+                let mut rng = SmallRng::seed_from_u64(seed);
+                let mut stats = WorkerStats::default();
+                for i in 0..ops {
+                    let func_id = func_ids[rng.gen_range(0..func_ids.len() as u64) as usize];
+                    match session.call(func_id, i.to_le_bytes()).await {
+                        Ok(_) => stats.allows += 1,
+                        Err(DispatchError::Errno(Errno::EACCES)) => stats.denies += 1,
+                        Err(e) => panic!("unexpected async outcome: {e}"),
+                    }
+                }
+                stats
+            })
+        })
+        .collect();
+
+    let mut allows = 0;
+    let mut denies = 0;
+    for handle in handles {
+        let stats = handle.join();
+        allows += stats.allows;
+        denies += stats.denies;
+    }
+    drop(exec);
+    plane.shutdown();
+    let elapsed = start.elapsed();
+
+    let cache = kernel
+        .registry
+        .get(module)
+        .expect("module registered")
+        .gateway
+        .cache_stats();
     ScenarioReport {
         kind: cfg.kind,
         threads: cfg.threads,
@@ -970,6 +1188,7 @@ pub fn run_scenario(cfg: &ScenarioConfig) -> ScenarioReport {
         }
         ScenarioKind::RingDispatch => return run_ring_scenario(cfg),
         ScenarioKind::PlaneDispatch => return run_plane_scenario(cfg),
+        ScenarioKind::AsyncDispatch => return run_async_scenario(cfg),
         _ => {}
     }
     let (gateway, universe) = build_universe(cfg);
@@ -1085,7 +1304,7 @@ mod tests {
     #[test]
     fn every_scenario_accounts_for_every_request() {
         for kind in ScenarioKind::ALL {
-            let report = run_scenario(&ScenarioConfig::quick(kind, 7));
+            let report = run_scenario(&ScenarioConfig::builder(kind).quick().seed(7).build());
             assert_eq!(
                 report.allows + report.denies,
                 report.total_ops,
@@ -1100,8 +1319,8 @@ mod tests {
     #[test]
     fn decisions_are_deterministic_per_seed_despite_threads() {
         for kind in ScenarioKind::ALL {
-            let a = run_scenario(&ScenarioConfig::quick(kind, 42));
-            let b = run_scenario(&ScenarioConfig::quick(kind, 42));
+            let a = run_scenario(&ScenarioConfig::builder(kind).quick().seed(42).build());
+            let b = run_scenario(&ScenarioConfig::builder(kind).quick().seed(42).build());
             assert_eq!(
                 (a.allows, a.denies),
                 (b.allows, b.denies),
@@ -1111,18 +1330,38 @@ mod tests {
         }
         // And the seed genuinely shapes the traffic (checked on uniform,
         // where the allow count has enough entropy to not collide).
-        let a = run_scenario(&ScenarioConfig::quick(ScenarioKind::Uniform, 42));
-        let c = run_scenario(&ScenarioConfig::quick(ScenarioKind::Uniform, 43));
+        let a = run_scenario(
+            &ScenarioConfig::builder(ScenarioKind::Uniform)
+                .quick()
+                .seed(42)
+                .build(),
+        );
+        let c = run_scenario(
+            &ScenarioConfig::builder(ScenarioKind::Uniform)
+                .quick()
+                .seed(43)
+                .build(),
+        );
         assert_ne!((a.allows, a.denies), (c.allows, c.denies));
     }
 
     #[test]
     fn thrash_never_hits_and_zipf_mostly_hits() {
-        let thrash = run_scenario(&ScenarioConfig::quick(ScenarioKind::AdversarialThrash, 1));
+        let thrash = run_scenario(
+            &ScenarioConfig::builder(ScenarioKind::AdversarialThrash)
+                .quick()
+                .seed(1)
+                .build(),
+        );
         assert_eq!(thrash.cache.hits, 0, "thrash keys must be unique");
         assert!(thrash.cache.evictions > 0, "thrash must overflow the cache");
 
-        let zipf = run_scenario(&ScenarioConfig::quick(ScenarioKind::ZipfianHotKey, 1));
+        let zipf = run_scenario(
+            &ScenarioConfig::builder(ScenarioKind::ZipfianHotKey)
+                .quick()
+                .seed(1)
+                .build(),
+        );
         assert!(
             zipf.hit_rate() > 0.9,
             "zipf hit rate {:.3} suspiciously low",
@@ -1132,7 +1371,12 @@ mod tests {
 
     #[test]
     fn kernel_dispatch_serves_checks_from_the_embedded_cache() {
-        let report = run_scenario(&ScenarioConfig::quick(ScenarioKind::KernelDispatch, 11));
+        let report = run_scenario(
+            &ScenarioConfig::builder(ScenarioKind::KernelDispatch)
+                .quick()
+                .seed(11)
+                .build(),
+        );
         assert_eq!(report.allows + report.denies, report.total_ops);
         assert!(report.allows > 0, "allowed operations must dominate");
         assert!(report.denies > 0, "the restricted operation must be denied");
@@ -1145,13 +1389,21 @@ mod tests {
 
     #[test]
     fn kernel_dispatch_uncached_baseline_never_hits() {
-        let mut cfg = ScenarioConfig::quick(ScenarioKind::KernelDispatch, 11);
+        let mut cfg = ScenarioConfig::builder(ScenarioKind::KernelDispatch)
+            .quick()
+            .seed(11)
+            .build();
         cfg.cache = CacheConfig::disabled();
         let report = run_scenario(&cfg);
         assert_eq!(report.cache.hits, 0, "disabled cache must never hit");
         // Identical traffic, identical decisions: the cache only changes
         // the cost of computing an answer, never the answer.
-        let cached = run_scenario(&ScenarioConfig::quick(ScenarioKind::KernelDispatch, 11));
+        let cached = run_scenario(
+            &ScenarioConfig::builder(ScenarioKind::KernelDispatch)
+                .quick()
+                .seed(11)
+                .build(),
+        );
         assert_eq!(
             (report.allows, report.denies),
             (cached.allows, cached.denies)
@@ -1160,7 +1412,10 @@ mod tests {
 
     #[test]
     fn session_pool_spreads_load_over_many_sessions() {
-        let cfg = ScenarioConfig::quick(ScenarioKind::SessionPool, 11);
+        let cfg = ScenarioConfig::builder(ScenarioKind::SessionPool)
+            .quick()
+            .seed(11)
+            .build();
         let dispatch = build_dispatch_kernel_with_clients(&cfg, cfg.tenants.max(cfg.threads));
         assert_eq!(
             dispatch.clients.len(),
@@ -1172,7 +1427,12 @@ mod tests {
         // Same seed, same operation streams: the pool answers exactly what
         // the pinned-session scenario answers — shard pressure must not
         // change a single decision.
-        let pinned = run_scenario(&ScenarioConfig::quick(ScenarioKind::KernelDispatch, 11));
+        let pinned = run_scenario(
+            &ScenarioConfig::builder(ScenarioKind::KernelDispatch)
+                .quick()
+                .seed(11)
+                .build(),
+        );
         assert_eq!(
             (report.allows, report.denies),
             (pinned.allows, pinned.denies)
@@ -1181,13 +1441,23 @@ mod tests {
 
     #[test]
     fn ring_dispatch_matches_single_call_decisions() {
-        let ring = run_scenario(&ScenarioConfig::quick(ScenarioKind::RingDispatch, 11));
+        let ring = run_scenario(
+            &ScenarioConfig::builder(ScenarioKind::RingDispatch)
+                .quick()
+                .seed(11)
+                .build(),
+        );
         assert_eq!(ring.allows + ring.denies, ring.total_ops);
         assert!(ring.denies > 0, "restricted slice must be denied");
         // The batch path consults the same embedded gateway: the
         // allow/deny split is identical to the single-call scenario and
         // the cache serves the steady state.
-        let single = run_scenario(&ScenarioConfig::quick(ScenarioKind::KernelDispatch, 11));
+        let single = run_scenario(
+            &ScenarioConfig::builder(ScenarioKind::KernelDispatch)
+                .quick()
+                .seed(11)
+                .build(),
+        );
         assert_eq!((ring.allows, ring.denies), (single.allows, single.denies));
         assert!(
             ring.hit_rate() > 0.9,
@@ -1198,13 +1468,23 @@ mod tests {
 
     #[test]
     fn plane_dispatch_matches_single_call_decisions() {
-        let plane = run_scenario(&ScenarioConfig::quick(ScenarioKind::PlaneDispatch, 11));
+        let plane = run_scenario(
+            &ScenarioConfig::builder(ScenarioKind::PlaneDispatch)
+                .quick()
+                .seed(11)
+                .build(),
+        );
         assert_eq!(plane.allows + plane.denies, plane.total_ops);
         assert!(plane.denies > 0, "restricted slice must be denied");
         // Producers never trap, drainers resolve each session once per
         // sweep — and none of that may change a single decision: the
         // allow/deny split is identical to the single-call scenario.
-        let single = run_scenario(&ScenarioConfig::quick(ScenarioKind::KernelDispatch, 11));
+        let single = run_scenario(
+            &ScenarioConfig::builder(ScenarioKind::KernelDispatch)
+                .quick()
+                .seed(11)
+                .build(),
+        );
         assert_eq!((plane.allows, plane.denies), (single.allows, single.denies));
         assert!(
             plane.hit_rate() > 0.9,
@@ -1218,7 +1498,10 @@ mod tests {
         // producers >> drainers by default; an explicit drainer count is
         // respected (observable through determinism of the outcome, and
         // through the auto rule).
-        let cfg = ScenarioConfig::quick(ScenarioKind::PlaneDispatch, 3);
+        let cfg = ScenarioConfig::builder(ScenarioKind::PlaneDispatch)
+            .quick()
+            .seed(3)
+            .build();
         assert_eq!(cfg.effective_drainers(), 1, "auto: max(1, threads/4)");
         let auto = run_scenario(&cfg);
         let two = run_scenario(&ScenarioConfig { drainers: 2, ..cfg });
@@ -1232,8 +1515,18 @@ mod tests {
 
     #[test]
     fn churn_bumps_epochs_but_never_changes_decisions() {
-        let uniform = run_scenario(&ScenarioConfig::quick(ScenarioKind::Uniform, 5));
-        let churn = run_scenario(&ScenarioConfig::quick(ScenarioKind::Churn, 5));
+        let uniform = run_scenario(
+            &ScenarioConfig::builder(ScenarioKind::Uniform)
+                .quick()
+                .seed(5)
+                .build(),
+        );
+        let churn = run_scenario(
+            &ScenarioConfig::builder(ScenarioKind::Churn)
+                .quick()
+                .seed(5)
+                .build(),
+        );
         assert!(churn.epoch_bumps > 0, "churn actor never detached");
         // The hit *counters* are timing-dependent (the unpaced actor races
         // the workers), so they are not asserted against uniform's here;
@@ -1244,5 +1537,30 @@ mod tests {
             (churn.allows, churn.denies),
             (uniform.allows, uniform.denies)
         );
+    }
+
+    #[test]
+    fn async_dispatch_multiplexes_logical_clients_over_few_threads() {
+        // Far more logical clients than executor threads: the futures
+        // frontend must still account for every request, and the allow /
+        // deny split must be a pure function of the seed.
+        let cfg = ScenarioConfig::builder(ScenarioKind::AsyncDispatch)
+            .quick()
+            .seed(9)
+            .threads(2)
+            .logical_clients(48)
+            .build();
+        assert_eq!(cfg.effective_logical_clients(), 48);
+        let a = run_scenario(&cfg);
+        assert_eq!(a.allows + a.denies, a.total_ops, "async lost requests");
+        assert!(a.allows > 0 && a.denies > 0);
+        let b = run_scenario(&cfg);
+        assert_eq!((a.allows, a.denies), (b.allows, b.denies));
+        // Auto sizing kicks in when the knob is unset: threads x 32 tasks.
+        let auto = ScenarioConfig::builder(ScenarioKind::AsyncDispatch)
+            .quick()
+            .threads(2)
+            .build();
+        assert_eq!(auto.effective_logical_clients(), 64);
     }
 }

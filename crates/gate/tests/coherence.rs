@@ -364,11 +364,12 @@ fn remove_and_reregister_never_serves_stale_allow() {
 /// operation stays denied, across every epoch bump the churn injects.
 #[test]
 fn concurrent_dispatch_with_racing_detach_stays_coherent() {
-    let cfg = ScenarioConfig {
-        threads: 3,
-        ops_per_thread: 1_500,
-        ..ScenarioConfig::quick(ScenarioKind::KernelDispatch, 23)
-    };
+    let cfg = ScenarioConfig::builder(ScenarioKind::KernelDispatch)
+        .quick()
+        .seed(23)
+        .threads(3)
+        .ops_per_thread(1_500)
+        .build();
     let dispatch_kernel = build_dispatch_kernel(&cfg);
     let kernel = &dispatch_kernel.kernel;
     let m_id = dispatch_kernel.module;

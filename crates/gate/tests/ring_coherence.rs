@@ -16,10 +16,11 @@ use secmod_kernel::Errno;
 use secmod_ring::{Ring, SmodCallReq};
 
 fn universe(seed: u64) -> DispatchKernel {
-    let cfg = ScenarioConfig {
-        threads: 1,
-        ..ScenarioConfig::quick(ScenarioKind::KernelDispatch, seed)
-    };
+    let cfg = ScenarioConfig::builder(ScenarioKind::KernelDispatch)
+        .quick()
+        .seed(seed)
+        .threads(1)
+        .build();
     build_dispatch_kernel(&cfg)
 }
 

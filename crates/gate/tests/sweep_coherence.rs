@@ -24,10 +24,11 @@ use secmod_ring::{RingPairConfig, RingSet, RingSlotId, SmodCallReq};
 const MAX_SESSIONS: usize = 6;
 
 fn universe(seed: u64, sessions: usize) -> DispatchKernel {
-    let cfg = ScenarioConfig {
-        threads: 1,
-        ..ScenarioConfig::quick(ScenarioKind::SessionPool, seed)
-    };
+    let cfg = ScenarioConfig::builder(ScenarioKind::SessionPool)
+        .quick()
+        .seed(seed)
+        .threads(1)
+        .build();
     build_dispatch_kernel_with_clients(&cfg, sessions)
 }
 

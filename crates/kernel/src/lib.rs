@@ -41,6 +41,7 @@ pub mod batch;
 pub mod clock;
 pub mod cost;
 pub mod cred;
+pub mod dispatch;
 pub mod errno;
 pub mod kernel;
 pub mod msgqueue;
@@ -56,6 +57,7 @@ pub use batch::{BatchReport, BATCH_CHUNK};
 pub use clock::SimClock;
 pub use cost::CostModel;
 pub use cred::Credential;
+pub use dispatch::{DispatchCall, DispatchCaps, DispatchError, DispatchOutcome, Dispatcher};
 pub use errno::Errno;
 pub use kernel::Kernel;
 pub use plane::{DispatchPlane, PlaneConfig, PlaneHandle, PlaneStats};

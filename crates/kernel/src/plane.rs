@@ -31,6 +31,7 @@
 //! the set dry before joining.
 
 use crate::cred::Credential;
+use crate::dispatch::{DispatchCall, DispatchCaps, DispatchError, DispatchOutcome, Dispatcher};
 use crate::errno::Errno;
 use crate::kernel::Kernel;
 use crate::proc::Pid;
@@ -39,7 +40,7 @@ use crate::sweep::SweepReport;
 use crate::SysResult;
 use parking_lot::RwLock;
 use secmod_ring::{
-    RingPairConfig, RingSet, RingSlotId, SessionRings, SmodCallReq, SmodCallResp,
+    RingPairConfig, RingSet, RingSlotId, SessionRings, SmodCallReq, SmodCallResp, SubmitError,
     SMOD_BATCH_DEFAULT_BUDGET,
 };
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -77,6 +78,59 @@ impl Default for PlaneConfig {
     }
 }
 
+impl PlaneConfig {
+    /// Start building a config from the defaults:
+    /// `PlaneConfig::builder().drainers(2).session_budget(32).build()`.
+    pub fn builder() -> PlaneConfigBuilder {
+        PlaneConfigBuilder {
+            cfg: PlaneConfig::default(),
+        }
+    }
+}
+
+/// Builder for [`PlaneConfig`] — each setter overrides one default.
+#[derive(Clone, Copy, Debug)]
+pub struct PlaneConfigBuilder {
+    cfg: PlaneConfig,
+}
+
+impl PlaneConfigBuilder {
+    /// Dedicated drainer OS threads (min 1).
+    pub fn drainers(mut self, drainers: usize) -> Self {
+        self.cfg.drainers = drainers;
+        self
+    }
+
+    /// Maximum attached sessions (ring-set capacity).
+    pub fn slots(mut self, slots: usize) -> Self {
+        self.cfg.slots = slots;
+        self
+    }
+
+    /// Ring pair sizing for each attached session.
+    pub fn ring(mut self, ring: RingPairConfig) -> Self {
+        self.cfg.ring = ring;
+        self
+    }
+
+    /// Entries drained per session per sweep.
+    pub fn session_budget(mut self, session_budget: usize) -> Self {
+        self.cfg.session_budget = session_budget;
+        self
+    }
+
+    /// Idle-drainer park timeout (lost-unpark backstop).
+    pub fn park_timeout(mut self, park_timeout: Duration) -> Self {
+        self.cfg.park_timeout = park_timeout;
+        self
+    }
+
+    /// Finish the build.
+    pub fn build(self) -> PlaneConfig {
+        self.cfg
+    }
+}
+
 /// Aggregate work done by the plane's drainers (summed at shutdown).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct PlaneStats {
@@ -104,8 +158,13 @@ impl PlaneStats {
 
 struct PlaneShared {
     kernel: Arc<Kernel>,
-    set: RingSet,
+    set: Arc<RingSet>,
     stop: AtomicBool,
+    /// Invoked by a drainer after any sweep that produced completions
+    /// (and once more at shutdown). The async frontend's reactor hangs
+    /// its wake-up here so it parks instead of polling the completion
+    /// bitmap; `None` costs the drainers one relaxed load per sweep.
+    completion_hook: RwLock<Option<Arc<dyn Fn() + Send + Sync>>>,
     /// Drainer thread handles for unparking (filled once at start).
     sleepers: RwLock<Vec<std::thread::Thread>>,
     /// How many drainers are (about to be) parked. Producers skip the
@@ -128,6 +187,14 @@ impl PlaneShared {
         }
         for t in self.sleepers.read().iter() {
             t.unpark();
+        }
+    }
+
+    /// Tell the registered completion consumer (if any) that new
+    /// completions were pushed.
+    fn notify_completions(&self) {
+        if let Some(hook) = self.completion_hook.read().as_ref() {
+            hook();
         }
     }
 }
@@ -158,8 +225,9 @@ impl DispatchPlane {
     pub fn start(kernel: Arc<Kernel>, cfg: PlaneConfig) -> SysResult<DispatchPlane> {
         let shared = Arc::new(PlaneShared {
             kernel: Arc::clone(&kernel),
-            set: RingSet::with_capacity(cfg.slots),
+            set: Arc::new(RingSet::with_capacity(cfg.slots)),
             stop: AtomicBool::new(false),
+            completion_hook: RwLock::new(None),
             sleepers: RwLock::new(Vec::new()),
             idle: AtomicUsize::new(0),
         });
@@ -215,6 +283,27 @@ impl DispatchPlane {
         self.session_budget
     }
 
+    /// The plane's shared ring set. A completion consumer (the async
+    /// frontend's reactor) holds this to sweep the completion bitmap;
+    /// everything else should go through [`DispatchPlane::attach`].
+    pub fn ring_set(&self) -> Arc<RingSet> {
+        Arc::clone(&self.shared.set)
+    }
+
+    /// The kernel this plane dispatches into.
+    pub fn kernel(&self) -> Arc<Kernel> {
+        Arc::clone(&self.shared.kernel)
+    }
+
+    /// Register the completion-notification hook: called by a drainer
+    /// after every sweep that pushed completions, and once more at
+    /// shutdown. At most one consumer; registering again replaces the
+    /// previous hook. The hook runs on drainer threads — it must be
+    /// cheap and must not block (an unpark, a condvar signal).
+    pub fn on_completions(&self, hook: Arc<dyn Fn() + Send + Sync>) {
+        *self.shared.completion_hook.write() = Some(hook);
+    }
+
     /// Currently attached sessions.
     pub fn attached(&self) -> usize {
         self.shared.set.len()
@@ -239,6 +328,10 @@ impl DispatchPlane {
             stats.completed += s.completed;
             stats.failed += s.failed;
         }
+        // One final notification after the last drainer exits: whatever
+        // the shutdown sweeps completed is now visible, and a consumer
+        // parked on the hook must not sleep through it.
+        self.shared.notify_completions();
         stats
     }
 }
@@ -265,6 +358,11 @@ fn drainer_loop(
         .sys_smod_sweep(pid, &shared.set, session_budget)
     {
         stats.absorb(&report);
+        if report.drained > 0 {
+            // Completions were pushed (the sweep also flagged the
+            // completion bitmap): wake the registered consumer.
+            shared.notify_completions();
+        }
         // Progress = entries answered. A sweep that visited slots but
         // drained nothing (e.g. a producer stopped reaping and its full
         // completion ring keeps its slot perpetually "ready") must fall
@@ -313,19 +411,28 @@ impl std::fmt::Debug for PlaneHandle {
 impl PlaneHandle {
     /// Submit one call: push into the submission ring (the session id is
     /// filled in from the attachment), flag readiness, and wake a
-    /// drainer. Returns the request back when the ring is full — the
-    /// drainers are already flagged, so the producer can reap, yield and
-    /// retry.
-    pub fn submit(&self, proc_id: u32, user_data: u64, args: Vec<u8>) -> Result<(), SmodCallReq> {
-        let outcome = self.rings.sq.push(SmodCallReq {
+    /// drainer.
+    ///
+    /// The backpressure contract: [`SubmitError::Full`] means the
+    /// submission ring has no free slot *right now*, but the slot is
+    /// already flagged and the drainers are awake, so space is guaranteed
+    /// to reappear as the in-flight entries complete — reap, yield and
+    /// retry. [`SubmitError::Detached`] means the plane has shut down:
+    /// no drainer will ever run again and retrying is useless.
+    pub fn submit(&self, proc_id: u32, user_data: u64, args: Vec<u8>) -> Result<(), SubmitError> {
+        let req = SmodCallReq {
             session: self.rings.session,
             proc_id,
             user_data,
             args,
-        });
+        };
+        if self.shared.stop.load(Ordering::Acquire) {
+            return Err(SubmitError::Detached(req));
+        }
+        let outcome = self.rings.sq.push(req);
         self.shared.set.mark_ready(self.slot);
         self.shared.wake();
-        outcome
+        outcome.map_err(SubmitError::Full)
     }
 
     /// Pop one completion, if any.
@@ -337,11 +444,147 @@ impl PlaneHandle {
     pub fn pending(&self) -> usize {
         self.rings.sq.len()
     }
+
+    /// This attachment's slot in the plane's ring set.
+    pub fn slot(&self) -> RingSlotId {
+        self.slot
+    }
+
+    /// The attachment's shared ring pair (the async frontend reaps the
+    /// completion ring through this without going via the set).
+    pub fn rings(&self) -> &Arc<SessionRings> {
+        &self.rings
+    }
+
+    /// The raw pid of the client this handle was attached for.
+    pub fn owner(&self) -> u32 {
+        self.rings.owner
+    }
+
+    /// Allocate the next per-session `user_data` cookie (see
+    /// [`SessionRings::alloc_user_data`]).
+    pub fn alloc_user_data(&self) -> u64 {
+        self.rings.alloc_user_data()
+    }
 }
 
 impl Drop for PlaneHandle {
     fn drop(&mut self) {
         self.shared.set.deregister(self.slot);
+    }
+}
+
+impl Dispatcher for PlaneHandle {
+    fn dispatch_one(&self, client: Pid, proc_id: u32, args: &[u8]) -> DispatchOutcome {
+        self.dispatch_batch(
+            client,
+            std::slice::from_ref(&DispatchCall::new(proc_id, args)),
+        )?
+        .pop()
+        .expect("one outcome per call")
+    }
+
+    /// Submit the whole batch through the ring (absorbing `Full`
+    /// backpressure by reaping while retrying — the contract says space
+    /// reappears), then wait for every completion.
+    ///
+    /// Exclusivity: a handle being driven through `Dispatcher` must not
+    /// be concurrently driven through raw `submit`/`reap`, or completions
+    /// will be claimed by the wrong waiter. (The async frontend builds
+    /// its own routing on raw handles precisely to lift this limit.)
+    fn dispatch_batch(
+        &self,
+        client: Pid,
+        calls: &[DispatchCall],
+    ) -> Result<Vec<DispatchOutcome>, DispatchError> {
+        if client.0 != self.rings.owner {
+            return Err(Errno::EPERM.into());
+        }
+        if calls.is_empty() {
+            return Ok(Vec::new());
+        }
+        let base = self.alloc_user_data();
+        for _ in 1..calls.len() {
+            self.alloc_user_data();
+        }
+        let mut outcomes: Vec<Option<DispatchOutcome>> = vec![None; calls.len()];
+        let mut received = 0usize;
+        let mut submitted = 0usize;
+        let reap_one =
+            |outcomes: &mut Vec<Option<DispatchOutcome>>, received: &mut usize| match self.reap() {
+                Some(resp) => {
+                    let idx = resp.user_data.wrapping_sub(base) as usize;
+                    if idx < calls.len() && outcomes[idx].is_none() {
+                        outcomes[idx] = Some(DispatchError::from_resp(resp));
+                        *received += 1;
+                    }
+                    true
+                }
+                None => false,
+            };
+        while received < calls.len() {
+            if submitted < calls.len() {
+                let call = &calls[submitted];
+                match self.submit(call.proc_id, base + submitted as u64, call.args.clone()) {
+                    Ok(()) => {
+                        submitted += 1;
+                        continue;
+                    }
+                    Err(SubmitError::Full(_)) => {} // reap below, retry
+                    Err(SubmitError::Detached(_)) => {
+                        // Plane stopped before the rest went in; what was
+                        // already submitted still completes (the shutdown
+                        // sweep drains the set dry).
+                        for slot in outcomes.iter_mut().skip(submitted) {
+                            *slot = Some(Err(DispatchError::Detached));
+                            received += 1;
+                        }
+                        submitted = calls.len();
+                        continue;
+                    }
+                }
+            }
+            if reap_one(&mut outcomes, &mut received) {
+                continue;
+            }
+            if self.shared.stop.load(Ordering::Acquire) {
+                // The plane may already be past its final sweep: force the
+                // leftovers through ourselves (one teardown-only trap on
+                // the producer), then drain what it produced.
+                let budget = self.rings.sq.len().max(1);
+                let swept = self.shared.kernel.sys_smod_sweep(
+                    Pid(self.rings.owner),
+                    &self.shared.set,
+                    budget,
+                );
+                let progressed = reap_one(&mut outcomes, &mut received);
+                if swept.is_err() && !progressed {
+                    // Even the fallback cannot run (client gone): the
+                    // outstanding entries will never be answered.
+                    for slot in outcomes.iter_mut() {
+                        if slot.is_none() {
+                            *slot = Some(Err(DispatchError::Detached));
+                            received += 1;
+                        }
+                    }
+                }
+            } else {
+                std::thread::yield_now();
+            }
+        }
+        Ok(outcomes
+            .into_iter()
+            .map(|o| o.expect("all outcomes filled"))
+            .collect())
+    }
+
+    fn capabilities(&self) -> DispatchCaps {
+        DispatchCaps {
+            flavor: "plane",
+            batched: true,
+            trap_free: true,
+            asynchronous: false,
+        }
     }
 }
 
@@ -469,6 +712,41 @@ mod tests {
             assert_eq!(resp.user_data, i);
             assert!(resp.is_ok());
         }
+        // Post-shutdown submission is teardown, not backpressure.
+        match handle.submit(incr, 99, Vec::new()) {
+            Err(SubmitError::Detached(req)) => assert_eq!(req.user_data, 99),
+            other => panic!("expected Detached after shutdown, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn completion_hook_fires_on_drain_and_shutdown() {
+        let (_kernel, plane, clients, incr) = plane_fixture(1, 1);
+        let fired = Arc::new(AtomicUsize::new(0));
+        {
+            let fired = Arc::clone(&fired);
+            plane.on_completions(Arc::new(move || {
+                fired.fetch_add(1, Ordering::AcqRel);
+            }));
+        }
+        let handle = plane.attach(clients[0]).unwrap();
+        handle.submit(incr, 0, 0u64.to_le_bytes().to_vec()).unwrap();
+        // The drainer must notify once the completion lands.
+        while handle.reap().is_none() {
+            std::thread::yield_now();
+        }
+        while fired.load(Ordering::Acquire) == 0 {
+            std::thread::yield_now();
+        }
+        let before_shutdown = fired.load(Ordering::Acquire);
+        // The completion bitmap was flagged for the reactor's benefit.
+        let set = plane.ring_set();
+        assert!(set.any_completed());
+        plane.shutdown();
+        assert!(
+            fired.load(Ordering::Acquire) > before_shutdown,
+            "shutdown must fire the hook one final time"
+        );
     }
 
     #[test]

@@ -89,7 +89,7 @@ impl Kernel {
         let mut checked_total = 0usize;
         let mut sessions_checked = 0usize;
 
-        set.sweep_ready(|_slot, rings| {
+        set.sweep_ready(|slot, rings| {
             report.sessions_ready += 1;
             // --- once-per-sweep resolution of this session --------------
             let live = self
@@ -108,6 +108,9 @@ impl Kernel {
                     let failed = fail_all_eidrm(&rings.sq, &rings.cq);
                     report.drained += failed;
                     report.failed += failed;
+                    if failed > 0 {
+                        set.mark_completed(slot);
+                    }
                     return !rings.sq.is_empty();
                 }
             };
@@ -119,6 +122,12 @@ impl Kernel {
                 session_budget,
                 &mut scratch,
             );
+            // Every drained entry pushed a completion (success or errno):
+            // flag the completion bitmap so a parked consumer (the async
+            // reactor) learns about the responses without polling rings.
+            if outcome.drained > 0 {
+                set.mark_completed(slot);
+            }
             report.drained += outcome.drained;
             report.completed += outcome.completed;
             report.failed += outcome.failed;
@@ -226,6 +235,11 @@ mod tests {
             k.cost
                 .sweep_dispatch_ns(SESSIONS, SESSIONS * PER_SESSION as usize)
         );
+        // Every session that received completions is flagged on the
+        // completion bitmap, exactly once each.
+        assert!(set.any_completed());
+        let flagged = set.sweep_completed(|_, _| false);
+        assert_eq!(flagged, SESSIONS, "each swept session flags completed");
         // Per-session completions: FIFO, correct values, no cross-session
         // leakage (user_data encodes the producing session).
         for (s, _) in clients.iter().enumerate() {

@@ -29,7 +29,13 @@
 //!   dispatch plane. Per-session [`set::SessionRings`] pairs addressed by
 //!   [`set::RingSlotId`], plus a cache-line-padded readiness bitmap so a
 //!   sweep (`sys_smod_sweep`) finds the rings with work in a handful of
-//!   word loads and resolves each ready session once per visit.
+//!   word loads and resolves each ready session once per visit. A
+//!   mirror-image completion bitmap points the other way, letting a
+//!   completion consumer (the async frontend's reactor) find the sessions
+//!   with unreaped responses just as cheaply; submission refusals are
+//!   typed ([`set::SubmitError`]) so callers can tell backpressure
+//!   (`Full`: retry after a completion) from teardown (`Detached`: never
+//!   retry).
 //!
 //! This is the one crate in the workspace that uses `unsafe`: slot
 //! payloads live in `UnsafeCell<MaybeUninit<T>>` (as in crossbeam's
@@ -51,4 +57,4 @@ pub use byte::ByteRing;
 pub use call::{CompletionRing, SmodCallReq, SmodCallResp, SMOD_BATCH_DEFAULT_BUDGET};
 pub use call::{RingPairConfig, SubmissionRing};
 pub use ring::Ring;
-pub use set::{RingSet, RingSlotId, SessionRings};
+pub use set::{RingSet, RingSlotId, SessionRings, SubmitError};

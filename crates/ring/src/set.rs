@@ -8,10 +8,16 @@
 //!
 //! * a **registry** of per-session [`SessionRings`] (submission ring,
 //!   completion ring, and the raw session/owner ids the kernel will
-//!   validate against), addressed by a stable [`RingSlotId`], and
+//!   validate against), addressed by a stable [`RingSlotId`],
 //! * a cheap **"has work" readiness bitmap** — one bit per slot in
 //!   cache-line-padded `AtomicU64` words — so an idle sweep costs a few
-//!   word loads instead of touching every ring's head/tail cache lines.
+//!   word loads instead of touching every ring's head/tail cache lines,
+//!   and
+//! * a mirror-image **completion bitmap** pointing the other way: the
+//!   kernel sets a slot's completed bit after pushing into its completion
+//!   ring, and a completion consumer (the async frontend's reactor) claims
+//!   whole words with the same clear-then-drain protocol instead of
+//!   polling every session's completion ring.
 //!
 //! The readiness protocol is clear-then-drain, the classic lost-wakeup
 //! shape: a producer pushes into its submission ring and *then* sets the
@@ -40,6 +46,56 @@ use std::sync::Arc;
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct RingSlotId(pub usize);
 
+/// Why a submission was refused, with the request handed back so the
+/// caller retries without a clone.
+///
+/// The two cases call for opposite reactions, which is why this is an
+/// enum and not a bare `Err(req)`:
+///
+/// * [`SubmitError::Full`] is **backpressure**: the submission ring has
+///   no free slot *right now*, but the slot stays flagged ready, a
+///   drainer is (or will be) working the ring, and space is guaranteed to
+///   reappear once in-flight entries complete. Park, await a completion,
+///   or spin-retry — the request is still valid.
+/// * [`SubmitError::Detached`] is **teardown**: the slot has been
+///   deregistered (session closed, plane shut down). Space will *never*
+///   reappear; retrying is useless and the caller should surface the
+///   loss.
+#[derive(Debug, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The submission ring is full; retry after a completion frees a
+    /// slot. The slot's ready bit is already set.
+    Full(SmodCallReq),
+    /// The slot is no longer registered; the request can never be
+    /// delivered.
+    Detached(SmodCallReq),
+}
+
+impl SubmitError {
+    /// Recover the request for a retry or post-mortem.
+    pub fn into_req(self) -> SmodCallReq {
+        match self {
+            SubmitError::Full(req) | SubmitError::Detached(req) => req,
+        }
+    }
+
+    /// Is this transient backpressure (retry will eventually succeed)?
+    pub fn is_full(&self) -> bool {
+        matches!(self, SubmitError::Full(_))
+    }
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::Full(_) => write!(f, "submission ring full (backpressure; retry)"),
+            SubmitError::Detached(_) => write!(f, "ring slot detached (teardown; do not retry)"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
 /// One registered session's ring pair, shared between its producer and
 /// every sweeper.
 #[derive(Debug)]
@@ -61,6 +117,22 @@ pub struct SessionRings {
     /// completion ring's free space. Claimed by [`RingSet::sweep_ready`];
     /// a sweeper finding the slot busy hands the ready bit back instead.
     draining: AtomicBool,
+    /// Monotonic source of per-session `user_data` cookies (see
+    /// [`SessionRings::alloc_user_data`]).
+    next_user_data: AtomicU64,
+}
+
+impl SessionRings {
+    /// Allocate the next `user_data` cookie for this session.
+    ///
+    /// Cookies are unique *per session* (a plain monotonic counter), which
+    /// is all completion routing needs: responses come back on this
+    /// session's own completion ring, so a consumer keying pending state
+    /// by `user_data` within the slot can never collide with another
+    /// session's cookies.
+    pub fn alloc_user_data(&self) -> u64 {
+        self.next_user_data.fetch_add(1, Ordering::Relaxed)
+    }
 }
 
 /// Registry of per-session ring pairs with a readiness bitmap.
@@ -72,6 +144,10 @@ pub struct RingSet {
     slots: Box<[RwLock<Option<Arc<SessionRings>>>]>,
     /// One ready bit per slot, 64 slots per padded word.
     ready: Box<[CachePadded<AtomicU64>]>,
+    /// One completed bit per slot: set by the kernel after pushing
+    /// completions, claimed by the completion consumer. Same
+    /// clear-then-drain protocol as `ready`, opposite direction.
+    completed: Box<[CachePadded<AtomicU64>]>,
     /// Free slot indices (registration pops, deregistration pushes).
     free: Mutex<Vec<usize>>,
     len: AtomicUsize,
@@ -95,6 +171,9 @@ impl RingSet {
         RingSet {
             slots: (0..cap).map(|_| RwLock::new(None)).collect(),
             ready: (0..cap / 64)
+                .map(|_| CachePadded(AtomicU64::new(0)))
+                .collect(),
+            completed: (0..cap / 64)
                 .map(|_| CachePadded(AtomicU64::new(0)))
                 .collect(),
             free: Mutex::new((0..cap).rev().collect()),
@@ -129,6 +208,7 @@ impl RingSet {
             sq,
             cq,
             draining: AtomicBool::new(false),
+            next_user_data: AtomicU64::new(0),
         }));
         self.len.fetch_add(1, Ordering::Relaxed);
         Some(RingSlotId(idx))
@@ -140,6 +220,9 @@ impl RingSet {
     pub fn deregister(&self, slot: RingSlotId) -> Option<Arc<SessionRings>> {
         let rings = self.slots.get(slot.0)?.write().take()?;
         self.ready[slot.0 / 64]
+            .0
+            .fetch_and(!(1u64 << (slot.0 % 64)), Ordering::AcqRel);
+        self.completed[slot.0 / 64]
             .0
             .fetch_and(!(1u64 << (slot.0 % 64)), Ordering::AcqRel);
         self.len.fetch_sub(1, Ordering::Relaxed);
@@ -161,17 +244,22 @@ impl RingSet {
     }
 
     /// Push one request into `slot`'s submission ring and flag the slot
-    /// ready. Returns the request back when the ring is full (the slot is
-    /// still flagged, so a sweeper will make room).
-    pub fn submit(&self, slot: RingSlotId, req: SmodCallReq) -> Result<(), SmodCallReq> {
+    /// ready.
+    ///
+    /// On a full ring the request comes back as [`SubmitError::Full`] with
+    /// the slot still flagged, so a sweeper will make room — that is the
+    /// backpressure contract: `Full` always resolves once in-flight
+    /// entries complete. A deregistered slot returns
+    /// [`SubmitError::Detached`], which never resolves.
+    pub fn submit(&self, slot: RingSlotId, req: SmodCallReq) -> Result<(), SubmitError> {
         let rings = match self.get(slot) {
             Some(r) => r,
-            None => return Err(req),
+            None => return Err(SubmitError::Detached(req)),
         };
         let outcome = rings.sq.push(req);
         // Flag even on a full ring: the producer wants a drain either way.
         self.mark_ready(slot);
-        outcome
+        outcome.map_err(SubmitError::Full)
     }
 
     /// Number of slots currently flagged ready (approximate).
@@ -198,6 +286,62 @@ impl RingSet {
                 self.mark_ready(RingSlotId(idx));
             }
         }
+    }
+
+    /// Mark a slot as having unreaped completions. The kernel calls this
+    /// after pushing into a slot's completion ring; the release store
+    /// pairs with the completion consumer's acquire swap in
+    /// [`RingSet::sweep_completed`].
+    pub fn mark_completed(&self, slot: RingSlotId) {
+        self.completed[slot.0 / 64]
+            .0
+            .fetch_or(1u64 << (slot.0 % 64), Ordering::Release);
+    }
+
+    /// Is any slot flagged as having unreaped completions?
+    pub fn any_completed(&self) -> bool {
+        // Acquire pairs with the kernel's release `mark_completed`, so a
+        // reactor deciding whether to park sees every bit set before the
+        // call (its park timeout backstops the remaining window).
+        self.completed
+            .iter()
+            .any(|w| w.0.load(Ordering::Acquire) != 0)
+    }
+
+    /// Claim the current completed set and visit each claimed slot:
+    /// `visit(slot, rings)` reaps the slot's completion ring; returning
+    /// `true` re-marks the slot (completions left unreaped). Returns how
+    /// many slots were visited.
+    ///
+    /// Same word-at-a-time `swap(0)` claim as [`RingSet::sweep_ready`],
+    /// pointing the other way. There is no per-slot exclusivity flag on
+    /// this path: completion reaping is single-consumer by construction
+    /// (each completion ring belongs to the one frontend that registered
+    /// the slot), so the bitmap race is the only one to handle — a
+    /// `mark_completed` racing the swap either lands before the reap (and
+    /// is consumed) or re-sets the bit for the next sweep.
+    pub fn sweep_completed(
+        &self,
+        mut visit: impl FnMut(RingSlotId, &Arc<SessionRings>) -> bool,
+    ) -> usize {
+        let mut visited = 0;
+        for (word_idx, word) in self.completed.iter().enumerate() {
+            let mut claimed = word.0.swap(0, Ordering::AcqRel);
+            while claimed != 0 {
+                let bit = claimed.trailing_zeros() as usize;
+                claimed &= claimed - 1;
+                let slot = RingSlotId(word_idx * 64 + bit);
+                let rings = match self.get(slot) {
+                    Some(r) => r,
+                    None => continue, // deregistered after flagging
+                };
+                visited += 1;
+                if visit(slot, &rings) {
+                    self.mark_completed(slot);
+                }
+            }
+        }
+        visited
     }
 
     /// Claim the current ready set and visit each claimed slot exactly
@@ -353,6 +497,82 @@ mod tests {
     }
 
     #[test]
+    fn submit_errors_distinguish_backpressure_from_teardown() {
+        let set = RingSet::with_capacity(1);
+        let cfg = RingPairConfig {
+            submission: 2,
+            completion: 2,
+        };
+        let a = set.register(1, 1, cfg).unwrap();
+        set.submit(a, req(1, 0)).unwrap();
+        set.submit(a, req(1, 1)).unwrap();
+        // Full ring: backpressure, request handed back, slot stays ready.
+        match set.submit(a, req(1, 2)) {
+            Err(SubmitError::Full(back)) => assert_eq!(back.user_data, 2),
+            other => panic!("expected Full, got {other:?}"),
+        }
+        assert!(
+            set.any_ready(),
+            "a refused submit must leave the slot flagged"
+        );
+        // Deregistered slot: teardown, a different error.
+        set.deregister(a).unwrap();
+        match set.submit(a, req(1, 3)) {
+            Err(SubmitError::Detached(back)) => {
+                assert_eq!(back.user_data, 3);
+            }
+            other => panic!("expected Detached, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn completion_bitmap_claims_and_remarks_like_ready() {
+        let set = RingSet::with_capacity(2);
+        let a = set.register(1, 1, RingPairConfig::default()).unwrap();
+        let b = set.register(2, 2, RingPairConfig::default()).unwrap();
+        assert!(!set.any_completed());
+        set.mark_completed(a);
+        set.mark_completed(b);
+        assert!(set.any_completed());
+
+        // First sweep claims both; slot `a` reports leftovers and is
+        // re-marked, `b` is done.
+        let mut seen = Vec::new();
+        let visited = set.sweep_completed(|slot, _| {
+            seen.push(slot);
+            slot == a
+        });
+        assert_eq!(visited, 2);
+        assert_eq!(seen, vec![a, b]);
+        assert!(set.any_completed(), "short reap must re-flag the slot");
+        let visited = set.sweep_completed(|slot, _| {
+            assert_eq!(slot, a);
+            false
+        });
+        assert_eq!(visited, 1);
+        assert!(!set.any_completed());
+
+        // Deregistration clears a pending completed bit.
+        set.mark_completed(a);
+        set.deregister(a).unwrap();
+        assert!(!set.any_completed());
+    }
+
+    #[test]
+    fn user_data_cookies_are_monotonic_per_session() {
+        let set = RingSet::with_capacity(2);
+        let a = set.register(1, 1, RingPairConfig::default()).unwrap();
+        let b = set.register(2, 2, RingPairConfig::default()).unwrap();
+        let ra = set.get(a).unwrap();
+        let rb = set.get(b).unwrap();
+        assert_eq!(ra.alloc_user_data(), 0);
+        assert_eq!(ra.alloc_user_data(), 1);
+        // Sessions count independently.
+        assert_eq!(rb.alloc_user_data(), 0);
+        assert_eq!(ra.alloc_user_data(), 2);
+    }
+
+    #[test]
     fn deregistered_slot_is_skipped_by_the_sweep() {
         let set = RingSet::with_capacity(2);
         let a = set.register(1, 1, RingPairConfig::default()).unwrap();
@@ -442,7 +662,8 @@ mod tests {
                     for n in 0..PER_PRODUCER {
                         let mut r = req(i as u32, n);
                         while let Err(back) = set.submit(slot, r) {
-                            r = back;
+                            assert!(back.is_full(), "registered slot reported detached");
+                            r = back.into_req();
                             std::thread::yield_now();
                         }
                     }

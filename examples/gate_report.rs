@@ -1,10 +1,11 @@
 //! Walkthrough: the `secmod_gate` scenario report.
 //!
-//! Runs the eight workload scenarios — uniform, zipfian hot-key,
+//! Runs the nine workload scenarios — uniform, zipfian hot-key,
 //! adversarial cache-thrash, session churn, multi-threaded kernel
 //! dispatch (pinned sessions and the sessions-≫-threads pool), batched
-//! ring dispatch, and the dispatch plane (producers ≫ dedicated
-//! drainers) — against the sharded decision-cache gateway (for the
+//! ring dispatch, the dispatch plane (producers ≫ dedicated drainers),
+//! and the futures-based async frontend (logical clients ≫ threads) —
+//! against the sharded decision-cache gateway (for the
 //! kernel-backed scenarios: the gateway *embedded in* the kernel's
 //! dispatch path) and prints ops/sec, cache hit rate, and the
 //! (seed-deterministic) allow/deny split for each.
@@ -15,7 +16,8 @@
 //! cargo run --release --example gate_report -- --threads 4 --drainers 2 --only plane
 //! ```
 
-use secmod::gate::{run_scenario, ScenarioConfig, ScenarioKind};
+use secmod::gate::{build_dispatch_kernel, run_scenario, ScenarioConfig, ScenarioKind};
+use secmod::Dispatcher;
 
 fn parse_flag(args: &[String], flag: &str) -> Option<u64> {
     args.iter()
@@ -71,16 +73,40 @@ fn main() {
     );
     println!("change an answer, only the cost of computing it.\n");
 
+    // Every kernel-backed flavor below speaks the same `Dispatcher`
+    // vocabulary; a probe call shows the trait in the syscall flavor
+    // (the scenario engine drives the others).
+    let probe = build_dispatch_kernel(
+        &ScenarioConfig::builder(ScenarioKind::KernelDispatch)
+            .quick()
+            .seed(seed)
+            .build(),
+    );
+    let caps = probe.kernel.capabilities();
+    let outcome =
+        probe
+            .kernel
+            .dispatch_one(probe.clients[0], probe.func_ids[1], &7u64.to_le_bytes());
+    println!(
+        "dispatcher probe: flavor `{}` (batched={}, trap_free={}, asynchronous={}), \
+         incr(7) -> {:?}\n",
+        caps.flavor,
+        caps.batched,
+        caps.trap_free,
+        caps.asynchronous,
+        outcome.map(|ret| u64::from_le_bytes(ret.try_into().unwrap())),
+    );
+
     for kind in ScenarioKind::ALL {
         if only.is_some_and(|name| name != kind.name()) {
             continue;
         }
-        let cfg = ScenarioConfig {
-            threads,
-            ops_per_thread: ops,
-            drainers,
-            ..ScenarioConfig::full(kind, seed)
-        };
+        let cfg = ScenarioConfig::builder(kind)
+            .seed(seed)
+            .threads(threads)
+            .ops_per_thread(ops)
+            .drainers(drainers)
+            .build();
         let report = run_scenario(&cfg);
         println!("{report}");
     }
@@ -98,4 +124,6 @@ fn main() {
     println!("           through sys_smod_call_batch (fixed costs amortised per batch)");
     println!("  plane    producers >> drainers: producers attach to a DispatchPlane and never");
     println!("           trap; dedicated drainers sweep all ready sessions per sys_smod_sweep");
+    println!("  async    logical clients >> threads: tasks await plane.call() futures; a");
+    println!("           reactor thread routes sweep completions back to parked wakers");
 }

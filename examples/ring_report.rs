@@ -28,6 +28,7 @@ use secmod::gate::{run_scenario, ScenarioConfig, ScenarioKind};
 use secmod::kernel::CostModel;
 use secmod::prelude::*;
 use secmod::ring::{Ring, SmodCallReq};
+use secmod::{DispatchCall, Dispatcher};
 use std::sync::Arc;
 
 fn parse_flag(args: &[String], flag: &str) -> Option<u64> {
@@ -109,6 +110,27 @@ fn main() {
         sequential_ns as f64 / batched_ns.max(1) as f64
     );
 
+    // The same batch through the unified `Dispatcher` vocabulary — the
+    // trait every flavor (syscall, sim, plane, async) implements, so a
+    // harness written against it can be pointed at any of them.
+    let incr_id = world.func_id(client, "incr").expect("resolve incr");
+    let calls: Vec<DispatchCall> = (0..4u64)
+        .map(|i| DispatchCall::new(incr_id, i.to_le_bytes()))
+        .collect();
+    let outcomes = world
+        .dispatch_batch(client, &calls)
+        .expect("dispatch batch");
+    let caps = world.capabilities();
+    println!(
+        "  Dispatcher flavor `{}` (batched={}): dispatch_batch(incr, 0..4) -> {:?}",
+        caps.flavor,
+        caps.batched,
+        outcomes
+            .into_iter()
+            .map(|o| o.map(|ret| u64::from_le_bytes(ret.try_into().unwrap())))
+            .collect::<Vec<_>>()
+    );
+
     // --- 3. the dispatch plane: multi-session sweeps -------------------
     // 3a. One sweep vs per-client batches on the simulated clock: eight
     // clients, one batch each — call_batch pays the fixed trap per
@@ -166,10 +188,10 @@ fn main() {
     println!("\ndispatch plane, level 2 — dedicated drainer threads (producers never trap):");
     for drainer_count in [1usize, 2, 4] {
         let dispatch = secmod::gate::build_dispatch_kernel_with_clients(
-            &ScenarioConfig {
-                threads: 1,
-                ..ScenarioConfig::full(ScenarioKind::PlaneDispatch, seed)
-            },
+            &ScenarioConfig::builder(ScenarioKind::PlaneDispatch)
+                .seed(seed)
+                .threads(1)
+                .build(),
             PLANE_CLIENTS,
         );
         let incr_func = dispatch.func_ids[1];
@@ -178,10 +200,9 @@ fn main() {
         let t0 = kernel.clock.now_ns();
         let plane = secmod::kernel::DispatchPlane::start(
             Arc::clone(&kernel),
-            secmod::kernel::PlaneConfig {
-                drainers: drainer_count,
-                ..secmod::kernel::PlaneConfig::default()
-            },
+            secmod::kernel::PlaneConfig::builder()
+                .drainers(drainer_count)
+                .build(),
         )
         .expect("start plane");
         let per_producer = 256u64;
@@ -238,17 +259,19 @@ fn main() {
         "\nScenarioKind::RingDispatch ({threads} producers, {} drainer(s), {ops} ops/producer):",
         (threads / 2).max(1)
     );
-    let report = run_scenario(&ScenarioConfig {
-        threads,
-        ops_per_thread: ops,
-        ..ScenarioConfig::full(ScenarioKind::RingDispatch, seed)
-    });
+    let report = run_scenario(
+        &ScenarioConfig::builder(ScenarioKind::RingDispatch)
+            .seed(seed)
+            .threads(threads)
+            .ops_per_thread(ops)
+            .build(),
+    );
     println!("{report}");
-    let plane_cfg = ScenarioConfig {
-        threads,
-        ops_per_thread: ops,
-        ..ScenarioConfig::full(ScenarioKind::PlaneDispatch, seed)
-    };
+    let plane_cfg = ScenarioConfig::builder(ScenarioKind::PlaneDispatch)
+        .seed(seed)
+        .threads(threads)
+        .ops_per_thread(ops)
+        .build();
     println!(
         "\nScenarioKind::PlaneDispatch ({threads} producers, {} dedicated drainer(s), \
          {ops} ops/producer):",

@@ -13,7 +13,7 @@
 #               them regressed more than the threshold. The hot set:
 #               fig8_dispatch/* (incl. the shm rpc row; the socket rpc row
 #               is excluded), arg_marshalling/*, gate/cached_hot,
-#               ring_throughput/*, sweep_throughput/*.
+#               ring_throughput/*, sweep_throughput/*, async_throughput/*.
 #   --threshold regression threshold in percent (default: $BENCH_REGRESSION_PCT
 #               or 25 — generous because the CI smoke budget is tiny and noisy)
 #
@@ -95,7 +95,7 @@ if [ -n "$BASELINE" ]; then
             # host's socket stack, not this tree, and is far too
             # load-sensitive to gate on.
             fig8_dispatch/rpc_testincr) continue ;;
-            fig8_dispatch/*|arg_marshalling/*|gate/cached_hot|ring_throughput/*|sweep_throughput/*) ;;
+            fig8_dispatch/*|arg_marshalling/*|gate/cached_hot|ring_throughput/*|sweep_throughput/*|async_throughput/*) ;;
             *) continue ;;
         esac
         new_ns="$(awk -v n="$name" '$1 == n { print $2 }' "$RAW.new")"

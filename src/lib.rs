@@ -1,10 +1,11 @@
 //! Workspace facade for the SecModule baseline reproduction.
 //!
-//! Re-exports the nine member crates under one roof so downstream code
+//! Re-exports the ten member crates under one roof so downstream code
 //! (and the integration tests / examples in this package) can reach any
 //! layer through a single dependency. The interesting code lives in the
 //! members; see the workspace README for the layout and the paper mapping.
 
+pub use secmod_async as r#async;
 pub use secmod_core as core;
 pub use secmod_crypto as crypto;
 pub use secmod_gate as gate;
@@ -15,7 +16,15 @@ pub use secmod_ring as ring;
 pub use secmod_rpc as rpc;
 pub use secmod_vm as vm;
 
-/// Convenience prelude mirroring `secmod_core::prelude`.
+pub use secmod_kernel::dispatch::{
+    DispatchCall, DispatchCaps, DispatchError, DispatchOutcome, Dispatcher,
+};
+
+/// Convenience prelude mirroring `secmod_core::prelude`, plus the
+/// unified [`Dispatcher`] vocabulary shared by every dispatch flavor.
 pub mod prelude {
     pub use secmod_core::prelude::*;
+    pub use secmod_kernel::dispatch::{
+        DispatchCall, DispatchCaps, DispatchError, DispatchOutcome, Dispatcher,
+    };
 }

@@ -100,7 +100,7 @@ fn gate_report_covers_all_scenarios_deterministically() {
     };
     let first = run();
     for scenario in [
-        "uniform", "zipfian", "thrash", "churn", "kernel", "pool", "ring", "plane",
+        "uniform", "zipfian", "thrash", "churn", "kernel", "pool", "ring", "plane", "async",
     ] {
         assert!(
             first.contains(scenario),
@@ -127,7 +127,7 @@ fn gate_report_covers_all_scenarios_deterministically() {
         decisions(&second),
         "allow/deny splits changed between identically seeded runs"
     );
-    assert_eq!(decisions(&first).len(), 8, "expected one row per scenario");
+    assert_eq!(decisions(&first).len(), 9, "expected one row per scenario");
 
     // The CI smoke shape: an explicit drainer count plus --only filters
     // the report down to the single requested scenario.
