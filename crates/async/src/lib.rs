@@ -42,7 +42,7 @@ pub mod sim;
 pub use exec::{block_on, join_all, Executor, JoinAll, JoinHandle};
 pub use plane::AsyncPlane;
 pub use route::SlotTable;
-pub use session::{AsyncSession, CallFuture};
+pub use session::{AsyncSession, CallFuture, CostedCallFuture};
 pub use sim::SimDriver;
 
 #[cfg(test)]

@@ -37,6 +37,7 @@ use secmod_kernel::dispatch::{
 use secmod_kernel::plane::{DispatchPlane, PlaneConfig, PlaneStats};
 use secmod_kernel::proc::Pid;
 use secmod_kernel::{Kernel, SysResult};
+use secmod_obs::DispatchMetrics;
 use secmod_ring::RingSet;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -73,6 +74,10 @@ pub struct AsyncPlane {
     signal: Arc<ReactorSignal>,
     reactor: Option<std::thread::JoinHandle<()>>,
     routed: Arc<AtomicU64>,
+    /// The kernel's dispatch-metrics registry: the reactor records each
+    /// routed completion's cost under the async flavor, and sessions
+    /// count their backpressure re-submits here.
+    metrics: Arc<DispatchMetrics>,
     /// Per-client session cache backing [`AsyncPlane::call`] and the
     /// [`Dispatcher`] impl; cleared at shutdown.
     sessions: Mutex<HashMap<u32, AsyncSession>>,
@@ -90,6 +95,7 @@ impl std::fmt::Debug for AsyncPlane {
 impl AsyncPlane {
     /// Start the underlying plane and the reactor thread.
     pub fn start(kernel: Arc<Kernel>, cfg: PlaneConfig) -> SysResult<AsyncPlane> {
+        let metrics = Arc::clone(&kernel.metrics);
         let plane = DispatchPlane::start(kernel, cfg)?;
         let set = plane.ring_set();
         let tables: Arc<TableMap> = Arc::new(Mutex::new(HashMap::new()));
@@ -104,9 +110,10 @@ impl AsyncPlane {
             let tables = Arc::clone(&tables);
             let signal = Arc::clone(&signal);
             let routed = Arc::clone(&routed);
+            let metrics = Arc::clone(&metrics);
             std::thread::Builder::new()
                 .name("smod-reactor".into())
-                .spawn(move || reactor_loop(&set, &tables, &signal, &routed))
+                .spawn(move || reactor_loop(&set, &tables, &signal, &routed, &metrics))
                 .expect("spawn reactor thread")
         };
         // The hook fires from whichever drainer just posted completions
@@ -122,6 +129,7 @@ impl AsyncPlane {
             signal,
             reactor: Some(reactor),
             routed,
+            metrics,
             sessions: Mutex::new(HashMap::new()),
         })
     }
@@ -142,6 +150,7 @@ impl AsyncPlane {
                 target: Target::Plane(handle),
                 table,
                 tables: Arc::clone(&self.tables),
+                metrics: Some(Arc::clone(&self.metrics)),
             }),
         })
     }
@@ -215,13 +224,19 @@ impl Drop for AsyncPlane {
     }
 }
 
-fn reactor_loop(set: &RingSet, tables: &TableMap, signal: &ReactorSignal, routed: &AtomicU64) {
+fn reactor_loop(
+    set: &RingSet,
+    tables: &TableMap,
+    signal: &ReactorSignal,
+    routed: &AtomicU64,
+    metrics: &DispatchMetrics,
+) {
     loop {
         // Order matters: observe `stop` *before* routing, so the pass
         // after the final observation covers every completion posted
         // before the flag flipped (the plane joins its drainers first).
         let stop = signal.stop.load(Ordering::Acquire);
-        let n = route_completions(set, tables);
+        let n = route_completions(set, tables, Some(metrics));
         if n > 0 {
             routed.fetch_add(n as u64, Ordering::Relaxed);
         }
@@ -271,6 +286,10 @@ impl Dispatcher for AsyncPlane {
             trap_free: true,
             asynchronous: true,
         }
+    }
+
+    fn metrics(&self) -> Option<&DispatchMetrics> {
+        Some(&self.metrics)
     }
 }
 
@@ -364,6 +383,24 @@ mod tests {
         let ret = block_on(session.call(incr, 9u64.to_le_bytes())).unwrap();
         assert_eq!(ret, 10u64.to_le_bytes().to_vec());
         assert_eq!(session.in_flight(), 0);
+        plane.shutdown();
+    }
+
+    #[test]
+    fn call_costed_surfaces_the_simulated_cost() {
+        let (k, _m, clients, incr) = kernel_with_clients(1);
+        let kernel = Arc::new(k);
+        let plane = AsyncPlane::start(Arc::clone(&kernel), PlaneConfig::default()).unwrap();
+        let session = plane.session(clients[0]).unwrap();
+        let (ret, cost_ns) = block_on(session.call_costed(incr, 5u64.to_le_bytes())).unwrap();
+        assert_eq!(ret, 6u64.to_le_bytes().to_vec());
+        assert!(
+            cost_ns >= kernel.cost.cached_decision_ns,
+            "the cost covers at least the policy decision, got {cost_ns}"
+        );
+        // The reactor recorded the completion under the async flavor.
+        let summary = plane.metrics().unwrap().latency(secmod_obs::Flavor::Async);
+        assert!(summary.count() >= 1);
         plane.shutdown();
     }
 

@@ -17,6 +17,7 @@
 //! leak, nothing for anyone to clean up later.
 
 use parking_lot::Mutex;
+use secmod_obs::{DispatchMetrics, Flavor};
 use secmod_ring::{RingSet, SmodCallResp};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -78,7 +79,15 @@ pub(crate) type TableMap = Mutex<HashMap<usize, Arc<SlotTable>>>;
 /// session's completions, deliver each to its waker (or discard it if
 /// the awaiting future was cancelled), then release that session's
 /// backpressure waiters. Returns how many completions were routed.
-pub(crate) fn route_completions(set: &RingSet, tables: &TableMap) -> usize {
+/// Each routed completion's simulated cost lands in `metrics`'
+/// async-flavor histogram — the latency observed *through the futures
+/// frontend*, as opposed to the sweep-flavor records the drainer made
+/// while producing it.
+pub(crate) fn route_completions(
+    set: &RingSet,
+    tables: &TableMap,
+    metrics: Option<&DispatchMetrics>,
+) -> usize {
     let mut routed = 0;
     set.sweep_completed(|slot, rings| {
         let table = tables.lock().get(&slot.0).cloned();
@@ -93,6 +102,11 @@ pub(crate) fn route_completions(set: &RingSet, tables: &TableMap) -> usize {
             let mut pending = table.pending.lock();
             while let Some(resp) = rings.cq.pop() {
                 routed += 1;
+                if let Some(metrics) = metrics {
+                    if resp.cost_ns > 0 {
+                        metrics.record_latency(Flavor::Async, resp.cost_ns);
+                    }
+                }
                 if let Some(entry) = pending.get_mut(&resp.user_data) {
                     entry.resp = Some(resp);
                     if let Some(waker) = entry.waker.take() {
@@ -160,7 +174,8 @@ mod tests {
         rings.cq.push(resp(9)).unwrap();
         set.mark_completed(slot);
 
-        let routed = route_completions(&set, &tables);
+        let metrics = DispatchMetrics::new();
+        let routed = route_completions(&set, &tables, Some(&metrics));
         assert_eq!(routed, 2);
         assert_eq!(counter.0.load(Ordering::Acquire), 1);
         let pending = table.pending.lock();

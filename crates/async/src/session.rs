@@ -25,7 +25,8 @@ use crate::route::{SlotTable, TableMap};
 use secmod_kernel::dispatch::{DispatchError, DispatchOutcome};
 use secmod_kernel::plane::PlaneHandle;
 use secmod_kernel::proc::Pid;
-use secmod_ring::{RingSet, RingSlotId, SessionRings, SmodCallReq, SubmitError};
+use secmod_obs::DispatchMetrics;
+use secmod_ring::{RingSet, RingSlotId, SessionRings, SmodCallReq, SmodCallResp, SubmitError};
 use std::future::Future;
 use std::pin::Pin;
 use std::sync::atomic::Ordering;
@@ -92,6 +93,9 @@ pub(crate) struct SessionCore {
     /// The owning frontend's slot→table registry, so teardown is
     /// self-service: dropping the last reference unhooks the table.
     pub(crate) tables: Arc<TableMap>,
+    /// The kernel's dispatch-metrics registry (backpressure re-submits
+    /// are counted here); `None` keeps hand-built test fixtures cheap.
+    pub(crate) metrics: Option<Arc<DispatchMetrics>>,
 }
 
 impl Drop for SessionCore {
@@ -125,10 +129,26 @@ impl AsyncSession {
     /// Issue one call; `.await` the returned future for its outcome.
     pub fn call(&self, proc_id: u32, args: impl Into<Vec<u8>>) -> CallFuture {
         CallFuture {
+            inner: self.call_inner(proc_id, args.into()),
+        }
+    }
+
+    /// Issue one call, resolving to `(return bytes, simulated cost in
+    /// nanoseconds)` — the same `cost_ns` every synchronous flavor
+    /// surfaces through [`secmod_ring::SmodCallResp`], which the plain
+    /// [`AsyncSession::call`] discards.
+    pub fn call_costed(&self, proc_id: u32, args: impl Into<Vec<u8>>) -> CostedCallFuture {
+        CostedCallFuture {
+            inner: self.call_inner(proc_id, args.into()),
+        }
+    }
+
+    fn call_inner(&self, proc_id: u32, args: Vec<u8>) -> CallInner {
+        CallInner {
             core: Arc::clone(&self.core),
             state: CallState::Unsubmitted {
                 proc_id,
-                args: args.into(),
+                args,
                 user_data: None,
             },
         }
@@ -159,95 +179,93 @@ enum CallState {
     Done,
 }
 
-/// One in-flight `call`; resolves to the unified [`DispatchOutcome`].
-///
-/// Cancellation-safe: dropping it mid-await unregisters the cookie, and
-/// the router discards the orphaned completion when it arrives.
-pub struct CallFuture {
+/// The shared call state machine: both public futures drive this to a
+/// raw [`SmodCallResp`] and differ only in how they project the result.
+struct CallInner {
     core: Arc<SessionCore>,
     state: CallState,
 }
 
-impl Future for CallFuture {
-    type Output = DispatchOutcome;
-
-    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<DispatchOutcome> {
-        // No self-references: plain field access is fine.
-        let this = self.get_mut();
+impl CallInner {
+    fn poll_resp(&mut self, cx: &mut Context<'_>) -> Poll<Result<SmodCallResp, DispatchError>> {
         loop {
-            match &mut this.state {
+            match &mut self.state {
                 CallState::Unsubmitted {
                     proc_id,
                     args,
                     user_data,
                 } => {
-                    let table = &this.core.table;
+                    let table = &self.core.table;
                     if table.detached.load(Ordering::Acquire) {
                         if let Some(ud) = user_data {
                             table.pending.lock().remove(ud);
                         }
-                        this.state = CallState::Done;
+                        self.state = CallState::Done;
                         return Poll::Ready(Err(DispatchError::Detached));
                     }
-                    let ud = *user_data.get_or_insert_with(|| this.core.target.alloc_user_data());
+                    let ud = *user_data.get_or_insert_with(|| self.core.target.alloc_user_data());
                     // Park the waker *before* submitting: a completion
                     // racing this poll finds somewhere to deliver.
                     table.pending.lock().entry(ud).or_default().waker = Some(cx.waker().clone());
-                    match this.core.target.submit(*proc_id, ud, args.clone()) {
+                    match self.core.target.submit(*proc_id, ud, args.clone()) {
                         Ok(()) => {
-                            this.state = CallState::Submitted { user_data: ud };
+                            self.state = CallState::Submitted { user_data: ud };
                             // Fall through: the response may already be
                             // routed by the time we re-check.
                         }
                         Err(SubmitError::Full(_)) => {
                             // Backpressure: suspend until the router sees
                             // a completion on this session (which implies
-                            // submission-ring space reappeared).
+                            // submission-ring space reappeared). Each
+                            // bounce is one deferred re-submit.
+                            if let Some(metrics) = &self.core.metrics {
+                                metrics.async_resubmits.incr();
+                            }
                             table.submit_waiters.lock().push(cx.waker().clone());
                             return Poll::Pending;
                         }
                         Err(SubmitError::Detached(_)) => {
                             table.pending.lock().remove(&ud);
-                            this.state = CallState::Done;
+                            self.state = CallState::Done;
                             return Poll::Ready(Err(DispatchError::Detached));
                         }
                     }
                 }
                 CallState::Submitted { user_data } => {
                     let ud = *user_data;
-                    let table = &this.core.table;
+                    let table = &self.core.table;
                     let mut pending = table.pending.lock();
                     let Some(entry) = pending.get_mut(&ud) else {
                         // Entry vanished without us removing it — only
                         // teardown does that.
                         drop(pending);
-                        this.state = CallState::Done;
+                        self.state = CallState::Done;
                         return Poll::Ready(Err(DispatchError::Detached));
                     };
                     if let Some(resp) = entry.resp.take() {
                         pending.remove(&ud);
                         drop(pending);
-                        this.state = CallState::Done;
-                        return Poll::Ready(DispatchError::from_resp(resp));
+                        self.state = CallState::Done;
+                        return Poll::Ready(Ok(resp));
                     }
                     if table.detached.load(Ordering::Acquire) {
                         // Shut down with the response never routed: the
                         // call is lost to teardown.
                         pending.remove(&ud);
                         drop(pending);
-                        this.state = CallState::Done;
+                        self.state = CallState::Done;
                         return Poll::Ready(Err(DispatchError::Detached));
                     }
                     entry.waker = Some(cx.waker().clone());
                     return Poll::Pending;
                 }
-                CallState::Done => panic!("CallFuture polled after completion"),
+                CallState::Done => panic!("call future polled after completion"),
             }
         }
     }
 }
 
-impl Drop for CallFuture {
+impl Drop for CallInner {
     fn drop(&mut self) {
         let user_data = match &self.state {
             CallState::Unsubmitted { user_data, .. } => *user_data,
@@ -258,6 +276,49 @@ impl Drop for CallFuture {
             // Cancelled mid-await: unregister the cookie so the router
             // discards the completion instead of leaking the entry.
             self.core.table.pending.lock().remove(&ud);
+        }
+    }
+}
+
+/// One in-flight `call`; resolves to the unified [`DispatchOutcome`].
+///
+/// Cancellation-safe: dropping it mid-await unregisters the cookie, and
+/// the router discards the orphaned completion when it arrives.
+pub struct CallFuture {
+    inner: CallInner,
+}
+
+impl Future for CallFuture {
+    type Output = DispatchOutcome;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<DispatchOutcome> {
+        // No self-references: plain field access is fine.
+        match self.get_mut().inner.poll_resp(cx) {
+            Poll::Ready(Ok(resp)) => Poll::Ready(DispatchError::from_resp(resp)),
+            Poll::Ready(Err(e)) => Poll::Ready(Err(e)),
+            Poll::Pending => Poll::Pending,
+        }
+    }
+}
+
+/// One in-flight [`AsyncSession::call_costed`]; resolves to the return
+/// bytes *and* the call's simulated `cost_ns`. Cancellation-safe exactly
+/// like [`CallFuture`].
+pub struct CostedCallFuture {
+    inner: CallInner,
+}
+
+impl Future for CostedCallFuture {
+    type Output = Result<(Vec<u8>, u64), DispatchError>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        match self.get_mut().inner.poll_resp(cx) {
+            Poll::Ready(Ok(resp)) => {
+                let cost_ns = resp.cost_ns;
+                Poll::Ready(DispatchError::from_resp(resp).map(|ret| (ret, cost_ns)))
+            }
+            Poll::Ready(Err(e)) => Poll::Ready(Err(e)),
+            Poll::Pending => Poll::Pending,
         }
     }
 }

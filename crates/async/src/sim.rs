@@ -98,6 +98,7 @@ impl<'k> SimDriver<'k> {
                 },
                 table,
                 tables: Arc::clone(&self.tables),
+                metrics: Some(Arc::clone(&self.kernel.metrics)),
             }),
         })
     }
@@ -123,7 +124,7 @@ impl<'k> SimDriver<'k> {
             .kernel
             .sys_smod_sweep(self.drainer, &self.set, self.session_budget)
             .expect("sim drainer sweep");
-        let routed = route_completions(&self.set, &self.tables);
+        let routed = route_completions(&self.set, &self.tables, Some(&self.kernel.metrics));
         (report.drained, routed)
     }
 

@@ -57,6 +57,6 @@ pub mod scenario;
 pub use cache::{CacheConfig, CacheKey, CacheStats, DecisionCache};
 pub use gateway::{AccessRequest, Gateway};
 pub use scenario::{
-    build_dispatch_kernel, build_dispatch_kernel_with_clients, build_universe, run_scenario,
-    DispatchKernel, ScenarioConfig, ScenarioKind, ScenarioReport, Universe,
+    build_dispatch_kernel, build_dispatch_kernel_with_clients, build_universe, run_metrics_demo,
+    run_scenario, DispatchKernel, ScenarioConfig, ScenarioKind, ScenarioReport, Universe,
 };

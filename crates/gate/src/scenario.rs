@@ -2,7 +2,7 @@
 //! generators that drive a [`Gateway`] from many threads, in the spirit of
 //! actor-based access-control evaluation frameworks.
 //!
-//! Nine traffic shapes are modelled:
+//! Ten traffic shapes are modelled:
 //!
 //! * **uniform** — every tenant equally likely, modules and operations
 //!   drawn uniformly: the keyspace is about the size of the cache, so the
@@ -43,6 +43,13 @@
 //!   [`secmod_async::AsyncPlane`]; a reactor thread routes completions
 //!   back to parked wakers, so suspension replaces blocking and a
 //!   handful of OS threads multiplex the whole client population.
+//! * **stall** — fault injection on the plane: the same workload as
+//!   **plane**, plus an antagonist thread that repeatedly claims the
+//!   ring set's readiness bits and drain-exclusivity flags and sleeps on
+//!   them without draining, so queued entries age while the real
+//!   drainers bounce. Decisions are untouched; the scenario exists to
+//!   stretch the *tail* of the latency distribution and prove the
+//!   per-flavor histograms catch it.
 //!
 //! All randomness comes from per-thread `SmallRng` streams seeded from
 //! `ScenarioConfig::seed`, so the request sequence — and therefore the
@@ -60,6 +67,7 @@ use secmod_kernel::smodreg::FunctionTable;
 use secmod_kernel::{Credential, Errno, Kernel, Pid};
 use secmod_module::builder::{FunctionSpec, ModuleBuilder};
 use secmod_module::{ModuleId, SmodPackage, StubTable};
+use secmod_obs::{Flavor, LatencySummary};
 use secmod_policy::{Assertion, LicenseeExpr, PolicyEngine, Principal};
 use secmod_ring::{
     CompletionRing, RingPairConfig, SmodCallReq, SubmissionRing, SMOD_BATCH_DEFAULT_BUDGET,
@@ -93,11 +101,20 @@ pub enum ScenarioKind {
     /// `session.call(..).await` futures, multiplexed over `threads`
     /// executor workers plus the plane's drainers and reactor.
     AsyncDispatch,
+    /// Plane dispatch under a *stall antagonist*: a fault-injection
+    /// thread repeatedly claims the ring set's readiness bits (and the
+    /// per-slot drain exclusivity flags) and sits on them without
+    /// draining anything, so the real drainers bounce and producers'
+    /// entries sit queued until the antagonist re-marks the slots ready.
+    /// Decisions are untouched — only the *tail* of the latency
+    /// distribution moves, which is exactly what the per-flavor
+    /// histograms exist to expose.
+    DrainerStall,
 }
 
 impl ScenarioKind {
     /// Every scenario, in report order.
-    pub const ALL: [ScenarioKind; 9] = [
+    pub const ALL: [ScenarioKind; 10] = [
         ScenarioKind::Uniform,
         ScenarioKind::ZipfianHotKey,
         ScenarioKind::AdversarialThrash,
@@ -107,6 +124,7 @@ impl ScenarioKind {
         ScenarioKind::RingDispatch,
         ScenarioKind::PlaneDispatch,
         ScenarioKind::AsyncDispatch,
+        ScenarioKind::DrainerStall,
     ];
 
     /// Short name used in reports and CLI arguments.
@@ -121,6 +139,7 @@ impl ScenarioKind {
             ScenarioKind::RingDispatch => "ring",
             ScenarioKind::PlaneDispatch => "plane",
             ScenarioKind::AsyncDispatch => "async",
+            ScenarioKind::DrainerStall => "stall",
         }
     }
 }
@@ -446,7 +465,8 @@ fn run_worker(
             | ScenarioKind::SessionPool
             | ScenarioKind::RingDispatch
             | ScenarioKind::PlaneDispatch
-            | ScenarioKind::AsyncDispatch => {
+            | ScenarioKind::AsyncDispatch
+            | ScenarioKind::DrainerStall => {
                 let tenant = rng.gen_range(0..universe.tenants.len() as u64) as usize;
                 (
                     tenant,
@@ -921,6 +941,7 @@ fn run_ring_scenario(cfg: &ScenarioConfig) -> ScenarioReport {
         denies,
         epoch_bumps: dispatch.kernel.smod_epoch(),
         cache,
+        latency: latency_of(&dispatch.kernel, Flavor::Batch),
     }
 }
 
@@ -932,9 +953,20 @@ fn run_ring_scenario(cfg: &ScenarioConfig) -> ScenarioReport {
 /// session per `sys_smod_sweep`. The operation draw is seed-identical to
 /// [`ScenarioKind::KernelDispatch`], so the allow/deny split matches the
 /// single-call scenario exactly.
+///
+/// [`ScenarioKind::DrainerStall`] runs the identical workload with one
+/// extra thread: a stall antagonist that loops `sweep_ready` over the
+/// plane's ring set, *claiming* readiness bits and per-slot drain
+/// exclusivity, sleeping while it holds them, draining nothing, and
+/// re-marking every slot ready on release. The real drainers bounce off
+/// the held slots, queued entries age, and the tail of the latency
+/// distribution stretches — while the allow/deny split stays bit-for-bit
+/// identical to the unstalled run.
 fn run_plane_scenario(cfg: &ScenarioConfig) -> ScenarioReport {
     use secmod_kernel::{DispatchPlane, PlaneConfig};
+    use std::sync::atomic::{AtomicUsize, Ordering};
 
+    let stall = cfg.kind == ScenarioKind::DrainerStall;
     let DispatchKernel {
         kernel,
         module,
@@ -951,13 +983,35 @@ fn run_plane_scenario(cfg: &ScenarioConfig) -> ScenarioReport {
     )
     .expect("start dispatch plane");
     let (tx, rx) = channel::bounded::<WorkerStats>(cfg.threads);
+    let producers_done = AtomicUsize::new(0);
 
     let start = Instant::now();
     std::thread::scope(|scope| {
+        if stall {
+            let set = plane.ring_set();
+            let producers_done = &producers_done;
+            scope.spawn(move || {
+                while producers_done.load(Ordering::Acquire) < cfg.threads {
+                    // Claim whatever is ready and sit on it: while this
+                    // closure holds a slot, its drain-exclusivity flag
+                    // blocks the real drainers, and the readiness bits
+                    // claimed alongside it hide the remaining slots from
+                    // their sweeps. Nothing is popped; returning `true`
+                    // re-flags the slot so the work is *delayed*, never
+                    // lost.
+                    set.sweep_ready(|_slot, _rings| {
+                        std::thread::sleep(Duration::from_micros(200));
+                        true
+                    });
+                    std::thread::sleep(Duration::from_micros(50));
+                }
+            });
+        }
         for (thread_idx, &client) in clients.iter().enumerate().take(cfg.threads) {
             let tx = tx.clone();
             let handle = plane.attach(client).expect("attach producer");
             let func_ids = &func_ids;
+            let producers_done = &producers_done;
             scope.spawn(move || {
                 let mut rng = SmallRng::seed_from_u64(cfg.seed ^ mix64(thread_idx as u64 + 1));
                 let mut stats = WorkerStats::default();
@@ -1002,6 +1056,7 @@ fn run_plane_scenario(cfg: &ScenarioConfig) -> ScenarioReport {
                         std::thread::yield_now();
                     }
                 }
+                producers_done.fetch_add(1, Ordering::Release);
                 tx.send(stats).expect("report plane producer stats");
             });
         }
@@ -1034,7 +1089,15 @@ fn run_plane_scenario(cfg: &ScenarioConfig) -> ScenarioReport {
         denies,
         epoch_bumps: kernel.smod_epoch(),
         cache,
+        latency: latency_of(&kernel, Flavor::Plane),
     }
+}
+
+/// The scenario's latency summary from the kernel's dispatch metrics,
+/// `None` when the flavor recorded nothing (e.g. a gateway-only run).
+fn latency_of(kernel: &Kernel, flavor: Flavor) -> Option<LatencySummary> {
+    let hist = kernel.metrics.latency(flavor);
+    (hist.count() > 0).then(|| hist.summary())
 }
 
 /// The [`ScenarioKind::AsyncDispatch`] runner: `logical_clients` tasks
@@ -1124,7 +1187,118 @@ fn run_async_scenario(cfg: &ScenarioConfig) -> ScenarioReport {
         denies,
         epoch_bumps: kernel.smod_epoch(),
         cache,
+        latency: latency_of(&kernel, Flavor::Async),
     }
+}
+
+/// Drive all five dispatch flavors against **one** kernel and render its
+/// [`DispatchMetrics`][secmod_obs::DispatchMetrics] text report — the
+/// `gate_report --metrics` walkthrough and the CI observability smoke.
+///
+/// The syscall and batch flavors are exercised directly; the plane and
+/// async frontends bring their own drainer threads, whose
+/// `sys_smod_sweep`s populate the sweep flavor — so one small demo
+/// lights up every row of the report.
+pub fn run_metrics_demo(seed: u64) -> String {
+    use secmod_async::{block_on, AsyncPlane};
+    use secmod_kernel::dispatch::Dispatcher;
+    use secmod_kernel::{DispatchPlane, PlaneConfig};
+
+    const OPS: u64 = 64;
+    let cfg = ScenarioConfig::builder(ScenarioKind::KernelDispatch)
+        .quick()
+        .seed(seed)
+        .build();
+    let DispatchKernel {
+        kernel,
+        clients,
+        func_ids,
+        ..
+    } = build_dispatch_kernel_with_clients(&cfg, 4);
+    let kernel = std::sync::Arc::new(kernel);
+    let func = |i: u64| func_ids[(i % func_ids.len() as u64) as usize];
+
+    // Syscall: plain `sys_smod_call` through the `Dispatcher` trait.
+    // The draw includes `restricted`, so denied calls are recorded too —
+    // a deny still costs its policy check.
+    for i in 0..OPS {
+        let _ = kernel.dispatch_one(clients[0], func(i), &i.to_le_bytes());
+    }
+
+    // Batch: fill one submission ring, drain it with
+    // `sys_smod_call_batch` traps (ring-sized batches).
+    let session = kernel
+        .session_of(clients[1])
+        .expect("client 1 session")
+        .id
+        .0;
+    let (sq, cq) = RingPairConfig::default().build();
+    let mut submitted = 0u64;
+    loop {
+        while submitted < OPS {
+            let req = SmodCallReq {
+                session,
+                proc_id: func(submitted),
+                user_data: submitted,
+                args: submitted.to_le_bytes().to_vec(),
+            };
+            if sq.push_spsc(req).is_err() {
+                break;
+            }
+            submitted += 1;
+        }
+        if sq.is_empty() {
+            break;
+        }
+        kernel
+            .sys_smod_call_batch(clients[1], &sq, &cq, SMOD_BATCH_DEFAULT_BUDGET)
+            .expect("batch dispatch");
+        while cq.pop_spsc().is_some() {}
+    }
+
+    // Plane: submissions never trap; the plane's drainer sweeps (the
+    // sweep flavor) and `reap` observes completions (the plane flavor).
+    let plane = DispatchPlane::start(
+        std::sync::Arc::clone(&kernel),
+        PlaneConfig::builder().drainers(1).slots(1).build(),
+    )
+    .expect("start dispatch plane");
+    let handle = plane.attach(clients[2]).expect("attach plane client");
+    let mut sent = 0u64;
+    let mut received = 0u64;
+    while received < OPS {
+        if sent < OPS
+            && handle
+                .submit(func(sent), sent, sent.to_le_bytes().to_vec())
+                .is_ok()
+        {
+            sent += 1;
+        }
+        while handle.reap().is_some() {
+            received += 1;
+        }
+        if received < OPS {
+            std::thread::yield_now();
+        }
+    }
+    plane.shutdown();
+
+    // Async: awaited `call_costed` futures through the futures frontend;
+    // its reactor routes completions (the async flavor) off the same
+    // sweeps.
+    let aplane = AsyncPlane::start(
+        std::sync::Arc::clone(&kernel),
+        PlaneConfig::builder().drainers(1).slots(1).build(),
+    )
+    .expect("start async plane");
+    let async_session = aplane.session(clients[3]).expect("attach async session");
+    for i in 0..OPS {
+        let _ = block_on(async_session.call_costed(func(i), i.to_le_bytes()));
+    }
+    drop(async_session);
+    aplane.shutdown();
+
+    kernel.metrics.text_report()
 }
 
 /// The outcome of one scenario run.
@@ -1148,6 +1322,10 @@ pub struct ScenarioReport {
     pub epoch_bumps: u64,
     /// Decision-cache counters for the run.
     pub cache: CacheStats,
+    /// Simulated per-call latency quantiles for the dispatch flavor the
+    /// scenario drives (`None` for gateway-only scenarios, which never
+    /// enter a kernel dispatch path).
+    pub latency: Option<LatencySummary>,
 }
 
 impl ScenarioReport {
@@ -1171,7 +1349,11 @@ impl std::fmt::Display for ScenarioReport {
             self.denies,
             self.cache.evictions,
             self.epoch_bumps,
-        )
+        )?;
+        if let Some(latency) = &self.latency {
+            write!(f, "  {latency}")?;
+        }
+        Ok(())
     }
 }
 
@@ -1187,7 +1369,7 @@ pub fn run_scenario(cfg: &ScenarioConfig) -> ScenarioReport {
             return run_kernel_scenario(cfg)
         }
         ScenarioKind::RingDispatch => return run_ring_scenario(cfg),
-        ScenarioKind::PlaneDispatch => return run_plane_scenario(cfg),
+        ScenarioKind::PlaneDispatch | ScenarioKind::DrainerStall => return run_plane_scenario(cfg),
         ScenarioKind::AsyncDispatch => return run_async_scenario(cfg),
         _ => {}
     }
@@ -1239,6 +1421,7 @@ pub fn run_scenario(cfg: &ScenarioConfig) -> ScenarioReport {
         denies,
         epoch_bumps,
         cache: gateway.cache_stats(),
+        latency: None,
     }
 }
 
@@ -1294,6 +1477,7 @@ fn run_kernel_scenario(cfg: &ScenarioConfig) -> ScenarioReport {
         denies,
         epoch_bumps: dispatch.kernel.smod_epoch(),
         cache,
+        latency: latency_of(&dispatch.kernel, Flavor::Syscall),
     }
 }
 
@@ -1511,6 +1695,79 @@ mod tests {
         );
         // Drainer count is a throughput knob, never a correctness knob.
         assert_eq!((auto.allows, auto.denies), (two.allows, two.denies));
+    }
+
+    #[test]
+    fn drainer_stall_delays_but_never_changes_decisions() {
+        let stall = run_scenario(
+            &ScenarioConfig::builder(ScenarioKind::DrainerStall)
+                .quick()
+                .seed(11)
+                .build(),
+        );
+        assert_eq!(stall.allows + stall.denies, stall.total_ops);
+        // The antagonist claims readiness bits and drain flags and sits
+        // on them — work is *delayed*, never lost or altered: the split
+        // matches the unstalled plane run bit for bit.
+        let plane = run_scenario(
+            &ScenarioConfig::builder(ScenarioKind::PlaneDispatch)
+                .quick()
+                .seed(11)
+                .build(),
+        );
+        assert_eq!((stall.allows, stall.denies), (plane.allows, plane.denies));
+        // The stalled run still records its latency distribution.
+        let latency = stall.latency.expect("plane flavor recorded");
+        assert!(latency.count > 0 && latency.p50 > 0 && latency.p999 >= latency.p50);
+    }
+
+    #[test]
+    fn dispatch_scenarios_report_latency_quantiles() {
+        for kind in [
+            ScenarioKind::KernelDispatch,
+            ScenarioKind::RingDispatch,
+            ScenarioKind::PlaneDispatch,
+            ScenarioKind::AsyncDispatch,
+        ] {
+            let report = run_scenario(&ScenarioConfig::builder(kind).quick().seed(3).build());
+            let latency = report
+                .latency
+                .unwrap_or_else(|| panic!("{} must report latency", kind.name()));
+            assert!(latency.count > 0, "{} recorded nothing", kind.name());
+            assert!(
+                latency.p50 > 0 && latency.p99 >= latency.p50 && latency.p999 >= latency.p99,
+                "{} quantiles not monotone: {latency}",
+                kind.name()
+            );
+        }
+        // Gateway-only scenarios never enter a kernel dispatch path.
+        let uniform = run_scenario(
+            &ScenarioConfig::builder(ScenarioKind::Uniform)
+                .quick()
+                .seed(3)
+                .build(),
+        );
+        assert!(uniform.latency.is_none());
+    }
+
+    #[test]
+    fn metrics_demo_lights_up_every_flavor() {
+        let report = run_metrics_demo(7);
+        // One kernel, one report: every dispatch flavor must have
+        // recorded samples — a "(no samples)" row means a path lost its
+        // instrumentation.
+        assert!(
+            !report.contains("(no samples)"),
+            "a flavor recorded nothing:\n{report}"
+        );
+        for flavor in Flavor::ALL {
+            assert!(
+                report.contains(flavor.name()),
+                "missing {} row:\n{report}",
+                flavor.name()
+            );
+        }
+        assert!(report.contains("gate "), "missing counter line:\n{report}");
     }
 
     #[test]

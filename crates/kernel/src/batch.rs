@@ -44,6 +44,7 @@ use crate::smod::{Session, SessionState};
 use crate::smodreg::{FunctionBody, RegisteredModule};
 use crate::trace::Event;
 use crate::SysResult;
+use secmod_obs::Flavor;
 use secmod_ring::{CompletionRing, SmodCallReq, SmodCallResp, SubmissionRing};
 use std::sync::Arc;
 
@@ -213,7 +214,14 @@ impl Kernel {
         }
         let mut drain = self.resolve_session_drain(session);
         let mut scratch = DrainScratch::new();
-        let outcome = self.drain_session_rings(&mut drain, sq, cq, batch_budget, &mut scratch);
+        let outcome = self.drain_session_rings(
+            &mut drain,
+            sq,
+            cq,
+            batch_budget,
+            &mut scratch,
+            Flavor::Batch,
+        );
 
         let mut report = BatchReport {
             drained: outcome.drained,
@@ -285,6 +293,7 @@ impl Kernel {
         cq: &CompletionRing,
         budget: usize,
         scratch: &mut DrainScratch,
+        flavor: Flavor,
     ) -> DrainOutcome {
         scratch.memo.clear();
         let mut outcome = DrainOutcome::default();
@@ -450,6 +459,15 @@ impl Kernel {
                 }
                 outcome.checked += usize::from(resp.cost_ns > 0);
                 outcome.entry_ns += resp.cost_ns;
+                // Validation rejects carry `cost_ns == 0` and would only
+                // flatten the distribution — record the entries that did
+                // real per-entry work, the same set `checked` counts.
+                if resp.cost_ns > 0 {
+                    self.metrics.record_latency(flavor, resp.cost_ns);
+                }
+                if resp.errno == Errno::EIDRM.code() {
+                    self.metrics.eidrm_failures.incr();
+                }
                 let mut pending = resp;
                 while let Err(back) = cq.push(pending) {
                     pending = back;
@@ -515,6 +533,11 @@ impl Kernel {
                         };
                         let (allowed, cached) =
                             module.check_operation(app_domain, principal, uid, &stub.symbol);
+                        if cached {
+                            self.metrics.gate_hits.incr();
+                        } else {
+                            self.metrics.gate_misses.incr();
+                        }
                         // The first sight of a function in a drain pays
                         // the true decision cost; repeats are memo hits.
                         policy_cost = if cached {

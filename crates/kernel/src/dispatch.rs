@@ -27,6 +27,7 @@ use crate::errno::Errno;
 use crate::kernel::Kernel;
 use crate::proc::Pid;
 use crate::smod::SmodCallArgs;
+use secmod_obs::DispatchMetrics;
 use secmod_ring::{RingPairConfig, SmodCallReq, SmodCallResp};
 
 /// One request in the unified vocabulary: which module function, with
@@ -147,6 +148,14 @@ pub trait Dispatcher {
 
     /// What this flavor can do.
     fn capabilities(&self) -> DispatchCaps;
+
+    /// The dispatch metrics registry this flavor records into, when it
+    /// has one. Kernel-backed flavors return their kernel's registry
+    /// (per-flavor latency histograms plus counters); the default is
+    /// `None` so trait objects over non-kernel dispatchers keep working.
+    fn metrics(&self) -> Option<&DispatchMetrics> {
+        None
+    }
 }
 
 impl Dispatcher for Kernel {
@@ -207,6 +216,10 @@ impl Dispatcher for Kernel {
             trap_free: false,
             asynchronous: false,
         }
+    }
+
+    fn metrics(&self) -> Option<&DispatchMetrics> {
+        Some(&self.metrics)
     }
 }
 

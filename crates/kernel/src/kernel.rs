@@ -40,6 +40,7 @@ use crate::table::ProcessTable;
 use crate::trace::{Event, Tracer};
 use crate::SysResult;
 use secmod_crypto::KeyStore;
+use secmod_obs::DispatchMetrics;
 use secmod_policy::CacheConfig;
 use secmod_vm::obreak::sys_obreak;
 use secmod_vm::{Layout, Vaddr, VmSpace};
@@ -73,6 +74,12 @@ pub struct Kernel {
     /// `sys_smod_add`. Set before registering modules;
     /// [`CacheConfig::disabled`] yields the uncached baseline kernel.
     pub gate_config: CacheConfig,
+    /// The dispatch observability registry: per-flavor latency
+    /// histograms plus counters, fed by every dispatch path (syscall,
+    /// batch, sweep, plane, async). Shared as an `Arc` so the plane's
+    /// drainer threads and the async reactor record into the same
+    /// registry the `Dispatcher::metrics()` accessor exposes.
+    pub metrics: Arc<DispatchMetrics>,
     pub(crate) next_session: AtomicU32,
     context_switches: StripedCounter,
     /// Monotone epoch bumped by every SecModule event that can invalidate a
@@ -113,6 +120,7 @@ impl Kernel {
             tracer: Tracer::new(),
             layout: Layout::openbsd_i386(),
             gate_config: CacheConfig::default(),
+            metrics: Arc::new(DispatchMetrics::new()),
             next_session: AtomicU32::new(1),
             context_switches: StripedCounter::new(),
             smod_epoch: AtomicU64::new(0),

@@ -39,6 +39,7 @@ use crate::smod::SessionState;
 use crate::sweep::SweepReport;
 use crate::SysResult;
 use parking_lot::RwLock;
+use secmod_obs::{DispatchMetrics, Flavor};
 use secmod_ring::{
     RingPairConfig, RingSet, RingSlotId, SessionRings, SmodCallReq, SmodCallResp, SubmitError,
     SMOD_BATCH_DEFAULT_BUDGET,
@@ -383,7 +384,9 @@ fn drainer_loop(
         // the unpark returns immediately). The timeout backstops the
         // remaining window and paces retries on unserviceable slots.
         shared.idle.fetch_add(1, Ordering::AcqRel);
+        shared.kernel.metrics.drainer_parks.incr();
         std::thread::park_timeout(park_timeout);
+        shared.kernel.metrics.drainer_unparks.incr();
         shared.idle.fetch_sub(1, Ordering::AcqRel);
     }
     stats
@@ -432,12 +435,27 @@ impl PlaneHandle {
         let outcome = self.rings.sq.push(req);
         self.shared.set.mark_ready(self.slot);
         self.shared.wake();
+        if outcome.is_err() {
+            self.shared.kernel.metrics.ring_full_bounces.incr();
+        }
         outcome.map_err(SubmitError::Full)
     }
 
-    /// Pop one completion, if any.
+    /// Pop one completion, if any. Each reaped completion's simulated
+    /// cost lands in the plane-flavor latency histogram — the latency a
+    /// producer *observes* through the plane, as opposed to the
+    /// sweep-flavor records the drainers make while producing it.
     pub fn reap(&self) -> Option<SmodCallResp> {
-        self.rings.cq.pop()
+        let resp = self.rings.cq.pop();
+        if let Some(resp) = &resp {
+            if resp.cost_ns > 0 {
+                self.shared
+                    .kernel
+                    .metrics
+                    .record_latency(Flavor::Plane, resp.cost_ns);
+            }
+        }
+        resp
     }
 
     /// Entries currently queued for dispatch (approximate).
@@ -585,6 +603,10 @@ impl Dispatcher for PlaneHandle {
             trap_free: true,
             asynchronous: false,
         }
+    }
+
+    fn metrics(&self) -> Option<&DispatchMetrics> {
+        Some(&self.shared.kernel.metrics)
     }
 }
 

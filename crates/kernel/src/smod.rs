@@ -19,6 +19,7 @@ use crate::trace::Event;
 use crate::SysResult;
 use parking_lot::RwLock;
 use secmod_module::{ModuleId, SmodPackage};
+use secmod_obs::Flavor;
 use secmod_policy::{PolicyEngine, Principal};
 use secmod_vm::VmSpace;
 use std::collections::BTreeMap;
@@ -715,6 +716,12 @@ impl Kernel {
             module.check_operation(&client_name, principal.as_ref(), uid, &stub.symbol)
         };
 
+        if cached {
+            self.metrics.gate_hits.incr();
+        } else {
+            self.metrics.gate_misses.incr();
+        }
+
         let policy_cost = if cached {
             self.cost.cached_decision_ns
         } else {
@@ -733,6 +740,7 @@ impl Kernel {
         }
         if !allowed {
             self.charge(caller, overhead);
+            self.metrics.record_latency(Flavor::Syscall, overhead);
             return Err(Errno::EACCES);
         }
 
@@ -756,6 +764,8 @@ impl Kernel {
         })?;
         self.clock
             .advance_striped(caller.0 as u64, overhead + extra_ns);
+        self.metrics
+            .record_latency(Flavor::Syscall, overhead + extra_ns);
 
         // --- bookkeeping --------------------------------------------------
         session.note_call();

@@ -38,6 +38,7 @@ use crate::kernel::Kernel;
 use crate::proc::Pid;
 use crate::smod::{SessionId, SessionState};
 use crate::SysResult;
+use secmod_obs::Flavor;
 use secmod_ring::RingSet;
 
 /// What one `sys_smod_sweep` invocation did.
@@ -106,6 +107,7 @@ impl Kernel {
                     // (after the producer reaps).
                     report.sessions_dead += 1;
                     let failed = fail_all_eidrm(&rings.sq, &rings.cq);
+                    self.metrics.eidrm_failures.add(failed as u64);
                     report.drained += failed;
                     report.failed += failed;
                     if failed > 0 {
@@ -121,6 +123,7 @@ impl Kernel {
                 &rings.cq,
                 session_budget,
                 &mut scratch,
+                Flavor::Sweep,
             );
             // Every drained entry pushed a completion (success or errno):
             // flag the completion bitmap so a parked consumer (the async
@@ -143,6 +146,14 @@ impl Kernel {
             // the next sweep picks it straight back up.
             !rings.sq.is_empty()
         });
+
+        // One trap, however many sessions it visited — the pair of
+        // counters behind `DispatchMetrics::sessions_per_trap`, the
+        // paper's multi-session amortisation made observable.
+        self.metrics.sweep_traps.incr();
+        self.metrics
+            .sweep_sessions
+            .add(report.sessions_ready as u64);
 
         // --- amortised accounting: one trap for the whole sweep ---------
         if checked_total > 0 {

@@ -3,12 +3,22 @@
 //! The tracer records the observable steps of the SecModule protocol so
 //! integration tests can assert the exact initialisation sequence of the
 //! paper's Figure 1 and the per-call sequence of Figure 3.
+//!
+//! The log is a *bounded* ring: once `capacity` events are held, each new
+//! record evicts the oldest and bumps [`Tracer::dropped_events`]. A
+//! long-running workload with tracing left on therefore costs a fixed
+//! amount of memory instead of growing without limit, and the counter
+//! says exactly how much history was lost.
 
 use crate::proc::Pid;
 use crate::smod::SessionId;
 use parking_lot::Mutex;
 use secmod_module::ModuleId;
-use std::sync::atomic::{AtomicBool, Ordering::Relaxed};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
+
+/// Default bound on the event log (events, not bytes).
+pub const DEFAULT_TRACE_CAPACITY: usize = 4096;
 
 /// A kernel event.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -92,15 +102,19 @@ pub enum Event {
     },
 }
 
-/// An in-memory event log.
+/// An in-memory, bounded event log.
 ///
 /// Interior-mutable so the `&self` kernel syscall paths can record from
 /// many threads: the enabled flag is an atomic checked before the log mutex
 /// is touched, so disabled tracing (the benchmark configuration) costs one
-/// relaxed load and takes no lock.
+/// relaxed load and takes no lock. When the ring is full the oldest event
+/// is evicted and `dropped_events` is incremented — recording never blocks
+/// on log growth and never allocates past the bound.
 #[derive(Debug)]
 pub struct Tracer {
-    events: Mutex<Vec<Event>>,
+    events: Mutex<VecDeque<Event>>,
+    capacity: usize,
+    dropped: AtomicU64,
     enabled: AtomicBool,
 }
 
@@ -111,10 +125,20 @@ impl Default for Tracer {
 }
 
 impl Tracer {
-    /// Create an enabled tracer.
+    /// Create an enabled tracer with the default bound
+    /// ([`DEFAULT_TRACE_CAPACITY`] events).
     pub fn new() -> Tracer {
+        Tracer::with_capacity(DEFAULT_TRACE_CAPACITY)
+    }
+
+    /// Create an enabled tracer holding at most `capacity` events
+    /// (min 1).
+    pub fn with_capacity(capacity: usize) -> Tracer {
+        let capacity = capacity.max(1);
         Tracer {
-            events: Mutex::new(Vec::new()),
+            events: Mutex::new(VecDeque::with_capacity(capacity)),
+            capacity,
+            dropped: AtomicU64::new(0),
             enabled: AtomicBool::new(true),
         }
     }
@@ -130,24 +154,41 @@ impl Tracer {
         self.enabled.load(Relaxed)
     }
 
-    /// Record an event.
+    /// The bound on retained events.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// How many events have been evicted to make room for newer ones.
+    pub fn dropped_events(&self) -> u64 {
+        self.dropped.load(Relaxed)
+    }
+
+    /// Record an event, evicting the oldest retained event if the ring
+    /// is full.
     pub fn record(&self, event: Event) {
         if self.enabled.load(Relaxed) {
-            self.events.lock().push(event);
+            let mut events = self.events.lock();
+            if events.len() == self.capacity {
+                events.pop_front();
+                self.dropped.fetch_add(1, Relaxed);
+            }
+            events.push_back(event);
         }
     }
 
-    /// Snapshot of all recorded events in order.
+    /// Snapshot of the retained events, oldest first.
     pub fn events(&self) -> Vec<Event> {
-        self.events.lock().clone()
+        self.events.lock().iter().cloned().collect()
     }
 
-    /// Clear the log.
+    /// Clear the log (the dropped-events counter is reset too).
     pub fn clear(&self) {
         self.events.lock().clear();
+        self.dropped.store(0, Relaxed);
     }
 
-    /// Number of recorded events.
+    /// Number of retained events.
     pub fn len(&self) -> usize {
         self.events.lock().len()
     }
@@ -192,5 +233,30 @@ mod tests {
             module: ModuleId(1),
         });
         assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn full_ring_drops_oldest_and_counts() {
+        let t = Tracer::with_capacity(3);
+        assert_eq!(t.capacity(), 3);
+        for i in 0..5 {
+            t.record(Event::ModuleRemoved {
+                module: ModuleId(i),
+            });
+        }
+        assert_eq!(t.len(), 3, "ring never exceeds its bound");
+        assert_eq!(t.dropped_events(), 2);
+        // The two oldest (ids 0, 1) were evicted; 2..5 remain in order.
+        let ids: Vec<u32> = t
+            .events()
+            .iter()
+            .map(|e| match e {
+                Event::ModuleRemoved { module } => module.0,
+                other => panic!("unexpected event {other:?}"),
+            })
+            .collect();
+        assert_eq!(ids, vec![2, 3, 4]);
+        t.clear();
+        assert_eq!(t.dropped_events(), 0, "clear resets the drop counter");
     }
 }

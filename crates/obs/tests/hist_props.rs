@@ -1,0 +1,100 @@
+//! Property tests for the histogram math: quantile estimates against a
+//! sorted-sample oracle, merge associativity, and lock-free concurrent
+//! recording.
+
+use proptest::collection::vec;
+use proptest::{prop_assert, prop_assert_eq, proptest};
+use secmod_obs::{bucket_index, bucket_width, Histogram};
+
+/// The oracle: the exact order statistic the histogram approximates.
+fn oracle_quantile(sorted: &[u64], q: f64) -> u64 {
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+fn record_all(values: &[u64]) -> Histogram {
+    let h = Histogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h
+}
+
+proptest! {
+    #[test]
+    fn p_matches_the_sorted_oracle_within_one_bucket(
+        values in vec(0u64..2_000_000, 1..400),
+        q_milli in 1u64..=1000,
+    ) {
+        let h = record_all(&values);
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        let q = q_milli as f64 / 1000.0;
+        let oracle = oracle_quantile(&sorted, q);
+        let est = h.p(q);
+        // Same rank, so the estimate is the midpoint of the oracle's own
+        // bucket: within one bucket width of the exact order statistic.
+        let width = bucket_width(bucket_index(oracle));
+        prop_assert!(
+            est.abs_diff(oracle) <= width,
+            "p({}) = {} vs oracle {} (bucket width {})",
+            q, est, oracle, width
+        );
+        prop_assert_eq!(bucket_index(est), bucket_index(oracle));
+    }
+
+    #[test]
+    fn merge_is_associative_and_equals_concatenation(
+        a in vec(0u64..1_000_000, 0..100),
+        b in vec(0u64..1_000_000, 0..100),
+        c in vec(0u64..1_000_000, 0..100),
+    ) {
+        // (a ⊕ b) ⊕ c
+        let left = record_all(&a);
+        left.merge(&record_all(&b));
+        left.merge(&record_all(&c));
+        // a ⊕ (b ⊕ c)
+        let bc = record_all(&b);
+        bc.merge(&record_all(&c));
+        let right = record_all(&a);
+        right.merge(&bc);
+        // record(a ++ b ++ c)
+        let mut all = a.clone();
+        all.extend_from_slice(&b);
+        all.extend_from_slice(&c);
+        let oracle = record_all(&all);
+
+        prop_assert_eq!(left.count(), oracle.count());
+        prop_assert_eq!(right.count(), oracle.count());
+        prop_assert_eq!(left.sum(), oracle.sum());
+        prop_assert_eq!(right.sum(), oracle.sum());
+        for q in [0.25, 0.5, 0.75, 0.99] {
+            prop_assert_eq!(left.p(q), oracle.p(q));
+            prop_assert_eq!(right.p(q), oracle.p(q));
+        }
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing(
+        values in vec(0u64..1_000_000, 64..256),
+        threads in 2usize..=6,
+    ) {
+        let shared = Histogram::new();
+        std::thread::scope(|scope| {
+            for chunk in values.chunks(values.len().div_ceil(threads)) {
+                let shared = &shared;
+                scope.spawn(move || {
+                    for &v in chunk {
+                        shared.record(v);
+                    }
+                });
+            }
+        });
+        let sequential = record_all(&values);
+        prop_assert_eq!(shared.count(), sequential.count());
+        prop_assert_eq!(shared.sum(), sequential.sum());
+        for q in [0.5, 0.99, 0.999] {
+            prop_assert_eq!(shared.p(q), sequential.p(q));
+        }
+    }
+}

@@ -1,22 +1,26 @@
 //! Walkthrough: the `secmod_gate` scenario report.
 //!
-//! Runs the nine workload scenarios — uniform, zipfian hot-key,
+//! Runs the ten workload scenarios — uniform, zipfian hot-key,
 //! adversarial cache-thrash, session churn, multi-threaded kernel
 //! dispatch (pinned sessions and the sessions-≫-threads pool), batched
 //! ring dispatch, the dispatch plane (producers ≫ dedicated drainers),
-//! and the futures-based async frontend (logical clients ≫ threads) —
-//! against the sharded decision-cache gateway (for the
-//! kernel-backed scenarios: the gateway *embedded in* the kernel's
-//! dispatch path) and prints ops/sec, cache hit rate, and the
-//! (seed-deterministic) allow/deny split for each.
+//! the futures-based async frontend (logical clients ≫ threads), and
+//! the drainer-stall fault injection — against the sharded
+//! decision-cache gateway (for the kernel-backed scenarios: the gateway
+//! *embedded in* the kernel's dispatch path) and prints ops/sec, cache
+//! hit rate, the (seed-deterministic) allow/deny split, and the
+//! simulated-cost latency quantiles for each.
 //!
 //! ```sh
 //! cargo run --release --example gate_report
 //! cargo run --release --example gate_report -- --threads 2 --ops 2000 --seed 7
 //! cargo run --release --example gate_report -- --threads 4 --drainers 2 --only plane
+//! cargo run --release --example gate_report -- --metrics
 //! ```
 
-use secmod::gate::{build_dispatch_kernel, run_scenario, ScenarioConfig, ScenarioKind};
+use secmod::gate::{
+    build_dispatch_kernel, run_metrics_demo, run_scenario, ScenarioConfig, ScenarioKind,
+};
 use secmod::Dispatcher;
 
 fn parse_flag(args: &[String], flag: &str) -> Option<u64> {
@@ -44,6 +48,15 @@ fn main() {
     // unknown name is a hard error — a typo'd CI leg that silently ran
     // zero scenarios would still exit green.
     let only = parse_str_flag(&args, "--only");
+    // --metrics: skip the scenario sweep and instead drive all five
+    // dispatch flavors against ONE kernel, printing its DispatchMetrics
+    // text report (the CI observability smoke runs this shape).
+    if args.iter().any(|a| a == "--metrics") {
+        println!("secmod dispatch metrics demo (seed {seed})");
+        println!("all five dispatch flavors against one kernel; simulated-cost nanoseconds.\n");
+        print!("{}", run_metrics_demo(seed));
+        return;
+    }
     if let Some(name) = only {
         if !ScenarioKind::ALL.iter().any(|k| k.name() == name) {
             let known: Vec<&str> = ScenarioKind::ALL.iter().map(|k| k.name()).collect();
@@ -126,4 +139,9 @@ fn main() {
     println!("           trap; dedicated drainers sweep all ready sessions per sys_smod_sweep");
     println!("  async    logical clients >> threads: tasks await plane.call() futures; a");
     println!("           reactor thread routes sweep completions back to parked wakers");
+    println!("  stall    the plane workload plus a fault-injection antagonist that claims");
+    println!("           readiness bits and drain slots without draining: decisions are");
+    println!("           untouched, only the latency tail stretches");
+    println!("\nlatency columns (p50/p99/p99.9) are simulated-cost nanoseconds from the");
+    println!("kernel's per-flavor dispatch histograms; run with --metrics for the full table.");
 }

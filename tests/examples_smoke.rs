@@ -80,7 +80,7 @@ fn every_example_builds_and_runs() {
     }
 }
 
-/// `gate_report` must run all eight workload scenarios and report ops/sec
+/// `gate_report` must run all ten workload scenarios and report ops/sec
 /// and a cache hit rate for each — and, because decisions are
 /// seed-deterministic, two runs with the same seed must agree on every
 /// allow/deny count even though timing differs.
@@ -101,6 +101,7 @@ fn gate_report_covers_all_scenarios_deterministically() {
     let first = run();
     for scenario in [
         "uniform", "zipfian", "thrash", "churn", "kernel", "pool", "ring", "plane", "async",
+        "stall",
     ] {
         assert!(
             first.contains(scenario),
@@ -127,7 +128,33 @@ fn gate_report_covers_all_scenarios_deterministically() {
         decisions(&second),
         "allow/deny splits changed between identically seeded runs"
     );
-    assert_eq!(decisions(&first).len(), 9, "expected one row per scenario");
+    assert_eq!(decisions(&first).len(), 10, "expected one row per scenario");
+
+    // Dispatch scenarios additionally report simulated-cost latency
+    // quantiles drawn from the kernel's per-flavor histograms.
+    assert!(
+        first.contains("p99"),
+        "no latency quantiles in dispatch rows:\n{first}"
+    );
+
+    // --metrics drives all five flavors on one kernel and prints the
+    // DispatchMetrics table; no flavor may come up empty.
+    let output = Command::new(dir.join("gate_report"))
+        .args(["--metrics", "--seed", "7"])
+        .output()
+        .expect("run gate_report --metrics");
+    assert!(output.status.success(), "--metrics run failed: {output:?}");
+    let metrics = String::from_utf8_lossy(&output.stdout);
+    for flavor in ["syscall", "batch", "sweep", "plane", "async"] {
+        assert!(
+            metrics.contains(flavor),
+            "metrics table missing the {flavor} flavor:\n{metrics}"
+        );
+    }
+    assert!(
+        !metrics.contains("(no samples)"),
+        "a dispatch flavor recorded nothing:\n{metrics}"
+    );
 
     // The CI smoke shape: an explicit drainer count plus --only filters
     // the report down to the single requested scenario.

@@ -5,8 +5,11 @@
 //! `criterion_group!`/`criterion_main!`, `Criterion::benchmark_group`,
 //! `bench_function`/`bench_with_input`, `BenchmarkId`, `Throughput`,
 //! `black_box`, `Bencher::iter` — over a simple warmup-then-measure timing
-//! loop. No statistics, plots, or baselines: each benchmark prints one
-//! `group/name  time: <median-ish mean> ns/iter` line. Measurement budget
+//! loop. No plots or baselines: each benchmark prints one
+//! `group/name  time: <mean> ns/iter  p50: <..>  p99: <..>` line, where the
+//! quantiles are taken over the per-batch mean ns/iter samples — a
+//! wall-clock tail proxy (scheduler stalls, lock convoys) that the
+//! `bench_trajectory.sh` p99 gate watches across PRs. Measurement budget
 //! per benchmark is `SECMOD_BENCH_MS` milliseconds (default 60; CI smoke
 //! sets it low). Replace with upstream criterion when the environment can
 //! fetch crates.
@@ -67,13 +70,29 @@ pub enum Throughput {
 }
 
 /// Timing loop handed to each benchmark closure.
+#[derive(Default)]
 pub struct Bencher {
     ns_per_iter: f64,
+    p50_ns: f64,
+    p99_ns: f64,
+}
+
+/// Quantile of an ascending-sorted sample set (nearest-rank, the same
+/// convention `secmod_obs` uses): the smallest sample whose rank covers
+/// `q` of the population.
+fn quantile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
 }
 
 impl Bencher {
     /// Run `f` repeatedly: a short warmup, then timed batches until the
-    /// measurement budget is spent.
+    /// measurement budget is spent. Each batch's mean ns/iter is one
+    /// sample of the wall-clock latency distribution; `p50`/`p99` come
+    /// from those samples.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
         let warmup = Duration::from_millis(measure_ms().div_ceil(4));
         let budget = Duration::from_millis(measure_ms());
@@ -87,27 +106,36 @@ impl Bencher {
         }
         let est_ns = (warmup.as_nanos() as f64 / warm_iters.max(1) as f64).max(1.0);
 
-        // Measure in batches sized to ~1/10 of the budget each.
-        let batch = ((budget.as_nanos() as f64 / 10.0 / est_ns) as u64).max(1);
+        // Measure in batches sized to ~1/32 of the budget each: small
+        // enough for ~32 tail samples per run, large enough that the
+        // timer calls between batches stay negligible.
+        let batch = ((budget.as_nanos() as f64 / 32.0 / est_ns) as u64).max(1);
         let mut total_iters: u64 = 0;
         let mut total_ns: u128 = 0;
+        let mut samples: Vec<f64> = Vec::with_capacity(64);
         let deadline = Instant::now() + budget;
         while Instant::now() < deadline {
             let t0 = Instant::now();
             for _ in 0..batch {
                 black_box(f());
             }
-            total_ns += t0.elapsed().as_nanos();
+            let elapsed = t0.elapsed().as_nanos();
+            total_ns += elapsed;
             total_iters += batch;
+            samples.push(elapsed as f64 / batch as f64);
         }
         self.ns_per_iter = total_ns as f64 / total_iters.max(1) as f64;
+        samples.sort_by(f64::total_cmp);
+        self.p50_ns = quantile(&samples, 0.50);
+        self.p99_ns = quantile(&samples, 0.99);
     }
 }
 
-fn report(group: &str, id: &str, ns_per_iter: f64, throughput: Option<Throughput>) {
+fn report(group: &str, id: &str, b: &Bencher, throughput: Option<Throughput>) {
+    let ns_per_iter = b.ns_per_iter;
     let rate = match throughput {
-        Some(Throughput::Bytes(b)) => {
-            let mib_s = b as f64 / (ns_per_iter / 1e9) / (1024.0 * 1024.0);
+        Some(Throughput::Bytes(by)) => {
+            let mib_s = by as f64 / (ns_per_iter / 1e9) / (1024.0 * 1024.0);
             format!("  thrpt: {mib_s:10.1} MiB/s")
         }
         Some(Throughput::Elements(n)) => {
@@ -121,7 +149,12 @@ fn report(group: &str, id: &str, ns_per_iter: f64, throughput: Option<Throughput
     } else {
         format!("{group}/{id}")
     };
-    println!("{name:<48} time: {ns_per_iter:12.1} ns/iter{rate}");
+    // `time:` + `ns/iter` are the tokens bench_trajectory.sh keys on;
+    // the quantile fields ride behind them under their own tokens.
+    println!(
+        "{name:<48} time: {ns_per_iter:12.1} ns/iter  p50: {:12.1}  p99: {:12.1}{rate}",
+        b.p50_ns, b.p99_ns
+    );
 }
 
 /// A named collection of related benchmarks.
@@ -152,9 +185,9 @@ impl BenchmarkGroup<'_> {
         let id = id.into();
         let full = format!("{}/{}", self.name, id.id);
         if self.criterion.matches(&full) {
-            let mut b = Bencher { ns_per_iter: 0.0 };
+            let mut b = Bencher::default();
             f(&mut b);
-            report(&self.name, &id.id, b.ns_per_iter, self.throughput);
+            report(&self.name, &id.id, &b, self.throughput);
         }
         self
     }
@@ -207,9 +240,9 @@ impl Criterion {
     /// Benchmark a standalone function outside any group.
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
         if self.matches(id) {
-            let mut b = Bencher { ns_per_iter: 0.0 };
+            let mut b = Bencher::default();
             f(&mut b);
-            report("", id, b.ns_per_iter, None);
+            report("", id, &b, None);
         }
         self
     }
@@ -245,9 +278,20 @@ mod tests {
     #[test]
     fn bencher_measures_something() {
         std::env::set_var("SECMOD_BENCH_MS", "4");
-        let mut b = Bencher { ns_per_iter: 0.0 };
+        let mut b = Bencher::default();
         b.iter(|| black_box(1u64 + 1));
         assert!(b.ns_per_iter > 0.0);
+        // The per-batch samples give an ordered quantile pair.
+        assert!(b.p50_ns > 0.0 && b.p99_ns >= b.p50_ns);
+    }
+
+    #[test]
+    fn quantile_is_nearest_rank() {
+        let sorted = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(quantile(&sorted, 0.50), 3.0);
+        assert_eq!(quantile(&sorted, 0.99), 5.0);
+        assert_eq!(quantile(&sorted, 0.0), 1.0);
+        assert_eq!(quantile(&[], 0.5), 0.0);
     }
 
     #[test]
