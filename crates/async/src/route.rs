@@ -147,7 +147,7 @@ mod tests {
     fn resp(user_data: u64) -> SmodCallResp {
         SmodCallResp {
             user_data,
-            ret: Vec::new(),
+            ret: secmod_ring::ArgRef::empty(),
             errno: 0,
             cost_ns: 0,
         }

@@ -26,7 +26,9 @@ use secmod_kernel::dispatch::{DispatchError, DispatchOutcome};
 use secmod_kernel::plane::PlaneHandle;
 use secmod_kernel::proc::Pid;
 use secmod_obs::DispatchMetrics;
-use secmod_ring::{RingSet, RingSlotId, SessionRings, SmodCallReq, SmodCallResp, SubmitError};
+use secmod_ring::{
+    ArgRef, RingSet, RingSlotId, SessionRings, SmodCallReq, SmodCallResp, SubmitError,
+};
 use std::future::Future;
 use std::pin::Pin;
 use std::sync::atomic::Ordering;
@@ -50,6 +52,7 @@ pub(crate) enum Target {
 impl Target {
     fn submit(&self, proc_id: u32, user_data: u64, args: Vec<u8>) -> Result<(), SubmitError> {
         match self {
+            // PlaneHandle::submit does the inline-vs-arena placement.
             Target::Plane(handle) => handle.submit(proc_id, user_data, args),
             Target::Raw { set, slot, rings } => set.submit(
                 *slot,
@@ -57,7 +60,10 @@ impl Target {
                     session: rings.session,
                     proc_id,
                     user_data,
-                    args,
+                    // Large payloads ride the set's arena when it has one
+                    // (a bounced req frees its slot on drop, so retries
+                    // re-place cleanly).
+                    args: ArgRef::place_vec(args, rings.arena.as_ref()),
                 },
             ),
         }

@@ -18,7 +18,7 @@ use crate::session::{AsyncSession, SessionCore, Target};
 use crate::SlotTable;
 use parking_lot::Mutex;
 use secmod_kernel::{Credential, Errno, Kernel, Pid, SessionState, SysResult};
-use secmod_ring::{RingPairConfig, RingSet};
+use secmod_ring::{ArgArena, RingPairConfig, RingSet};
 use std::collections::HashMap;
 use std::future::Future;
 use std::pin::Pin;
@@ -31,6 +31,9 @@ use std::task::{Context, Poll, Wake, Waker};
 /// sweep pending); several in a row means a future awaits something the
 /// rings will never produce.
 const STALL_LIMIT: u32 = 4;
+
+/// Argument-arena capacity backing the driver's ring set.
+const SIM_ARENA_BYTES: usize = 1 << 20;
 
 /// `run` polls every future each round, so wake notifications carry no
 /// information — a no-op waker keeps the loop honest about that.
@@ -63,10 +66,14 @@ impl<'k> SimDriver<'k> {
     ) -> SysResult<SimDriver<'k>> {
         let drainer =
             kernel.spawn_process("sim-reactor", Credential::root(), vec![0x90; 4096], 2, 2)?;
+        // Same zero-copy path the live plane uses: large payloads ride a
+        // shared arena (1 MiB, quota = whole arena per session) so the sim
+        // exercises descriptor dispatch deterministically too.
+        let arena = ArgArena::with_metrics(SIM_ARENA_BYTES, Arc::clone(&kernel.metrics.arena));
         Ok(SimDriver {
             kernel,
             drainer,
-            set: Arc::new(RingSet::with_capacity(slots)),
+            set: Arc::new(RingSet::with_arena(slots, arena, SIM_ARENA_BYTES)),
             tables: Arc::new(Mutex::new(HashMap::new())),
             ring,
             session_budget: session_budget.max(1),

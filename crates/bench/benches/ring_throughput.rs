@@ -59,7 +59,7 @@ fn batch_cycle(
             session,
             proc_id: func_id,
             user_data: i as u64,
-            args: (i as u64).to_le_bytes().to_vec(),
+            args: (i as u64).to_le_bytes().into(),
         })
         .expect("ring sized to the batch");
     }

@@ -110,7 +110,7 @@ fn round_robin_cycle(f: &Fixture) {
                 session: *session,
                 proc_id: f.func_id,
                 user_data: i,
-                args: i.to_le_bytes().to_vec(),
+                args: i.to_le_bytes().into(),
             })
             .expect("ring sized to the batch");
         }
@@ -142,7 +142,7 @@ fn sweep_cycle(f: &Fixture) {
                     session: rings.session,
                     proc_id: f.func_id,
                     user_data: i,
-                    args: i.to_le_bytes().to_vec(),
+                    args: i.to_le_bytes().into(),
                 })
                 .expect("ring sized to the batch");
         }

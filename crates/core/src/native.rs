@@ -33,7 +33,7 @@ use crate::{Result, SmodError};
 use crossbeam::channel::{bounded, Receiver, Sender};
 use parking_lot::RwLock;
 use secmod_crypto::hmac::HmacSha256;
-use secmod_ring::Ring;
+use secmod_ring::{ArenaRegion, ArgArena, ArgRef, Ring};
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -291,7 +291,9 @@ struct NativeRingReq {
     token: [u8; 32],
     func: u32,
     user_data: u64,
-    args: Vec<u8>,
+    /// Inline for small payloads, an arena descriptor for large ones —
+    /// the wall-clock analogue of the kernel's zero-copy argument path.
+    args: ArgRef,
 }
 
 /// The drainer's per-entry verdict, carried back on the completion ring
@@ -314,6 +316,10 @@ pub struct NativeCompletion {
 /// The sentinel `func` id that asks the drainer to exit (sent through
 /// the submission ring itself, so shutdown needs no side channel).
 const NATIVE_RING_SHUTDOWN: u32 = u32::MAX;
+
+/// Argument-arena capacity for a ring-backed native session. Sized so a
+/// full 64-deep ring of 64 KiB payloads fits with room to spare.
+const NATIVE_ARENA_BYTES: usize = 8 << 20;
 
 /// The ring-backed variant of [`NativeSession`]: the producer (calling
 /// thread) and a dedicated drainer thread communicate **only through a
@@ -339,6 +345,11 @@ pub struct NativeRingSession {
     stop: Arc<std::sync::atomic::AtomicBool>,
     token: [u8; 32],
     heap: Arc<SharedHeap>,
+    /// Argument arena shared with the drainer: submissions above
+    /// [`secmod_ring::INLINE_ARG_MAX`] pass by descriptor, the drainer
+    /// reads the bytes in place, and the slot frees when the request
+    /// drops after the call.
+    arena: ArenaRegion,
     names: Vec<String>,
     drainer: Option<JoinHandle<u64>>,
 }
@@ -389,6 +400,10 @@ impl NativeRingSession {
         let sq: Arc<Ring<NativeRingReq>> = Arc::new(Ring::with_capacity(ring_capacity));
         let cq: Arc<Ring<(u64, NativeRingReply)>> = Arc::new(Ring::with_capacity(ring_capacity));
         let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let arena = ArenaRegion::new(
+            ArgArena::with_capacity(NATIVE_ARENA_BYTES),
+            NATIVE_ARENA_BYTES,
+        );
 
         let expected = token;
         let drainer_sq = Arc::clone(&sq);
@@ -426,7 +441,7 @@ impl NativeRingSession {
                             None => NativeRingReply::Unknown(req.func),
                             Some(body) => {
                                 calls += 1;
-                                NativeRingReply::Ok(body(&ctx, &req.args))
+                                NativeRingReply::Ok(body(&ctx, req.args.as_slice()))
                             }
                         }
                     };
@@ -454,6 +469,7 @@ impl NativeRingSession {
             stop,
             token,
             heap,
+            arena,
             names,
             drainer: Some(drainer),
         })
@@ -479,7 +495,7 @@ impl NativeRingSession {
                 token: self.token,
                 func,
                 user_data,
-                args: args.to_vec(),
+                args: ArgRef::place(args, Some(&self.arena)),
             })
             .is_ok();
         if ok {
@@ -552,7 +568,7 @@ impl NativeRingSession {
             token: self.token,
             func: NATIVE_RING_SHUTDOWN,
             user_data: 0,
-            args: Vec::new(),
+            args: ArgRef::empty(),
         };
         loop {
             match self.sq.push_spsc(req) {
@@ -775,6 +791,33 @@ mod tests {
             }
         }
         drop(s); // must return, not hang
+    }
+
+    #[test]
+    fn ring_session_passes_large_args_through_the_arena() {
+        let module = NativeModule::new(KEY).function("sum", |_ctx, args| {
+            let total: u64 = args.iter().map(|&b| b as u64).sum();
+            total.to_le_bytes().to_vec()
+        });
+        let s = NativeRingSession::start(&module, KEY, 1024, 8).unwrap();
+        // 64 KiB is far past INLINE_ARG_MAX: it must ride the arena, be
+        // read in place by the drainer, and settle the region afterwards.
+        let big = vec![1u8; 64 * 1024];
+        let results = s.call_batch("sum", &[big.as_slice(), &[2u8, 3u8]]).unwrap();
+        assert_eq!(
+            u64::from_le_bytes(results[0].as_ref().unwrap().clone().try_into().unwrap()),
+            64 * 1024
+        );
+        assert_eq!(
+            u64::from_le_bytes(results[1].as_ref().unwrap().clone().try_into().unwrap()),
+            5
+        );
+        assert_eq!(
+            s.arena.in_flight(),
+            0,
+            "drained requests must free their arena slots"
+        );
+        s.shutdown();
     }
 
     #[test]

@@ -200,7 +200,7 @@ impl SimWorld {
                 session,
                 proc_id: func_id,
                 user_data: i as u64,
-                args: args.to_vec(),
+                args: (*args).into(),
             })
             .expect("submission ring sized to the batch");
         }
@@ -209,7 +209,7 @@ impl SimWorld {
         let mut out = Vec::with_capacity(args_list.len());
         while let Some(resp) = cq.pop_spsc() {
             out.push(if resp.is_ok() {
-                Ok(resp.ret)
+                Ok(resp.into_ret())
             } else {
                 Err(secmod_kernel::Errno::from_code(resp.errno)
                     .unwrap_or(secmod_kernel::Errno::EINVAL))
@@ -271,7 +271,7 @@ impl SimWorld {
                         session: session.id.0,
                         proc_id: func_id,
                         user_data: i as u64,
-                        args: args.to_vec(),
+                        args: (*args).into(),
                     },
                 )
                 .expect("submission ring sized to the batch");
@@ -285,8 +285,9 @@ impl SimWorld {
             let mut results: Vec<std::result::Result<Vec<u8>, secmod_kernel::Errno>> =
                 vec![Err(secmod_kernel::Errno::EINVAL); args_list.len()];
             while let Some(resp) = rings.cq.pop_spsc() {
-                results[resp.user_data as usize] = if resp.is_ok() {
-                    Ok(resp.ret)
+                let idx = resp.user_data as usize;
+                results[idx] = if resp.is_ok() {
+                    Ok(resp.into_ret())
                 } else {
                     Err(secmod_kernel::Errno::from_code(resp.errno)
                         .unwrap_or(secmod_kernel::Errno::EINVAL))

@@ -233,16 +233,30 @@ fn dropping_futures_mid_await_leaks_no_ring_state() {
     let driver = SimDriver::new(&dispatch.kernel, 1, RingPairConfig::default(), 8).unwrap();
     let session = driver.attach(dispatch.clients[0]).unwrap();
 
+    // Every call carries an oversize block (the value in the first 8
+    // bytes, the rest filler), so each pending future holds a live
+    // arena slot — cancellation must give those bytes back too.
+    let big_arg = |v: u64| {
+        let mut block = vec![0xA5u8; 4096];
+        block[..8].copy_from_slice(&v.to_le_bytes());
+        block
+    };
+
     let noop = Waker::from(Arc::new(CountWake(AtomicUsize::new(0))));
     let mut cx = Context::from_waker(&noop);
     let mut futures: Vec<Pin<Box<CallFuture>>> = (0..8u64)
         .map(|i| {
-            let mut future = Box::pin(session.call(incr, i.to_le_bytes()));
+            let mut future = Box::pin(session.call(incr, big_arg(i)));
             assert!(future.as_mut().poll(&mut cx).is_pending());
             future
         })
         .collect();
     assert_eq!(session.in_flight(), 8);
+    let arena = &dispatch.kernel.metrics.arena;
+    assert!(
+        arena.bytes_in_flight.get() > 0,
+        "oversize args must be arena-resident while queued"
+    );
 
     // Cancel every other call while all eight are in the kernel's queue.
     let survivors: Vec<Pin<Box<CallFuture>>> = futures
@@ -276,9 +290,9 @@ fn dropping_futures_mid_await_leaks_no_ring_state() {
         "resolved futures must clear the table"
     );
 
-    // A fresh call on the same session still works end to end.
+    // A fresh oversize call on the same session still works end to end.
     let value = driver.run(vec![async {
-        session.call(incr, 100u64.to_le_bytes()).await.unwrap()
+        session.call(incr, big_arg(100)).await.unwrap()
     }]);
     assert_eq!(
         u64::from_le_bytes(value[0].clone().try_into().unwrap()),
@@ -289,5 +303,12 @@ fn dropping_futures_mid_await_leaks_no_ring_state() {
     assert!(
         driver.ring_set().is_empty(),
         "dropped session must free its ring slot"
+    );
+    // Eight drained requests, four orphaned responses, one follow-up
+    // call, one dropped session: every arena slot came back.
+    assert_eq!(
+        arena.bytes_in_flight.get(),
+        0,
+        "cancellation or teardown leaked arena bytes"
     );
 }

@@ -68,7 +68,7 @@ fn run_batched(dispatch: &DispatchKernel, ops: &[(usize, u64)]) -> Vec<(i32, Vec
             session,
             proc_id,
             user_data: i as u64,
-            args: arg.to_le_bytes().to_vec(),
+            args: arg.to_le_bytes().into(),
         })
         .unwrap();
     }
@@ -81,7 +81,7 @@ fn run_batched(dispatch: &DispatchKernel, ops: &[(usize, u64)]) -> Vec<(i32, Vec
     let mut out = Vec::with_capacity(ops.len());
     while let Some(resp) = cq.pop_spsc() {
         assert_eq!(resp.user_data as usize, out.len(), "completion reordered");
-        out.push((resp.errno, resp.ret));
+        out.push((resp.errno, resp.into_ret()));
     }
     out
 }

@@ -104,7 +104,7 @@ fn run_swept(dispatch: &DispatchKernel, plan: &Plan) -> Vec<Vec<(i32, Vec<u8>)>>
                     session,
                     proc_id: resolve_func(dispatch, func),
                     user_data: ((s as u64) << 32) | i as u64,
-                    args: arg.to_le_bytes().to_vec(),
+                    args: arg.to_le_bytes().into(),
                 },
             )
             .unwrap();
@@ -150,7 +150,7 @@ fn run_swept(dispatch: &DispatchKernel, plan: &Plan) -> Vec<Vec<(i32, Vec<u8>)>>
                     out.len(),
                     "session {s} completions reordered"
                 );
-                out.push((resp.errno, resp.ret));
+                out.push((resp.errno, resp.into_ret()));
             }
             out
         })

@@ -45,7 +45,7 @@ use crate::smodreg::{FunctionBody, RegisteredModule};
 use crate::trace::Event;
 use crate::SysResult;
 use secmod_obs::Flavor;
-use secmod_ring::{CompletionRing, SmodCallReq, SmodCallResp, SubmissionRing};
+use secmod_ring::{ArenaRegion, ArgRef, CompletionRing, SmodCallReq, SmodCallResp, SubmissionRing};
 use std::sync::Arc;
 
 /// Entries processed under one acquisition of the client/handle pair
@@ -157,9 +157,11 @@ pub(crate) fn fail_all_eidrm(sq: &SubmissionRing, cq: &CompletionRing) -> usize 
             match sq.pop() {
                 Some(req) => {
                     took += 1;
+                    // `req` drops here, freeing any arena slot its args
+                    // held — the EIDRM path leaks nothing.
                     let mut pending = SmodCallResp {
                         user_data: req.user_data,
-                        ret: Vec::new(),
+                        ret: ArgRef::empty(),
                         errno: Errno::EIDRM.code(),
                         cost_ns: 0,
                     };
@@ -218,6 +220,7 @@ impl Kernel {
             &mut drain,
             sq,
             cq,
+            None,
             batch_budget,
             &mut scratch,
             Flavor::Batch,
@@ -286,11 +289,13 @@ impl Kernel {
     /// `sys_smod_sweep` (every ready session per syscall) funnel through
     /// here, so the epoch/credential re-check semantics cannot drift
     /// between the two paths.
+    #[allow(clippy::too_many_arguments)] // one arg per drain resource; bundling would obscure them
     pub(crate) fn drain_session_rings(
         &self,
         d: &mut SessionDrain,
         sq: &SubmissionRing,
         cq: &CompletionRing,
+        region: Option<&ArenaRegion>,
         budget: usize,
         scratch: &mut DrainScratch,
         flavor: Flavor,
@@ -352,7 +357,7 @@ impl Kernel {
                 outcome.aborted = true;
                 responses.extend(chunk.iter().map(|req| SmodCallResp {
                     user_data: req.user_data,
-                    ret: Vec::new(),
+                    ret: ArgRef::empty(),
                     errno: Errno::EIDRM.code(),
                     cost_ns: 0,
                 }));
@@ -391,6 +396,7 @@ impl Kernel {
                             &session,
                             &module,
                             req,
+                            region,
                             live.as_ref(),
                             memo,
                             |body, args| {
@@ -429,7 +435,7 @@ impl Kernel {
                         outcome.aborted = true;
                         responses.extend(chunk.iter().map(|req| SmodCallResp {
                             user_data: req.user_data,
-                            ret: Vec::new(),
+                            ret: ArgRef::empty(),
                             errno: Errno::EIDRM.code(),
                             cost_ns: 0,
                         }));
@@ -487,12 +493,13 @@ impl Kernel {
     /// live credential diverged from it. Returns the completion, the
     /// body's extra charged nanoseconds (already included in `cost_ns`),
     /// and whether a body actually ran.
-    #[allow(clippy::type_complexity)]
+    #[allow(clippy::type_complexity, clippy::too_many_arguments)]
     fn batch_entry(
         &self,
         session: &Session,
         module: &RegisteredModule,
         req: &SmodCallReq,
+        region: Option<&ArenaRegion>,
         live: Option<&(String, Option<secmod_policy::Principal>, u32)>,
         memo: &mut Vec<(u32, MemoEntry)>,
         run: impl FnOnce(&FunctionBody, &[u8]) -> (SysResult<Vec<u8>>, u64),
@@ -501,7 +508,7 @@ impl Kernel {
             (
                 SmodCallResp {
                     user_data: req.user_data,
-                    ret: Vec::new(),
+                    ret: ArgRef::empty(),
                     errno: errno.code(),
                     cost_ns,
                 },
@@ -559,19 +566,34 @@ impl Kernel {
                 memo.len() - 1
             }
         };
-        let copy_cost = self.cost.copy_per_byte_ns * req.args.len() as u64;
+        // The zero-copy payoff, in cost-model form: an arena-resident
+        // argument block crosses the ring as an `(offset, len, gen)`
+        // descriptor, so the kernel charges one extra slot hand-off
+        // instead of `copy_per_byte_ns x len` — the paper's shared-stack
+        // argument. By-value args (inline or heap) still pay per byte.
+        let copy_cost = if req.args.is_arena() {
+            self.metrics.arena.arena_args.incr();
+            self.cost.ring_slot_ns
+        } else {
+            self.metrics.arena.inline_args.incr();
+            self.cost.copy_per_byte_ns * req.args.len() as u64
+        };
         match &memo[memo_idx].1 {
             MemoEntry::Missing => fail(Errno::ENOENT, 0),
             MemoEntry::Denied => fail(Errno::EACCES, policy_cost + copy_cost),
             MemoEntry::NoBody => fail(Errno::ENOSYS, policy_cost + copy_cost),
             MemoEntry::Allowed(body) => {
-                let (result, extra_ns) = run(body, &req.args);
+                let (result, extra_ns) = run(body, req.args.as_slice());
                 let cost_ns = policy_cost + copy_cost + extra_ns;
                 match result {
+                    // Large results go back through the session's arena
+                    // region too, when there is one — the completion
+                    // carries a descriptor and the producer reads the
+                    // result in place at reap time.
                     Ok(ret) => (
                         SmodCallResp {
                             user_data: req.user_data,
-                            ret,
+                            ret: ArgRef::place_vec(ret, region),
                             errno: 0,
                             cost_ns,
                         },
@@ -581,7 +603,7 @@ impl Kernel {
                     Err(e) => (
                         SmodCallResp {
                             user_data: req.user_data,
-                            ret: Vec::new(),
+                            ret: ArgRef::empty(),
                             errno: e.code(),
                             cost_ns,
                         },
@@ -702,7 +724,7 @@ pub(crate) mod tests {
             session: k.session_of(client).unwrap().id.0,
             proc_id,
             user_data,
-            args: arg.to_le_bytes().to_vec(),
+            args: arg.to_le_bytes().into(),
         }
     }
 
@@ -730,7 +752,7 @@ pub(crate) mod tests {
             assert_eq!(resp.user_data, i, "completions preserve FIFO order");
             assert!(resp.is_ok());
             assert_eq!(
-                u64::from_le_bytes(resp.ret.clone().try_into().unwrap()),
+                u64::from_le_bytes(resp.ret_bytes().try_into().unwrap()),
                 101 + i
             );
             assert!(resp.cost_ns > 0, "entries charge per-entry cost");
@@ -1002,7 +1024,10 @@ pub(crate) mod tests {
         // Same results...
         for i in 0..N {
             let resp = cq.pop_spsc().unwrap();
-            assert_eq!(u64::from_le_bytes(resp.ret.try_into().unwrap()), i + 1);
+            assert_eq!(
+                u64::from_le_bytes(resp.into_ret().try_into().unwrap()),
+                i + 1
+            );
         }
         // ...at a fraction of the simulated cost: the fixed per-call work
         // is paid once. Even a conservative bound (4x cheaper) holds with

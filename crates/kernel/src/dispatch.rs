@@ -73,7 +73,7 @@ impl DispatchError {
     /// Map a ring completion to the unified vocabulary.
     pub fn from_resp(resp: SmodCallResp) -> DispatchOutcome {
         if resp.is_ok() {
-            Ok(resp.ret)
+            Ok(resp.into_ret())
         } else {
             Err(DispatchError::Errno(
                 Errno::from_code(resp.errno).unwrap_or(Errno::EINVAL),
@@ -196,7 +196,7 @@ impl Dispatcher for Kernel {
                 session: session.id.0,
                 proc_id: call.proc_id,
                 user_data: i as u64,
-                args: call.args.clone(),
+                args: call.args.clone().into(),
             })
             .expect("ring sized to the batch");
         }

@@ -41,8 +41,8 @@ use crate::SysResult;
 use parking_lot::RwLock;
 use secmod_obs::{DispatchMetrics, Flavor};
 use secmod_ring::{
-    RingPairConfig, RingSet, RingSlotId, SessionRings, SmodCallReq, SmodCallResp, SubmitError,
-    SMOD_BATCH_DEFAULT_BUDGET,
+    ArgArena, ArgRef, RingPairConfig, RingSet, RingSlotId, SessionRings, SmodCallReq, SmodCallResp,
+    SubmitError, SMOD_BATCH_DEFAULT_BUDGET,
 };
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -65,6 +65,17 @@ pub struct PlaneConfig {
     /// backstop for a lost unpark race; producers normally wake drainers
     /// long before this expires).
     pub park_timeout: Duration,
+    /// Shared argument-arena capacity attached to the plane's ring set.
+    /// Payloads above [`secmod_ring::INLINE_ARG_MAX`] pass by
+    /// `(offset, len)` descriptor instead of through the ring slot; `0`
+    /// disables the arena (everything travels by value). Each attached
+    /// session's region quota is the full arena (the arena itself is the
+    /// shared ceiling).
+    pub arena_bytes: usize,
+    /// Pin drainer `i` to core `i % available_parallelism` via
+    /// `sched_setaffinity`. Best-effort: platforms without affinity
+    /// support run unpinned.
+    pub pin_drainers: bool,
 }
 
 impl Default for PlaneConfig {
@@ -75,6 +86,8 @@ impl Default for PlaneConfig {
             ring: RingPairConfig::default(),
             session_budget: SMOD_BATCH_DEFAULT_BUDGET,
             park_timeout: Duration::from_millis(1),
+            arena_bytes: 1 << 20,
+            pin_drainers: false,
         }
     }
 }
@@ -123,6 +136,18 @@ impl PlaneConfigBuilder {
     /// Idle-drainer park timeout (lost-unpark backstop).
     pub fn park_timeout(mut self, park_timeout: Duration) -> Self {
         self.cfg.park_timeout = park_timeout;
+        self
+    }
+
+    /// Shared argument-arena capacity (0 disables the zero-copy path).
+    pub fn arena_bytes(mut self, arena_bytes: usize) -> Self {
+        self.cfg.arena_bytes = arena_bytes;
+        self
+    }
+
+    /// Pin drainer threads to cores (best-effort).
+    pub fn pin_drainers(mut self, pin_drainers: bool) -> Self {
+        self.cfg.pin_drainers = pin_drainers;
         self
     }
 
@@ -224,14 +249,21 @@ impl DispatchPlane {
     /// `plane-drainer<i>` that the sweep's amortised fixed cost is
     /// charged to.
     pub fn start(kernel: Arc<Kernel>, cfg: PlaneConfig) -> SysResult<DispatchPlane> {
+        let set = if cfg.arena_bytes > 0 {
+            let arena = ArgArena::with_metrics(cfg.arena_bytes, Arc::clone(&kernel.metrics.arena));
+            RingSet::with_arena(cfg.slots, arena, cfg.arena_bytes)
+        } else {
+            RingSet::with_capacity(cfg.slots)
+        };
         let shared = Arc::new(PlaneShared {
             kernel: Arc::clone(&kernel),
-            set: Arc::new(RingSet::with_capacity(cfg.slots)),
+            set: Arc::new(set),
             stop: AtomicBool::new(false),
             completion_hook: RwLock::new(None),
             sleepers: RwLock::new(Vec::new()),
             idle: AtomicUsize::new(0),
         });
+        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
         let mut drainers = Vec::new();
         for i in 0..cfg.drainers.max(1) {
             let pid = kernel.spawn_process(
@@ -242,9 +274,12 @@ impl DispatchPlane {
                 2,
             )?;
             let shared = Arc::clone(&shared);
+            let pin_core = cfg.pin_drainers.then_some(i % cores);
             let handle = std::thread::Builder::new()
                 .name(format!("smod-drainer{i}"))
-                .spawn(move || drainer_loop(&shared, pid, cfg.session_budget, cfg.park_timeout))
+                .spawn(move || {
+                    drainer_loop(&shared, pid, cfg.session_budget, cfg.park_timeout, pin_core)
+                })
                 .expect("spawn plane drainer thread");
             drainers.push(handle);
         }
@@ -350,7 +385,13 @@ fn drainer_loop(
     pid: Pid,
     session_budget: usize,
     park_timeout: Duration,
+    pin_core: Option<usize>,
 ) -> PlaneStats {
+    if let Some(core) = pin_core {
+        // Best-effort: a refused mask (container cpuset, non-Linux) just
+        // leaves the drainer migratable, exactly as before pinning existed.
+        let _ = affinity::pin_to_core(core);
+    }
     let mut stats = PlaneStats::default();
     // Sweep until stopped; `Err` means the drainer's own process vanished
     // (kernel torn down around the plane) — nothing left to do either way.
@@ -423,6 +464,11 @@ impl PlaneHandle {
     /// retry. [`SubmitError::Detached`] means the plane has shut down:
     /// no drainer will ever run again and retrying is useless.
     pub fn submit(&self, proc_id: u32, user_data: u64, args: Vec<u8>) -> Result<(), SubmitError> {
+        // Large payloads go through the session's arena region (when the
+        // plane has one): the ring slot then carries a 12-byte descriptor
+        // and the kernel reads the bytes in place. Quota exhaustion falls
+        // back to by-value transparently.
+        let args = ArgRef::place_vec(args, self.rings.arena.as_ref());
         let req = SmodCallReq {
             session: self.rings.session,
             proc_id,
@@ -653,7 +699,7 @@ mod tests {
                         }
                         while let Some(resp) = handle.reap() {
                             assert!(resp.is_ok());
-                            sum += u64::from_le_bytes(resp.ret.try_into().unwrap());
+                            sum += u64::from_le_bytes(resp.into_ret().try_into().unwrap());
                             received += 1;
                         }
                     }

@@ -121,6 +121,7 @@ impl Kernel {
                 &mut drain,
                 &rings.sq,
                 &rings.cq,
+                rings.arena.as_ref(),
                 session_budget,
                 &mut scratch,
                 Flavor::Sweep,
@@ -260,7 +261,7 @@ mod tests {
                 assert!(resp.is_ok());
                 assert_eq!(resp.user_data, i, "session {s} reordered");
                 assert_eq!(
-                    u64::from_le_bytes(resp.ret.try_into().unwrap()),
+                    u64::from_le_bytes(resp.into_ret().try_into().unwrap()),
                     100 * s as u64 + i + 1,
                     "session {s} got another session's result"
                 );

@@ -344,6 +344,108 @@ impl Counter {
     }
 }
 
+/// An up/down gauge with a high-water mark (relaxed atomics).
+///
+/// The arena's bytes-in-flight accounting needs more than a monotonic
+/// counter: allocations add, frees subtract, and leak checks assert the
+/// value returns to zero. The high-water mark records the largest value
+/// ever observed after an `add`, so reports can show peak utilisation
+/// even after the traffic has drained.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicU64,
+    high: AtomicU64,
+}
+
+impl Gauge {
+    /// Raise the gauge by `n`, updating the high-water mark.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if n == 0 {
+            return;
+        }
+        let now = self.value.fetch_add(n, Ordering::Relaxed) + n;
+        self.high.fetch_max(now, Ordering::Relaxed);
+    }
+
+    /// Lower the gauge by `n`. Every `sub` must pair with an earlier
+    /// `add` (the arena's slot-ownership handoff guarantees the order),
+    /// so the gauge never underflows.
+    #[inline]
+    pub fn sub(&self, n: u64) {
+        if n > 0 {
+            self.value.fetch_sub(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// Largest value the gauge has held.
+    pub fn high_water(&self) -> u64 {
+        self.high.load(Ordering::Relaxed)
+    }
+
+    /// Zero the gauge and its high-water mark.
+    pub fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+        self.high.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Argument-arena utilisation: how the zero-copy path is actually used.
+///
+/// Lives behind an `Arc` shared between the kernel's
+/// [`DispatchMetrics`] registry and every `ArgArena` the ring layer
+/// creates, so slot alloc/free accounting lands in the same report as
+/// the dispatch histograms.
+#[derive(Debug, Default)]
+pub struct ArenaMetrics {
+    /// Bytes currently held by live arena slots (allocated, not yet
+    /// freed). Returns to 0 when every request and response has been
+    /// reaped or torn down — the leak check every scenario asserts.
+    pub bytes_in_flight: Gauge,
+    /// Arena slot allocations that succeeded.
+    pub allocs: Counter,
+    /// Arena slot frees (matches `allocs` when nothing is in flight).
+    pub frees: Counter,
+    /// Allocations that fell back to an owned heap copy (arena full,
+    /// per-session quota exhausted, or payload larger than the arena).
+    pub alloc_fallbacks: Counter,
+    /// Dispatched argument blocks small enough to ride inline in the
+    /// ring entry.
+    pub inline_args: Counter,
+    /// Dispatched argument blocks passed by arena descriptor.
+    pub arena_args: Counter,
+    /// Frees or reads whose generation tag did not match the slot's
+    /// current generation (use-after-reap attempts, caught and dropped).
+    pub gen_mismatches: Counter,
+}
+
+impl ArenaMetrics {
+    /// An empty registry.
+    pub fn new() -> ArenaMetrics {
+        ArenaMetrics::default()
+    }
+
+    /// Zero every gauge and counter.
+    pub fn reset(&self) {
+        self.bytes_in_flight.reset();
+        for c in [
+            &self.allocs,
+            &self.frees,
+            &self.alloc_fallbacks,
+            &self.inline_args,
+            &self.arena_args,
+            &self.gen_mismatches,
+        ] {
+            c.reset();
+        }
+    }
+}
+
 /// The five dispatch flavors that record latency, one histogram each.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Flavor {
@@ -415,6 +517,9 @@ pub struct DispatchMetrics {
     pub eidrm_failures: Counter,
     /// Async submissions re-parked on a full ring and later re-submitted.
     pub async_resubmits: Counter,
+    /// Argument-arena utilisation (shared with every `ArgArena` wired to
+    /// this registry, so slot accounting lands in the same report).
+    pub arena: std::sync::Arc<ArenaMetrics>,
 }
 
 impl DispatchMetrics {
@@ -463,6 +568,7 @@ impl DispatchMetrics {
         ] {
             c.reset();
         }
+        self.arena.reset();
     }
 
     /// Render the whole registry as the table `gate_report --metrics`
@@ -520,6 +626,25 @@ impl DispatchMetrics {
             self.drainer_parks.get(),
             self.drainer_unparks.get(),
             self.async_resubmits.get(),
+        );
+        let inline = self.arena.inline_args.get();
+        let via_arena = self.arena.arena_args.get();
+        let split_total = inline + via_arena;
+        let arena_pct = if split_total == 0 {
+            0.0
+        } else {
+            via_arena as f64 / split_total as f64 * 100.0
+        };
+        let _ = writeln!(
+            out,
+            "arena {} B in flight (high-water {} B)  args {} inline / {} arena ({:.1}% arena)  fallbacks {}  gen-mismatch {}",
+            self.arena.bytes_in_flight.get(),
+            self.arena.bytes_in_flight.high_water(),
+            inline,
+            via_arena,
+            arena_pct,
+            self.arena.alloc_fallbacks.get(),
+            self.arena.gen_mismatches.get(),
         );
         out
     }
@@ -636,6 +761,44 @@ mod tests {
         m.reset();
         assert_eq!(m.latency(Flavor::Syscall).count(), 0);
         assert_eq!(m.gate_hits.get(), 0);
+    }
+
+    #[test]
+    fn gauge_tracks_value_and_high_water() {
+        let g = Gauge::default();
+        g.add(100);
+        g.add(50);
+        assert_eq!(g.get(), 150);
+        g.sub(120);
+        assert_eq!(g.get(), 30);
+        assert_eq!(g.high_water(), 150, "high-water survives the drain");
+        g.add(10);
+        assert_eq!(g.high_water(), 150, "smaller peaks do not move it");
+        g.reset();
+        assert_eq!((g.get(), g.high_water()), (0, 0));
+    }
+
+    #[test]
+    fn arena_metrics_land_in_the_text_report_and_reset() {
+        let m = DispatchMetrics::new();
+        m.arena.bytes_in_flight.add(65536);
+        m.arena.allocs.incr();
+        m.arena.inline_args.add(3);
+        m.arena.arena_args.incr();
+        m.arena.alloc_fallbacks.incr();
+        let report = m.text_report();
+        assert!(report.contains("arena 65536 B in flight"), "{report}");
+        assert!(
+            report.contains("3 inline / 1 arena (25.0% arena)"),
+            "{report}"
+        );
+        m.arena.bytes_in_flight.sub(65536);
+        m.arena.frees.incr();
+        assert_eq!(m.arena.bytes_in_flight.get(), 0);
+        assert_eq!(m.arena.bytes_in_flight.high_water(), 65536);
+        m.reset();
+        assert_eq!(m.arena.allocs.get(), 0);
+        assert_eq!(m.arena.bytes_in_flight.high_water(), 0);
     }
 
     #[test]

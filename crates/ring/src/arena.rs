@@ -1,0 +1,686 @@
+//! [`ArgArena`]: the shared-memory byte arena behind the zero-copy
+//! argument path.
+//!
+//! The paper's core argument is that a SecModule call beats RPC because
+//! arguments live on a *shared stack* instead of being marshalled and
+//! copied (the XDR-vs-argblock comparison in Figure 7/8). The ring
+//! dispatch path reintroduced a copy: every `SmodCallReq` carried its
+//! argument block by value, so a 64 KiB payload was copied into the
+//! request, through the ring, and again into the response. This module
+//! removes it: large payloads are written **once** into a shared arena
+//! and passed by `(offset, len, generation)` descriptor; the kernel
+//! drain loop reads them in place, exactly as the paper's in-process
+//! design shares the caller's stack frame.
+//!
+//! Three types cooperate:
+//!
+//! * [`ArgArena`] — one contiguous byte region with power-of-two
+//!   segregated freelists (64 B minimum class) carved lazily from a bump
+//!   pointer. Every granule carries a generation tag, bumped on free, so
+//!   a stale descriptor (use-after-reap) is detected instead of reading
+//!   someone else's bytes.
+//! * [`ArenaRegion`] — a per-session *quota* over the shared arena: the
+//!   storage is common, but each session's bytes-in-flight are bounded,
+//!   so one flooding session degrades to the copy fallback instead of
+//!   starving its neighbours.
+//! * [`ArenaSlot`] — an RAII handle to one allocation. Dropping it frees
+//!   the slot and settles the accounting, which is what makes every
+//!   teardown path (EIDRM fills, ring drops, async drop-cancel, bounced
+//!   submissions) leak-free without special cases: the slot rides inside
+//!   [`ArgRef::Arena`][crate::ArgRef::Arena] and dies with the request
+//!   or response that owned it.
+//!
+//! # Safety
+//!
+//! This module extends the crate's small `unsafe` surface (see
+//! [`crate::ring`]): the arena's bytes live behind an `UnsafeCell`, and
+//! the alloc/free protocol hands each `[offset, offset + len)` range to
+//! exactly one owner at a time — the producer that allocated it, then
+//! (by ring handoff, which is `Release`/`Acquire`) the consumer that
+//! pops the descriptor. Between alloc and free nobody else reads or
+//! writes the range, the same exclusivity argument the Vyukov ring
+//! makes for its slots.
+
+use crate::ring::CachePadded;
+use parking_lot::Mutex;
+use secmod_obs::ArenaMetrics;
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Arena allocation granularity and the smallest size class: every slot
+/// is a power-of-two multiple of this many bytes, and generation tags
+/// are tracked per granule.
+pub const ARENA_GRANULE: usize = 64;
+
+/// Payloads at or below this many bytes ride inline in the ring entry
+/// (copying 64 B is cheaper than an arena round trip); larger payloads
+/// go through the arena when one is attached.
+pub const INLINE_ARG_MAX: usize = 64;
+
+/// One size class: free offsets of one power-of-two block size.
+#[derive(Debug, Default)]
+struct FreeList(Mutex<Vec<u32>>);
+
+/// The shared argument arena. See the module docs.
+pub struct ArgArena {
+    /// The byte region. Per-byte `UnsafeCell` because slots are written
+    /// and read through `&self`; the alloc/free protocol provides
+    /// exclusivity per range.
+    bytes: Box<[UnsafeCell<u8>]>,
+    /// Next never-allocated offset; blocks are carved from here when a
+    /// size class's freelist is empty. Never rewinds.
+    bump: CachePadded<AtomicU64>,
+    /// Per-class freelists; class `c` holds blocks of
+    /// `ARENA_GRANULE << c` bytes.
+    classes: Box<[FreeList]>,
+    /// Per-granule generation tags (indexed by `offset / ARENA_GRANULE`),
+    /// bumped on free. A descriptor whose generation no longer matches
+    /// its first granule's tag is stale.
+    generations: Box<[AtomicU32]>,
+    /// Shared utilisation accounting (optional).
+    metrics: Option<Arc<ArenaMetrics>>,
+}
+
+// SAFETY: the arena is a slot allocator — `alloc_with` hands each
+// `[offset, offset + len)` range to exactly one `ArenaSlot` owner, and
+// the range is not touched by anyone else until that slot is dropped
+// (frees re-insert it into a freelist under a lock). Cross-thread
+// handoff of a slot happens through the dispatch rings, whose
+// `Release`/`Acquire` sequence protocol orders the producer's writes
+// before the consumer's reads. All remaining shared state is atomics
+// and mutex-guarded freelists.
+unsafe impl Send for ArgArena {}
+unsafe impl Sync for ArgArena {}
+
+impl std::fmt::Debug for ArgArena {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ArgArena")
+            .field("capacity", &self.capacity())
+            .field("bump", &self.bump.0.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl ArgArena {
+    /// Create an arena of at least `capacity` bytes (rounded up to a
+    /// whole number of granules, minimum one granule).
+    pub fn with_capacity(capacity: usize) -> Arc<ArgArena> {
+        ArgArena::build(capacity, None)
+    }
+
+    /// [`ArgArena::with_capacity`] wired to a shared metrics registry:
+    /// allocs, frees, bytes in flight and fallback counts land there.
+    pub fn with_metrics(capacity: usize, metrics: Arc<ArenaMetrics>) -> Arc<ArgArena> {
+        ArgArena::build(capacity, Some(metrics))
+    }
+
+    fn build(capacity: usize, metrics: Option<Arc<ArenaMetrics>>) -> Arc<ArgArena> {
+        let granules = capacity.max(ARENA_GRANULE).div_ceil(ARENA_GRANULE);
+        let capacity = granules * ARENA_GRANULE;
+        // Largest class that fits the region: ARENA_GRANULE << n_classes-1.
+        let n_classes = (capacity / ARENA_GRANULE)
+            .next_power_of_two()
+            .trailing_zeros() as usize
+            + 1;
+        Arc::new(ArgArena {
+            bytes: (0..capacity).map(|_| UnsafeCell::new(0u8)).collect(),
+            bump: CachePadded(AtomicU64::new(0)),
+            classes: (0..n_classes).map(|_| FreeList::default()).collect(),
+            generations: (0..granules).map(|_| AtomicU32::new(0)).collect(),
+            metrics,
+        })
+    }
+
+    /// Total bytes the arena can hold.
+    pub fn capacity(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// The size class for a payload of `len` bytes, or `None` when the
+    /// payload exceeds the largest class.
+    fn class_of(&self, len: usize) -> Option<usize> {
+        let blocks = len.max(1).div_ceil(ARENA_GRANULE).next_power_of_two();
+        let class = blocks.trailing_zeros() as usize;
+        (class < self.classes.len()).then_some(class)
+    }
+
+    /// The block size (bytes) of size class `class`.
+    fn class_bytes(class: usize) -> usize {
+        ARENA_GRANULE << class
+    }
+
+    /// Copy `payload` into a freshly allocated slot. Returns `None` when
+    /// the payload exceeds the largest size class or the arena is out of
+    /// space (callers fall back to an owned copy and count it).
+    pub fn alloc_with(self: &Arc<Self>, payload: &[u8]) -> Option<ArenaSlot> {
+        let class = self.class_of(payload.len())?;
+        let block = Self::class_bytes(class);
+        let offset = match self.classes[class].0.lock().pop() {
+            Some(offset) => offset,
+            None => {
+                // Carve a fresh block from the bump region.
+                let offset = self.bump.0.fetch_add(block as u64, Ordering::Relaxed);
+                if offset + block as u64 > self.capacity() as u64 {
+                    // Roll the reservation back so repeated failures
+                    // cannot push `bump` past the point where later,
+                    // smaller allocations would still fit.
+                    self.bump.0.fetch_sub(block as u64, Ordering::Relaxed);
+                    return None;
+                }
+                offset as u32
+            }
+        };
+        let gen = self.generations[offset as usize / ARENA_GRANULE].load(Ordering::Acquire);
+        // SAFETY: `[offset, offset + block)` was either popped from a
+        // freelist or freshly carved from the bump pointer — in both
+        // cases this thread is its only owner until the returned slot is
+        // dropped. The cells are one contiguous allocation, so offsetting
+        // from the range's first cell stays in bounds.
+        unsafe {
+            let base = self.bytes[offset as usize].get();
+            std::ptr::copy_nonoverlapping(payload.as_ptr(), base, payload.len());
+        }
+        if let Some(m) = &self.metrics {
+            m.allocs.incr();
+            m.bytes_in_flight.add(block as u64);
+        }
+        Some(ArenaSlot {
+            arena: Arc::clone(self),
+            offset,
+            len: payload.len() as u32,
+            gen,
+            region: None,
+        })
+    }
+
+    /// Read a slot's bytes. Only called through [`ArenaSlot::as_slice`],
+    /// whose ownership makes the range stable.
+    fn slice(&self, offset: u32, len: u32) -> &[u8] {
+        if len == 0 {
+            return &[];
+        }
+        // SAFETY: the caller owns the slot covering this range; nobody
+        // else writes it until the slot is freed, and the cells are one
+        // contiguous in-bounds allocation.
+        unsafe { std::slice::from_raw_parts(self.bytes[offset as usize].get(), len as usize) }
+    }
+
+    /// Return a slot's block to its freelist and bump the generation so
+    /// stale descriptors are detectable. Internal: driven by
+    /// [`ArenaSlot`]'s `Drop`.
+    fn free(&self, offset: u32, len: u32, gen: u32) {
+        let class = self
+            .class_of(len as usize)
+            .expect("freed slot was allocated from a valid class");
+        let granule = offset as usize / ARENA_GRANULE;
+        let current = self.generations[granule].load(Ordering::Acquire);
+        if current != gen {
+            // A stale double-free (the slot was already recycled): drop
+            // it on the floor rather than corrupting the freelist.
+            if let Some(m) = &self.metrics {
+                m.gen_mismatches.incr();
+            }
+            return;
+        }
+        self.generations[granule].store(gen.wrapping_add(1), Ordering::Release);
+        if let Some(m) = &self.metrics {
+            m.frees.incr();
+            m.bytes_in_flight.sub(Self::class_bytes(class) as u64);
+        }
+        self.classes[class].0.lock().push(offset);
+    }
+
+    /// Count one fallback-to-copy event (arena full or quota exhausted).
+    fn count_fallback(&self) {
+        if let Some(m) = &self.metrics {
+            m.alloc_fallbacks.incr();
+        }
+    }
+
+    /// The metrics registry this arena reports into, if any.
+    pub fn metrics(&self) -> Option<&Arc<ArenaMetrics>> {
+        self.metrics.as_ref()
+    }
+}
+
+/// Internal per-region accounting shared by the region and the slots it
+/// allocated (slots settle the quota on drop).
+#[derive(Debug, Default)]
+struct RegionState {
+    in_flight: AtomicU64,
+}
+
+/// A per-session quota over a shared [`ArgArena`].
+///
+/// Cloning is cheap (two `Arc`s); clones share the quota accounting, so
+/// a session's producer and the kernel's result placement draw from the
+/// same budget.
+#[derive(Clone, Debug)]
+pub struct ArenaRegion {
+    arena: Arc<ArgArena>,
+    state: Arc<RegionState>,
+    /// Most bytes this region may hold in flight at once.
+    quota: u64,
+}
+
+impl ArenaRegion {
+    /// A region of `arena` bounded to `quota` bytes in flight.
+    pub fn new(arena: Arc<ArgArena>, quota: usize) -> ArenaRegion {
+        ArenaRegion {
+            arena,
+            state: Arc::new(RegionState::default()),
+            quota: quota as u64,
+        }
+    }
+
+    /// Copy `payload` into an arena slot charged to this region, or
+    /// `None` when the quota or the arena is exhausted (the fallback is
+    /// counted against the arena's metrics either way).
+    pub fn alloc_with(&self, payload: &[u8]) -> Option<ArenaSlot> {
+        let Some(class) = self.arena.class_of(payload.len()) else {
+            self.arena.count_fallback();
+            return None;
+        };
+        let block = ArgArena::class_bytes(class) as u64;
+        // Optimistically charge the quota; roll back on failure. The
+        // charge is what bounds a flooding session: its oversize traffic
+        // degrades to the copy fallback while other regions keep their
+        // arena budget.
+        if self.state.in_flight.fetch_add(block, Ordering::AcqRel) + block > self.quota {
+            self.state.in_flight.fetch_sub(block, Ordering::AcqRel);
+            self.arena.count_fallback();
+            return None;
+        }
+        match self.arena.alloc_with(payload) {
+            Some(mut slot) => {
+                slot.region = Some((Arc::clone(&self.state), block));
+                Some(slot)
+            }
+            None => {
+                self.state.in_flight.fetch_sub(block, Ordering::AcqRel);
+                self.arena.count_fallback();
+                None
+            }
+        }
+    }
+
+    /// Bytes currently charged to this region.
+    pub fn in_flight(&self) -> u64 {
+        self.state.in_flight.load(Ordering::Acquire)
+    }
+
+    /// The region's quota in bytes.
+    pub fn quota(&self) -> u64 {
+        self.quota
+    }
+
+    /// The shared arena this region draws from.
+    pub fn arena(&self) -> &Arc<ArgArena> {
+        &self.arena
+    }
+}
+
+/// RAII ownership of one arena allocation: dropping the slot frees it
+/// (and settles the owning region's quota). Not `Clone` — exactly one
+/// owner at a time is the whole safety argument.
+pub struct ArenaSlot {
+    arena: Arc<ArgArena>,
+    offset: u32,
+    len: u32,
+    /// Generation observed at alloc; must still match at free.
+    gen: u32,
+    /// `(region state, charged bytes)` when allocated through a region.
+    region: Option<(Arc<RegionState>, u64)>,
+}
+
+impl ArenaSlot {
+    /// The payload, read in place from the shared arena.
+    pub fn as_slice(&self) -> &[u8] {
+        self.arena.slice(self.offset, self.len)
+    }
+
+    /// Payload length in bytes.
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Is the payload empty?
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The descriptor triple `(offset, len, generation)` — what would
+    /// cross a real shared-memory boundary instead of the payload.
+    pub fn descriptor(&self) -> (u32, u32, u32) {
+        (self.offset, self.len, self.gen)
+    }
+
+    /// Does this slot's generation still match the arena's tag (i.e. the
+    /// slot has not been recycled under a stale descriptor)?
+    pub fn is_current(&self) -> bool {
+        self.arena.generations[self.offset as usize / ARENA_GRANULE].load(Ordering::Acquire)
+            == self.gen
+    }
+}
+
+impl std::fmt::Debug for ArenaSlot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ArenaSlot")
+            .field("offset", &self.offset)
+            .field("len", &self.len)
+            .field("gen", &self.gen)
+            .finish()
+    }
+}
+
+impl Drop for ArenaSlot {
+    fn drop(&mut self) {
+        self.arena.free(self.offset, self.len, self.gen);
+        if let Some((state, block)) = self.region.take() {
+            state.in_flight.fetch_sub(block, Ordering::AcqRel);
+        }
+    }
+}
+
+/// Inline payload storage for [`ArgRef::Inline`], wrapped to force
+/// 8-byte alignment. A bare `[u8; N]` has alignment 1, and an enum
+/// variant mixing an align-1 byte array with pointer-carrying variants
+/// compiles to byte-granular moves through the ring slots; aligning
+/// the array lets every enum move copy whole words (measurably faster
+/// on the small-payload hand-off path).
+#[derive(Clone, Copy)]
+#[repr(align(8))]
+pub struct InlineBuf(pub [u8; INLINE_ARG_MAX]);
+
+/// An argument or result payload: inline bytes for small blocks, an
+/// owned heap copy when no arena is available (or it is full), or an
+/// arena descriptor for the zero-copy path.
+///
+/// Equality and hashing are by payload bytes — two `ArgRef`s carrying
+/// the same bytes compare equal regardless of representation, which is
+/// what lets the coherence suites diff arena-backed runs against
+/// copy-path runs bit for bit.
+pub enum ArgRef {
+    /// ≤ [`INLINE_ARG_MAX`] bytes stored directly in the ring entry.
+    Inline {
+        /// Payload length (`≤ INLINE_ARG_MAX`).
+        len: u8,
+        /// The payload bytes (`buf[..len]`).
+        buf: InlineBuf,
+    },
+    /// An owned heap copy — the pre-arena representation, kept as the
+    /// universal fallback.
+    Heap(Vec<u8>),
+    /// A slot in a shared [`ArgArena`], read in place.
+    Arena(ArenaSlot),
+}
+
+impl ArgRef {
+    /// An empty payload.
+    pub fn empty() -> ArgRef {
+        ArgRef::Inline {
+            len: 0,
+            buf: InlineBuf([0; INLINE_ARG_MAX]),
+        }
+    }
+
+    /// Place `bytes` by the size rule: inline when small, an arena slot
+    /// when a region is given and has budget, an owned copy otherwise.
+    pub fn place(bytes: &[u8], region: Option<&ArenaRegion>) -> ArgRef {
+        if bytes.len() <= INLINE_ARG_MAX {
+            let mut buf = InlineBuf([0u8; INLINE_ARG_MAX]);
+            buf.0[..bytes.len()].copy_from_slice(bytes);
+            return ArgRef::Inline {
+                len: bytes.len() as u8,
+                buf,
+            };
+        }
+        if let Some(region) = region {
+            if let Some(slot) = region.alloc_with(bytes) {
+                return ArgRef::Arena(slot);
+            }
+        }
+        ArgRef::Heap(bytes.to_vec())
+    }
+
+    /// Wrap an already-owned buffer without copying. Small owned buffers
+    /// stay `Heap` on purpose: the enum is fixed-size, so re-packing an
+    /// existing allocation inline saves no ring bandwidth — it only adds
+    /// a free here and a fresh allocation at [`ArgRef::into_vec`] time.
+    /// The inline variant is for payloads that were never allocated
+    /// (borrowed slices and arrays via [`ArgRef::place`] / `From`).
+    pub fn from_vec(bytes: Vec<u8>) -> ArgRef {
+        ArgRef::Heap(bytes)
+    }
+
+    /// [`ArgRef::place`] for an owned buffer: large payloads go to the
+    /// arena when the region has budget, but the quota/full fallback —
+    /// and the small case — reuse the buffer instead of copying it.
+    pub fn place_vec(bytes: Vec<u8>, region: Option<&ArenaRegion>) -> ArgRef {
+        if bytes.len() > INLINE_ARG_MAX {
+            if let Some(region) = region {
+                if let Some(slot) = region.alloc_with(&bytes) {
+                    return ArgRef::Arena(slot);
+                }
+            }
+        }
+        ArgRef::Heap(bytes)
+    }
+
+    /// The payload bytes, wherever they live.
+    pub fn as_slice(&self) -> &[u8] {
+        match self {
+            ArgRef::Inline { len, buf } => &buf.0[..*len as usize],
+            ArgRef::Heap(v) => v,
+            ArgRef::Arena(slot) => slot.as_slice(),
+        }
+    }
+
+    /// Payload length in bytes.
+    pub fn len(&self) -> usize {
+        match self {
+            ArgRef::Inline { len, .. } => *len as usize,
+            ArgRef::Heap(v) => v.len(),
+            ArgRef::Arena(slot) => slot.len(),
+        }
+    }
+
+    /// Is the payload empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Does the payload avoid a per-byte copy through the ring (i.e. it
+    /// rides by descriptor)? The cost model charges arena payloads a
+    /// flat slot fee instead of `copy_per_byte_ns x len`.
+    pub fn is_arena(&self) -> bool {
+        matches!(self, ArgRef::Arena(_))
+    }
+
+    /// Extract an owned copy of the payload, consuming the ref (and
+    /// freeing the arena slot, when there is one).
+    pub fn into_vec(self) -> Vec<u8> {
+        match self {
+            ArgRef::Heap(v) => v,
+            other => other.as_slice().to_vec(),
+        }
+    }
+}
+
+impl Default for ArgRef {
+    fn default() -> ArgRef {
+        ArgRef::empty()
+    }
+}
+
+impl Clone for ArgRef {
+    /// Cloning an arena-backed ref produces an owned copy: the slot has
+    /// exactly one owner, so a clone cannot share it.
+    fn clone(&self) -> ArgRef {
+        match self {
+            ArgRef::Inline { len, buf } => ArgRef::Inline {
+                len: *len,
+                buf: *buf,
+            },
+            ArgRef::Heap(v) => ArgRef::Heap(v.clone()),
+            ArgRef::Arena(slot) => ArgRef::Heap(slot.as_slice().to_vec()),
+        }
+    }
+}
+
+impl PartialEq for ArgRef {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for ArgRef {}
+
+impl std::fmt::Debug for ArgRef {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mode = match self {
+            ArgRef::Inline { .. } => "inline",
+            ArgRef::Heap(_) => "heap",
+            ArgRef::Arena(_) => "arena",
+        };
+        write!(f, "ArgRef::{mode}({} B)", self.len())
+    }
+}
+
+impl From<Vec<u8>> for ArgRef {
+    fn from(bytes: Vec<u8>) -> ArgRef {
+        ArgRef::from_vec(bytes)
+    }
+}
+
+impl From<&[u8]> for ArgRef {
+    fn from(bytes: &[u8]) -> ArgRef {
+        ArgRef::place(bytes, None)
+    }
+}
+
+impl<const N: usize> From<[u8; N]> for ArgRef {
+    fn from(bytes: [u8; N]) -> ArgRef {
+        ArgRef::place(&bytes, None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_payloads_of_every_class() {
+        let arena = ArgArena::with_capacity(1 << 20);
+        for size in [1usize, 63, 64, 65, 512, 4096, 65536] {
+            let payload: Vec<u8> = (0..size).map(|i| (i % 251) as u8).collect();
+            let slot = arena.alloc_with(&payload).expect("alloc");
+            assert_eq!(slot.as_slice(), payload.as_slice(), "size {size}");
+            assert!(slot.is_current());
+        }
+    }
+
+    #[test]
+    fn freed_blocks_are_reused_and_generations_advance() {
+        let arena = ArgArena::with_capacity(4096);
+        let slot = arena.alloc_with(&[7u8; 100]).unwrap();
+        let (off1, _, gen1) = slot.descriptor();
+        drop(slot);
+        let slot2 = arena.alloc_with(&[9u8; 100]).unwrap();
+        let (off2, _, gen2) = slot2.descriptor();
+        assert_eq!(off1, off2, "freelist must recycle the block");
+        assert_eq!(gen2, gen1.wrapping_add(1), "free must bump the generation");
+    }
+
+    #[test]
+    fn exhaustion_returns_none_and_recovers() {
+        let arena = ArgArena::with_capacity(256);
+        let a = arena.alloc_with(&[1u8; 128]).unwrap();
+        let b = arena.alloc_with(&[2u8; 128]).unwrap();
+        assert!(arena.alloc_with(&[3u8; 64]).is_none(), "arena is full");
+        // Payloads beyond the largest class can never fit.
+        assert!(arena.alloc_with(&vec![0u8; 1024]).is_none());
+        drop(a);
+        let c = arena.alloc_with(&[4u8; 128]).unwrap();
+        assert_eq!(c.as_slice(), &[4u8; 128]);
+        drop((b, c));
+    }
+
+    #[test]
+    fn region_quota_bounds_in_flight_bytes() {
+        let arena = ArgArena::with_capacity(1 << 16);
+        let region = ArenaRegion::new(Arc::clone(&arena), 4096);
+        let a = region.alloc_with(&[1u8; 2048]).unwrap();
+        let b = region.alloc_with(&[2u8; 2048]).unwrap();
+        assert_eq!(region.in_flight(), 4096);
+        assert!(
+            region.alloc_with(&[3u8; 128]).is_none(),
+            "quota exhausted even though the arena has space"
+        );
+        drop(a);
+        assert_eq!(region.in_flight(), 2048);
+        let c = region.alloc_with(&[4u8; 1024]).unwrap();
+        drop((b, c));
+        assert_eq!(region.in_flight(), 0, "drops settle the quota");
+    }
+
+    #[test]
+    fn metrics_track_alloc_free_and_fallbacks() {
+        let metrics = Arc::new(secmod_obs::ArenaMetrics::new());
+        let arena = ArgArena::with_metrics(4096, Arc::clone(&metrics));
+        let region = ArenaRegion::new(Arc::clone(&arena), 4096);
+        let slot = region.alloc_with(&[5u8; 1000]).unwrap();
+        assert_eq!(metrics.allocs.get(), 1);
+        assert_eq!(metrics.bytes_in_flight.get(), 1024);
+        assert!(region.alloc_with(&vec![0u8; 100_000]).is_none());
+        assert_eq!(metrics.alloc_fallbacks.get(), 1);
+        drop(slot);
+        assert_eq!(metrics.frees.get(), 1);
+        assert_eq!(metrics.bytes_in_flight.get(), 0);
+        assert_eq!(metrics.bytes_in_flight.high_water(), 1024);
+    }
+
+    #[test]
+    fn argref_placement_rule_and_equality_by_bytes() {
+        let arena = ArgArena::with_capacity(1 << 16);
+        let region = ArenaRegion::new(arena, 1 << 16);
+        let small = ArgRef::place(&[1, 2, 3], Some(&region));
+        assert!(matches!(small, ArgRef::Inline { .. }));
+        let big = ArgRef::place(&[9u8; 1000], Some(&region));
+        assert!(big.is_arena());
+        let copy = ArgRef::place(&[9u8; 1000], None);
+        assert!(matches!(copy, ArgRef::Heap(_)));
+        assert_eq!(big, copy, "equality is by payload bytes");
+        // Cloning an arena ref degrades to an owned copy; the original
+        // keeps the slot.
+        let cloned = big.clone();
+        assert!(matches!(cloned, ArgRef::Heap(_)));
+        assert_eq!(cloned.as_slice(), big.as_slice());
+        assert_eq!(big.into_vec(), vec![9u8; 1000]);
+        assert_eq!(region.in_flight(), 0, "into_vec freed the slot");
+    }
+
+    #[test]
+    fn concurrent_alloc_free_never_overlaps() {
+        let arena = ArgArena::with_capacity(1 << 20);
+        let threads = 4;
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let arena = &arena;
+                scope.spawn(move || {
+                    for round in 0..500u32 {
+                        let size = 65 + ((t * 131 + round as usize * 37) % 2000);
+                        let fill = (t as u8).wrapping_mul(31).wrapping_add(round as u8);
+                        let payload = vec![fill; size];
+                        if let Some(slot) = arena.alloc_with(&payload) {
+                            // An overlap with another thread's live slot
+                            // would tear this read.
+                            assert_eq!(slot.as_slice(), payload.as_slice());
+                        }
+                    }
+                });
+            }
+        });
+    }
+}

@@ -18,6 +18,7 @@
 //! dependency graph so both the kernel and the RPC transport can share
 //! one definition.
 
+use crate::arena::ArgRef;
 use crate::ring::Ring;
 
 /// Default number of submission entries a single `sys_smod_call_batch`
@@ -35,8 +36,10 @@ pub struct SmodCallReq {
     /// Caller cookie echoed verbatim in the matching completion.
     pub user_data: u64,
     /// Marshalled argument bytes (what the client stub placed on the
-    /// shared stack).
-    pub args: Vec<u8>,
+    /// shared stack). Small payloads ride inline in the ring entry;
+    /// large ones pass by [`ArgRef::Arena`] descriptor when the slot has
+    /// an arena region attached — the zero-copy path.
+    pub args: ArgRef,
 }
 
 /// One batched call completion.
@@ -44,8 +47,10 @@ pub struct SmodCallReq {
 pub struct SmodCallResp {
     /// The request's `user_data`, echoed verbatim.
     pub user_data: u64,
-    /// Marshalled result bytes (empty on error).
-    pub ret: Vec<u8>,
+    /// Marshalled result bytes (empty on error). Like request args,
+    /// large results pass by arena descriptor; dropping an unread
+    /// response frees the slot via [`ArgRef`]'s RAII.
+    pub ret: ArgRef,
     /// 0 on success, else the kernel errno code (`Errno::code()`).
     pub errno: i32,
     /// Simulated nanoseconds charged for this entry (policy check, copy,
@@ -58,6 +63,18 @@ impl SmodCallResp {
     /// Did the call succeed?
     pub fn is_ok(&self) -> bool {
         self.errno == 0
+    }
+
+    /// The result bytes, wherever they live (inline, heap, or read in
+    /// place from the arena).
+    pub fn ret_bytes(&self) -> &[u8] {
+        self.ret.as_slice()
+    }
+
+    /// Take an owned copy of the result, consuming the response (and
+    /// freeing its arena slot, when there is one).
+    pub fn into_ret(self) -> Vec<u8> {
+        self.ret.into_vec()
     }
 }
 
@@ -107,14 +124,14 @@ mod tests {
             session: 1,
             proc_id: 2,
             user_data: 77,
-            args: 41u64.to_le_bytes().to_vec(),
+            args: 41u64.to_le_bytes().into(),
         };
         sq.push_spsc(req.clone()).unwrap();
         let drained = sq.pop_spsc().unwrap();
         assert_eq!(drained, req);
         cq.push_spsc(SmodCallResp {
             user_data: drained.user_data,
-            ret: 42u64.to_le_bytes().to_vec(),
+            ret: 42u64.to_le_bytes().into(),
             errno: 0,
             cost_ns: 85,
         })
@@ -122,6 +139,7 @@ mod tests {
         let resp = cq.pop_spsc().unwrap();
         assert!(resp.is_ok());
         assert_eq!(resp.user_data, 77);
+        assert_eq!(resp.into_ret(), 42u64.to_le_bytes().to_vec());
     }
 
     #[test]

@@ -25,6 +25,18 @@
 //! * [`byte`] — a [`ByteRing`]: an SPSC byte pipe over atomic slots, two
 //!   of which form the full-duplex in-process shared-memory stream behind
 //!   `secmod_rpc`'s `shm:` transport (the socket-free RPC comparison row).
+//! * [`arena`] — an [`ArgArena`]: the shared-memory byte arena behind
+//!   the zero-copy argument path. Payloads above [`arena::INLINE_ARG_MAX`]
+//!   bytes are written once into an arena slot and travel by
+//!   `(offset, len, generation)` descriptor ([`ArgRef::Arena`]) instead
+//!   of by value — the ring analogue of the paper's shared argument
+//!   stack; small payloads stay inline in the ring entry and everything
+//!   degrades to an owned copy ([`ArgRef::Heap`]) when no arena is
+//!   attached or it is full. Slots are power-of-two sized off segregated
+//!   freelists, generation-tagged against use-after-reap, quota-bounded
+//!   per session ([`arena::ArenaRegion`]), and freed by RAII
+//!   ([`arena::ArenaSlot`]) so every teardown path — EIDRM fills, ring
+//!   drops, async drop-cancel — releases in-flight bytes automatically.
 //! * [`set`] — a [`RingSet`]: the multi-session registry behind the
 //!   dispatch plane. Per-session [`set::SessionRings`] pairs addressed by
 //!   [`set::RingSlotId`], plus a cache-line-padded readiness bitmap so a
@@ -37,22 +49,27 @@
 //!   (`Full`: retry after a completion) from teardown (`Detached`: never
 //!   retry).
 //!
-//! This is the one crate in the workspace that uses `unsafe`: slot
-//! payloads live in `UnsafeCell<MaybeUninit<T>>` (as in crossbeam's
-//! `ArrayQueue`), with the Vyukov sequence protocol guaranteeing each
-//! slot is owned by exactly one thread between its sequence transitions.
-//! The unsafe surface is confined to [`ring`]'s two four-line accessors;
-//! a per-slot mutex alternative measured ~2x slower per hand-off, which
+//! Nearly all of the workspace's `unsafe` lives in this crate (the rest
+//! is the `vendor/affinity` syscall shim): ring slot payloads live in
+//! `UnsafeCell<MaybeUninit<T>>` (as in crossbeam's `ArrayQueue`), with
+//! the Vyukov sequence protocol guaranteeing each slot is owned by
+//! exactly one thread between its sequence transitions, and [`arena`]
+//! slots make the same exclusive-owner argument over byte ranges handed
+//! out by the alloc/free protocol. The unsafe surface is confined to
+//! [`ring`]'s two four-line accessors and [`arena`]'s three — a
+//! per-slot mutex alternative measured ~2x slower per hand-off, which
 //! is exactly the margin the batched-dispatch acceptance bar lives on.
 
 #![deny(unsafe_op_in_unsafe_fn)]
 #![warn(missing_docs)]
 
+pub mod arena;
 pub mod byte;
 pub mod call;
 pub mod ring;
 pub mod set;
 
+pub use arena::{ArenaRegion, ArenaSlot, ArgArena, ArgRef, INLINE_ARG_MAX};
 pub use byte::ByteRing;
 pub use call::{CompletionRing, SmodCallReq, SmodCallResp, SMOD_BATCH_DEFAULT_BUDGET};
 pub use call::{RingPairConfig, SubmissionRing};

@@ -35,6 +35,7 @@
 //! this crate) can validate ownership at sweep time without a dependency
 //! cycle.
 
+use crate::arena::{ArenaRegion, ArgArena};
 use crate::call::{RingPairConfig, SmodCallReq, SubmissionRing};
 use crate::ring::CachePadded;
 use crate::CompletionRing;
@@ -110,6 +111,12 @@ pub struct SessionRings {
     pub sq: SubmissionRing,
     /// Kernel → producer completions.
     pub cq: CompletionRing,
+    /// The session's quota over the set's shared [`ArgArena`], when the
+    /// set was built with one ([`RingSet::with_arena`]). Producers place
+    /// large argument payloads here; the kernel places large results
+    /// here. `None` means every payload travels by value (the copy
+    /// path).
+    pub arena: Option<ArenaRegion>,
     /// Per-slot drain exclusivity: at most one sweeper drains this slot
     /// at a time, so a producer re-flagging the bit mid-drain cannot
     /// hand the *same* rings to a second sweeper — which would interleave
@@ -151,6 +158,9 @@ pub struct RingSet {
     /// Free slot indices (registration pops, deregistration pushes).
     free: Mutex<Vec<usize>>,
     len: AtomicUsize,
+    /// The shared argument arena and per-session quota handed to each
+    /// registered slot, when the set was built with one.
+    arena: Option<(Arc<ArgArena>, usize)>,
 }
 
 impl std::fmt::Debug for RingSet {
@@ -167,6 +177,19 @@ impl RingSet {
     /// Create a set with room for at least `capacity` sessions (rounded
     /// up to a multiple of 64 so the bitmap has no partial word).
     pub fn with_capacity(capacity: usize) -> RingSet {
+        RingSet::build(capacity, None)
+    }
+
+    /// [`RingSet::with_capacity`] plus a shared [`ArgArena`]: every slot
+    /// registered afterwards gets an [`ArenaRegion`] bounded to
+    /// `session_quota` bytes in flight, enabling the zero-copy argument
+    /// path for that session (oversize traffic degrades to the copy
+    /// fallback instead of starving neighbours).
+    pub fn with_arena(capacity: usize, arena: Arc<ArgArena>, session_quota: usize) -> RingSet {
+        RingSet::build(capacity, Some((arena, session_quota)))
+    }
+
+    fn build(capacity: usize, arena: Option<(Arc<ArgArena>, usize)>) -> RingSet {
         let cap = capacity.max(1).div_ceil(64) * 64;
         RingSet {
             slots: (0..cap).map(|_| RwLock::new(None)).collect(),
@@ -178,7 +201,13 @@ impl RingSet {
                 .collect(),
             free: Mutex::new((0..cap).rev().collect()),
             len: AtomicUsize::new(0),
+            arena,
         }
+    }
+
+    /// The shared arena behind this set's zero-copy path, if any.
+    pub fn arena(&self) -> Option<&Arc<ArgArena>> {
+        self.arena.as_ref().map(|(a, _)| a)
     }
 
     /// Maximum number of registered sessions.
@@ -207,6 +236,10 @@ impl RingSet {
             owner,
             sq,
             cq,
+            arena: self
+                .arena
+                .as_ref()
+                .map(|(arena, quota)| ArenaRegion::new(Arc::clone(arena), *quota)),
             draining: AtomicBool::new(false),
             next_user_data: AtomicU64::new(0),
         }));
@@ -406,7 +439,7 @@ mod tests {
             session,
             proc_id: 1,
             user_data,
-            args: Vec::new(),
+            args: crate::ArgRef::empty(),
         }
     }
 
@@ -640,6 +673,37 @@ mod tests {
             false
         });
         assert_eq!(drained.get(), 1);
+    }
+
+    #[test]
+    fn arena_backed_sets_hand_each_session_a_quota_region() {
+        let arena = ArgArena::with_capacity(1 << 16);
+        let set = RingSet::with_arena(2, Arc::clone(&arena), 4096);
+        assert!(set.arena().is_some());
+        let a = set.register(1, 1, RingPairConfig::default()).unwrap();
+        let rings = set.get(a).unwrap();
+        let region = rings.arena.as_ref().expect("arena-backed slot");
+        assert_eq!(region.quota(), 4096);
+
+        // A large payload placed through the region travels by
+        // descriptor and its bytes survive the ring hand-off.
+        let payload = vec![0xAB; 1000];
+        let mut r = req(1, 9);
+        r.args = crate::ArgRef::place(&payload, rings.arena.as_ref());
+        assert!(r.args.is_arena());
+        set.submit(a, r).unwrap();
+        set.sweep_ready(|_, rings| {
+            let got = rings.sq.pop().unwrap();
+            assert_eq!(got.args.as_slice(), payload.as_slice());
+            false
+        });
+        assert_eq!(region.in_flight(), 0, "drained request freed its slot");
+
+        // Plain sets stay on the copy path.
+        let plain = RingSet::with_capacity(1);
+        assert!(plain.arena().is_none());
+        let b = plain.register(1, 1, RingPairConfig::default()).unwrap();
+        assert!(plain.get(b).unwrap().arena.is_none());
     }
 
     #[test]

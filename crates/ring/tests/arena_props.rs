@@ -1,0 +1,98 @@
+//! Arena properties: for ANY sequence of allocs and frees (arbitrary
+//! sizes, arbitrary free order, quota pressure), live slots never
+//! overlap, every payload reads back intact, and once everything is
+//! dropped the arena accounts zero bytes in flight — the no-leak
+//! invariant the dispatch paths inherit through `ArenaSlot`'s RAII.
+
+use proptest::prelude::*;
+use proptest::{collection, prop_assert, prop_assert_eq, proptest};
+use secmod_ring::{ArenaRegion, ArenaSlot, ArgArena, ArgRef, INLINE_ARG_MAX};
+use std::sync::Arc;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Live slots never overlap and never tear: every payload reads back
+    /// exactly as written no matter what was allocated or freed around
+    /// it, and dropping everything returns bytes-in-flight to zero.
+    /// Steps are `(kind, size, fill)` triples: kind < 3 allocates (3:2
+    /// weight over frees), otherwise `fill` indexes the slot to free.
+    #[test]
+    fn alloc_free_never_overlaps_and_never_leaks(
+        steps in collection::vec((0u8..5, 1usize..=4096, 0u8..=255), 1..120),
+        capacity_kib in 1usize..=64,
+    ) {
+        let metrics = Arc::new(secmod_obs::ArenaMetrics::new());
+        let arena = ArgArena::with_metrics(capacity_kib * 1024, Arc::clone(&metrics));
+        let mut live: Vec<(ArenaSlot, Vec<u8>)> = Vec::new();
+        for (kind, size, fill) in steps {
+            if kind < 3 {
+                let payload = vec![fill; size];
+                // A full arena refuses; that is the fallback path, not a
+                // failure.
+                if let Some(slot) = arena.alloc_with(&payload) {
+                    live.push((slot, payload));
+                }
+            } else if !live.is_empty() {
+                let idx = (fill as usize * 31 + size) % live.len();
+                live.swap_remove(idx);
+            }
+            // An overlap between any two live slots would corrupt one of
+            // these read-backs.
+            for (slot, payload) in &live {
+                prop_assert_eq!(slot.as_slice(), payload.as_slice());
+                prop_assert!(slot.is_current());
+            }
+        }
+        live.clear();
+        prop_assert_eq!(metrics.bytes_in_flight.get(), 0, "drops must settle the gauge");
+        prop_assert_eq!(metrics.allocs.get(), metrics.frees.get(), "every alloc must be freed");
+    }
+
+    /// Region quotas are exact under arbitrary traffic: in-flight never
+    /// exceeds the quota, and the region settles to zero once every slot
+    /// is dropped.
+    #[test]
+    fn region_quota_is_exact_and_settles(
+        sizes in collection::vec(1usize..=2048, 1..60),
+        quota_kib in 1usize..=8,
+    ) {
+        let arena = ArgArena::with_capacity(1 << 20);
+        let region = ArenaRegion::new(arena, quota_kib * 1024);
+        let mut live = Vec::new();
+        for (i, size) in sizes.iter().enumerate() {
+            if let Some(slot) = region.alloc_with(&vec![i as u8; *size]) {
+                live.push(slot);
+            }
+            prop_assert!(region.in_flight() <= region.quota());
+            // Keep a rolling window so frees interleave with allocs.
+            if live.len() > 8 {
+                live.remove(0);
+            }
+        }
+        live.clear();
+        prop_assert_eq!(region.in_flight(), 0);
+    }
+
+    /// `ArgRef` placement is representation-transparent: whatever mix of
+    /// inline/arena/heap a payload lands in, the bytes compare equal to
+    /// the copy-path representation — the property the dispatch
+    /// coherence suites build on.
+    #[test]
+    fn argref_representations_agree_on_bytes(
+        payloads in collection::vec((0usize..1500, 0u8..=255), 1..20),
+    ) {
+        let arena = ArgArena::with_capacity(1 << 20);
+        let region = ArenaRegion::new(arena, 1 << 20);
+        for (len, fill) in &payloads {
+            let payload: Vec<u8> = (0..*len).map(|i| fill.wrapping_add(i as u8)).collect();
+            let placed = ArgRef::place(&payload, Some(&region));
+            let copied = ArgRef::from_vec(payload.clone());
+            prop_assert_eq!(&placed, &copied);
+            prop_assert_eq!(placed.as_slice(), payload.as_slice());
+            prop_assert_eq!(placed.is_arena(), payload.len() > INLINE_ARG_MAX);
+            prop_assert_eq!(placed.into_vec(), payload);
+        }
+        prop_assert_eq!(region.in_flight(), 0);
+    }
+}

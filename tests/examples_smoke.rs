@@ -101,7 +101,7 @@ fn gate_report_covers_all_scenarios_deterministically() {
     let first = run();
     for scenario in [
         "uniform", "zipfian", "thrash", "churn", "kernel", "pool", "ring", "plane", "async",
-        "stall",
+        "stall", "arena",
     ] {
         assert!(
             first.contains(scenario),
@@ -128,7 +128,7 @@ fn gate_report_covers_all_scenarios_deterministically() {
         decisions(&second),
         "allow/deny splits changed between identically seeded runs"
     );
-    assert_eq!(decisions(&first).len(), 10, "expected one row per scenario");
+    assert_eq!(decisions(&first).len(), 11, "expected one row per scenario");
 
     // Dispatch scenarios additionally report simulated-cost latency
     // quantiles drawn from the kernel's per-flavor histograms.

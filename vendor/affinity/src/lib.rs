@@ -1,0 +1,205 @@
+//! Minimal CPU-affinity shim: pin the calling thread to one core.
+//!
+//! The dispatch plane's wall-clock sweep scaling lags its simulated
+//! scaling chiefly because drainer threads migrate between cores,
+//! dragging their ring and arena cache lines with them. Pinning each
+//! drainer fixes the working set to one L1/L2. The real `libc` crate is
+//! not available offline, so this shim declares the two raw syscall
+//! wrappers itself — `std` already links the platform libc, so the
+//! symbols resolve without any new dependency.
+//!
+//! Non-Linux platforms compile to a no-op that reports
+//! [`Error::Unsupported`]; callers treat pinning as best-effort.
+
+#![warn(missing_docs)]
+
+/// Why a pinning call failed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Error {
+    /// The kernel refused the mask (raw errno as reported by libc).
+    Os(i32),
+    /// The platform has no `sched_setaffinity` (non-Linux build).
+    Unsupported,
+    /// The requested CPU index does not fit the mask this shim carries.
+    CpuOutOfRange,
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::Os(errno) => write!(f, "sched_setaffinity failed (errno {errno})"),
+            Error::Unsupported => write!(f, "CPU affinity unsupported on this platform"),
+            Error::CpuOutOfRange => write!(f, "CPU index beyond the affinity mask"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// CPUs representable in the shim's fixed-size mask (1024, the kernel's
+/// historical `CPU_SETSIZE`).
+pub const MAX_CPUS: usize = 1024;
+
+/// A CPU set in `cpu_set_t` layout: 1024 bits of `u64` words.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(C)]
+pub struct CpuSet {
+    bits: [u64; MAX_CPUS / 64],
+}
+
+impl Default for CpuSet {
+    fn default() -> Self {
+        CpuSet::empty()
+    }
+}
+
+impl CpuSet {
+    /// The empty set.
+    pub const fn empty() -> CpuSet {
+        CpuSet {
+            bits: [0; MAX_CPUS / 64],
+        }
+    }
+
+    /// A set holding exactly `cpu`.
+    pub fn single(cpu: usize) -> Result<CpuSet, Error> {
+        let mut set = CpuSet::empty();
+        set.add(cpu)?;
+        Ok(set)
+    }
+
+    /// Add `cpu` to the set.
+    pub fn add(&mut self, cpu: usize) -> Result<(), Error> {
+        if cpu >= MAX_CPUS {
+            return Err(Error::CpuOutOfRange);
+        }
+        self.bits[cpu / 64] |= 1u64 << (cpu % 64);
+        Ok(())
+    }
+
+    /// Is `cpu` in the set?
+    pub fn contains(&self, cpu: usize) -> bool {
+        cpu < MAX_CPUS && self.bits[cpu / 64] & (1u64 << (cpu % 64)) != 0
+    }
+
+    /// Number of CPUs in the set.
+    pub fn count(&self) -> usize {
+        self.bits.iter().map(|w| w.count_ones() as usize).sum()
+    }
+}
+
+#[cfg(target_os = "linux")]
+mod sys {
+    use super::{CpuSet, Error};
+
+    // `std` already links libc; declaring the two prototypes here avoids
+    // pulling in the (unavailable offline) `libc` crate. pid 0 means
+    // "the calling thread" for both calls.
+    extern "C" {
+        fn sched_setaffinity(pid: i32, cpusetsize: usize, mask: *const CpuSet) -> i32;
+        fn sched_getaffinity(pid: i32, cpusetsize: usize, mask: *mut CpuSet) -> i32;
+    }
+
+    #[allow(unsafe_code)]
+    pub fn set(mask: &CpuSet) -> Result<(), Error> {
+        // SAFETY: the mask is a valid `repr(C)` cpu_set_t-shaped value of
+        // exactly the size we pass; pid 0 targets the calling thread.
+        let rc = unsafe { sched_setaffinity(0, std::mem::size_of::<CpuSet>(), mask) };
+        if rc == 0 {
+            Ok(())
+        } else {
+            Err(Error::Os(
+                std::io::Error::last_os_error().raw_os_error().unwrap_or(-1),
+            ))
+        }
+    }
+
+    #[allow(unsafe_code)]
+    pub fn get() -> Result<CpuSet, Error> {
+        let mut mask = CpuSet::empty();
+        // SAFETY: `mask` is valid writable memory of the size we pass.
+        let rc = unsafe { sched_getaffinity(0, std::mem::size_of::<CpuSet>(), &mut mask) };
+        if rc == 0 {
+            Ok(mask)
+        } else {
+            Err(Error::Os(
+                std::io::Error::last_os_error().raw_os_error().unwrap_or(-1),
+            ))
+        }
+    }
+}
+
+#[cfg(not(target_os = "linux"))]
+mod sys {
+    use super::{CpuSet, Error};
+
+    pub fn set(_mask: &CpuSet) -> Result<(), Error> {
+        Err(Error::Unsupported)
+    }
+
+    pub fn get() -> Result<CpuSet, Error> {
+        Err(Error::Unsupported)
+    }
+}
+
+/// Restrict the calling thread to the CPUs in `mask`.
+pub fn set_thread_affinity(mask: &CpuSet) -> Result<(), Error> {
+    sys::set(mask)
+}
+
+/// The calling thread's current affinity mask.
+pub fn get_thread_affinity() -> Result<CpuSet, Error> {
+    sys::get()
+}
+
+/// Pin the calling thread to a single core. Best-effort sugar over
+/// [`set_thread_affinity`]; callers that treat pinning as an
+/// optimisation (the dispatch plane) ignore the error.
+pub fn pin_to_core(cpu: usize) -> Result<(), Error> {
+    set_thread_affinity(&CpuSet::single(cpu)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cpu_set_bit_arithmetic() {
+        let mut set = CpuSet::empty();
+        assert_eq!(set.count(), 0);
+        set.add(0).unwrap();
+        set.add(63).unwrap();
+        set.add(64).unwrap();
+        set.add(1023).unwrap();
+        assert_eq!(set.count(), 4);
+        assert!(set.contains(63) && set.contains(64) && set.contains(1023));
+        assert!(!set.contains(1));
+        assert_eq!(set.add(1024).unwrap_err(), Error::CpuOutOfRange);
+        assert!(!set.contains(20000));
+    }
+
+    #[test]
+    #[cfg(target_os = "linux")]
+    fn pin_round_trips_and_restores_the_original_mask() {
+        let original = get_thread_affinity().expect("read affinity");
+        assert!(original.count() >= 1);
+        // Pin to the first CPU the thread may already run on.
+        let cpu = (0..MAX_CPUS)
+            .find(|c| original.contains(*c))
+            .expect("at least one allowed CPU");
+        pin_to_core(cpu).expect("pin");
+        let pinned = get_thread_affinity().expect("read pinned");
+        assert_eq!(pinned.count(), 1);
+        assert!(pinned.contains(cpu));
+        // Restore so the test does not constrain the rest of the harness.
+        set_thread_affinity(&original).expect("restore");
+        assert_eq!(get_thread_affinity().unwrap(), original);
+    }
+
+    #[test]
+    #[cfg(not(target_os = "linux"))]
+    fn non_linux_reports_unsupported() {
+        assert_eq!(pin_to_core(0).unwrap_err(), Error::Unsupported);
+        assert_eq!(get_thread_affinity().unwrap_err(), Error::Unsupported);
+    }
+}
