@@ -52,6 +52,7 @@
 
 pub use secmod_policy::cache;
 pub use secmod_policy::gateway;
+mod qos_scenario;
 pub mod scenario;
 
 pub use cache::{CacheConfig, CacheKey, CacheStats, DecisionCache};

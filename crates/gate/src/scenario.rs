@@ -2,7 +2,7 @@
 //! generators that drive a [`Gateway`] from many threads, in the spirit of
 //! actor-based access-control evaluation frameworks.
 //!
-//! Ten traffic shapes are modelled:
+//! Fifteen traffic shapes are modelled:
 //!
 //! * **uniform** — every tenant equally likely, modules and operations
 //!   drawn uniformly: the keyspace is about the size of the cache, so the
@@ -50,6 +50,25 @@
 //!   drainers bounce. Decisions are untouched; the scenario exists to
 //!   stretch the *tail* of the latency distribution and prove the
 //!   per-flavor histograms catch it.
+//! * **multitenant** — the QoS plane (see `qos_scenario`): a one-slot
+//!   victim tenant shares a weighted-fair plane with an adversary tenant
+//!   that floods four slots per producer thread; the run asserts the
+//!   victim still receives at least half its fair share of drain service
+//!   at the moment it finishes, and that the allow/deny split matches
+//!   the plain **plane** run bit for bit.
+//! * **churnstorm** — plane attachment churn: producers submit in
+//!   bursts, detaching their plane slot after every burst and tearing
+//!   the whole kernel session down (epoch bump + re-handshake) every few
+//!   bursts, while the allow/deny split stays identical to **plane**.
+//! * **herd** — thundering-herd session establishment: every client
+//!   detaches, then all producer threads re-handshake `threads x 4`
+//!   sessions simultaneously from a barrier and drive them round-robin
+//!   through the plane.
+//! * **crash** — drainer death on the QoS plane: a `CrashSpec` drainer
+//!   claims ready slots exactly like a real sweep and dies holding
+//!   them; the health monitor's supervisor must reclaim the claims and
+//!   respawn the seat, with every entry completing exactly once
+//!   (per-producer seen-bitmaps catch loss and duplication).
 //!
 //! All randomness comes from per-thread `SmallRng` streams seeded from
 //! `ScenarioConfig::seed`, so the request sequence — and therefore the
@@ -74,7 +93,7 @@ use secmod_ring::{
 };
 use std::time::{Duration, Instant};
 
-/// The nine traffic shapes the engine can generate.
+/// The fifteen traffic shapes the engine can generate.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum ScenarioKind {
     /// Uniform tenant/module/operation draws.
@@ -116,11 +135,31 @@ pub enum ScenarioKind {
     /// Exercises the zero-copy path under producer concurrency; the run
     /// asserts arena bytes-in-flight settle to zero at shutdown.
     ArenaMix,
+    /// Weighted-fair QoS plane: a one-slot victim tenant versus an
+    /// adversary tenant flooding four slots per producer thread. The run
+    /// asserts the victim's fairness floor (at least half its fair share
+    /// of drain service when it finishes) and that the allow/deny split
+    /// matches [`ScenarioKind::PlaneDispatch`] bit for bit.
+    MultiTenant,
+    /// Plane-attachment churn storm: producers submit in bursts,
+    /// dropping their plane slot after every burst and cycling the whole
+    /// kernel session (detach + re-handshake, bumping the invalidation
+    /// epoch) every few bursts.
+    ChurnStorm,
+    /// Thundering-herd establishment: all sessions detach, then every
+    /// producer thread re-handshakes `4` sessions simultaneously from a
+    /// barrier and drives them round-robin through the plane.
+    HerdEstablish,
+    /// Drainer death on the QoS plane: the targeted drainer claims ready
+    /// slots like a real sweep and dies holding them; the supervisor
+    /// must reclaim and respawn, with every entry completing exactly
+    /// once.
+    DrainerCrash,
 }
 
 impl ScenarioKind {
     /// Every scenario, in report order.
-    pub const ALL: [ScenarioKind; 11] = [
+    pub const ALL: [ScenarioKind; 15] = [
         ScenarioKind::Uniform,
         ScenarioKind::ZipfianHotKey,
         ScenarioKind::AdversarialThrash,
@@ -132,6 +171,10 @@ impl ScenarioKind {
         ScenarioKind::AsyncDispatch,
         ScenarioKind::DrainerStall,
         ScenarioKind::ArenaMix,
+        ScenarioKind::MultiTenant,
+        ScenarioKind::ChurnStorm,
+        ScenarioKind::HerdEstablish,
+        ScenarioKind::DrainerCrash,
     ];
 
     /// Short name used in reports and CLI arguments.
@@ -148,6 +191,10 @@ impl ScenarioKind {
             ScenarioKind::AsyncDispatch => "async",
             ScenarioKind::DrainerStall => "stall",
             ScenarioKind::ArenaMix => "arena",
+            ScenarioKind::MultiTenant => "multitenant",
+            ScenarioKind::ChurnStorm => "churnstorm",
+            ScenarioKind::HerdEstablish => "herd",
+            ScenarioKind::DrainerCrash => "crash",
         }
     }
 }
@@ -448,10 +495,10 @@ impl Zipf {
 }
 
 #[derive(Clone, Copy, Debug, Default)]
-struct WorkerStats {
-    allows: u64,
-    denies: u64,
-    epoch_bumps: u64,
+pub(crate) struct WorkerStats {
+    pub(crate) allows: u64,
+    pub(crate) denies: u64,
+    pub(crate) epoch_bumps: u64,
 }
 
 fn run_worker(
@@ -475,7 +522,11 @@ fn run_worker(
             | ScenarioKind::PlaneDispatch
             | ScenarioKind::AsyncDispatch
             | ScenarioKind::DrainerStall
-            | ScenarioKind::ArenaMix => {
+            | ScenarioKind::ArenaMix
+            | ScenarioKind::MultiTenant
+            | ScenarioKind::ChurnStorm
+            | ScenarioKind::HerdEstablish
+            | ScenarioKind::DrainerCrash => {
                 let tenant = rng.gen_range(0..universe.tenants.len() as u64) as usize;
                 (
                     tenant,
@@ -1123,7 +1174,7 @@ fn run_plane_scenario(cfg: &ScenarioConfig) -> ScenarioReport {
 
 /// The scenario's latency summary from the kernel's dispatch metrics,
 /// `None` when the flavor recorded nothing (e.g. a gateway-only run).
-fn latency_of(kernel: &Kernel, flavor: Flavor) -> Option<LatencySummary> {
+pub(crate) fn latency_of(kernel: &Kernel, flavor: Flavor) -> Option<LatencySummary> {
     let hist = kernel.metrics.latency(flavor);
     (hist.count() > 0).then(|| hist.summary())
 }
@@ -1326,7 +1377,7 @@ pub fn run_metrics_demo(seed: u64) -> String {
     drop(async_session);
     aplane.shutdown();
 
-    kernel.metrics.text_report()
+    kernel.metrics_report()
 }
 
 /// The outcome of one scenario run.
@@ -1401,6 +1452,10 @@ pub fn run_scenario(cfg: &ScenarioConfig) -> ScenarioReport {
             return run_plane_scenario(cfg)
         }
         ScenarioKind::AsyncDispatch => return run_async_scenario(cfg),
+        ScenarioKind::MultiTenant => return crate::qos_scenario::run_multi_tenant_scenario(cfg),
+        ScenarioKind::ChurnStorm => return crate::qos_scenario::run_churn_storm_scenario(cfg),
+        ScenarioKind::HerdEstablish => return crate::qos_scenario::run_herd_scenario(cfg),
+        ScenarioKind::DrainerCrash => return crate::qos_scenario::run_drainer_crash_scenario(cfg),
         _ => {}
     }
     let (gateway, universe) = build_universe(cfg);

@@ -139,6 +139,14 @@ impl Kernel {
         self.context_switches.sum()
     }
 
+    /// Render the dispatch-metrics registry, first mirroring the
+    /// tracer's evicted-event count into it — the report path is the one
+    /// place a silently truncated trace must become visible.
+    pub fn metrics_report(&self) -> String {
+        self.metrics.trace_dropped.set(self.tracer.dropped_events());
+        self.metrics.text_report()
+    }
+
     /// Boot with a custom address-space layout (smaller layouts make unit
     /// tests cheaper).
     pub fn with_layout(cost: CostModel, layout: Layout) -> Kernel {

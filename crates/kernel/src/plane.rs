@@ -29,6 +29,24 @@
 //! itself has a timeout so a lost race costs one timeout tick, never a
 //! hang. Shutdown flags every slot once more and lets each drainer sweep
 //! the set dry before joining.
+//!
+//! ## Multi-tenant planes
+//!
+//! A plane configured with a [`QosPolicy`] ([`PlaneConfigBuilder::qos`])
+//! hosts sessions from many tenants: [`DispatchPlane::attach_tenant`]
+//! tags each attachment's ring-set slot with a [`TenantId`], and the
+//! drainers switch from the plain sweep to `sys_smod_sweep_qos` — claim
+//! the ready slots into a per-drainer [`ClaimLedger`], let the shared
+//! [`SweepScheduler`] plan a weighted-fair (or major-frame) split, drain
+//! the chosen slots, release the deferred ones. A [`HealthConfig`]
+//! ([`PlaneConfigBuilder::health`]) additionally arms the supervisor: a
+//! dedicated thread polling each drainer's heartbeat. A drainer that
+//! stops beating for two deadlines is declared dead; the supervisor
+//! reclaims whatever its ledger still holds claimed (handing the
+//! readiness bits back to the set so no submitted entry is stranded) and
+//! respawns the seat. [`CrashSpec`] ([`PlaneConfigBuilder::crash`]) is
+//! the fault drill that proves the loop: the targeted drainer claims
+//! ready work exactly like a real sweep would, then dies holding it.
 
 use crate::cred::Credential;
 use crate::dispatch::{DispatchCall, DispatchCaps, DispatchError, DispatchOutcome, Dispatcher};
@@ -38,19 +56,36 @@ use crate::proc::Pid;
 use crate::smod::SessionState;
 use crate::sweep::SweepReport;
 use crate::SysResult;
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 use secmod_obs::{DispatchMetrics, Flavor};
+use secmod_qos::{HealthConfig, HealthMonitor, Heartbeat, QosPolicy, SweepScheduler, TenantId};
 use secmod_ring::{
-    ArgArena, ArgRef, RingPairConfig, RingSet, RingSlotId, SessionRings, SmodCallReq, SmodCallResp,
-    SubmitError, SMOD_BATCH_DEFAULT_BUDGET,
+    ArgArena, ArgRef, ClaimLedger, RingPairConfig, RingSet, RingSlotId, SessionRings, SmodCallReq,
+    SmodCallResp, SubmitError, SMOD_BATCH_DEFAULT_BUDGET,
 };
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+/// Floor for the clamped heartbeat-slack park (a zero park would spin).
+const MIN_PARK: Duration = Duration::from_micros(100);
+
+/// A fault-injection drill: drainer `drainer` claims ready work like a
+/// real sweep would, then dies holding the claims (its thread exits
+/// without draining or beating). Fires at most once per plane, and only
+/// when there is actually ready work to strand — a crash that claims
+/// nothing proves nothing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CrashSpec {
+    /// Seat index of the drainer to kill (0-based).
+    pub drainer: usize,
+    /// Minimum sweeps the victim completes before it dies.
+    pub after_sweeps: u64,
+}
+
 /// Sizing and behaviour of a [`DispatchPlane`].
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct PlaneConfig {
     /// Dedicated drainer OS threads (min 1).
     pub drainers: usize,
@@ -76,6 +111,17 @@ pub struct PlaneConfig {
     /// `sched_setaffinity`. Best-effort: platforms without affinity
     /// support run unpinned.
     pub pin_drainers: bool,
+    /// Multi-tenant scheduling policy. `None` keeps the plain sweep
+    /// (every registration lands in [`TenantId::DEFAULT`] and slots are
+    /// served in bitmap order); `Some` switches the drainers to the
+    /// claim / plan / drain QoS sweep.
+    pub qos: Option<QosPolicy>,
+    /// Arm the drainer health monitor and its supervisor thread. `None`
+    /// runs unsupervised (pre-QoS behaviour).
+    pub health: Option<HealthConfig>,
+    /// Fault-injection drill: kill one drainer mid-claim. See
+    /// [`CrashSpec`].
+    pub crash: Option<CrashSpec>,
 }
 
 impl Default for PlaneConfig {
@@ -88,6 +134,9 @@ impl Default for PlaneConfig {
             park_timeout: Duration::from_millis(1),
             arena_bytes: 1 << 20,
             pin_drainers: false,
+            qos: None,
+            health: None,
+            crash: None,
         }
     }
 }
@@ -103,7 +152,7 @@ impl PlaneConfig {
 }
 
 /// Builder for [`PlaneConfig`] — each setter overrides one default.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct PlaneConfigBuilder {
     cfg: PlaneConfig,
 }
@@ -151,6 +200,25 @@ impl PlaneConfigBuilder {
         self
     }
 
+    /// Multi-tenant scheduling policy (switches drainers to the QoS
+    /// sweep).
+    pub fn qos(mut self, policy: QosPolicy) -> Self {
+        self.cfg.qos = Some(policy);
+        self
+    }
+
+    /// Arm the drainer health monitor and supervisor.
+    pub fn health(mut self, health: HealthConfig) -> Self {
+        self.cfg.health = Some(health);
+        self
+    }
+
+    /// Arm the drainer-crash fault drill.
+    pub fn crash(mut self, crash: CrashSpec) -> Self {
+        self.cfg.crash = Some(crash);
+        self
+    }
+
     /// Finish the build.
     pub fn build(self) -> PlaneConfig {
         self.cfg
@@ -170,6 +238,11 @@ pub struct PlaneStats {
     pub completed: u64,
     /// Entries completed with an error.
     pub failed: u64,
+    /// Drainers the supervisor respawned after a `Dead` verdict.
+    pub drainer_restarts: u64,
+    /// Readiness bits reclaimed from dead drainers' claim ledgers
+    /// (supervisor recoveries plus the shutdown safety net).
+    pub reclaimed: u64,
 }
 
 impl PlaneStats {
@@ -180,6 +253,28 @@ impl PlaneStats {
         self.completed += report.completed as u64;
         self.failed += report.failed as u64;
     }
+
+    fn merge(&mut self, s: &PlaneStats) {
+        self.sweeps += s.sweeps;
+        self.productive_sweeps += s.productive_sweeps;
+        self.drained += s.drained;
+        self.completed += s.completed;
+        self.failed += s.failed;
+        self.drainer_restarts += s.drainer_restarts;
+        self.reclaimed += s.reclaimed;
+    }
+}
+
+/// Per-drainer spawn parameters the supervisor reuses on respawn.
+struct DrainerParams {
+    session_budget: usize,
+    park_timeout: Duration,
+    pin_drainers: bool,
+    cores: usize,
+    /// `deadline / 2` when a health monitor is armed: the park timeout
+    /// is clamped to this so a healthy parked drainer always wakes to
+    /// beat well inside its deadline.
+    heartbeat_slack: Option<Duration>,
 }
 
 struct PlaneShared {
@@ -201,6 +296,27 @@ struct PlaneShared {
     /// either raced a drainer that will still see its readiness bit, or
     /// one that is already sweeping.
     idle: AtomicUsize,
+    /// The QoS scheduler, when the plane is multi-tenant. `None` keeps
+    /// the plain sweep.
+    sched: Option<Arc<SweepScheduler>>,
+    /// The drainer health monitor, when armed.
+    monitor: Option<Arc<HealthMonitor>>,
+    /// One claim ledger per drainer seat (always allocated — they are a
+    /// few bitmap words). The supervisor swaps in a fresh ledger when it
+    /// reclaims a dead seat's, so a corpse and its replacement never
+    /// share one.
+    ledgers: RwLock<Vec<Arc<ClaimLedger>>>,
+    /// Fault drill, if armed, and its fired-once latch.
+    crash: Option<CrashSpec>,
+    crash_fired: AtomicBool,
+    /// Spawn parameters reused by supervisor respawns.
+    params: DrainerParams,
+    /// Live drainer join handles. Shared (not on `DispatchPlane`) so the
+    /// supervisor can push respawned seats; drained once at shutdown
+    /// after the supervisor has been joined.
+    handles: Mutex<Vec<JoinHandle<PlaneStats>>>,
+    /// Kernel process charged for the shutdown safety-net sweep.
+    reaper_pid: Pid,
 }
 
 impl PlaneShared {
@@ -231,14 +347,16 @@ pub struct DispatchPlane {
     shared: Arc<PlaneShared>,
     session_budget: usize,
     ring: RingPairConfig,
-    drainers: Vec<JoinHandle<PlaneStats>>,
+    supervisor: Option<JoinHandle<()>>,
+    joined: bool,
 }
 
 impl std::fmt::Debug for DispatchPlane {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("DispatchPlane")
-            .field("drainers", &self.drainers.len())
+            .field("drainers", &self.shared.handles.lock().len())
             .field("attached", &self.shared.set.len())
+            .field("multi_tenant", &self.shared.sched.is_some())
             .finish()
     }
 }
@@ -255,48 +373,89 @@ impl DispatchPlane {
         } else {
             RingSet::with_capacity(cfg.slots)
         };
+        let set = Arc::new(set);
+        let n = cfg.drainers.max(1);
+        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let sched = cfg
+            .qos
+            .as_ref()
+            .map(|p| Arc::new(SweepScheduler::new(p.clone())));
+        let monitor = cfg.health.map(|h| Arc::new(HealthMonitor::new(h.deadline)));
+        let ledgers = (0..n).map(|_| Arc::new(set.claim_ledger())).collect();
+        // The reaper process exists for one job: charging the shutdown
+        // safety-net sweep somewhere real if the drainers can no longer
+        // run it (e.g. an unrecovered crash drill).
+        let reaper_pid =
+            kernel.spawn_process("plane-reaper", Credential::root(), vec![0x90; 4096], 2, 2)?;
         let shared = Arc::new(PlaneShared {
             kernel: Arc::clone(&kernel),
-            set: Arc::new(set),
+            set,
             stop: AtomicBool::new(false),
             completion_hook: RwLock::new(None),
             sleepers: RwLock::new(Vec::new()),
             idle: AtomicUsize::new(0),
+            sched,
+            monitor: monitor.clone(),
+            ledgers: RwLock::new(ledgers),
+            crash: cfg.crash,
+            crash_fired: AtomicBool::new(false),
+            params: DrainerParams {
+                session_budget: cfg.session_budget,
+                park_timeout: cfg.park_timeout,
+                pin_drainers: cfg.pin_drainers,
+                cores,
+                heartbeat_slack: cfg.health.map(|h| (h.deadline / 2).max(MIN_PARK)),
+            },
+            handles: Mutex::new(Vec::new()),
+            reaper_pid,
         });
-        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
-        let mut drainers = Vec::new();
-        for i in 0..cfg.drainers.max(1) {
-            let pid = kernel.spawn_process(
-                &format!("plane-drainer{i}"),
-                Credential::root(),
-                vec![0x90; 4096],
-                2,
-                2,
-            )?;
-            let shared = Arc::clone(&shared);
-            let pin_core = cfg.pin_drainers.then_some(i % cores);
-            let handle = std::thread::Builder::new()
-                .name(format!("smod-drainer{i}"))
-                .spawn(move || {
-                    drainer_loop(&shared, pid, cfg.session_budget, cfg.park_timeout, pin_core)
-                })
-                .expect("spawn plane drainer thread");
-            drainers.push(handle);
+        for seat in 0..n {
+            let heartbeat = monitor.as_ref().map(|m| m.register().1);
+            let handle = spawn_drainer(&shared, seat, 0, heartbeat)?;
+            shared.handles.lock().push(handle);
         }
-        *shared.sleepers.write() = drainers.iter().map(|h| h.thread().clone()).collect();
+        *shared.sleepers.write() = shared
+            .handles
+            .lock()
+            .iter()
+            .map(|h| h.thread().clone())
+            .collect();
+        let supervisor = match (&monitor, cfg.health) {
+            (Some(monitor), Some(health)) => {
+                let shared = Arc::clone(&shared);
+                let monitor = Arc::clone(monitor);
+                Some(
+                    std::thread::Builder::new()
+                        .name("smod-plane-supervisor".into())
+                        .spawn(move || supervisor_loop(&shared, &monitor, health.check_interval))
+                        .expect("spawn plane supervisor thread"),
+                )
+            }
+            _ => None,
+        };
         Ok(DispatchPlane {
             shared,
             session_budget: cfg.session_budget,
             ring: cfg.ring,
-            drainers,
+            supervisor,
+            joined: false,
         })
     }
 
     /// Attach a client's established session: register its ring pair in
     /// the plane's set and hand back the producer-side [`PlaneHandle`].
     /// `EPERM` without a session, `EINVAL` before the handshake
-    /// completes, `ENOMEM` when every slot is taken.
+    /// completes, `ENOMEM` when every slot is taken. The attachment
+    /// lands in [`TenantId::DEFAULT`]; multi-tenant callers use
+    /// [`DispatchPlane::attach_tenant`].
     pub fn attach(&self, client: Pid) -> SysResult<PlaneHandle> {
+        self.attach_tenant(client, TenantId::DEFAULT)
+    }
+
+    /// [`DispatchPlane::attach`], with the slot tagged for `tenant` so
+    /// the QoS sweep schedules it under that tenant's weight. On a plane
+    /// without a QoS policy the tag is carried but ignored.
+    pub fn attach_tenant(&self, client: Pid, tenant: TenantId) -> SysResult<PlaneHandle> {
         let session = self.shared.kernel.session_of(client).ok_or(Errno::EPERM)?;
         if session.state() != SessionState::Established {
             return Err(Errno::EINVAL);
@@ -304,7 +463,7 @@ impl DispatchPlane {
         let slot = self
             .shared
             .set
-            .register(session.id.0, client.0, self.ring)
+            .register_for_tenant(session.id.0, client.0, tenant.0, self.ring)
             .ok_or(Errno::ENOMEM)?;
         let rings = self.shared.set.get(slot).expect("freshly registered slot");
         Ok(PlaneHandle {
@@ -345,6 +504,25 @@ impl DispatchPlane {
         self.shared.set.len()
     }
 
+    /// The QoS scheduler, when the plane was started with a policy.
+    /// Scenarios and reports read per-tenant lanes through
+    /// [`SweepScheduler::metrics`].
+    pub fn scheduler(&self) -> Option<Arc<SweepScheduler>> {
+        self.shared.sched.clone()
+    }
+
+    /// The drainer health monitor, when armed.
+    pub fn health_monitor(&self) -> Option<Arc<HealthMonitor>> {
+        self.shared.monitor.clone()
+    }
+
+    /// Whether the armed [`CrashSpec`] has fired (always `false` without
+    /// one). Crash drills poll this to know the victim is down before
+    /// asserting on recovery.
+    pub fn crash_fired(&self) -> bool {
+        self.shared.crash_fired.load(Ordering::Acquire)
+    }
+
     /// Stop the drainers (after one final forced sweep of every attached
     /// slot), join them, and return their aggregate stats.
     pub fn shutdown(mut self) -> PlaneStats {
@@ -352,17 +530,50 @@ impl DispatchPlane {
     }
 
     fn stop_and_join(&mut self) -> PlaneStats {
+        self.joined = true;
         self.shared.stop.store(true, Ordering::Release);
         self.shared.set.mark_all_ready();
         self.shared.wake();
+        // Supervisor first: once it is joined, no respawn can race the
+        // handle drain below.
+        if let Some(sup) = self.supervisor.take() {
+            sup.thread().unpark();
+            sup.join().expect("plane supervisor panicked");
+        }
         let mut stats = PlaneStats::default();
-        for handle in self.drainers.drain(..) {
-            let s = handle.join().expect("plane drainer panicked");
-            stats.sweeps += s.sweeps;
-            stats.productive_sweeps += s.productive_sweeps;
-            stats.drained += s.drained;
-            stats.completed += s.completed;
-            stats.failed += s.failed;
+        loop {
+            let handle = self.shared.handles.lock().pop();
+            let Some(handle) = handle else { break };
+            stats.merge(&handle.join().expect("plane drainer panicked"));
+        }
+        // Safety net: hand back anything a dead drainer still held
+        // claimed (a crash the supervisor never saw — not armed, or the
+        // plane stopped inside the detection window), then sweep the set
+        // dry inline since no drainer remains to do it. QoS planes take
+        // the inline pass unconditionally: their final sweeps may have
+        // *deferred* over-budget slots that a plain sweep must now
+        // finish.
+        let mut reclaimed = 0;
+        for ledger in self.shared.ledgers.read().iter() {
+            reclaimed += self.shared.set.reclaim(ledger);
+        }
+        stats.reclaimed += reclaimed as u64;
+        if reclaimed > 0 || self.shared.sched.is_some() {
+            while let Ok(report) = self.shared.kernel.sys_smod_sweep(
+                self.shared.reaper_pid,
+                &self.shared.set,
+                self.shared.params.session_budget.max(1),
+            ) {
+                let drained = report.drained;
+                stats.absorb(&report);
+                if drained == 0 {
+                    break;
+                }
+            }
+        }
+        if let Some(monitor) = &self.shared.monitor {
+            stats.drainer_restarts += monitor.restarts.get();
+            stats.reclaimed += monitor.reclaimed.get();
         }
         // One final notification after the last drainer exits: whatever
         // the shutdown sweeps completed is now visible, and a consumer
@@ -374,31 +585,106 @@ impl DispatchPlane {
 
 impl Drop for DispatchPlane {
     fn drop(&mut self) {
-        if !self.drainers.is_empty() {
+        if !self.joined {
             self.stop_and_join();
         }
     }
 }
 
-fn drainer_loop(
-    shared: &PlaneShared,
+/// Spawn the drainer for `seat` (generation 0 at plane start; respawns
+/// carry the supervisor's restart generation in the process name so the
+/// cost model attributes each incarnation separately).
+fn spawn_drainer(
+    shared: &Arc<PlaneShared>,
+    seat: usize,
+    generation: u64,
+    heartbeat: Option<Heartbeat>,
+) -> SysResult<JoinHandle<PlaneStats>> {
+    let name = if generation == 0 {
+        format!("plane-drainer{seat}")
+    } else {
+        format!("plane-drainer{seat}r{generation}")
+    };
+    let pid = shared
+        .kernel
+        .spawn_process(&name, Credential::root(), vec![0x90; 4096], 2, 2)?;
+    let ctx = DrainerCtx {
+        pid,
+        seat,
+        heartbeat,
+        ledger: Arc::clone(&shared.ledgers.read()[seat]),
+        pin_core: shared
+            .params
+            .pin_drainers
+            .then_some(seat % shared.params.cores),
+    };
+    let shared = Arc::clone(shared);
+    Ok(std::thread::Builder::new()
+        .name(format!("smod-drainer{seat}"))
+        .spawn(move || drainer_loop(&shared, ctx))
+        .expect("spawn plane drainer thread"))
+}
+
+/// Everything one drainer incarnation owns.
+struct DrainerCtx {
     pid: Pid,
-    session_budget: usize,
-    park_timeout: Duration,
+    seat: usize,
+    heartbeat: Option<Heartbeat>,
+    ledger: Arc<ClaimLedger>,
     pin_core: Option<usize>,
-) -> PlaneStats {
-    if let Some(core) = pin_core {
+}
+
+fn drainer_loop(shared: &PlaneShared, ctx: DrainerCtx) -> PlaneStats {
+    if let Some(core) = ctx.pin_core {
         // Best-effort: a refused mask (container cpuset, non-Linux) just
         // leaves the drainer migratable, exactly as before pinning existed.
         let _ = affinity::pin_to_core(core);
     }
+    // With a monitor armed, the park is clamped to half the deadline so
+    // an idle drainer always wakes to beat well before it reads Suspect.
+    let park_timeout = match shared.params.heartbeat_slack {
+        Some(slack) => shared.params.park_timeout.min(slack),
+        None => shared.params.park_timeout,
+    };
     let mut stats = PlaneStats::default();
-    // Sweep until stopped; `Err` means the drainer's own process vanished
-    // (kernel torn down around the plane) — nothing left to do either way.
-    while let Ok(report) = shared
-        .kernel
-        .sys_smod_sweep(pid, &shared.set, session_budget)
-    {
+    loop {
+        if let Some(hb) = &ctx.heartbeat {
+            hb.beat();
+        }
+        // The fault drill: claim ready work exactly like a real sweep
+        // would, then die holding it. Only fires against actual ready
+        // work — a crash that strands nothing exercises nothing — and
+        // only once per plane, so the respawned seat does not re-die.
+        if let Some(crash) = shared.crash {
+            if crash.drainer == ctx.seat
+                && stats.sweeps >= crash.after_sweeps
+                && !shared.crash_fired.load(Ordering::Acquire)
+            {
+                let stranded = shared.set.claim_for_crash(&ctx.ledger);
+                if stranded > 0 {
+                    shared.crash_fired.store(true, Ordering::Release);
+                    return stats;
+                }
+            }
+        }
+        // Sweep until stopped; `Err` means the drainer's own process
+        // vanished (kernel torn down around the plane) — nothing left to
+        // do either way.
+        let report = match &shared.sched {
+            Some(sched) => shared.kernel.sys_smod_sweep_qos(
+                ctx.pid,
+                &shared.set,
+                sched,
+                &ctx.ledger,
+                shared.params.session_budget,
+            ),
+            None => {
+                shared
+                    .kernel
+                    .sys_smod_sweep(ctx.pid, &shared.set, shared.params.session_budget)
+            }
+        };
+        let Ok(report) = report else { break };
         stats.absorb(&report);
         if report.drained > 0 {
             // Completions were pushed (the sweep also flagged the
@@ -415,7 +701,9 @@ fn drainer_loop(
         }
         // Post-stop, a no-progress sweep means the set is as dry as it
         // can get (the shutdown path force-flagged every slot first):
-        // exit even if unserviceable ready bits remain.
+        // exit even if unserviceable ready bits remain. (A QoS sweep may
+        // still be *deferring* over-budget slots here; the shutdown path
+        // finishes those with its inline plain sweep.)
         if shared.stop.load(Ordering::Acquire) {
             break;
         }
@@ -431,6 +719,45 @@ fn drainer_loop(
         shared.idle.fetch_sub(1, Ordering::AcqRel);
     }
     stats
+}
+
+/// The supervisor: poll the monitor every `check_interval`, and for each
+/// seat newly judged dead, reclaim its ledger's stranded claims back
+/// into the readiness bitmap and respawn the seat.
+fn supervisor_loop(
+    shared: &Arc<PlaneShared>,
+    monitor: &Arc<HealthMonitor>,
+    check_interval: Duration,
+) {
+    while !shared.stop.load(Ordering::Acquire) {
+        std::thread::park_timeout(check_interval.max(MIN_PARK));
+        for seat in monitor.take_dead() {
+            // Swap the corpse's ledger out of service first, so the
+            // replacement never shares it, then hand its claimed bits
+            // back. Safe to reclaim: a Dead verdict means two missed
+            // deadlines — the corpse is not mid-drain, it is gone.
+            let stale = {
+                let mut ledgers = shared.ledgers.write();
+                std::mem::replace(&mut ledgers[seat], Arc::new(shared.set.claim_ledger()))
+            };
+            let reclaimed = shared.set.reclaim(&stale);
+            monitor.reclaimed.add(reclaimed as u64);
+            let Some(heartbeat) = monitor.revive(seat) else {
+                continue;
+            };
+            let generation = monitor.restarts.get() + 1;
+            // A spawn failure means the kernel was torn down around the
+            // plane: no process table to respawn into, and shutdown will
+            // reclaim whatever remains.
+            if let Ok(handle) = spawn_drainer(shared, seat, generation, Some(heartbeat)) {
+                shared.sleepers.write()[seat] = handle.thread().clone();
+                shared.handles.lock().push(handle);
+                monitor.restarts.incr();
+                // The respawned seat must see the reclaimed work.
+                shared.wake();
+            }
+        }
+    }
 }
 
 /// A producer's attachment to the plane: submit and reap without ever
@@ -815,6 +1142,120 @@ mod tests {
             fired.load(Ordering::Acquire) > before_shutdown,
             "shutdown must fire the hook one final time"
         );
+    }
+
+    #[test]
+    fn qos_plane_serves_every_tenant_and_fills_their_lanes() {
+        use secmod_qos::TenantSpec;
+        const PER_PRODUCER: u64 = 200;
+        let (k, _m, clients, incr) = kernel_with_clients(None, 2);
+        let kernel = Arc::new(k);
+        let plane = DispatchPlane::start(
+            Arc::clone(&kernel),
+            PlaneConfig::builder()
+                .drainers(2)
+                .qos(QosPolicy::weighted_fair([
+                    TenantSpec::new(1, 1),
+                    TenantSpec::new(2, 1),
+                ]))
+                .build(),
+        )
+        .unwrap();
+        let handles: Vec<PlaneHandle> = clients
+            .iter()
+            .zip([TenantId(1), TenantId(2)])
+            .map(|(&c, t)| plane.attach_tenant(c, t).unwrap())
+            .collect();
+        std::thread::scope(|s| {
+            for handle in &handles {
+                s.spawn(move || {
+                    let mut received = 0u64;
+                    let mut sent = 0u64;
+                    while received < PER_PRODUCER {
+                        if sent < PER_PRODUCER
+                            && handle
+                                .submit(incr, sent, sent.to_le_bytes().to_vec())
+                                .is_ok()
+                        {
+                            sent += 1;
+                        }
+                        while let Some(resp) = handle.reap() {
+                            assert!(resp.is_ok());
+                            received += 1;
+                        }
+                    }
+                });
+            }
+        });
+        let sched = plane.scheduler().expect("qos plane has a scheduler");
+        drop(handles);
+        let stats = plane.shutdown();
+        assert_eq!(stats.completed, 2 * PER_PRODUCER);
+        assert_eq!(stats.failed, 0);
+        for tenant in [1u32, 2] {
+            let lane = sched.metrics().lane(tenant);
+            assert_eq!(
+                lane.completed.get(),
+                PER_PRODUCER,
+                "tenant{tenant} lane under-counts"
+            );
+            assert!(lane.drained.get() >= PER_PRODUCER);
+        }
+    }
+
+    #[test]
+    fn crashed_drainer_is_reclaimed_respawned_and_no_entry_is_lost() {
+        const ENTRIES: u64 = 48;
+        let (k, _m, clients, incr) = kernel_with_clients(None, 1);
+        let kernel = Arc::new(k);
+        let plane = DispatchPlane::start(
+            Arc::clone(&kernel),
+            PlaneConfig::builder()
+                .drainers(1)
+                .qos(QosPolicy::weighted_fair([]))
+                .health(HealthConfig::with_deadline(Duration::from_millis(10)))
+                .crash(CrashSpec {
+                    drainer: 0,
+                    after_sweeps: 0,
+                })
+                .build(),
+        )
+        .unwrap();
+        let handle = plane.attach(clients[0]).unwrap();
+        // The lone drainer dies on the first submission it sees (the
+        // crash drill claims the ready bit and exits), so every reaped
+        // completion below proves the supervisor reclaimed the claim and
+        // respawned the seat.
+        let mut seen = vec![false; ENTRIES as usize];
+        let mut received = 0u64;
+        let mut sent = 0u64;
+        while received < ENTRIES {
+            if sent < ENTRIES
+                && handle
+                    .submit(incr, sent, sent.to_le_bytes().to_vec())
+                    .is_ok()
+            {
+                sent += 1;
+            }
+            while let Some(resp) = handle.reap() {
+                assert!(resp.is_ok());
+                let idx = resp.user_data as usize;
+                assert!(!seen[idx], "entry {idx} completed twice");
+                seen[idx] = true;
+                received += 1;
+            }
+            std::thread::yield_now();
+        }
+        assert!(plane.crash_fired(), "the drill must have fired");
+        let monitor = plane.health_monitor().expect("health is armed");
+        assert!(monitor.restarts.get() >= 1, "seat never respawned");
+        assert!(monitor.reclaimed.get() >= 1, "claims never reclaimed");
+        drop(handle);
+        let stats = plane.shutdown();
+        assert!(seen.iter().all(|&s| s), "an entry was lost");
+        assert_eq!(stats.completed, ENTRIES);
+        assert!(stats.drainer_restarts >= 1);
+        assert!(stats.reclaimed >= 1);
     }
 
     #[test]

@@ -39,7 +39,10 @@ use crate::proc::Pid;
 use crate::smod::{SessionId, SessionState};
 use crate::SysResult;
 use secmod_obs::Flavor;
-use secmod_ring::RingSet;
+use secmod_qos::SweepScheduler;
+use secmod_ring::set::ClaimLedger;
+use secmod_ring::{RingSet, RingSlotId, SessionRings};
+use std::sync::Arc;
 
 /// What one `sys_smod_sweep` invocation did.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -66,7 +69,133 @@ pub struct SweepReport {
     pub fixed_cost_ns: u64,
 }
 
+/// Running totals across one sweep's slot visits, folded into the
+/// report and the amortised cost charge at the end.
+#[derive(Default)]
+struct SweepTotals {
+    report: SweepReport,
+    entry_ns_total: u64,
+    checked_total: usize,
+    sessions_checked: usize,
+}
+
+/// What one slot's visit did (the per-slot slice of the totals, so the
+/// QoS sweep can charge each tenant for exactly its own entries).
+struct SlotDrain {
+    remark: bool,
+    drained: usize,
+    completed: usize,
+    failed: usize,
+}
+
 impl Kernel {
+    /// The shared per-slot sweep body: resolve the slot's session once,
+    /// drain up to `session_budget` entries (or fail everything queued
+    /// with `EIDRM` for a dead/foreign slot), and fold the outcome into
+    /// `totals`. Used verbatim by both the plain and the QoS sweep so
+    /// the epoch / credential / `EIDRM` semantics stay one copy of code.
+    fn sweep_visit(
+        &self,
+        set: &RingSet,
+        slot: RingSlotId,
+        rings: &Arc<SessionRings>,
+        session_budget: usize,
+        scratch: &mut DrainScratch,
+        totals: &mut SweepTotals,
+    ) -> SlotDrain {
+        totals.report.sessions_ready += 1;
+        // --- once-per-sweep resolution of this session ------------------
+        let live = self
+            .sessions
+            .get(SessionId(rings.session))
+            .filter(|s| s.client.0 == rings.owner)
+            .filter(|s| s.state() == SessionState::Established);
+        let session = match live {
+            Some(session) => session,
+            None => {
+                // Dead / foreign slot: answer everything queued with
+                // EIDRM. A full completion ring leaves the rest queued
+                // and re-flags the slot for a later sweep (after the
+                // producer reaps).
+                totals.report.sessions_dead += 1;
+                let failed = fail_all_eidrm(&rings.sq, &rings.cq);
+                self.metrics.eidrm_failures.add(failed as u64);
+                totals.report.drained += failed;
+                totals.report.failed += failed;
+                if failed > 0 {
+                    set.mark_completed(slot);
+                }
+                return SlotDrain {
+                    remark: !rings.sq.is_empty(),
+                    drained: failed,
+                    completed: 0,
+                    failed,
+                };
+            }
+        };
+        let mut drain = self.resolve_session_drain(session);
+        let outcome = self.drain_session_rings(
+            &mut drain,
+            &rings.sq,
+            &rings.cq,
+            rings.arena.as_ref(),
+            session_budget,
+            scratch,
+            Flavor::Sweep,
+        );
+        // Every drained entry pushed a completion (success or errno):
+        // flag the completion bitmap so a parked consumer (the async
+        // reactor) learns about the responses without polling rings.
+        if outcome.drained > 0 {
+            set.mark_completed(slot);
+        }
+        totals.report.drained += outcome.drained;
+        totals.report.completed += outcome.completed;
+        totals.report.failed += outcome.failed;
+        if outcome.aborted {
+            totals.report.sessions_dead += 1;
+        } else {
+            totals.report.sessions_swept += 1;
+        }
+        totals.checked_total += outcome.checked;
+        totals.entry_ns_total += outcome.entry_ns;
+        totals.sessions_checked += usize::from(outcome.checked > 0);
+        // Budget leftovers (or a cq-full stall) re-flag the slot so the
+        // next sweep picks it straight back up.
+        SlotDrain {
+            remark: !rings.sq.is_empty(),
+            drained: outcome.drained,
+            completed: outcome.completed,
+            failed: outcome.failed,
+        }
+    }
+
+    /// The shared end-of-sweep accounting: trap counters, then either
+    /// the amortised fixed cost (checked work happened) or the bare trap.
+    fn finish_sweep(&self, caller: Pid, mut totals: SweepTotals) -> SweepReport {
+        // One trap, however many sessions it visited — the pair of
+        // counters behind `DispatchMetrics::sessions_per_trap`, the
+        // paper's multi-session amortisation made observable.
+        self.metrics.sweep_traps.incr();
+        self.metrics
+            .sweep_sessions
+            .add(totals.report.sessions_ready as u64);
+        if totals.checked_total > 0 {
+            totals.report.fixed_cost_ns = self
+                .cost
+                .sweep_dispatch_ns(totals.sessions_checked, totals.checked_total);
+            let fixed = totals.report.fixed_cost_ns;
+            let _ = self.procs.with_mut(caller, |p| p.cpu_time_ns += fixed);
+            self.clock
+                .advance_striped(caller.0 as u64, fixed + totals.entry_ns_total);
+            // One context-switch pair per *sweep*, no matter how many
+            // sessions it visited — the multi-session amortisation.
+            self.context_switch_n(caller, 2);
+        } else {
+            self.charge(caller, self.cost.syscall_trap_ns);
+        }
+        totals.report
+    }
     /// Drain every ready session in `set`, up to `session_budget` entries
     /// per session, in one syscall-equivalent.
     ///
@@ -84,93 +213,59 @@ impl Kernel {
         session_budget: usize,
     ) -> SysResult<SweepReport> {
         self.procs.with(caller, |_| ())?; // the drainer must be a live process
-        let mut report = SweepReport::default();
+        let mut totals = SweepTotals::default();
         let mut scratch = DrainScratch::new();
-        let mut entry_ns_total = 0u64;
-        let mut checked_total = 0usize;
-        let mut sessions_checked = 0usize;
-
         set.sweep_ready(|slot, rings| {
-            report.sessions_ready += 1;
-            // --- once-per-sweep resolution of this session --------------
-            let live = self
-                .sessions
-                .get(SessionId(rings.session))
-                .filter(|s| s.client.0 == rings.owner)
-                .filter(|s| s.state() == SessionState::Established);
-            let session = match live {
-                Some(session) => session,
-                None => {
-                    // Dead / foreign slot: answer everything queued with
-                    // EIDRM. A full completion ring leaves the rest
-                    // queued and re-flags the slot for a later sweep
-                    // (after the producer reaps).
-                    report.sessions_dead += 1;
-                    let failed = fail_all_eidrm(&rings.sq, &rings.cq);
-                    self.metrics.eidrm_failures.add(failed as u64);
-                    report.drained += failed;
-                    report.failed += failed;
-                    if failed > 0 {
-                        set.mark_completed(slot);
-                    }
-                    return !rings.sq.is_empty();
-                }
-            };
-            let mut drain = self.resolve_session_drain(session);
-            let outcome = self.drain_session_rings(
-                &mut drain,
-                &rings.sq,
-                &rings.cq,
-                rings.arena.as_ref(),
-                session_budget,
-                &mut scratch,
-                Flavor::Sweep,
-            );
-            // Every drained entry pushed a completion (success or errno):
-            // flag the completion bitmap so a parked consumer (the async
-            // reactor) learns about the responses without polling rings.
-            if outcome.drained > 0 {
-                set.mark_completed(slot);
-            }
-            report.drained += outcome.drained;
-            report.completed += outcome.completed;
-            report.failed += outcome.failed;
-            if outcome.aborted {
-                report.sessions_dead += 1;
-            } else {
-                report.sessions_swept += 1;
-            }
-            checked_total += outcome.checked;
-            entry_ns_total += outcome.entry_ns;
-            sessions_checked += usize::from(outcome.checked > 0);
-            // Budget leftovers (or a cq-full stall) re-flag the slot so
-            // the next sweep picks it straight back up.
-            !rings.sq.is_empty()
+            self.sweep_visit(set, slot, rings, session_budget, &mut scratch, &mut totals)
+                .remark
         });
+        Ok(self.finish_sweep(caller, totals))
+    }
 
-        // One trap, however many sessions it visited — the pair of
-        // counters behind `DispatchMetrics::sessions_per_trap`, the
-        // paper's multi-session amortisation made observable.
-        self.metrics.sweep_traps.incr();
-        self.metrics
-            .sweep_sessions
-            .add(report.sessions_ready as u64);
+    /// The tenant-scheduled sweep: claim the ready set into the
+    /// drainer's `ledger`, let `sched` plan which tenants' slots drain
+    /// this round (and with what per-slot budget), drain the chosen
+    /// slots, and release the deferred ones straight back to the bitmap.
+    ///
+    /// Per-slot semantics (session resolution, `EIDRM`, budget re-marks,
+    /// cost accounting) are identical to [`Kernel::sys_smod_sweep`] —
+    /// the same code runs. The differences are the scheduler sitting
+    /// between claim and drain, per-tenant deficit charging, and the
+    /// claims being recorded in `ledger` so the plane's health monitor
+    /// can reclaim them if this drainer dies mid-sweep.
+    pub fn sys_smod_sweep_qos(
+        &self,
+        caller: Pid,
+        set: &RingSet,
+        sched: &SweepScheduler,
+        ledger: &ClaimLedger,
+        session_budget: usize,
+    ) -> SysResult<SweepReport> {
+        self.procs.with(caller, |_| ())?;
+        let mut candidates: Vec<(RingSlotId, u32)> = Vec::new();
+        set.claim_ready(ledger, &mut candidates);
+        let raw: Vec<(usize, u32)> = candidates.iter().map(|(s, t)| (s.0, *t)).collect();
+        // The simulated clock positions the major frame, so
+        // time-partitioned tests are as deterministic as everything else.
+        let plan = sched.plan(&raw, self.clock.now_ns(), session_budget);
 
-        // --- amortised accounting: one trap for the whole sweep ---------
-        if checked_total > 0 {
-            report.fixed_cost_ns = self.cost.sweep_dispatch_ns(sessions_checked, checked_total);
-            let _ = self
-                .procs
-                .with_mut(caller, |p| p.cpu_time_ns += report.fixed_cost_ns);
-            self.clock
-                .advance_striped(caller.0 as u64, report.fixed_cost_ns + entry_ns_total);
-            // One context-switch pair per *sweep*, no matter how many
-            // sessions it visited — the multi-session amortisation.
-            self.context_switch_n(caller, 2);
-        } else {
-            self.charge(caller, self.cost.syscall_trap_ns);
+        let mut totals = SweepTotals::default();
+        let mut scratch = DrainScratch::new();
+        for &(slot, _tenant) in &plan.deferred {
+            set.release_claimed(RingSlotId(slot), ledger);
         }
-        Ok(report)
+        for chosen in &plan.chosen {
+            let lane = sched.metrics().lane(chosen.tenant);
+            set.drain_claimed(RingSlotId(chosen.slot), ledger, |slot, rings| {
+                let drain =
+                    self.sweep_visit(set, slot, rings, chosen.budget, &mut scratch, &mut totals);
+                sched.charge(chosen.tenant, drain.drained as u64);
+                lane.completed.add(drain.completed as u64);
+                lane.failed.add(drain.failed as u64);
+                drain.remark
+            });
+        }
+        Ok(self.finish_sweep(caller, totals))
     }
 }
 
@@ -435,6 +530,160 @@ mod tests {
             k.sys_smod_sweep(Pid(999), &set, 8).unwrap_err(),
             Errno::ESRCH
         );
+    }
+
+    #[test]
+    fn qos_sweep_with_one_tenant_matches_the_plain_sweep() {
+        use secmod_qos::{QosPolicy, SweepScheduler, TenantSpec};
+        const SESSIONS: usize = 4;
+        const PER_SESSION: u64 = 16;
+        let (k, _m, clients, incr) = kernel_with_clients(None, SESSIONS);
+        let (set, slots) = ring_set_for(&k, &clients, 64);
+        let drainer = sweeper(&k);
+        for (s, &client) in clients.iter().enumerate() {
+            for i in 0..PER_SESSION {
+                set.submit(slots[s], req(&k, client, incr, i, 100 * s as u64 + i))
+                    .unwrap();
+            }
+        }
+        let sched = SweepScheduler::new(
+            QosPolicy::weighted_fair([TenantSpec::new(0, 1)]).with_quantum(1024),
+        );
+        let ledger = set.claim_ledger();
+        let report = k
+            .sys_smod_sweep_qos(drainer, &set, &sched, &ledger, SMOD_BATCH_DEFAULT_BUDGET)
+            .unwrap();
+        assert_eq!(report.sessions_ready, SESSIONS);
+        assert_eq!(report.completed, SESSIONS * PER_SESSION as usize);
+        assert!(ledger.is_empty(), "every claim resolved");
+        for (s, _) in clients.iter().enumerate() {
+            let rings = set.get(slots[s]).unwrap();
+            for i in 0..PER_SESSION {
+                let resp = rings.cq.pop_spsc().unwrap();
+                assert!(resp.is_ok());
+                assert_eq!(resp.user_data, i, "session {s} reordered");
+                assert_eq!(
+                    u64::from_le_bytes(resp.into_ret().try_into().unwrap()),
+                    100 * s as u64 + i + 1,
+                );
+            }
+        }
+        let lane = sched.metrics().lane(0);
+        assert_eq!(lane.drained.get(), (SESSIONS as u64) * PER_SESSION);
+        assert_eq!(lane.completed.get(), (SESSIONS as u64) * PER_SESSION);
+    }
+
+    #[test]
+    fn qos_sweep_holds_the_victims_share_against_a_slot_flood() {
+        use secmod_qos::{QosPolicy, SweepScheduler, TenantSpec};
+        // Victim tenant 0: one session. Adversary tenant 1: every other
+        // session, all flooded. Equal weights — slot-count round robin
+        // would give the victim 1/13 of the service; DRR must hold ~1/2.
+        const ADV_SESSIONS: usize = 12;
+        const QUEUED: u64 = 64;
+        let (k, _m, clients, incr) = kernel_with_clients(None, 1 + ADV_SESSIONS);
+        let set = RingSet::with_capacity(clients.len());
+        let slots: Vec<RingSlotId> = clients
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| {
+                let session = k.session_of(c).unwrap();
+                let tenant = u32::from(i > 0);
+                set.register_for_tenant(
+                    session.id.0,
+                    c.0,
+                    tenant,
+                    RingPairConfig {
+                        submission: QUEUED as usize,
+                        completion: QUEUED as usize,
+                    },
+                )
+                .unwrap()
+            })
+            .collect();
+        for (s, &client) in clients.iter().enumerate() {
+            for i in 0..QUEUED {
+                set.submit(slots[s], req(&k, client, incr, i, i)).unwrap();
+            }
+        }
+        let drainer = sweeper(&k);
+        let sched = SweepScheduler::new(
+            QosPolicy::weighted_fair([TenantSpec::new(0, 1), TenantSpec::new(1, 1)])
+                .with_quantum(16),
+        );
+        let ledger = set.claim_ledger();
+        // Sweep until the victim's backlog is gone, reaping completions
+        // as we go so full completion rings never stall the drain.
+        let victim_rings = set.get(slots[0]).unwrap();
+        let mut guard = 0;
+        while !victim_rings.sq.is_empty() {
+            k.sys_smod_sweep_qos(drainer, &set, &sched, &ledger, 64)
+                .unwrap();
+            for slot in &slots {
+                let rings = set.get(*slot).unwrap();
+                while rings.cq.pop_spsc().is_some() {}
+            }
+            guard += 1;
+            assert!(guard < 200, "victim backlog failed to drain");
+        }
+        let victim = sched.metrics().lane(0).drained.get();
+        let adversary = sched.metrics().lane(1).drained.get();
+        assert_eq!(victim, QUEUED);
+        let share = victim as f64 / (victim + adversary) as f64;
+        assert!(
+            share >= 0.25,
+            "victim got {share:.3} of service while backlogged \
+             (victim {victim}, adversary {adversary}) — below half its fair share"
+        );
+        assert!(
+            sched.metrics().lane(0).starvation.high_water() <= 2,
+            "victim should never build a starvation streak"
+        );
+    }
+
+    #[test]
+    fn qos_sweep_recovers_a_dead_drainers_stranded_claims() {
+        use secmod_qos::{QosPolicy, SweepScheduler, TenantSpec};
+        const SESSIONS: usize = 4;
+        const PER_SESSION: u64 = 8;
+        let (k, _m, clients, incr) = kernel_with_clients(None, SESSIONS);
+        let (set, slots) = ring_set_for(&k, &clients, 16);
+        for (s, &client) in clients.iter().enumerate() {
+            for i in 0..PER_SESSION {
+                set.submit(slots[s], req(&k, client, incr, i, i)).unwrap();
+            }
+        }
+        // Drainer A claims everything and dies before draining.
+        let dead_ledger = set.claim_ledger();
+        assert_eq!(set.claim_for_crash(&dead_ledger), SESSIONS);
+        // Supervisor verdict: reclaim, then drainer B sweeps normally.
+        assert_eq!(set.reclaim(&dead_ledger), SESSIONS);
+        let drainer_b = sweeper(&k);
+        let sched = SweepScheduler::new(
+            QosPolicy::weighted_fair([TenantSpec::new(0, 1)]).with_quantum(1024),
+        );
+        let ledger_b = set.claim_ledger();
+        let report = k
+            .sys_smod_sweep_qos(drainer_b, &set, &sched, &ledger_b, 64)
+            .unwrap();
+        assert_eq!(
+            report.completed,
+            SESSIONS * PER_SESSION as usize,
+            "every stranded entry completes"
+        );
+        for slot in &slots {
+            let rings = set.get(*slot).unwrap();
+            let mut seen = Vec::new();
+            while let Some(resp) = rings.cq.pop_spsc() {
+                assert!(resp.is_ok());
+                seen.push(resp.user_data);
+            }
+            assert_eq!(
+                seen,
+                (0..PER_SESSION).collect::<Vec<_>>(),
+                "exactly once, in order"
+            );
+        }
     }
 
     #[test]

@@ -338,6 +338,12 @@ impl Counter {
         self.0.load(Ordering::Relaxed)
     }
 
+    /// Overwrite with `n` — for mirroring a value owned elsewhere (the
+    /// kernel tracer's drop count) into a report, not for accumulating.
+    pub fn set(&self, n: u64) {
+        self.0.store(n, Ordering::Relaxed);
+    }
+
     /// Zero the counter.
     pub fn reset(&self) {
         self.0.store(0, Ordering::Relaxed);
@@ -517,6 +523,10 @@ pub struct DispatchMetrics {
     pub eidrm_failures: Counter,
     /// Async submissions re-parked on a full ring and later re-submitted.
     pub async_resubmits: Counter,
+    /// Trace events evicted from the kernel's bounded trace buffer — a
+    /// mirror of `Tracer::dropped_events`, refreshed by the kernel's
+    /// report path so silently truncated traces show up here.
+    pub trace_dropped: Counter,
     /// Argument-arena utilisation (shared with every `ArgArena` wired to
     /// this registry, so slot accounting lands in the same report).
     pub arena: std::sync::Arc<ArenaMetrics>,
@@ -565,6 +575,7 @@ impl DispatchMetrics {
             &self.drainer_unparks,
             &self.eidrm_failures,
             &self.async_resubmits,
+            &self.trace_dropped,
         ] {
             c.reset();
         }
@@ -619,13 +630,14 @@ impl DispatchMetrics {
         );
         let _ = writeln!(
             out,
-            "sweeps {} traps / {} sessions ({:.1} sessions/trap)  drainer parks {} unparks {}  async resubmits {}",
+            "sweeps {} traps / {} sessions ({:.1} sessions/trap)  drainer parks {} unparks {}  async resubmits {}  trace dropped {}",
             self.sweep_traps.get(),
             self.sweep_sessions.get(),
             self.sessions_per_trap(),
             self.drainer_parks.get(),
             self.drainer_unparks.get(),
             self.async_resubmits.get(),
+            self.trace_dropped.get(),
         );
         let inline = self.arena.inline_args.get();
         let via_arena = self.arena.arena_args.get();
@@ -758,9 +770,15 @@ mod tests {
             assert!(m.latency(flavor).summary().p50 > 0);
         }
         assert!(report.contains("9 hits / 1 misses (90.0% hit)"));
+        m.trace_dropped.set(17);
+        assert_eq!(m.trace_dropped.get(), 17);
+        m.trace_dropped.set(3);
+        assert_eq!(m.trace_dropped.get(), 3, "set overwrites, not accumulates");
+        assert!(m.text_report().contains("trace dropped 3"));
         m.reset();
         assert_eq!(m.latency(Flavor::Syscall).count(), 0);
         assert_eq!(m.gate_hits.get(), 0);
+        assert_eq!(m.trace_dropped.get(), 0);
     }
 
     #[test]

@@ -47,7 +47,10 @@
 //!   with unreaped responses just as cheaply; submission refusals are
 //!   typed ([`set::SubmitError`]) so callers can tell backpressure
 //!   (`Full`: retry after a completion) from teardown (`Detached`: never
-//!   retry).
+//!   retry). Slots carry a raw tenant id, and the QoS sweep's
+//!   claim / plan / drain split records in-flight claims in a
+//!   per-drainer [`set::ClaimLedger`] so a dead drainer's stranded
+//!   readiness bits can be reclaimed.
 //!
 //! Nearly all of the workspace's `unsafe` lives in this crate (the rest
 //! is the `vendor/affinity` syscall shim): ring slot payloads live in
@@ -74,4 +77,4 @@ pub use byte::ByteRing;
 pub use call::{CompletionRing, SmodCallReq, SmodCallResp, SMOD_BATCH_DEFAULT_BUDGET};
 pub use call::{RingPairConfig, SubmissionRing};
 pub use ring::Ring;
-pub use set::{RingSet, RingSlotId, SessionRings, SubmitError};
+pub use set::{ClaimLedger, RingSet, RingSlotId, SessionRings, SubmitError};

@@ -31,9 +31,21 @@
 //! being drained).
 //!
 //! Like everything in this crate the type is kernel-agnostic: slots carry
-//! raw `u32` session ids and owner pids, so the kernel (which sits above
-//! this crate) can validate ownership at sweep time without a dependency
-//! cycle.
+//! raw `u32` session ids, owner pids, *and tenant ids*, so the kernel
+//! (which sits above this crate) can validate ownership at sweep time
+//! and the QoS layer can schedule per tenant, without a dependency
+//! cycle either way.
+//!
+//! For QoS sweeps the one-shot [`RingSet::sweep_ready`] protocol splits
+//! into claim / plan / drain phases: [`RingSet::claim_ready`] claims
+//! whole bitmap words into the sweeping drainer's [`ClaimLedger`] (a
+//! crash-observable mirror of the bits the `swap(0)` moved into thread
+//! locals), a scheduler decides which claimed slots to drain, and
+//! [`RingSet::drain_claimed`] / [`RingSet::release_claimed`] finish or
+//! hand back each slot, clearing its ledger bit. If the drainer dies
+//! between claim and drain, the bits survive in the ledger and
+//! [`RingSet::reclaim`] moves them back onto the bitmap — that is the
+//! health monitor's no-entry-lost recovery path.
 
 use crate::arena::{ArenaRegion, ArgArena};
 use crate::call::{RingPairConfig, SmodCallReq, SubmissionRing};
@@ -97,6 +109,57 @@ impl std::fmt::Display for SubmitError {
 
 impl std::error::Error for SubmitError {}
 
+/// A per-drainer mirror of the ready bits the drainer has claimed but
+/// not yet drained or released.
+///
+/// [`RingSet::sweep_ready`]'s `swap(0)` moves claimed bits into thread
+/// locals — a drainer that dies mid-sweep takes them to the grave. A
+/// QoS sweep instead records every claim here ([`RingSet::claim_ready`])
+/// and clears each slot's bit as the drain or release finishes, so the
+/// set of in-flight claims is observable from outside the drainer
+/// thread. When the health monitor declares the drainer dead,
+/// [`RingSet::reclaim`] ORs the surviving bits back onto the readiness
+/// bitmap and clears the stuck drain flags — no entry lost, and none
+/// duplicated, because submission entries are only ever popped during a
+/// drain.
+#[derive(Debug)]
+pub struct ClaimLedger {
+    words: Box<[AtomicU64]>,
+}
+
+impl ClaimLedger {
+    fn new(words: usize) -> ClaimLedger {
+        ClaimLedger {
+            words: (0..words).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    #[inline]
+    fn record_word(&self, word_idx: usize, bits: u64) {
+        if bits != 0 {
+            self.words[word_idx].fetch_or(bits, Ordering::Release);
+        }
+    }
+
+    #[inline]
+    fn clear_bit(&self, slot: usize) {
+        self.words[slot / 64].fetch_and(!(1u64 << (slot % 64)), Ordering::Release);
+    }
+
+    /// Bits currently claimed and unresolved.
+    pub fn claimed_count(&self) -> usize {
+        self.words
+            .iter()
+            .map(|w| w.load(Ordering::Acquire).count_ones() as usize)
+            .sum()
+    }
+
+    /// Is every claim resolved (drained or released)?
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|w| w.load(Ordering::Acquire) == 0)
+    }
+}
+
 /// One registered session's ring pair, shared between its producer and
 /// every sweeper.
 #[derive(Debug)]
@@ -107,6 +170,11 @@ pub struct SessionRings {
     /// validates it against the live session at sweep time, so a slot
     /// cannot be replayed against somebody else's session.
     pub owner: u32,
+    /// The raw tenant id the slot was registered under (`TenantId.0` in
+    /// the QoS layer; 0 for legacy registrations). Carried here so a
+    /// weighted-fair sweep can bucket claimed slots by tenant without a
+    /// side table.
+    pub tenant: u32,
     /// Producer → kernel submissions.
     pub sq: SubmissionRing,
     /// Kernel → producer completions.
@@ -225,15 +293,29 @@ impl RingSet {
         self.len() == 0
     }
 
-    /// Register a session's ring pair. Returns `None` when the set is
-    /// full. `session`/`owner` are the raw session id and client pid the
-    /// kernel will validate at sweep time.
+    /// Register a session's ring pair under the default tenant (0).
+    /// Returns `None` when the set is full. `session`/`owner` are the
+    /// raw session id and client pid the kernel will validate at sweep
+    /// time.
     pub fn register(&self, session: u32, owner: u32, cfg: RingPairConfig) -> Option<RingSlotId> {
+        self.register_for_tenant(session, owner, 0, cfg)
+    }
+
+    /// [`RingSet::register`] with an explicit tenant id, so a QoS sweep
+    /// can schedule the slot under that tenant's budget.
+    pub fn register_for_tenant(
+        &self,
+        session: u32,
+        owner: u32,
+        tenant: u32,
+        cfg: RingPairConfig,
+    ) -> Option<RingSlotId> {
         let idx = self.free.lock().pop()?;
         let (sq, cq) = cfg.build();
         *self.slots[idx].write() = Some(Arc::new(SessionRings {
             session,
             owner,
+            tenant,
             sq,
             cq,
             arena: self
@@ -427,6 +509,160 @@ impl RingSet {
             }
         }
         visited
+    }
+
+    /// A fresh [`ClaimLedger`] sized for this set's bitmap. Each QoS
+    /// drainer owns one; the plane supervisor holds a second reference
+    /// for crash recovery.
+    pub fn claim_ledger(&self) -> ClaimLedger {
+        ClaimLedger::new(self.ready.len())
+    }
+
+    /// The tenant id `slot` was registered under, if registered.
+    pub fn tenant_of(&self, slot: RingSlotId) -> Option<u32> {
+        self.get(slot).map(|r| r.tenant)
+    }
+
+    /// Phase one of a QoS sweep: claim every ready word into `ledger`
+    /// and append the still-registered claimed slots (with their tenant
+    /// ids) to `out`. Returns how many slots were claimed.
+    ///
+    /// No drain exclusivity is taken here — that happens per slot in
+    /// [`RingSet::drain_claimed`] — so a scheduler can sit between claim
+    /// and drain without holding any ring busy. Every claimed bit is
+    /// recorded in the ledger *before* the caller learns about it;
+    /// unresolved bits stay there until [`RingSet::drain_claimed`] /
+    /// [`RingSet::release_claimed`] clear them, or [`RingSet::reclaim`]
+    /// sweeps them back after the drainer died.
+    pub fn claim_ready(&self, ledger: &ClaimLedger, out: &mut Vec<(RingSlotId, u32)>) -> usize {
+        let mut claimed_slots = 0;
+        for (word_idx, word) in self.ready.iter().enumerate() {
+            let mut claimed = word.0.swap(0, Ordering::AcqRel);
+            ledger.record_word(word_idx, claimed);
+            while claimed != 0 {
+                let bit = claimed.trailing_zeros() as usize;
+                claimed &= claimed - 1;
+                let slot = RingSlotId(word_idx * 64 + bit);
+                match self.get(slot) {
+                    Some(rings) => {
+                        claimed_slots += 1;
+                        out.push((slot, rings.tenant));
+                    }
+                    // Deregistered after flagging: nothing to drain, so
+                    // nothing to keep claimed.
+                    None => ledger.clear_bit(slot.0),
+                }
+            }
+        }
+        claimed_slots
+    }
+
+    /// Phase three of a QoS sweep: drain one claimed slot. Semantics
+    /// match one [`RingSet::sweep_ready`] visit — the drain flag gives
+    /// per-slot exclusivity (a busy slot hands its bit back instead),
+    /// and a visitor returning `true` re-marks the slot. The slot's
+    /// ledger bit is cleared however the drain resolves. Returns whether
+    /// the visitor ran.
+    pub fn drain_claimed(
+        &self,
+        slot: RingSlotId,
+        ledger: &ClaimLedger,
+        visit: impl FnOnce(RingSlotId, &Arc<SessionRings>) -> bool,
+    ) -> bool {
+        let Some(rings) = self.get(slot) else {
+            ledger.clear_bit(slot.0);
+            return false;
+        };
+        if rings
+            .draining
+            .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
+            .is_err()
+        {
+            self.mark_ready(slot);
+            ledger.clear_bit(slot.0);
+            return false;
+        }
+        let remark = visit(slot, &rings);
+        rings.draining.store(false, Ordering::Release);
+        if remark {
+            self.mark_ready(slot);
+        }
+        ledger.clear_bit(slot.0);
+        true
+    }
+
+    /// Release a claimed slot unscheduled (the scheduler deferred it):
+    /// the ready bit goes straight back onto the bitmap and the ledger
+    /// forgets the claim. The deferred tenant loses priority, not work.
+    pub fn release_claimed(&self, slot: RingSlotId, ledger: &ClaimLedger) {
+        self.mark_ready(slot);
+        ledger.clear_bit(slot.0);
+    }
+
+    /// Recover a dead drainer's unresolved claims: move every bit still
+    /// in `ledger` back onto the readiness bitmap and clear the drain
+    /// flag of each affected slot. Returns how many slots were
+    /// reclaimed.
+    ///
+    /// **Only safe once the owning drainer is certainly dead** (the
+    /// health monitor's `Dead` verdict): clearing a live drainer's drain
+    /// flag would let a second sweeper interleave the same rings. The
+    /// entries themselves were never popped — submission entries leave
+    /// the ring only inside a drain — so the re-marked slots re-drain
+    /// exactly the entries the dead drainer stranded, once.
+    pub fn reclaim(&self, ledger: &ClaimLedger) -> usize {
+        let mut reclaimed = 0;
+        for (word_idx, word) in ledger.words.iter().enumerate() {
+            let mut bits = word.swap(0, Ordering::AcqRel);
+            if bits == 0 {
+                continue;
+            }
+            self.ready[word_idx].0.fetch_or(bits, Ordering::Release);
+            while bits != 0 {
+                let bit = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                let slot = RingSlotId(word_idx * 64 + bit);
+                if let Some(rings) = self.get(slot) {
+                    rings.draining.store(false, Ordering::Release);
+                }
+                reclaimed += 1;
+            }
+        }
+        reclaimed
+    }
+
+    /// **Fault injection only**: claim every ready slot into `ledger`
+    /// *and take its drain flag*, then stop — exactly the footprint of a
+    /// drainer that died between claiming and draining. The plane's
+    /// `DrainerCrash` scenario calls this from the drainer that is about
+    /// to "die"; only [`RingSet::reclaim`] can undo it. Returns how many
+    /// slots were stranded.
+    pub fn claim_for_crash(&self, ledger: &ClaimLedger) -> usize {
+        let mut stranded = 0;
+        for (word_idx, word) in self.ready.iter().enumerate() {
+            let mut claimed = word.0.swap(0, Ordering::AcqRel);
+            while claimed != 0 {
+                let bit = claimed.trailing_zeros() as usize;
+                claimed &= claimed - 1;
+                let slot = RingSlotId(word_idx * 64 + bit);
+                let Some(rings) = self.get(slot) else {
+                    continue;
+                };
+                if rings
+                    .draining
+                    .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
+                    .is_err()
+                {
+                    // Another drainer is live on this slot; it is not
+                    // ours to strand.
+                    self.mark_ready(slot);
+                    continue;
+                }
+                ledger.record_word(word_idx, 1u64 << bit);
+                stranded += 1;
+            }
+        }
+        stranded
     }
 }
 
@@ -704,6 +940,121 @@ mod tests {
         assert!(plain.arena().is_none());
         let b = plain.register(1, 1, RingPairConfig::default()).unwrap();
         assert!(plain.get(b).unwrap().arena.is_none());
+    }
+
+    #[test]
+    fn registration_carries_the_tenant_id() {
+        let set = RingSet::with_capacity(2);
+        let legacy = set.register(1, 1, RingPairConfig::default()).unwrap();
+        let tenanted = set
+            .register_for_tenant(2, 2, 7, RingPairConfig::default())
+            .unwrap();
+        assert_eq!(
+            set.tenant_of(legacy),
+            Some(0),
+            "legacy slots land in tenant 0"
+        );
+        assert_eq!(set.tenant_of(tenanted), Some(7));
+        assert_eq!(set.get(tenanted).unwrap().tenant, 7);
+        set.deregister(tenanted).unwrap();
+        assert_eq!(set.tenant_of(tenanted), None);
+    }
+
+    #[test]
+    fn claim_drain_release_round_trip_clears_the_ledger() {
+        let set = RingSet::with_capacity(2);
+        let a = set
+            .register_for_tenant(1, 1, 3, RingPairConfig::default())
+            .unwrap();
+        let b = set
+            .register_for_tenant(2, 2, 4, RingPairConfig::default())
+            .unwrap();
+        set.submit(a, req(1, 10)).unwrap();
+        set.submit(b, req(2, 20)).unwrap();
+
+        let ledger = set.claim_ledger();
+        let mut candidates = Vec::new();
+        assert_eq!(set.claim_ready(&ledger, &mut candidates), 2);
+        assert_eq!(candidates, vec![(a, 3), (b, 4)]);
+        assert_eq!(ledger.claimed_count(), 2, "claims are observable");
+        assert!(!set.any_ready(), "claimed bits left the bitmap");
+
+        // Drain one slot, defer the other.
+        let drained = set.drain_claimed(a, &ledger, |_, rings| {
+            assert_eq!(rings.sq.pop().unwrap().user_data, 10);
+            false
+        });
+        assert!(drained);
+        set.release_claimed(b, &ledger);
+        assert!(ledger.is_empty(), "both claims resolved");
+        assert_eq!(set.ready_count(), 1, "released slot is ready again");
+        set.sweep_ready(|slot, rings| {
+            assert_eq!(slot, b);
+            assert_eq!(rings.sq.pop().unwrap().user_data, 20);
+            false
+        });
+    }
+
+    #[test]
+    fn drain_claimed_hands_busy_slots_back() {
+        let set = RingSet::with_capacity(1);
+        let a = set.register(1, 1, RingPairConfig::default()).unwrap();
+        set.submit(a, req(1, 0)).unwrap();
+        let ledger = set.claim_ledger();
+        let mut candidates = Vec::new();
+        set.claim_ready(&ledger, &mut candidates);
+        // Another sweeper is mid-drain on the slot.
+        set.get(a).unwrap().draining.store(true, Ordering::Release);
+        assert!(!set.drain_claimed(a, &ledger, |_, _| panic!("busy slot visited")));
+        assert!(set.any_ready(), "bit handed back for the live drainer");
+        assert!(ledger.is_empty(), "claim resolved without draining");
+        set.get(a).unwrap().draining.store(false, Ordering::Release);
+    }
+
+    #[test]
+    fn crashed_claims_are_reclaimed_and_drain_exactly_once() {
+        let set = RingSet::with_capacity(3);
+        let slots: Vec<RingSlotId> = (0..3)
+            .map(|i| {
+                set.register_for_tenant(i, i, i, RingPairConfig::default())
+                    .unwrap()
+            })
+            .collect();
+        for (i, slot) in slots.iter().enumerate() {
+            for n in 0..4u64 {
+                set.submit(*slot, req(i as u32, n)).unwrap();
+            }
+        }
+
+        // The doomed drainer claims everything (bits + drain flags) and
+        // "dies" before draining.
+        let ledger = set.claim_ledger();
+        assert_eq!(set.claim_for_crash(&ledger), 3);
+        assert_eq!(ledger.claimed_count(), 3);
+        assert!(!set.any_ready(), "stranded work is invisible to the bitmap");
+        // Even a forced re-mark cannot reach the rings: the dead
+        // drainer's drain flags still exclude everyone.
+        set.mark_all_ready();
+        assert_eq!(set.sweep_ready(|_, _| panic!("stranded slot drained")), 0);
+
+        // Supervisor verdict: reclaim, then a normal sweep finds every
+        // entry exactly once.
+        assert_eq!(set.reclaim(&ledger), 3);
+        assert!(ledger.is_empty());
+        let mut seen = Vec::new();
+        set.sweep_ready(|slot, rings| {
+            while let Some(r) = rings.sq.pop() {
+                seen.push((slot, r.user_data));
+            }
+            false
+        });
+        seen.sort_by_key(|(s, d)| (s.0, *d));
+        let expect: Vec<(RingSlotId, u64)> = slots
+            .iter()
+            .flat_map(|s| (0..4u64).map(move |n| (*s, n)))
+            .collect();
+        assert_eq!(seen, expect, "no loss, no duplicates");
+        assert!(slots.iter().all(|s| set.get(*s).unwrap().sq.is_empty()));
     }
 
     #[test]

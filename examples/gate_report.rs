@@ -1,11 +1,13 @@
 //! Walkthrough: the `secmod_gate` scenario report.
 //!
-//! Runs the ten workload scenarios — uniform, zipfian hot-key,
+//! Runs the fifteen workload scenarios — uniform, zipfian hot-key,
 //! adversarial cache-thrash, session churn, multi-threaded kernel
 //! dispatch (pinned sessions and the sessions-≫-threads pool), batched
 //! ring dispatch, the dispatch plane (producers ≫ dedicated drainers),
-//! the futures-based async frontend (logical clients ≫ threads), and
-//! the drainer-stall fault injection — against the sharded
+//! the futures-based async frontend (logical clients ≫ threads), the
+//! drainer-stall fault injection, the zero-copy arena mix, the
+//! weighted-fair multi-tenant plane, the churn storm, the herd
+//! establish, and the drainer-crash recovery drill — against the sharded
 //! decision-cache gateway (for the kernel-backed scenarios: the gateway
 //! *embedded in* the kernel's dispatch path) and prints ops/sec, cache
 //! hit rate, the (seed-deterministic) allow/deny split, and the
@@ -142,6 +144,17 @@ fn main() {
     println!("  stall    the plane workload plus a fault-injection antagonist that claims");
     println!("           readiness bits and drain slots without draining: decisions are");
     println!("           untouched, only the latency tail stretches");
+    println!("  arena    mixed 8 B / 64 KiB payloads: every 4th submission rides the shared");
+    println!("           ArgArena as a zero-copy descriptor; settles to 0 bytes in flight");
+    println!("  multitenant  a 1-slot victim tenant vs adversaries flooding 4 slots each on");
+    println!("           one QoS plane; weighted-fair sweeps keep the victim >= 50% of its");
+    println!("           fair drain share (asserted), per-tenant lanes account every entry");
+    println!("  churnstorm   bursty attach/detach: handles live for one burst, sessions are");
+    println!("           torn down and re-handshaken mid-stream; split must match `plane`");
+    println!("  herd     all sessions detached up front, then every thread re-establishes");
+    println!("           its flock through one barrier — the thundering-herd handshake");
+    println!("  crash    a drainer dies mid-claim; the health monitor reclaims its bits and");
+    println!("           respawns it, and every submitted entry completes exactly once");
     println!("\nlatency columns (p50/p99/p99.9) are simulated-cost nanoseconds from the");
     println!("kernel's per-flavor dispatch histograms; run with --metrics for the full table.");
 }

@@ -13,6 +13,7 @@ pub use secmod_kernel as kernel;
 pub use secmod_module as module;
 pub use secmod_obs as obs;
 pub use secmod_policy as policy;
+pub use secmod_qos as qos;
 pub use secmod_ring as ring;
 pub use secmod_rpc as rpc;
 pub use secmod_vm as vm;

@@ -80,7 +80,7 @@ fn every_example_builds_and_runs() {
     }
 }
 
-/// `gate_report` must run all ten workload scenarios and report ops/sec
+/// `gate_report` must run all fifteen workload scenarios and report ops/sec
 /// and a cache hit rate for each — and, because decisions are
 /// seed-deterministic, two runs with the same seed must agree on every
 /// allow/deny count even though timing differs.
@@ -100,8 +100,21 @@ fn gate_report_covers_all_scenarios_deterministically() {
     };
     let first = run();
     for scenario in [
-        "uniform", "zipfian", "thrash", "churn", "kernel", "pool", "ring", "plane", "async",
-        "stall", "arena",
+        "uniform",
+        "zipfian",
+        "thrash",
+        "churn",
+        "kernel",
+        "pool",
+        "ring",
+        "plane",
+        "async",
+        "stall",
+        "arena",
+        "multitenant",
+        "churnstorm",
+        "herd",
+        "crash",
     ] {
         assert!(
             first.contains(scenario),
@@ -128,7 +141,7 @@ fn gate_report_covers_all_scenarios_deterministically() {
         decisions(&second),
         "allow/deny splits changed between identically seeded runs"
     );
-    assert_eq!(decisions(&first).len(), 11, "expected one row per scenario");
+    assert_eq!(decisions(&first).len(), 15, "expected one row per scenario");
 
     // Dispatch scenarios additionally report simulated-cost latency
     // quantiles drawn from the kernel's per-flavor histograms.
