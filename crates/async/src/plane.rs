@@ -265,17 +265,17 @@ impl Dispatcher for AsyncPlane {
     }
 
     /// All calls submitted up front, awaited together — in flight
-    /// concurrently through one session's rings.
+    /// concurrently through one session's rings. Submission is
+    /// coalesced: the whole burst is pushed eagerly with one doorbell
+    /// (see [`AsyncSession::call_batch`]).
     fn dispatch_batch(
         &self,
         client: Pid,
         calls: &[DispatchCall],
     ) -> Result<Vec<DispatchOutcome>, DispatchError> {
         let session = self.session(client).map_err(DispatchError::from)?;
-        let futures: Vec<CallFuture> = calls
-            .iter()
-            .map(|call| session.call(call.proc_id, call.args.clone()))
-            .collect();
+        let futures: Vec<CallFuture> =
+            session.call_batch(calls.iter().map(|call| (call.proc_id, call.args.clone())));
         Ok(block_on(join_all(futures)))
     }
 
@@ -401,6 +401,52 @@ mod tests {
         // The reactor recorded the completion under the async flavor.
         let summary = plane.metrics().unwrap().latency(secmod_obs::Flavor::Async);
         assert!(summary.count() >= 1);
+        plane.shutdown();
+    }
+
+    #[test]
+    fn call_batch_resolves_every_call_with_one_doorbell() {
+        let (k, _m, clients, incr) = kernel_with_clients(1);
+        let kernel = Arc::new(k);
+        let plane = AsyncPlane::start(Arc::clone(&kernel), PlaneConfig::default()).unwrap();
+        let session = plane.session(clients[0]).unwrap();
+        let futures = session.call_batch((0..32u64).map(|i| (incr, i.to_le_bytes().to_vec())));
+        assert_eq!(futures.len(), 32);
+        let results = block_on(join_all(futures));
+        for (i, result) in results.into_iter().enumerate() {
+            assert_eq!(result.unwrap(), (i as u64 + 1).to_le_bytes().to_vec());
+        }
+        assert_eq!(session.in_flight(), 0);
+        plane.shutdown();
+    }
+
+    #[test]
+    fn call_batch_bounces_retry_through_the_poll_path() {
+        // A 4-deep submission ring: most of a 32-call burst bounces at
+        // batch time and must still resolve via first-poll resubmission.
+        let (k, _m, clients, incr) = kernel_with_clients(1);
+        let kernel = Arc::new(k);
+        let plane = AsyncPlane::start(
+            Arc::clone(&kernel),
+            PlaneConfig {
+                ring: secmod_ring::RingPairConfig {
+                    submission: 4,
+                    completion: 64,
+                },
+                ..PlaneConfig::default()
+            },
+        )
+        .unwrap();
+        let session = plane.session(clients[0]).unwrap();
+        let futures = session.call_batch((0..32u64).map(|i| (incr, i.to_le_bytes().to_vec())));
+        let results = block_on(join_all(futures));
+        for (i, result) in results.into_iter().enumerate() {
+            assert_eq!(result.unwrap(), (i as u64 + 1).to_le_bytes().to_vec());
+        }
+        assert!(
+            kernel.metrics.async_resubmits.get() > 0,
+            "a 4-deep ring must have bounced part of the burst"
+        );
         plane.shutdown();
     }
 

@@ -160,6 +160,65 @@ impl AsyncSession {
         }
     }
 
+    /// Issue a burst of calls with one doorbell: on a plane-backed
+    /// session every accepted entry is pushed eagerly through a
+    /// [`secmod_kernel::plane::SubmitBatch`], so the drainers see one
+    /// readiness flag and at most one unpark for the whole burst instead
+    /// of one per call. Entries that bounce off a full submission ring
+    /// come back as ordinary unsubmitted futures — their first poll
+    /// retries through the standard backpressure path (counted in
+    /// `async_resubmits`), so awaiting the returned futures always
+    /// resolves every call.
+    ///
+    /// Raw (driver-pumped) sessions have no parked drainer to coalesce
+    /// wakeups for; they take the per-call path unchanged.
+    pub fn call_batch<I>(&self, calls: I) -> Vec<CallFuture>
+    where
+        I: IntoIterator<Item = (u32, Vec<u8>)>,
+    {
+        let Target::Plane(handle) = &self.core.target else {
+            return calls
+                .into_iter()
+                .map(|(proc_id, args)| self.call(proc_id, args))
+                .collect();
+        };
+        let mut futures = Vec::new();
+        let mut batch = handle.batch();
+        for (proc_id, args) in calls {
+            let ud = self.core.target.alloc_user_data();
+            // Register the cookie before submitting so a completion
+            // racing this loop has somewhere to land; the waker is
+            // parked by the first poll.
+            self.core.table.pending.lock().entry(ud).or_default();
+            let state = match batch.push(proc_id, ud, args.clone()) {
+                Ok(()) => CallState::Submitted { user_data: ud },
+                // Bounced (the guard flushed the prefix) or the plane is
+                // stopping: hand the poll path an unsubmitted future with
+                // the cookie pinned — it retries or resolves `Detached`.
+                Err(err) => {
+                    if matches!(err, SubmitError::Full(_)) {
+                        if let Some(metrics) = &self.core.metrics {
+                            metrics.async_resubmits.incr();
+                        }
+                    }
+                    CallState::Unsubmitted {
+                        proc_id,
+                        args,
+                        user_data: Some(ud),
+                    }
+                }
+            };
+            futures.push(CallFuture {
+                inner: CallInner {
+                    core: Arc::clone(&self.core),
+                    state,
+                },
+            });
+        }
+        batch.flush();
+        futures
+    }
+
     /// The client pid this session dispatches as.
     pub fn client(&self) -> Pid {
         Pid(self.core.target.owner())

@@ -1,0 +1,204 @@
+//! `submit_path`: producer-side submission throughput into the dispatch
+//! plane — the classic one-doorbell-per-entry `PlaneHandle::submit`
+//! against the coalesced [`secmod_kernel::plane::SubmitBatch`] path
+//! (push a producer-local burst, ring the doorbell once), for 1, 4 and
+//! 8 producer sessions.
+//!
+//! What the doorbell costs per entry: one `fetch_or` on the shared
+//! readiness word, one `idle` probe, and — whenever the drainers have
+//! caught up and parked — a real `unpark` futex wake plus the context
+//! switch it buys. Coalescing pays all three once per burst.
+//!
+//! Threading shape: the N producer streams are interleaved round-robin
+//! from one pump thread. CI containers for this repo expose a single
+//! CPU, where "parallel" producer threads merely timeshare the core and
+//! the measurement degenerates into scheduler noise; interleaving the
+//! sessions' streams keeps the doorbell traffic per entry identical
+//! (same readiness bits, same wakes, same unparks) while the submission
+//! cost stays attributable. The drainers are real threads either way.
+//!
+//! The acceptance bar from the ISSUE: coalesced submit throughput ≥
+//! 1.3× the per-entry path at 4+ producers. The criterion rows measure
+//! the full produce→drain→reap cycle; the summary block measures the
+//! submit phase in isolation (wall-clock time to get every entry into
+//! the rings, doorbells included) and prints the measured ratio plus
+//! the per-mode unpark traffic explicitly.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use secmod_gate::{
+    build_dispatch_kernel_with_clients, DispatchKernel, ScenarioConfig, ScenarioKind,
+};
+use secmod_kernel::{DispatchPlane, Kernel, PlaneConfig, PlaneHandle};
+use secmod_ring::RingPairConfig;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Entries each producer session submits per cycle. Submission rings
+/// are sized to 2× this, so a cycle never bounces off `Full` and both
+/// modes measure pure submission, not backpressure handling.
+const BURST: u64 = 256;
+/// Entries per doorbell on the coalesced path.
+const COALESCE: u64 = 32;
+/// Producer-session counts measured; the acceptance bar applies from 4
+/// up.
+const PRODUCERS: [usize; 3] = [1, 4, 8];
+
+struct Fixture {
+    kernel: Arc<Kernel>,
+    plane: DispatchPlane,
+    handles: Vec<PlaneHandle>,
+    func_id: u32,
+}
+
+fn fixture(producers: usize) -> Fixture {
+    let cfg = ScenarioConfig::builder(ScenarioKind::PlaneDispatch)
+        .seed(42)
+        .threads(producers)
+        .build();
+    let DispatchKernel {
+        kernel,
+        clients,
+        func_ids,
+        ..
+    } = build_dispatch_kernel_with_clients(&cfg, producers);
+    let kernel = Arc::new(kernel);
+    let plane = DispatchPlane::start(
+        Arc::clone(&kernel),
+        PlaneConfig {
+            drainers: 2,
+            slots: producers.max(1),
+            ring: RingPairConfig {
+                submission: 2 * BURST as usize,
+                completion: 2 * BURST as usize,
+            },
+            ..PlaneConfig::default()
+        },
+    )
+    .expect("start dispatch plane");
+    let handles = clients
+        .iter()
+        .map(|&c| plane.attach(c).expect("attach producer"))
+        .collect();
+    Fixture {
+        kernel,
+        plane,
+        handles,
+        func_id: func_ids[1],
+    }
+}
+
+/// One cycle: every session submits `BURST` entries (streams
+/// interleaved round-robin; per-entry doorbells when `coalesce <= 1`,
+/// one doorbell per `coalesce` entries per session otherwise), then
+/// every completion is reaped. Returns the wall-clock time of the
+/// submit phase alone.
+fn cycle(f: &Fixture, coalesce: u64) -> Duration {
+    let t0 = Instant::now();
+    if coalesce <= 1 {
+        for i in 0..BURST {
+            for handle in &f.handles {
+                handle
+                    .submit(f.func_id, i, i.to_le_bytes().to_vec())
+                    .expect("ring sized to the burst");
+            }
+        }
+    } else {
+        let mut i = 0u64;
+        while i < BURST {
+            let chunk = coalesce.min(BURST - i);
+            for handle in &f.handles {
+                let mut batch = handle.batch();
+                for k in 0..chunk {
+                    batch
+                        .push(f.func_id, i + k, (i + k).to_le_bytes().to_vec())
+                        .expect("ring sized to the burst");
+                }
+                batch.flush();
+            }
+            i += chunk;
+        }
+    }
+    let submit_time = t0.elapsed();
+    let mut received = vec![0u64; f.handles.len()];
+    while received.iter().any(|&r| r < BURST) {
+        let mut progressed = false;
+        for (handle, got) in f.handles.iter().zip(received.iter_mut()) {
+            while let Some(resp) = handle.reap() {
+                assert!(resp.is_ok(), "bench workload is all-allow");
+                *got += 1;
+                progressed = true;
+            }
+        }
+        if !progressed {
+            std::thread::yield_now();
+        }
+    }
+    submit_time
+}
+
+/// Submit-phase throughput (entries/sec across all sessions) over
+/// `cycles` cycles, plus the unpark count the phase generated.
+fn submit_throughput(f: &Fixture, coalesce: u64, cycles: usize) -> (f64, u64) {
+    cycle(f, coalesce); // warmup: hot decision cache, spun-up drainers
+    let unparks0 = f.kernel.metrics.drainer_unparks.get();
+    let mut busy = Duration::ZERO;
+    for _ in 0..cycles {
+        busy += cycle(f, coalesce);
+    }
+    let entries = (cycles as u64 * BURST * f.handles.len() as u64) as f64;
+    let unparks = f.kernel.metrics.drainer_unparks.get() - unparks0;
+    (entries / busy.as_secs_f64().max(1e-9), unparks)
+}
+
+/// Drop order matters: handles detach their slots before the plane's
+/// final sweep.
+fn teardown(f: Fixture) {
+    drop(f.handles);
+    f.plane.shutdown();
+}
+
+fn submit_path(c: &mut Criterion) {
+    let mut group = c.benchmark_group("submit_path");
+    for producers in PRODUCERS {
+        let f = fixture(producers);
+        group.throughput(Throughput::Elements(BURST * producers as u64));
+        group.bench_function(
+            BenchmarkId::new("per_entry", format!("{producers}x{BURST}")),
+            |b| b.iter(|| cycle(&f, 1)),
+        );
+        group.bench_function(
+            BenchmarkId::new("coalesced", format!("{producers}x{BURST}")),
+            |b| b.iter(|| cycle(&f, COALESCE)),
+        );
+        teardown(f);
+    }
+    group.finish();
+
+    // Explicit acceptance summary: submit-phase wall-clock throughput,
+    // per-entry vs coalesced, with the doorbell traffic that explains
+    // the gap. The bar applies at 4+ producers.
+    println!("\nsubmit_path summary (burst {BURST}, {COALESCE} entries/doorbell coalesced):");
+    for producers in PRODUCERS {
+        let f = fixture(producers);
+        let (per_entry, unparks_pe) = submit_throughput(&f, 1, 24);
+        let (coalesced, unparks_co) = submit_throughput(&f, COALESCE, 24);
+        let ratio = coalesced / per_entry.max(1e-9);
+        let bar = if producers >= 4 {
+            if ratio >= 1.3 {
+                " (>= 1.3x acceptance bar)"
+            } else {
+                " (BELOW the 1.3x acceptance bar!)"
+            }
+        } else {
+            ""
+        };
+        println!(
+            "  {producers} producer(s): per-entry {per_entry:>12.0} entries/sec ({unparks_pe} unparks), \
+             coalesced {coalesced:>12.0} entries/sec ({unparks_co} unparks) -> {ratio:.2}x{bar}"
+        );
+        teardown(f);
+    }
+}
+
+criterion_group!(benches, submit_path);
+criterion_main!(benches);

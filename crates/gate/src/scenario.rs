@@ -231,6 +231,11 @@ pub struct ScenarioConfig {
     /// [`ScenarioKind::AsyncDispatch`] (0 = auto: `threads × 32`). The
     /// point of the scenario is `logical_clients ≫ threads`.
     pub logical_clients: usize,
+    /// Producer-side doorbell coalescing for the plane scenarios: each
+    /// producer pushes up to this many entries per burst through a
+    /// [`secmod_kernel::plane::SubmitBatch`] before ringing the doorbell
+    /// once. `0`/`1` keep the classic one-doorbell-per-entry submit.
+    pub submit_batch: usize,
     /// Decision cache sizing.
     pub cache: CacheConfig,
 }
@@ -252,6 +257,7 @@ impl ScenarioConfig {
                 churn_interval: 1024,
                 drainers: 0,
                 logical_clients: 0,
+                submit_batch: 1,
                 cache: CacheConfig::default(),
             },
         }
@@ -376,6 +382,13 @@ impl ScenarioConfigBuilder {
     /// Logical clients for the async scenario (0 = auto: threads × 32).
     pub fn logical_clients(mut self, clients: usize) -> Self {
         self.cfg.logical_clients = clients;
+        self
+    }
+
+    /// Producer burst size for coalesced plane submission (0/1 = one
+    /// doorbell per entry).
+    pub fn submit_batch(mut self, burst: usize) -> Self {
+        self.cfg.submit_batch = burst;
         self
     }
 
@@ -983,13 +996,7 @@ fn run_ring_scenario(cfg: &ScenarioConfig) -> ScenarioReport {
         denies += stats.denies;
     }
 
-    let cache = dispatch
-        .kernel
-        .registry
-        .get(dispatch.module)
-        .expect("module registered")
-        .gateway
-        .cache_stats();
+    let cache = layered_cache_stats(&dispatch.kernel, dispatch.module);
     let total_ops = cfg.total_ops();
     ScenarioReport {
         kind: cfg.kind,
@@ -1079,38 +1086,51 @@ fn run_plane_scenario(cfg: &ScenarioConfig) -> ScenarioReport {
                 let mut sent = 0u64;
                 let mut received = 0u64;
                 let mut pending: Option<(u32, u64)> = None;
+                let burst = cfg.submit_batch.max(1) as u64;
                 while received < cfg.ops_per_thread {
                     let mut progressed = false;
                     if sent < cfg.ops_per_thread {
-                        let (func_id, user_data) = pending.take().unwrap_or_else(|| {
-                            (
-                                func_ids[rng.gen_range(0..func_ids.len() as u64) as usize],
-                                sent,
-                            )
-                        });
-                        // ArenaMix: every fourth payload is a 64 KiB block
-                        // (value in the first 8 bytes) that must travel by
-                        // arena descriptor; the rest stay inline.
-                        let args = if arena_mix && user_data % 4 == 0 {
-                            let mut big = vec![0u8; 64 * 1024];
-                            big[..8].copy_from_slice(&user_data.to_le_bytes());
-                            big
-                        } else {
-                            user_data.to_le_bytes().to_vec()
-                        };
-                        match handle.submit(func_id, user_data, args) {
-                            Ok(()) => {
-                                sent += 1;
-                                progressed = true;
-                            }
-                            Err(back) => {
-                                // Backpressure: hold the request and retry
-                                // after reaping. (Detached cannot happen
-                                // here — the plane outlives the scope.)
-                                let back = back.into_req();
-                                pending = Some((back.proc_id, back.user_data));
+                        // Push up to `burst` entries, then ring the
+                        // doorbell once (burst = 1 is the classic
+                        // one-doorbell-per-entry submit).
+                        let mut batch = handle.batch();
+                        let quota = burst.min(cfg.ops_per_thread - sent);
+                        for _ in 0..quota {
+                            let (func_id, user_data) = pending.take().unwrap_or_else(|| {
+                                (
+                                    func_ids[rng.gen_range(0..func_ids.len() as u64) as usize],
+                                    sent,
+                                )
+                            });
+                            // ArenaMix: every fourth payload is a 64 KiB
+                            // block (value in the first 8 bytes) that must
+                            // travel by arena descriptor; the rest stay
+                            // inline.
+                            let args = if arena_mix && user_data % 4 == 0 {
+                                let mut big = vec![0u8; 64 * 1024];
+                                big[..8].copy_from_slice(&user_data.to_le_bytes());
+                                big
+                            } else {
+                                user_data.to_le_bytes().to_vec()
+                            };
+                            match batch.push(func_id, user_data, args) {
+                                Ok(()) => {
+                                    sent += 1;
+                                    progressed = true;
+                                }
+                                Err(back) => {
+                                    // Backpressure: hold the request and
+                                    // retry after reaping — the bounce
+                                    // already flushed the prefix.
+                                    // (Detached cannot happen here — the
+                                    // plane outlives the scope.)
+                                    let back = back.into_req();
+                                    pending = Some((back.proc_id, back.user_data));
+                                    break;
+                                }
                             }
                         }
+                        batch.flush();
                     }
                     while let Some(resp) = handle.reap() {
                         received += 1;
@@ -1151,12 +1171,7 @@ fn run_plane_scenario(cfg: &ScenarioConfig) -> ScenarioReport {
         denies += stats.denies;
     }
 
-    let cache = kernel
-        .registry
-        .get(module)
-        .expect("module registered")
-        .gateway
-        .cache_stats();
+    let cache = layered_cache_stats(&kernel, module);
     let total_ops = cfg.total_ops();
     ScenarioReport {
         kind: cfg.kind,
@@ -1177,6 +1192,25 @@ fn run_plane_scenario(cfg: &ScenarioConfig) -> ScenarioReport {
 pub(crate) fn latency_of(kernel: &Kernel, flavor: Flavor) -> Option<LatencySummary> {
     let hist = kernel.metrics.latency(flavor);
     (hist.count() > 0).then(|| hist.summary())
+}
+
+/// The report-level cache view for kernel-backed scenarios. Hit/miss come
+/// from the kernel's gate counters: with the thread-local L0 tier fronting
+/// the sharded cache, the shard's own counters only ever see L0 misses,
+/// so they no longer measure "decisions served from a cache" — the gate
+/// counters do (L0 and sharded hits both count as hits, exactly as they
+/// are billed). Occupancy, insertions and evictions still come from the
+/// sharded tier, which is the only tier with resident state to report.
+fn layered_cache_stats(kernel: &Kernel, module: ModuleId) -> CacheStats {
+    let mut stats = kernel
+        .registry
+        .get(module)
+        .expect("module registered")
+        .gateway
+        .cache_stats();
+    stats.hits = kernel.metrics.gate_hits.get();
+    stats.misses = kernel.metrics.gate_misses.get();
+    stats
 }
 
 /// The [`ScenarioKind::AsyncDispatch`] runner: `logical_clients` tasks
@@ -1250,12 +1284,7 @@ fn run_async_scenario(cfg: &ScenarioConfig) -> ScenarioReport {
     plane.shutdown();
     let elapsed = start.elapsed();
 
-    let cache = kernel
-        .registry
-        .get(module)
-        .expect("module registered")
-        .gateway
-        .cache_stats();
+    let cache = layered_cache_stats(&kernel, module);
     ScenarioReport {
         kind: cfg.kind,
         threads: cfg.threads,
@@ -1544,13 +1573,7 @@ fn run_kernel_scenario(cfg: &ScenarioConfig) -> ScenarioReport {
         denies += stats.denies;
     }
 
-    let cache = dispatch
-        .kernel
-        .registry
-        .get(dispatch.module)
-        .expect("module registered")
-        .gateway
-        .cache_stats();
+    let cache = layered_cache_stats(&dispatch.kernel, dispatch.module);
     let total_ops = cfg.total_ops();
     ScenarioReport {
         kind: cfg.kind,

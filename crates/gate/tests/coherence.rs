@@ -18,7 +18,7 @@
 //! interleaving, and a detach/remove must never let a stale Allow through.
 
 use proptest::prelude::*;
-use proptest::{collection, prop_assert_eq, proptest};
+use proptest::{collection, prop_assert_eq, prop_assert_ne, proptest};
 use secmod_gate::{build_dispatch_kernel, AccessRequest, CacheConfig, Gateway};
 use secmod_gate::{ScenarioConfig, ScenarioKind};
 use secmod_kernel::smod::{ModuleKeyDelivery, SmodCallArgs};
@@ -115,6 +115,110 @@ proptest! {
                 }
                 // Out-of-band invalidation (the kernel detach/remove class):
                 // must never change any answer.
+                _ => gateway.bump_epoch(),
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    /// Three-tier coherence: for ANY interleaving of queries, grants, key
+    /// registrations, delegations and out-of-band epoch bumps, the answer
+    /// must be identical whether it is served by the thread-local L0
+    /// table, the sharded decision cache, or the uncached engine. Each
+    /// query is asked three ways — cold (any tier), hot (expected L0),
+    /// and with the thread's L0 table wiped (expected sharded) — and all
+    /// three must match the uncached mirror. A stale L0 entry surviving
+    /// an epoch bump, or an L0 keying bug conflating two requests, fails
+    /// here before it would fail in production traffic.
+    #[test]
+    fn l0_sharded_and_uncached_tiers_agree(
+        ops in collection::vec((0u8..6, 0u8..=255, 0u8..=255, 0u8..=255), 0..60)
+    ) {
+        use secmod_policy::DecisionTier;
+        // The L0 table is thread-local and proptest reuses its worker
+        // thread across cases: start each case from a clean table.
+        secmod_policy::l0::clear_thread_cache();
+        let cast = cast();
+        let gateway = Gateway::new(
+            PolicyEngine::new(),
+            CacheConfig { shards: 4, capacity: 32 },
+        );
+        let mut mirror = PolicyEngine::new();
+
+        for (code, a, b, c) in ops {
+            let pa = &cast[a as usize % cast.len()];
+            let pb = &cast[b as usize % cast.len()];
+            match code {
+                0 | 1 => {
+                    let mut requesters = vec![pa.0.clone()];
+                    if c % 2 == 1 {
+                        requesters.push(pb.0.clone());
+                    }
+                    let req = AccessRequest {
+                        requesters: &requesters,
+                        app_domain: "prop",
+                        module: MODULES[b as usize % MODULES.len()],
+                        version: 1,
+                        operation: FUNCTIONS[c as usize % FUNCTIONS.len()],
+                        uid: 1000 + (a % 8) as i64,
+                    };
+                    let mirror_result = mirror.query(&requesters, &req.environment());
+                    let cacheable = mirror_result.is_ok();
+                    let uncached = matches!(mirror_result, Ok(d) if d.is_allowed());
+                    // Cold: whichever tier answers must agree.
+                    prop_assert_eq!(gateway.is_allowed_tiered(&req).0, uncached);
+                    // Hot: the repeat must agree, and — whenever the cold
+                    // pass was cacheable — come from the L0. (Engine
+                    // errors are deny-without-caching, so they re-consult
+                    // the engine every time by design.)
+                    let (hot, tier) = gateway.is_allowed_tiered(&req);
+                    prop_assert_eq!(hot, uncached);
+                    if cacheable {
+                        prop_assert_eq!(tier, DecisionTier::L0);
+                    }
+                    // L0 wiped: the answer must survive losing the
+                    // thread-local tier — served by the sharded cache, or
+                    // recomputed if eviction churn dropped the entry —
+                    // and must never come from the just-cleared L0.
+                    secmod_policy::l0::clear_thread_cache();
+                    let (wiped, tier) = gateway.is_allowed_tiered(&req);
+                    prop_assert_eq!(wiped, uncached);
+                    prop_assert_ne!(tier, DecisionTier::L0);
+                }
+                2 => {
+                    let cond = if c % 2 == 0 {
+                        String::new()
+                    } else {
+                        format!("module == \"{}\"", MODULES[b as usize % MODULES.len()])
+                    };
+                    let assertion =
+                        Assertion::policy(LicenseeExpr::Single(pa.0.clone()), &cond).unwrap();
+                    prop_assert_eq!(
+                        gateway.add_assertion(assertion.clone()),
+                        mirror.add_assertion(assertion)
+                    );
+                }
+                3 => {
+                    gateway.register_key(&pa.0, &pa.1);
+                    mirror.register_key(&pa.0, &pa.1);
+                }
+                4 => {
+                    let assertion = Assertion::delegation(
+                        pa.0.clone(),
+                        LicenseeExpr::Single(pb.0.clone()),
+                        &format!("function != \"{}\"", FUNCTIONS[c as usize % FUNCTIONS.len()]),
+                    )
+                    .unwrap()
+                    .sign(&pa.1);
+                    prop_assert_eq!(
+                        gateway.add_assertion(assertion.clone()),
+                        mirror.add_assertion(assertion)
+                    );
+                }
+                // Out-of-band epoch bump: every L0 and sharded entry must
+                // become unreachable, never serve a pre-bump answer.
                 _ => gateway.bump_epoch(),
             }
         }

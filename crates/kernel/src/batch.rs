@@ -73,6 +73,37 @@ pub struct BatchReport {
     pub fixed_cost_ns: u64,
 }
 
+/// Drain-local gate hit/miss tally. First-sight decisions inside a drain
+/// record their tier here instead of bumping the shared counters, and the
+/// whole tally is flushed into [`secmod_obs::DispatchMetrics`] once per
+/// drain — the batched analogue of the single-call path's per-trap
+/// increments, keeping `gate_hits`/`gate_misses` exact without putting a
+/// shared-line RMW inside the per-entry loop.
+#[derive(Default)]
+struct GateTally {
+    hits: u64,
+    misses: u64,
+}
+
+impl GateTally {
+    fn record(&mut self, tier: secmod_policy::DecisionTier) {
+        if tier.is_cached() {
+            self.hits += 1;
+        } else {
+            self.misses += 1;
+        }
+    }
+
+    fn flush(self, metrics: &secmod_obs::DispatchMetrics) {
+        if self.hits > 0 {
+            metrics.gate_hits.add(self.hits);
+        }
+        if self.misses > 0 {
+            metrics.gate_misses.add(self.misses);
+        }
+    }
+}
+
 /// One memoised per-drain dispatch decision for a function id.
 enum MemoEntry {
     /// No such stub: `ENOENT`.
@@ -302,6 +333,11 @@ impl Kernel {
     ) -> DrainOutcome {
         scratch.memo.clear();
         let mut outcome = DrainOutcome::default();
+        // Drain-local gate tally: L0/sharded hits and engine misses are
+        // counted here and flushed into the shared `DispatchMetrics`
+        // counters once per drain, so the hot decision path writes no
+        // shared cache line per entry but the registry stays exact.
+        let mut gate_tally = GateTally::default();
         let trace = self.tracer.enabled();
         // Two refcount bumps per drain keep the borrows of `d` (mutated
         // inside the pair-locked closure) disjoint from the session/module
@@ -399,6 +435,7 @@ impl Kernel {
                             region,
                             live.as_ref(),
                             memo,
+                            &mut gate_tally,
                             |body, args| {
                                 let mut ctx = crate::smodreg::HandleCtx {
                                     handle_vm: &mut handle_proc.vm,
@@ -481,6 +518,7 @@ impl Kernel {
                 }
             }
         }
+        gate_tally.flush(&self.metrics);
         outcome
     }
 
@@ -502,6 +540,7 @@ impl Kernel {
         region: Option<&ArenaRegion>,
         live: Option<&(String, Option<secmod_policy::Principal>, u32)>,
         memo: &mut Vec<(u32, MemoEntry)>,
+        gate_tally: &mut GateTally,
         run: impl FnOnce(&FunctionBody, &[u8]) -> (SysResult<Vec<u8>>, u64),
     ) -> (SmodCallResp, u64, bool) {
         let fail = |errno: Errno, cost_ns: u64| {
@@ -538,16 +577,12 @@ impl Kernel {
                                 proto.uid,
                             ),
                         };
-                        let (allowed, cached) =
+                        let (allowed, tier) =
                             module.check_operation(app_domain, principal, uid, &stub.symbol);
-                        if cached {
-                            self.metrics.gate_hits.incr();
-                        } else {
-                            self.metrics.gate_misses.incr();
-                        }
+                        gate_tally.record(tier);
                         // The first sight of a function in a drain pays
                         // the true decision cost; repeats are memo hits.
-                        policy_cost = if cached {
+                        policy_cost = if tier.is_cached() {
                             self.cost.cached_decision_ns
                         } else {
                             self.cost.policy_per_node_ns * module.policy_complexity as u64

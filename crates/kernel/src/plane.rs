@@ -814,6 +814,45 @@ impl PlaneHandle {
         outcome.map_err(SubmitError::Full)
     }
 
+    /// Begin a coalesced submission batch. Entries pushed through the
+    /// returned guard land in the submission ring immediately, but the
+    /// doorbell — the readiness bit plus the drainer unpark — rings once
+    /// per batch instead of once per entry: at [`SubmitBatch::flush`],
+    /// when the guard drops, or on the first bounce. A parked drainer is
+    /// woken at most once per flush, so a producer batching N entries
+    /// pays one `mark_ready` + one `unpark` where N calls to
+    /// [`PlaneHandle::submit`] paid N of each.
+    pub fn batch(&self) -> SubmitBatch<'_> {
+        SubmitBatch {
+            handle: self,
+            pending: 0,
+        }
+    }
+
+    /// Submit `calls` (`(proc_id, user_data, args)`) with a single
+    /// doorbell, returning how many entries were accepted.
+    ///
+    /// `Ok(n)` with `n < calls.len()` means entry `n` bounced off a full
+    /// submission ring: the doorbell has already rung for the accepted
+    /// prefix (the `Full` contract — space reappears as they complete),
+    /// so reap and retry `calls[n..]`. Exactly one `ring_full_bounces`
+    /// tick is recorded per bounce event, not per unsubmitted entry.
+    /// `Err` is only ever [`SubmitError::Detached`]: the plane has shut
+    /// down and the remaining entries will never be accepted.
+    pub fn submit_many(&self, calls: &[(u32, u64, &[u8])]) -> Result<usize, SubmitError> {
+        let mut batch = self.batch();
+        for (accepted, (proc_id, user_data, args)) in calls.iter().enumerate() {
+            match batch.push(*proc_id, *user_data, args.to_vec()) {
+                Ok(()) => {}
+                // `push` already flushed the accepted prefix.
+                Err(SubmitError::Full(_)) => return Ok(accepted),
+                Err(err) => return Err(err),
+            }
+        }
+        batch.flush();
+        Ok(calls.len())
+    }
+
     /// Pop one completion, if any. Each reaped completion's simulated
     /// cost lands in the plane-flavor latency histogram — the latency a
     /// producer *observes* through the plane, as opposed to the
@@ -862,6 +901,92 @@ impl PlaneHandle {
 impl Drop for PlaneHandle {
     fn drop(&mut self) {
         self.shared.set.deregister(self.slot);
+    }
+}
+
+/// A producer-local submission batch (see [`PlaneHandle::batch`]): pushes
+/// go straight into the submission ring, the doorbell rings once.
+///
+/// The flush guarantee: every accepted entry is made visible to the
+/// drainers no later than the guard's drop — a batch can delay the
+/// doorbell, never lose it. Bounces flush eagerly so the standard `Full`
+/// contract (slot flagged, drainer awake, space guaranteed to reappear)
+/// holds at the moment the caller sees the error.
+pub struct SubmitBatch<'a> {
+    handle: &'a PlaneHandle,
+    /// Entries pushed since the last doorbell.
+    pending: usize,
+}
+
+impl std::fmt::Debug for SubmitBatch<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SubmitBatch")
+            .field("slot", &self.handle.slot)
+            .field("pending", &self.pending)
+            .finish()
+    }
+}
+
+impl SubmitBatch<'_> {
+    /// Push one call into the submission ring *without* ringing the
+    /// doorbell. Placement (inline vs. arena) and the session id work
+    /// exactly like [`PlaneHandle::submit`]; only the wakeup is deferred.
+    ///
+    /// On [`SubmitError::Full`] the accepted prefix is flushed first
+    /// (drainers are already making space when the caller sees the
+    /// bounce) and one `ring_full_bounces` tick is recorded. On
+    /// [`SubmitError::Detached`] the prefix is also flushed — the
+    /// shutdown sweep drains whatever was accepted.
+    pub fn push(&mut self, proc_id: u32, user_data: u64, args: Vec<u8>) -> Result<(), SubmitError> {
+        let args = ArgRef::place_vec(args, self.handle.rings.arena.as_ref());
+        let req = SmodCallReq {
+            session: self.handle.rings.session,
+            proc_id,
+            user_data,
+            args,
+        };
+        if self.handle.shared.stop.load(Ordering::Acquire) {
+            self.flush();
+            return Err(SubmitError::Detached(req));
+        }
+        match self.handle.rings.sq.push(req) {
+            Ok(()) => {
+                self.pending += 1;
+                Ok(())
+            }
+            Err(req) => {
+                // Ring the doorbell even if nothing is pending: the ring
+                // being full means in-flight work this drain will clear.
+                self.pending = 0;
+                self.handle.shared.set.mark_ready(self.handle.slot);
+                self.handle.shared.wake();
+                self.handle.shared.kernel.metrics.ring_full_bounces.incr();
+                Err(SubmitError::Full(req))
+            }
+        }
+    }
+
+    /// Entries accepted since the last doorbell.
+    pub fn pending(&self) -> usize {
+        self.pending
+    }
+
+    /// Ring the doorbell for everything pushed since the last flush:
+    /// one readiness bit, at most one drainer unpark. Returns how many
+    /// entries the flush covered (0 = no-op, no wakeup).
+    pub fn flush(&mut self) -> usize {
+        let n = std::mem::take(&mut self.pending);
+        if n > 0 {
+            self.handle.shared.set.mark_ready(self.handle.slot);
+            self.handle.shared.wake();
+        }
+        n
+    }
+}
+
+impl Drop for SubmitBatch<'_> {
+    fn drop(&mut self) {
+        self.flush();
     }
 }
 
@@ -915,25 +1040,28 @@ impl Dispatcher for PlaneHandle {
             };
         while received < calls.len() {
             if submitted < calls.len() {
-                let call = &calls[submitted];
-                match self.submit(call.proc_id, base + submitted as u64, call.args.clone()) {
-                    Ok(()) => {
-                        submitted += 1;
-                        continue;
-                    }
-                    Err(SubmitError::Full(_)) => {} // reap below, retry
-                    Err(SubmitError::Detached(_)) => {
-                        // Plane stopped before the rest went in; what was
-                        // already submitted still completes (the shutdown
-                        // sweep drains the set dry).
-                        for slot in outcomes.iter_mut().skip(submitted) {
-                            *slot = Some(Err(DispatchError::Detached));
-                            received += 1;
+                // Coalesced: push as much of the remainder as fits, then
+                // one doorbell for the whole burst.
+                let mut batch = self.batch();
+                while submitted < calls.len() {
+                    let call = &calls[submitted];
+                    match batch.push(call.proc_id, base + submitted as u64, call.args.clone()) {
+                        Ok(()) => submitted += 1,
+                        // The bounce already flushed; reap below, retry.
+                        Err(SubmitError::Full(_)) => break,
+                        Err(SubmitError::Detached(_)) => {
+                            // Plane stopped before the rest went in; what
+                            // was already submitted still completes (the
+                            // shutdown sweep drains the set dry).
+                            for slot in outcomes.iter_mut().skip(submitted) {
+                                *slot = Some(Err(DispatchError::Detached));
+                                received += 1;
+                            }
+                            submitted = calls.len();
                         }
-                        submitted = calls.len();
-                        continue;
                     }
                 }
+                batch.flush();
             }
             if reap_one(&mut outcomes, &mut received) {
                 continue;
@@ -1112,6 +1240,117 @@ mod tests {
             Err(SubmitError::Detached(req)) => assert_eq!(req.user_data, 99),
             other => panic!("expected Detached after shutdown, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn batched_submission_defers_the_doorbell_until_flush() {
+        let (_kernel, plane, clients, incr) = plane_fixture(1, 1);
+        let handle = plane.attach(clients[0]).unwrap();
+        let set = plane.ring_set();
+        let mut batch = handle.batch();
+        for i in 0..8u64 {
+            batch.push(incr, i, i.to_le_bytes().to_vec()).unwrap();
+        }
+        assert_eq!(batch.pending(), 8);
+        assert!(
+            !set.any_ready(),
+            "entries must stay invisible to the sweep until the doorbell"
+        );
+        assert_eq!(batch.flush(), 8);
+        assert_eq!(batch.flush(), 0, "an empty flush is a no-op");
+        drop(batch);
+        let mut sum = 0u64;
+        let mut received = 0;
+        while received < 8 {
+            while let Some(resp) = handle.reap() {
+                assert!(resp.is_ok());
+                sum += u64::from_le_bytes(resp.into_ret().try_into().unwrap());
+                received += 1;
+            }
+            std::thread::yield_now();
+        }
+        // Σ (i + 1) for i in 0..8
+        assert_eq!(sum, 36);
+    }
+
+    #[test]
+    fn dropping_a_batch_flushes_the_doorbell() {
+        let (_kernel, plane, clients, incr) = plane_fixture(1, 1);
+        let handle = plane.attach(clients[0]).unwrap();
+        {
+            let mut batch = handle.batch();
+            for i in 0..4u64 {
+                batch.push(incr, i, i.to_le_bytes().to_vec()).unwrap();
+            }
+            // No explicit flush: the drop guarantee must deliver.
+        }
+        let mut received = 0;
+        while received < 4 {
+            while let Some(resp) = handle.reap() {
+                assert!(resp.is_ok());
+                received += 1;
+            }
+            std::thread::yield_now();
+        }
+    }
+
+    #[test]
+    fn submit_many_counts_one_bounce_per_full_event() {
+        // A 4-deep submission ring with the doorbell deferred: the whole
+        // prefix fits silently, the first overflow flushes and bounces.
+        let (k, _m, clients, incr) = kernel_with_clients(None, 1);
+        let kernel = Arc::new(k);
+        let plane = DispatchPlane::start(
+            Arc::clone(&kernel),
+            PlaneConfig {
+                drainers: 1,
+                ring: secmod_ring::RingPairConfig {
+                    submission: 4,
+                    completion: 64,
+                },
+                ..PlaneConfig::default()
+            },
+        )
+        .unwrap();
+        let handle = plane.attach(clients[0]).unwrap();
+        let payloads: Vec<Vec<u8>> = (0..6u64).map(|i| i.to_le_bytes().to_vec()).collect();
+        let calls: Vec<(u32, u64, &[u8])> = payloads
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (incr, i as u64, p.as_slice()))
+            .collect();
+        let bounces0 = kernel.metrics.ring_full_bounces.get();
+        let accepted = handle.submit_many(&calls).unwrap();
+        assert!(
+            accepted < calls.len(),
+            "a 4-deep ring cannot take 6 entries in one batch"
+        );
+        assert_eq!(
+            kernel.metrics.ring_full_bounces.get(),
+            bounces0 + 1,
+            "one bounce event, not one per rejected entry"
+        );
+        // The Full contract: the bounce rang the doorbell, so space
+        // reappears — reap and resubmit the remainder.
+        let mut done = accepted;
+        let mut received = 0;
+        let mut sum = 0u64;
+        while received < calls.len() {
+            if done < calls.len() {
+                if let Ok(n) = handle.submit_many(&calls[done..]) {
+                    done += n;
+                }
+            }
+            while let Some(resp) = handle.reap() {
+                assert!(resp.is_ok());
+                sum += u64::from_le_bytes(resp.into_ret().try_into().unwrap());
+                received += 1;
+            }
+            std::thread::yield_now();
+        }
+        // Σ (i + 1) for i in 0..6
+        assert_eq!(sum, 21);
+        plane.shutdown();
     }
 
     #[test]

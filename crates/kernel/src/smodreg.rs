@@ -211,20 +211,24 @@ impl RegisteredModule {
 
     /// The per-call credential/policy question, asked of this module's
     /// gateway: may `principal` (acting for `uid` in `app_domain`)
-    /// invoke `operation`? Returns `(allowed, served_from_cache)`; a
-    /// missing principal denies without consulting the gateway, exactly
-    /// as an engine query with no requesters would. Every dispatch path
-    /// (single-call fast and slow, batched) funnels through here so the
-    /// request shape cannot diverge between them.
+    /// invoke `operation`? Returns `(allowed, tier)` where the tier says
+    /// which layer of the decision stack answered (thread-local L0,
+    /// sharded cache, or the engine); a missing principal denies without
+    /// consulting the gateway, exactly as an engine query with no
+    /// requesters would. Every dispatch path (single-call fast and slow,
+    /// batched) funnels through here so the request shape cannot diverge
+    /// between them.
     pub(crate) fn check_operation(
         &self,
         app_domain: &str,
         principal: Option<&secmod_policy::Principal>,
         uid: u32,
         operation: &str,
-    ) -> (bool, bool) {
+    ) -> (bool, secmod_policy::DecisionTier) {
         match principal {
-            None => (false, false),
+            // No principal denies without consulting the gateway; billed as
+            // an engine-tier (uncached) decision, as before.
+            None => (false, secmod_policy::DecisionTier::Engine),
             Some(principal) => {
                 let request = secmod_policy::AccessRequest {
                     requesters: std::slice::from_ref(principal),
@@ -234,7 +238,7 @@ impl RegisteredModule {
                     operation,
                     uid: uid as i64,
                 };
-                self.gateway.is_allowed_with_origin(&request)
+                self.gateway.is_allowed_tiered(&request)
             }
         }
     }

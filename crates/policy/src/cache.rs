@@ -234,6 +234,7 @@ impl Shard {
 pub struct DecisionCache {
     shards: Vec<Mutex<Shard>>,
     mask: u64,
+    enabled: bool,
 }
 
 impl DecisionCache {
@@ -260,7 +261,17 @@ impl DecisionCache {
                 })
                 .collect(),
             mask: shards as u64 - 1,
+            enabled: config.capacity > 0,
         }
+    }
+
+    /// Whether this cache can ever store an entry. A
+    /// [`CacheConfig::disabled`] cache reports `false`, and the gateway
+    /// uses that to switch off the thread-local L0 tier as well — a
+    /// "disabled cache" baseline must measure *no* decision caching, not
+    /// "no sharded caching with a secret L0 in front".
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
     }
 
     fn shard(&self, key: &CacheKey) -> &Mutex<Shard> {

@@ -20,9 +20,40 @@ use crate::assertion::Assertion;
 use crate::attr::Environment;
 use crate::cache::{fnv64, fnv64_chain, mix64, CacheConfig, CacheKey, CacheStats, DecisionCache};
 use crate::engine::{Decision, PolicyEngine};
+use crate::l0;
 use crate::principal::Principal;
 use parking_lot::RwLock;
 use std::sync::atomic::{AtomicU64, Ordering::SeqCst};
+
+/// Which tier of the decision stack answered an access request. Ordered
+/// hottest-first: [`DecisionTier::L0`] is a thread-local probe with zero
+/// atomics, [`DecisionTier::Shared`] took a shard lock in the process-wide
+/// cache, [`DecisionTier::Engine`] ran the full policy fixpoint under the
+/// engine read lock.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DecisionTier {
+    /// Served from the calling thread's L0 table.
+    L0,
+    /// Served from the sharded decision cache.
+    Shared,
+    /// Computed by the policy engine (a cache miss at every tier).
+    Engine,
+}
+
+impl DecisionTier {
+    /// Whether the answer was served from a cache (any tier above the
+    /// engine). Callers that charge different costs for cached vs uncached
+    /// checks key off this, so an L0 hit is billed exactly like a sharded
+    /// hit.
+    pub fn is_cached(self) -> bool {
+        !matches!(self, DecisionTier::Engine)
+    }
+}
+
+/// Source of process-unique gateway ids; starts at 1 so 0 can mark an
+/// empty L0 slot. Ids are never reused, so entries belonging to a dropped
+/// gateway can never be served to a new one.
+static NEXT_GATEWAY_ID: AtomicU64 = AtomicU64::new(1);
 
 /// One access-control question: may `requesters` invoke `operation` of
 /// `module`? Carries the same attributes `Environment::for_smod_call`
@@ -95,6 +126,9 @@ pub struct Gateway {
     epoch: AtomicU64,
     /// Epoch component observed from a kernel via `sync_kernel_epoch`.
     kernel_epoch: AtomicU64,
+    /// Process-unique id tagging this gateway's entries in per-thread L0
+    /// tables.
+    id: u64,
 }
 
 impl Gateway {
@@ -109,6 +143,7 @@ impl Gateway {
             cache: DecisionCache::new(config),
             epoch,
             kernel_epoch: AtomicU64::new(0),
+            id: NEXT_GATEWAY_ID.fetch_add(1, SeqCst),
         }
     }
 
@@ -166,6 +201,46 @@ impl Gateway {
                 (allowed, false)
             }
             Err(_) => (false, false),
+        }
+    }
+
+    /// The submit-side fast path: like [`Gateway::is_allowed_with_origin`]
+    /// but fronted by the calling thread's L0 table and reporting which
+    /// tier answered. An L0 hit is a hash, at most two slot compares, and
+    /// a return — no locks, no shared counters, no atomic writes. Both
+    /// cache tiers key on the same epoch-tagged [`CacheKey`], so the L0
+    /// inherits the sharded cache's invalidation contract verbatim: any
+    /// epoch movement makes every resident entry unreachable. Errors count
+    /// as deny and are cached at no tier, as in
+    /// [`Gateway::is_allowed_with_origin`].
+    pub fn is_allowed_tiered(&self, req: &AccessRequest) -> (bool, DecisionTier) {
+        // A disabled cache disables every tier: the uncached baseline must
+        // not be quietly served by a thread-local cache instead.
+        if !self.cache.is_enabled() {
+            let (allowed, cached) = self.is_allowed_with_origin(req);
+            debug_assert!(!cached, "disabled cache reported a hit");
+            return (allowed, DecisionTier::Engine);
+        }
+        let mut key = req.cache_key(self.epoch());
+        if let Some(allowed) = l0::lookup(self.id, &key) {
+            return (allowed, DecisionTier::L0);
+        }
+        if let Some(allowed) = self.cache.probe(&key, |decision| decision.is_allowed()) {
+            l0::insert(self.id, key, allowed);
+            return (allowed, DecisionTier::Shared);
+        }
+        let engine = self.engine.read();
+        key.epoch = self.epoch();
+        match engine.query(req.requesters, &req.environment()) {
+            Ok(decision) => {
+                let allowed = decision.is_allowed();
+                self.cache.insert(key, decision);
+                // Label the L0 entry with the same epoch the sharded insert
+                // used — the epoch the locked engine state corresponds to.
+                l0::insert(self.id, key, allowed);
+                (allowed, DecisionTier::Engine)
+            }
+            Err(_) => (false, DecisionTier::Engine),
         }
     }
 
@@ -359,6 +434,69 @@ mod tests {
         assert_eq!(first, second);
         assert!(!hit_first, "first check must run the engine");
         assert!(hit_second, "second check must be served from cache");
+    }
+
+    #[test]
+    fn tiered_lookup_promotes_through_the_stack() {
+        crate::l0::clear_thread_cache();
+        let gate = gateway_with_alice();
+        let requesters = [alice()];
+        let r = req(&requesters, "libc", "malloc");
+        let (a1, t1) = gate.is_allowed_tiered(&r);
+        assert!(a1);
+        assert_eq!(t1, DecisionTier::Engine, "cold lookup must run the engine");
+        assert!(!t1.is_cached());
+        let (a2, t2) = gate.is_allowed_tiered(&r);
+        assert!(a2);
+        assert_eq!(t2, DecisionTier::L0, "warm lookup must hit the L0");
+        assert!(t2.is_cached());
+        // A thread that lost its L0 entry still hits the sharded tier.
+        crate::l0::clear_thread_cache();
+        let (a3, t3) = gate.is_allowed_tiered(&r);
+        assert!(a3);
+        assert_eq!(t3, DecisionTier::Shared);
+        // ... and the hit re-primes the L0.
+        assert_eq!(gate.is_allowed_tiered(&r).1, DecisionTier::L0);
+    }
+
+    #[test]
+    fn tiered_lookup_never_serves_stale_decisions() {
+        crate::l0::clear_thread_cache();
+        let gate = gateway_with_alice();
+        let requesters = [alice()];
+        let r = req(&requesters, "libm", "sin");
+        // Deny cached in both tiers.
+        assert_eq!(gate.is_allowed_tiered(&r), (false, DecisionTier::Engine));
+        assert_eq!(gate.is_allowed_tiered(&r), (false, DecisionTier::L0));
+        // Granting libm bumps the epoch; the L0 entry must be unreachable.
+        gate.add_assertion(
+            Assertion::policy(LicenseeExpr::Single(alice()), "module == \"libm\"").unwrap(),
+        )
+        .unwrap();
+        let (allowed, tier) = gate.is_allowed_tiered(&r);
+        assert!(allowed, "stale deny served from L0 after add_assertion");
+        assert_eq!(tier, DecisionTier::Engine);
+        // Kernel-epoch folds invalidate the same way.
+        let before = gate.epoch();
+        gate.observe_kernel_epoch(before + 10);
+        assert_eq!(gate.is_allowed_tiered(&r).1, DecisionTier::Engine);
+    }
+
+    #[test]
+    fn tiered_lookup_partitions_gateways_sharing_a_thread() {
+        crate::l0::clear_thread_cache();
+        let permissive = gateway_with_alice();
+        let strict = Gateway::new(PolicyEngine::new(), CacheConfig::default());
+        let requesters = [alice()];
+        let r = req(&requesters, "libc", "malloc");
+        assert_eq!(
+            permissive.is_allowed_tiered(&r),
+            (true, DecisionTier::Engine)
+        );
+        // The strict gateway has no policy for alice: deny, and it must not
+        // be short-circuited by the permissive gateway's L0 entry.
+        assert!(!strict.is_allowed_tiered(&r).0);
+        assert_eq!(permissive.is_allowed_tiered(&r), (true, DecisionTier::L0));
     }
 
     #[test]

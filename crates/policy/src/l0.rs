@@ -1,0 +1,184 @@
+//! L0: a thread-local decision cache in front of the sharded
+//! [`DecisionCache`](crate::cache::DecisionCache).
+//!
+//! The sharded cache already makes repeated decisions cheap, but every
+//! lookup still takes a shard lock and bumps shared hit counters — on a
+//! multi-producer submit path those shared cache lines are the cost, not
+//! the policy evaluation. L0 is the classic thread-cache layer on top: a
+//! small open-addressed table in thread-local storage whose hits are a
+//! hash, a few compares, and a return. No locks, no shared-line writes,
+//! no atomics.
+//!
+//! Coherence is inherited from the epoch scheme, not re-implemented: the
+//! gateway invalidation epoch is part of every [`CacheKey`], and lookups
+//! always compute the probe key at the *current* epoch
+//! ([`Gateway::epoch`](crate::gateway::Gateway::epoch) folds both the
+//! local and the observed kernel revision counter). Any epoch movement
+//! therefore invalidates the whole table wholesale — stale entries are
+//! not flushed, they simply become unreachable, exactly as in the sharded
+//! cache. Entries are additionally tagged with a process-unique gateway
+//! id so gateways sharing a thread (one per registered module) cannot
+//! serve each other's decisions.
+//!
+//! Hit/miss accounting is deliberately *not* kept here: callers that need
+//! exact observability (the kernel's drain loops) receive the tier of
+//! every answer via [`DecisionTier`](crate::gateway::DecisionTier),
+//! accumulate tallies locally, and flush them into their metrics registry
+//! once per drain — so `DispatchMetrics` stays exact without L0 touching
+//! a shared counter on the hot path.
+
+use crate::cache::{mix64, CacheKey};
+use std::cell::RefCell;
+
+/// Number of slots in the per-thread table. Small on purpose: the table
+/// must cover a producer's working set of (principal, module, operation)
+/// triples, which for ring producers is a handful, and stay cheap to probe.
+pub const L0_SLOTS: usize = 64;
+
+/// Linear-probe window. A lookup inspects at most this many slots.
+const PROBE: usize = 2;
+
+#[derive(Clone, Copy)]
+struct L0Entry {
+    /// Process-unique id of the owning gateway; 0 marks an empty slot.
+    gateway: u64,
+    key: CacheKey,
+    allowed: bool,
+}
+
+const EMPTY: L0Entry = L0Entry {
+    gateway: 0,
+    key: CacheKey {
+        principals: 0,
+        module: 0,
+        operation: 0,
+        epoch: 0,
+    },
+    allowed: false,
+};
+
+thread_local! {
+    static TABLE: RefCell<[L0Entry; L0_SLOTS]> = const { RefCell::new([EMPTY; L0_SLOTS]) };
+}
+
+fn slot_of(gateway: u64, key: &CacheKey) -> usize {
+    let h = mix64(
+        key.principals
+            ^ key.module.rotate_left(17)
+            ^ key.operation.rotate_left(31)
+            ^ key.epoch.rotate_left(47)
+            ^ gateway.rotate_left(7),
+    );
+    (h as usize) & (L0_SLOTS - 1)
+}
+
+/// Probe the calling thread's table for `key` under `gateway`.
+pub(crate) fn lookup(gateway: u64, key: &CacheKey) -> Option<bool> {
+    TABLE.with(|table| {
+        let table = table.borrow();
+        let base = slot_of(gateway, key);
+        for i in 0..PROBE {
+            let entry = &table[(base + i) & (L0_SLOTS - 1)];
+            if entry.gateway == gateway && entry.key == *key {
+                return Some(entry.allowed);
+            }
+        }
+        None
+    })
+}
+
+/// Record a decision in the calling thread's table. Prefers an empty or
+/// stale-epoch slot within the probe window; otherwise evicts the home
+/// slot (the table is a cache, losing an entry only costs a future probe
+/// of the sharded layer).
+pub(crate) fn insert(gateway: u64, key: CacheKey, allowed: bool) {
+    TABLE.with(|table| {
+        let mut table = table.borrow_mut();
+        let base = slot_of(gateway, &key);
+        let mut victim = base;
+        for i in 0..PROBE {
+            let idx = (base + i) & (L0_SLOTS - 1);
+            let entry = &table[idx];
+            // Reuse a matching slot, an empty one, or one whose epoch can
+            // no longer match any probe (same gateway, older epoch).
+            if (entry.gateway == gateway && entry.key == key)
+                || entry.gateway == 0
+                || (entry.gateway == gateway && entry.key.epoch < key.epoch)
+            {
+                victim = idx;
+                break;
+            }
+        }
+        table[victim] = L0Entry {
+            gateway,
+            key,
+            allowed,
+        };
+    });
+}
+
+/// Drop every entry in the calling thread's table. A test/bench hook —
+/// production code never needs it because epoch movement already makes
+/// stale entries unreachable.
+pub fn clear_thread_cache() {
+    TABLE.with(|table| *table.borrow_mut() = [EMPTY; L0_SLOTS]);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(principals: u64, epoch: u64) -> CacheKey {
+        CacheKey {
+            principals,
+            module: 7,
+            operation: 9,
+            epoch,
+        }
+    }
+
+    #[test]
+    fn lookup_misses_then_hits_after_insert() {
+        clear_thread_cache();
+        let k = key(1, 0);
+        assert_eq!(lookup(1, &k), None);
+        insert(1, k, true);
+        assert_eq!(lookup(1, &k), Some(true));
+    }
+
+    #[test]
+    fn gateway_id_partitions_entries() {
+        clear_thread_cache();
+        let k = key(2, 0);
+        insert(1, k, true);
+        assert_eq!(lookup(2, &k), None, "other gateway must not see the entry");
+        insert(2, k, false);
+        assert_eq!(lookup(1, &k), Some(true));
+        assert_eq!(lookup(2, &k), Some(false));
+    }
+
+    #[test]
+    fn epoch_movement_makes_entries_unreachable() {
+        clear_thread_cache();
+        insert(1, key(3, 5), true);
+        assert_eq!(lookup(1, &key(3, 6)), None, "new epoch must miss");
+        // And the stale slot is preferentially recycled.
+        insert(1, key(3, 6), false);
+        assert_eq!(lookup(1, &key(3, 6)), Some(false));
+    }
+
+    #[test]
+    fn colliding_keys_evict_rather_than_corrupt() {
+        clear_thread_cache();
+        // Fill the entire table several times over; every lookup that hits
+        // must return the value inserted under exactly that key.
+        for i in 0..(L0_SLOTS as u64 * 4) {
+            insert(1, key(i, 0), i % 2 == 0);
+        }
+        for i in 0..(L0_SLOTS as u64 * 4) {
+            if let Some(allowed) = lookup(1, &key(i, 0)) {
+                assert_eq!(allowed, i % 2 == 0, "entry for {i} served wrong value");
+            }
+        }
+    }
+}

@@ -31,6 +31,8 @@
 //!   [`PolicyEngine`] with it. These live here (rather than in
 //!   `secmod_gate`, which re-exports them) so the kernel can embed one
 //!   gateway per registered module without a dependency cycle.
+//! * [`l0`] — the thread-local L0 tier in front of the sharded cache:
+//!   epoch-tagged per-thread tables whose hits touch no shared state.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -43,6 +45,7 @@ pub mod cache;
 pub mod engine;
 pub mod eval;
 pub mod gateway;
+pub mod l0;
 pub mod lexer;
 pub mod parser;
 pub mod principal;
@@ -52,7 +55,7 @@ pub use assertion::{Assertion, LicenseeExpr};
 pub use attr::{AttrValue, Environment};
 pub use cache::{CacheConfig, CacheKey, CacheStats, DecisionCache};
 pub use engine::{Decision, PolicyEngine};
-pub use gateway::{AccessRequest, Gateway};
+pub use gateway::{AccessRequest, DecisionTier, Gateway};
 pub use principal::Principal;
 pub use unix::UnixPolicy;
 

@@ -58,6 +58,19 @@ pub const ARENA_GRANULE: usize = 64;
 /// go through the arena when one is attached.
 pub const INLINE_ARG_MAX: usize = 64;
 
+/// Default per-class resident cap for region magazines (see
+/// [`ArenaRegion::with_magazine`]): how many free blocks of one size
+/// class a region may keep parked for reuse before drops fall back to
+/// the shared freelist.
+pub const MAGAZINE_DEPTH: usize = 16;
+
+/// Largest size class a magazine caches: blocks of
+/// `ARENA_GRANULE << MAG_MAX_CLASS` bytes (4 KiB). Bigger blocks always
+/// use the shared freelists — parking a handful of 64 KiB runs per
+/// session would pin real capacity for traffic that is rare by
+/// construction.
+const MAG_MAX_CLASS: usize = 6;
+
 /// One size class: free offsets of one power-of-two block size.
 #[derive(Debug, Default)]
 struct FreeList(Mutex<Vec<u32>>);
@@ -231,6 +244,86 @@ impl ArgArena {
         self.classes[class].0.lock().push(offset);
     }
 
+    /// Bulk-acquire up to `want` blocks of `class` for a magazine refill:
+    /// freelist pops first (one lock acquisition for the whole batch),
+    /// then bump carves. The blocks are accounted as allocated (and their
+    /// bytes as in flight) immediately — magazine-resident blocks count
+    /// as charged, which is what keeps `bytes_in_flight == 0` teardown
+    /// invariants exact: every grabbed block is either returned by
+    /// [`ArgArena::return_blocks`] or freed through a slot. Returns how
+    /// many blocks were pushed onto `out`.
+    fn grab_blocks(&self, class: usize, want: usize, out: &mut Vec<u32>) -> usize {
+        let block = Self::class_bytes(class);
+        let mut got = 0;
+        {
+            let mut list = self.classes[class].0.lock();
+            while got < want {
+                match list.pop() {
+                    Some(offset) => {
+                        out.push(offset);
+                        got += 1;
+                    }
+                    None => break,
+                }
+            }
+        }
+        while got < want {
+            let offset = self.bump.0.fetch_add(block as u64, Ordering::Relaxed);
+            if offset + block as u64 > self.capacity() as u64 {
+                self.bump.0.fetch_sub(block as u64, Ordering::Relaxed);
+                break;
+            }
+            out.push(offset as u32);
+            got += 1;
+        }
+        if got > 0 {
+            if let Some(m) = &self.metrics {
+                m.allocs.add(got as u64);
+                m.bytes_in_flight.add((got * block) as u64);
+            }
+        }
+        got
+    }
+
+    /// Return a magazine's parked blocks of `class` to the shared
+    /// freelist in bulk — one lock acquisition, one metrics settle.
+    /// Generations were already bumped when each block entered the
+    /// magazine (recycle) or were never observed by a descriptor (refill
+    /// surplus), so the blocks go straight back.
+    fn return_blocks(&self, class: usize, offsets: &mut Vec<u32>) {
+        if offsets.is_empty() {
+            return;
+        }
+        if let Some(m) = &self.metrics {
+            m.frees.add(offsets.len() as u64);
+            m.bytes_in_flight
+                .sub((offsets.len() * Self::class_bytes(class)) as u64);
+        }
+        self.classes[class].0.lock().append(offsets);
+    }
+
+    /// Copy `payload` into a block previously acquired by
+    /// [`ArgArena::grab_blocks`]: the pointer-pop fast path. No freelist,
+    /// no metrics traffic — the block was fully accounted at grab time.
+    fn adopt(self: &Arc<Self>, offset: u32, payload: &[u8]) -> ArenaSlot {
+        let gen = self.generations[offset as usize / ARENA_GRANULE].load(Ordering::Acquire);
+        // SAFETY: the block was grabbed for exactly one magazine and
+        // popped from it by the caller, so this thread is its only owner
+        // until the returned slot is dropped; the cells are one
+        // contiguous in-bounds allocation (same argument as `alloc_with`).
+        unsafe {
+            let base = self.bytes[offset as usize].get();
+            std::ptr::copy_nonoverlapping(payload.as_ptr(), base, payload.len());
+        }
+        ArenaSlot {
+            arena: Arc::clone(self),
+            offset,
+            len: payload.len() as u32,
+            gen,
+            region: None,
+        }
+    }
+
     /// Count one fallback-to-copy event (arena full or quota exhausted).
     fn count_fallback(&self) {
         if let Some(m) = &self.metrics {
@@ -244,11 +337,118 @@ impl ArgArena {
     }
 }
 
+/// A region's parked free blocks: one bounded stack of pre-charged
+/// offsets per (small) size class, sitting in front of the arena's
+/// shared freelists. While a block is resident here it stays charged to
+/// the region's quota and to the arena's `bytes_in_flight` — the
+/// magazine moves *where* a free block waits, never what is accounted.
+///
+/// The magazine is region-local rather than literally thread-local: a
+/// ring session has one producer by construction, so the region's
+/// private mutex is uncontended on the hot path (and every access uses
+/// `try_lock`, degrading to the shared path instead of ever blocking a
+/// drainer against a producer).
+struct Magazine {
+    /// The arena the parked blocks belong to (needed so the terminal
+    /// `RegionState` drop can flush them back without an outside handle).
+    arena: Arc<ArgArena>,
+    /// `stacks[c]` holds free offsets of class `c` blocks, newest last.
+    stacks: Box<[Vec<u32>]>,
+    /// Per-class resident cap; recycle falls back to the shared freelist
+    /// beyond it.
+    depth: usize,
+}
+
+impl Magazine {
+    /// Bytes parked across all classes.
+    fn resident_bytes(&self) -> u64 {
+        self.stacks
+            .iter()
+            .enumerate()
+            .map(|(class, stack)| (stack.len() * ArgArena::class_bytes(class)) as u64)
+            .sum()
+    }
+
+    /// Return every parked block to the shared freelists and uncharge
+    /// them from `in_flight`. Returns the bytes released.
+    fn flush(&mut self, in_flight: &AtomicU64) -> u64 {
+        let mut released = 0u64;
+        for class in 0..self.stacks.len() {
+            let n = self.stacks[class].len();
+            if n == 0 {
+                continue;
+            }
+            released += (n * ArgArena::class_bytes(class)) as u64;
+            let arena = Arc::clone(&self.arena);
+            arena.return_blocks(class, &mut self.stacks[class]);
+        }
+        if released > 0 {
+            in_flight.fetch_sub(released, Ordering::AcqRel);
+        }
+        released
+    }
+}
+
+impl std::fmt::Debug for Magazine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Magazine")
+            .field("depth", &self.depth)
+            .field("resident_bytes", &self.resident_bytes())
+            .finish()
+    }
+}
+
 /// Internal per-region accounting shared by the region and the slots it
 /// allocated (slots settle the quota on drop).
 #[derive(Debug, Default)]
 struct RegionState {
     in_flight: AtomicU64,
+    /// The region's magazine, when enabled ([`ArenaRegion::with_magazine`]).
+    magazine: Option<Mutex<Magazine>>,
+}
+
+impl RegionState {
+    /// Try to park a dropping slot's block in the magazine instead of
+    /// freeing it: generation check-and-bump exactly as [`ArgArena::free`]
+    /// performs it, then a stack push — the block stays charged. Returns
+    /// `false` (caller takes the shared free path) when there is no
+    /// magazine, the class is too big, the stack is full, the lock is
+    /// contended, or the generation is stale (the shared path then counts
+    /// the mismatch, as before).
+    fn try_recycle(&self, arena: &ArgArena, offset: u32, len: u32, gen: u32) -> bool {
+        let Some(mutex) = self.magazine.as_ref() else {
+            return false;
+        };
+        let Some(class) = arena.class_of(len as usize) else {
+            return false;
+        };
+        let Some(mut mag) = mutex.try_lock() else {
+            return false;
+        };
+        if class >= mag.stacks.len() || mag.stacks[class].len() >= mag.depth {
+            return false;
+        }
+        let granule = offset as usize / ARENA_GRANULE;
+        if arena.generations[granule].load(Ordering::Acquire) != gen {
+            return false;
+        }
+        arena.generations[granule].store(gen.wrapping_add(1), Ordering::Release);
+        mag.stacks[class].push(offset);
+        true
+    }
+}
+
+impl Drop for RegionState {
+    fn drop(&mut self) {
+        // The last handle (region clone or outstanding slot) is gone:
+        // settle the magazine so `bytes_in_flight` returns to exactly
+        // what it was before the region existed. This is what keeps the
+        // scenario/teardown `bytes_in_flight == 0` assertions holding
+        // bit-for-bit with magazines enabled.
+        if let Some(mutex) = self.magazine.as_mut() {
+            mutex.get_mut().flush(&self.in_flight);
+        }
+    }
 }
 
 /// A per-session quota over a shared [`ArgArena`].
@@ -274,21 +474,146 @@ impl ArenaRegion {
         }
     }
 
+    /// [`ArenaRegion::new`] plus a magazine: the region keeps up to
+    /// `depth` free blocks per (small) size class parked for reuse, so
+    /// the common oversize-arg allocation is a stack pop under the
+    /// region's own (uncontended) lock instead of a shared freelist
+    /// acquisition. Parked blocks count as charged — against the quota
+    /// and against the arena's `bytes_in_flight` — and are flushed back
+    /// to the shared freelists when the region's last handle drops, on
+    /// [`ArenaRegion::flush_magazine`], or automatically when quota or
+    /// arena pressure needs the bytes back.
+    pub fn with_magazine(arena: Arc<ArgArena>, quota: usize, depth: usize) -> ArenaRegion {
+        // Only classes the arena actually has, capped at the magazine
+        // maximum (4 KiB blocks).
+        let n_classes = arena.classes.len().min(MAG_MAX_CLASS + 1);
+        let magazine = Magazine {
+            arena: Arc::clone(&arena),
+            stacks: (0..n_classes).map(|_| Vec::with_capacity(depth)).collect(),
+            depth: depth.max(1),
+        };
+        ArenaRegion {
+            arena,
+            state: Arc::new(RegionState {
+                in_flight: AtomicU64::new(0),
+                magazine: Some(Mutex::new(magazine)),
+            }),
+            quota: quota as u64,
+        }
+    }
+
+    /// Optimistically charge `bytes` against the quota; `Err` rolls the
+    /// charge back. The charge is what bounds a flooding session: its
+    /// oversize traffic degrades to the copy fallback while other
+    /// regions keep their arena budget.
+    fn charge(&self, bytes: u64) -> Result<(), ()> {
+        if self.state.in_flight.fetch_add(bytes, Ordering::AcqRel) + bytes > self.quota {
+            self.state.in_flight.fetch_sub(bytes, Ordering::AcqRel);
+            return Err(());
+        }
+        Ok(())
+    }
+
+    /// Charge up to `want` blocks of `block` bytes each, returning how
+    /// many fit under the quota (possibly zero). Overshoot is rolled
+    /// back, so concurrent clones stay exact.
+    fn charge_up_to(&self, want: usize, block: u64) -> usize {
+        let want_bytes = want as u64 * block;
+        let prev = self.state.in_flight.fetch_add(want_bytes, Ordering::AcqRel);
+        let room = self.quota.saturating_sub(prev);
+        let granted = (room / block).min(want as u64);
+        let excess = want_bytes - granted * block;
+        if excess > 0 {
+            self.state.in_flight.fetch_sub(excess, Ordering::AcqRel);
+        }
+        granted as usize
+    }
+
+    /// Pop a parked block and adopt the payload into it. The quota stays
+    /// as-is: the block was already charged when it entered the magazine.
+    fn alloc_from_magazine(
+        &self,
+        mag: &mut Magazine,
+        class: usize,
+        block: u64,
+        payload: &[u8],
+    ) -> Option<ArenaSlot> {
+        let offset = mag.stacks.get_mut(class)?.pop()?;
+        let mut slot = self.arena.adopt(offset, payload);
+        slot.region = Some((Arc::clone(&self.state), block));
+        Some(slot)
+    }
+
+    /// Refill `class`'s stack: charge as many blocks as quota allows (up
+    /// to the magazine depth), then bulk-grab them from the arena under
+    /// one freelist lock. Blocks that were charged but not obtainable
+    /// (arena exhausted) are uncharged again. Returns how many blocks
+    /// landed in the stack.
+    fn refill_magazine(&self, mag: &mut Magazine, class: usize, block: u64) -> usize {
+        let want = mag.depth.saturating_sub(mag.stacks[class].len());
+        if want == 0 {
+            return 0;
+        }
+        let granted = self.charge_up_to(want, block);
+        if granted == 0 {
+            return 0;
+        }
+        let got = self
+            .arena
+            .grab_blocks(class, granted, &mut mag.stacks[class]);
+        if got < granted {
+            self.state
+                .in_flight
+                .fetch_sub((granted - got) as u64 * block, Ordering::AcqRel);
+        }
+        got
+    }
+
     /// Copy `payload` into an arena slot charged to this region, or
     /// `None` when the quota or the arena is exhausted (the fallback is
     /// counted against the arena's metrics either way).
+    ///
+    /// With a magazine enabled the common case is a pointer pop from the
+    /// region's parked blocks; an empty stack triggers a bulk refill
+    /// under the shared lock. Either way the quota bound is unchanged:
+    /// when parked-but-idle bytes are what stands between this
+    /// allocation and its quota (or the arena's capacity), the magazine
+    /// is flushed and the allocation retried once — a region with a
+    /// magazine can always reach exactly the in-flight bytes a plain
+    /// region could.
     pub fn alloc_with(&self, payload: &[u8]) -> Option<ArenaSlot> {
         let Some(class) = self.arena.class_of(payload.len()) else {
             self.arena.count_fallback();
             return None;
         };
         let block = ArgArena::class_bytes(class) as u64;
-        // Optimistically charge the quota; roll back on failure. The
-        // charge is what bounds a flooding session: its oversize traffic
-        // degrades to the copy fallback while other regions keep their
-        // arena budget.
-        if self.state.in_flight.fetch_add(block, Ordering::AcqRel) + block > self.quota {
-            self.state.in_flight.fetch_sub(block, Ordering::AcqRel);
+        // Fast path: magazine pop (refilling in bulk when empty).
+        if let Some(mutex) = self.state.magazine.as_ref() {
+            if class < MAG_MAX_CLASS + 1 {
+                if let Some(mut mag) = mutex.try_lock() {
+                    if class < mag.stacks.len() {
+                        if let Some(slot) =
+                            self.alloc_from_magazine(&mut mag, class, block, payload)
+                        {
+                            return Some(slot);
+                        }
+                        if self.refill_magazine(&mut mag, class, block) > 0 {
+                            if let Some(slot) =
+                                self.alloc_from_magazine(&mut mag, class, block, payload)
+                            {
+                                return Some(slot);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        // Shared path — also the magazine's pressure valve: a failed
+        // charge or an exhausted arena flushes the parked blocks and
+        // retries once before falling back to the copy path.
+        if self.charge(block).is_err()
+            && (self.flush_magazine() == 0 || self.charge(block).is_err())
+        {
             self.arena.count_fallback();
             return None;
         }
@@ -298,6 +623,14 @@ impl ArenaRegion {
                 Some(slot)
             }
             None => {
+                // Arena-level exhaustion: our own parked blocks may be
+                // exactly the capacity the arena is missing.
+                if self.flush_magazine() > 0 {
+                    if let Some(mut slot) = self.arena.alloc_with(payload) {
+                        slot.region = Some((Arc::clone(&self.state), block));
+                        return Some(slot);
+                    }
+                }
                 self.state.in_flight.fetch_sub(block, Ordering::AcqRel);
                 self.arena.count_fallback();
                 None
@@ -305,9 +638,29 @@ impl ArenaRegion {
         }
     }
 
-    /// Bytes currently charged to this region.
+    /// Bytes currently charged to this region — live slots plus any
+    /// magazine-resident (parked) blocks.
     pub fn in_flight(&self) -> u64 {
         self.state.in_flight.load(Ordering::Acquire)
+    }
+
+    /// Bytes parked in the region's magazine (charged but idle). Zero
+    /// for regions without a magazine.
+    pub fn magazine_resident(&self) -> u64 {
+        match self.state.magazine.as_ref() {
+            Some(mutex) => mutex.lock().resident_bytes(),
+            None => 0,
+        }
+    }
+
+    /// Return every parked block to the shared freelists and uncharge
+    /// them, settling `in_flight` down to live slots only. Returns the
+    /// bytes released. A no-op (0) for regions without a magazine.
+    pub fn flush_magazine(&self) -> u64 {
+        match self.state.magazine.as_ref() {
+            Some(mutex) => mutex.lock().flush(&self.state.in_flight),
+            None => 0,
+        }
     }
 
     /// The region's quota in bytes.
@@ -376,9 +729,17 @@ impl std::fmt::Debug for ArenaSlot {
 
 impl Drop for ArenaSlot {
     fn drop(&mut self) {
-        self.arena.free(self.offset, self.len, self.gen);
         if let Some((state, block)) = self.region.take() {
+            // Region slots park their block in the magazine when there
+            // is room: the generation was checked and bumped exactly as
+            // `free` would, and the block stays charged for reuse.
+            if state.try_recycle(&self.arena, self.offset, self.len, self.gen) {
+                return;
+            }
+            self.arena.free(self.offset, self.len, self.gen);
             state.in_flight.fetch_sub(block, Ordering::AcqRel);
+        } else {
+            self.arena.free(self.offset, self.len, self.gen);
         }
     }
 }
@@ -659,6 +1020,117 @@ mod tests {
         assert_eq!(cloned.as_slice(), big.as_slice());
         assert_eq!(big.into_vec(), vec![9u8; 1000]);
         assert_eq!(region.in_flight(), 0, "into_vec freed the slot");
+    }
+
+    #[test]
+    fn magazine_pops_skip_the_shared_freelist_and_stay_charged() {
+        let metrics = Arc::new(secmod_obs::ArenaMetrics::new());
+        let arena = ArgArena::with_metrics(1 << 16, Arc::clone(&metrics));
+        let region = ArenaRegion::with_magazine(Arc::clone(&arena), 1 << 16, 4);
+        // First alloc bulk-refills: 4 blocks grabbed, all charged.
+        let a = region.alloc_with(&[1u8; 100]).unwrap();
+        assert_eq!(metrics.allocs.get(), 4, "refill grabs a batch");
+        assert_eq!(metrics.bytes_in_flight.get(), 4 * 128);
+        assert_eq!(region.in_flight(), 4 * 128);
+        assert_eq!(region.magazine_resident(), 3 * 128);
+        // Drop parks the block; the charge does not move.
+        drop(a);
+        assert_eq!(region.magazine_resident(), 4 * 128);
+        assert_eq!(region.in_flight(), 4 * 128);
+        assert_eq!(metrics.frees.get(), 0, "park is not a free");
+        // Subsequent allocs are pure pops: no new arena allocs.
+        let b = region.alloc_with(&[2u8; 100]).unwrap();
+        let c = region.alloc_with(&[3u8; 100]).unwrap();
+        assert_eq!(metrics.allocs.get(), 4, "pops must not touch the arena");
+        assert_eq!(b.as_slice(), &[2u8; 100]);
+        assert_eq!(c.as_slice(), &[3u8; 100]);
+        drop((b, c));
+        // Flush settles everything bit-for-bit.
+        assert_eq!(region.flush_magazine(), 4 * 128);
+        assert_eq!(region.in_flight(), 0);
+        assert_eq!(metrics.bytes_in_flight.get(), 0);
+        assert_eq!(metrics.frees.get(), 4);
+    }
+
+    #[test]
+    fn magazine_recycle_bumps_generations_like_free() {
+        let arena = ArgArena::with_capacity(1 << 16);
+        let region = ArenaRegion::with_magazine(Arc::clone(&arena), 1 << 16, 4);
+        let slot = region.alloc_with(&[7u8; 100]).unwrap();
+        let (off1, _, gen1) = slot.descriptor();
+        drop(slot); // parks in the magazine, bumping the generation
+        let slot2 = region.alloc_with(&[9u8; 100]).unwrap();
+        let (off2, _, gen2) = slot2.descriptor();
+        assert_eq!(off1, off2, "magazine must recycle the parked block");
+        assert_eq!(
+            gen2,
+            gen1.wrapping_add(1),
+            "parking must bump the generation exactly as free does"
+        );
+    }
+
+    #[test]
+    fn magazine_never_shrinks_the_effective_quota() {
+        // Quota fits exactly two 2 KiB blocks. The magazine refill for a
+        // small class parks idle bytes; a large alloc that needs the full
+        // quota must flush them and succeed, exactly as a plain region
+        // would have.
+        let arena = ArgArena::with_capacity(1 << 16);
+        let region = ArenaRegion::with_magazine(Arc::clone(&arena), 4096, 16);
+        let small = region.alloc_with(&[1u8; 100]).unwrap();
+        assert!(
+            region.magazine_resident() > 0,
+            "refill must have parked blocks"
+        );
+        drop(small);
+        let big = region
+            .alloc_with(&[2u8; 4096])
+            .expect("full-quota alloc must flush the magazine and succeed");
+        assert_eq!(region.in_flight(), 4096);
+        drop(big); // parks (class 6 is still magazine-cached)
+        region.flush_magazine();
+        assert_eq!(region.in_flight(), 0);
+    }
+
+    #[test]
+    fn region_drop_returns_parked_capacity_to_other_regions() {
+        // Arena of 8 granules (512 B). Region A's refill grabs — and its
+        // magazine then parks — every block; a plain region B is starved
+        // until A's last handle drops and the terminal flush returns the
+        // blocks to the shared freelists.
+        let arena = ArgArena::with_capacity(512);
+        let a = ArenaRegion::with_magazine(Arc::clone(&arena), 512, 16);
+        drop(a.alloc_with(&[1u8; 65]).unwrap()); // carve 4 × 128 B, park all
+        assert_eq!(a.magazine_resident(), 512);
+        let b = ArenaRegion::new(Arc::clone(&arena), 512);
+        assert!(
+            b.alloc_with(&[4u8; 65]).is_none(),
+            "A's parked blocks pin the whole arena"
+        );
+        drop(a);
+        assert!(
+            b.alloc_with(&[4u8; 65]).is_some(),
+            "dropping A must flush its parked blocks back"
+        );
+    }
+
+    #[test]
+    fn region_drop_flushes_magazine_to_zero_bytes_in_flight() {
+        let metrics = Arc::new(secmod_obs::ArenaMetrics::new());
+        let arena = ArgArena::with_metrics(1 << 16, Arc::clone(&metrics));
+        let region = ArenaRegion::with_magazine(Arc::clone(&arena), 1 << 16, 8);
+        let slot = region.alloc_with(&[5u8; 200]).unwrap();
+        assert!(metrics.bytes_in_flight.get() > 0);
+        // Region handle drops first; the slot still holds the state alive.
+        drop(region);
+        assert!(metrics.bytes_in_flight.get() > 0);
+        drop(slot);
+        assert_eq!(
+            metrics.bytes_in_flight.get(),
+            0,
+            "terminal drop must flush parked blocks"
+        );
+        assert_eq!(metrics.allocs.get(), metrics.frees.get());
     }
 
     #[test]

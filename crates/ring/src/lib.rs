@@ -72,7 +72,7 @@ pub mod call;
 pub mod ring;
 pub mod set;
 
-pub use arena::{ArenaRegion, ArenaSlot, ArgArena, ArgRef, INLINE_ARG_MAX};
+pub use arena::{ArenaRegion, ArenaSlot, ArgArena, ArgRef, INLINE_ARG_MAX, MAGAZINE_DEPTH};
 pub use byte::ByteRing;
 pub use call::{CompletionRing, SmodCallReq, SmodCallResp, SMOD_BATCH_DEFAULT_BUDGET};
 pub use call::{RingPairConfig, SubmissionRing};

@@ -318,10 +318,9 @@ impl RingSet {
             tenant,
             sq,
             cq,
-            arena: self
-                .arena
-                .as_ref()
-                .map(|(arena, quota)| ArenaRegion::new(Arc::clone(arena), *quota)),
+            arena: self.arena.as_ref().map(|(arena, quota)| {
+                ArenaRegion::with_magazine(Arc::clone(arena), *quota, crate::MAGAZINE_DEPTH)
+            }),
             draining: AtomicBool::new(false),
             next_user_data: AtomicU64::new(0),
         }));
@@ -933,6 +932,10 @@ mod tests {
             assert_eq!(got.args.as_slice(), payload.as_slice());
             false
         });
+        // The drained slot recycles into the region's magazine (still
+        // charged); flushing settles the quota back to zero.
+        assert!(region.magazine_resident() > 0, "drained block parks");
+        region.flush_magazine();
         assert_eq!(region.in_flight(), 0, "drained request freed its slot");
 
         // Plain sets stay on the copy path.

@@ -74,6 +74,80 @@ proptest! {
         prop_assert_eq!(region.in_flight(), 0);
     }
 
+    /// Magazine regions inherit the full no-alias / no-leak contract
+    /// under ANY interleaving of allocs, frees (which park blocks in the
+    /// magazine instead of freeing them), and explicit flushes — across
+    /// TWO magazine regions sharing one arena, so a parked block handed
+    /// to the wrong region's allocation would corrupt a read-back here.
+    /// Invariants checked every step: live payloads read back intact,
+    /// charged bytes (live + parked) never exceed the quota, parked
+    /// bytes never exceed charged bytes; and once the slots are dropped
+    /// each region's charge is exactly its parked bytes, with the
+    /// region drops settling the arena gauge to zero and every alloc
+    /// matched by a free.
+    #[test]
+    fn magazine_regions_never_alias_and_settle(
+        steps in collection::vec((0u8..8, 0u8..2, 1usize..=4096, 0u8..=255), 1..120),
+        quota_kib in 2usize..=16,
+        depth in 1usize..=16,
+    ) {
+        let metrics = Arc::new(secmod_obs::ArenaMetrics::new());
+        let arena = ArgArena::with_metrics(1 << 20, Arc::clone(&metrics));
+        let regions = [
+            ArenaRegion::with_magazine(Arc::clone(&arena), quota_kib * 1024, depth),
+            ArenaRegion::with_magazine(Arc::clone(&arena), quota_kib * 1024, depth),
+        ];
+        let mut live: [Vec<(ArenaSlot, Vec<u8>)>; 2] = [Vec::new(), Vec::new()];
+        for (kind, who, size, fill) in steps {
+            let who = who as usize;
+            match kind {
+                // Alloc (4:3 weight over frees): quota/arena pressure is
+                // the fallback path, not a failure.
+                0..=3 => {
+                    let payload: Vec<u8> =
+                        (0..size).map(|i| fill.wrapping_add(i as u8)).collect();
+                    if let Some(slot) = regions[who].alloc_with(&payload) {
+                        live[who].push((slot, payload));
+                    }
+                }
+                // Free: parks the block in the magazine (or frees it when
+                // the stack is full), in arbitrary order.
+                4..=6 => {
+                    if !live[who].is_empty() {
+                        let idx = (fill as usize * 31 + size) % live[who].len();
+                        live[who].swap_remove(idx);
+                    }
+                }
+                // Explicit flush: parked blocks go back to the shared
+                // freelists mid-run.
+                _ => {
+                    regions[who].flush_magazine();
+                }
+            }
+            for region in &regions {
+                prop_assert!(region.in_flight() <= region.quota(), "quota exceeded");
+                prop_assert!(
+                    region.magazine_resident() <= region.in_flight(),
+                    "parked bytes not covered by the charge"
+                );
+            }
+            // An aliased block — parked in one region, live in another —
+            // would corrupt one of these read-backs.
+            for (slot, payload) in live.iter().flatten() {
+                prop_assert_eq!(slot.as_slice(), payload.as_slice());
+                prop_assert!(slot.is_current());
+            }
+        }
+        for (region, live) in regions.iter().zip(live.iter_mut()) {
+            live.clear();
+            // With no live slots the only remaining charge is parked.
+            prop_assert_eq!(region.in_flight(), region.magazine_resident());
+        }
+        drop(regions);
+        prop_assert_eq!(metrics.bytes_in_flight.get(), 0, "region drop must flush parked blocks");
+        prop_assert_eq!(metrics.allocs.get(), metrics.frees.get(), "every alloc must be freed");
+    }
+
     /// `ArgRef` placement is representation-transparent: whatever mix of
     /// inline/arena/heap a payload lands in, the bytes compare equal to
     /// the copy-path representation — the property the dispatch

@@ -46,6 +46,9 @@ fn main() {
     // --drainers: dedicated drainer threads for the plane scenario
     // (0 = auto: max(1, threads/4), keeping producers >> drainers).
     let drainers = parse_flag(&args, "--drainers").unwrap_or(0) as usize;
+    // --submit-batch N: plane producers coalesce N entries per doorbell
+    // (0/1 = classic one-doorbell-per-entry submission).
+    let submit_batch = parse_flag(&args, "--submit-batch").unwrap_or(1) as usize;
     // --only <name>: run a single scenario (CI smoke legs use this). An
     // unknown name is a hard error — a typo'd CI leg that silently ran
     // zero scenarios would still exit green.
@@ -121,6 +124,7 @@ fn main() {
             .threads(threads)
             .ops_per_thread(ops)
             .drainers(drainers)
+            .submit_batch(submit_batch)
             .build();
         let report = run_scenario(&cfg);
         println!("{report}");

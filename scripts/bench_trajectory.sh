@@ -17,7 +17,8 @@
 #               them regressed more than the threshold. The hot set:
 #               fig8_dispatch/* (incl. the shm rpc row; the socket rpc row
 #               is excluded), arg_marshalling/*, gate/cached_hot,
-#               ring_throughput/*, sweep_throughput/*, async_throughput/*.
+#               ring_throughput/*, sweep_throughput/*, async_throughput/*,
+#               submit_path/*.
 #               Benches present in the baseline but absent from this run are
 #               warned and skipped (a bench renamed or retired must not brick
 #               the gate) — but if NOTHING ends up compared the gate fails,
@@ -157,7 +158,7 @@ if [ -n "$BASELINE" ]; then
             # host's socket stack, not this tree, and is far too
             # load-sensitive to gate on.
             fig8_dispatch/rpc_testincr) continue ;;
-            fig8_dispatch/*|arg_marshalling/*|gate/cached_hot|ring_throughput/*|sweep_throughput/*|async_throughput/*) ;;
+            fig8_dispatch/*|arg_marshalling/*|gate/cached_hot|ring_throughput/*|sweep_throughput/*|async_throughput/*|submit_path/*) ;;
             *) continue ;;
         esac
         new_ns="$(awk -v n="$name" '$1 == n { print $2 }' "$RAW.new")"
